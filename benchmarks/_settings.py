@@ -1,0 +1,14 @@
+"""Benchmark-harness budgets (shared by conftest and the benchmarks)."""
+
+from repro.pb.grid import GridSpec
+from repro.verifier.verifier import VerifierConfig
+
+#: verification budget used by the benchmark harness (coarse but faithful)
+BENCH_CONFIG = VerifierConfig(
+    split_threshold=0.7,
+    per_call_budget=250,
+    global_step_budget=10_000,
+)
+
+#: PB grid used by the benchmark harness
+BENCH_SPEC = GridSpec(n_rs=161, n_s=161, n_alpha=9)

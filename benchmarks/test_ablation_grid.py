@@ -1,0 +1,88 @@
+"""E9 -- ablation: PB grid resolution and derivative error.
+
+Section IV-A: PB uses dense grids and numeric gradients.  This benchmark
+sweeps the grid resolution, measuring (i) verdict stability, (ii) the
+numeric-derivative error against the symbolic derivative (the approximation
+the paper's symbolic encoding eliminates), and (iii) runtime scaling of the
+vectorised checker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conditions import EC1, EC2, EC7
+from repro.expr.codegen import compile_numpy
+from repro.expr.derivative import derivative
+from repro.functionals import get_functional
+from repro.functionals.vars import RS
+from repro.pb.checker import PBChecker
+from repro.pb.grid import GridSpec
+from repro.pb.gradients import d_drs
+
+
+def test_grid_resolution_sweep(benchmark):
+    lyp = get_functional("LYP")
+    verdicts = {}
+
+    def run():
+        for n in (51, 101, 201, 401):
+            checker = PBChecker(spec=GridSpec(n_rs=n, n_s=n))
+            res = checker.check(lyp, EC1)
+            verdicts[n] = (res.any_violation, res.violation_bounds()["s"][0])
+        return verdicts
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nLYP/EC1 violation onset (s) by grid resolution:")
+    for n, (violated, onset) in sorted(verdicts.items()):
+        print(f"  n={n:4d}: violated={violated}  s_onset={onset:.4f}")
+
+    # verdict is resolution-independent; the onset estimate converges
+    assert all(v for v, _ in verdicts.values())
+    onsets = [verdict[1] for _, verdict in sorted(verdicts.items())]
+    assert abs(onsets[-1] - onsets[-2]) <= abs(onsets[1] - onsets[0]) + 1e-9
+
+
+def test_derivative_error_shrinks_with_resolution():
+    pbe = get_functional("PBE")
+    fc_kernel = pbe.fc_kernel()
+    exact = compile_numpy(derivative(pbe.fc(), RS), arg_order=pbe.variables)
+
+    errors = {}
+    for n in (101, 401, 1601):
+        rs = np.linspace(1e-4, 5.0, n)
+        s = np.full_like(rs, 2.0)
+        approx = d_drs(fc_kernel(rs, s), rs)
+        err = np.abs(approx - exact(rs, s))
+        errors[n] = float(err[2:-2].max())
+    print(f"\nmax |numeric - symbolic| dF_c/drs: {errors}")
+    assert errors[401] < errors[101]
+    assert errors[1601] < errors[401]
+
+    # near rs -> 0 the derivative is steep: error there dominates, which is
+    # the failure mode symbolic differentiation avoids
+    rs = np.linspace(1e-4, 5.0, 401)
+    s = np.full_like(rs, 2.0)
+    err = np.abs(d_drs(fc_kernel(rs, s), rs) - exact(rs, s))
+    assert np.nanargmax(err) < 10
+
+
+def test_checker_runtime_scales_linearly(benchmark):
+    """The vectorised checker's cost is O(points) -- one kernel pass."""
+    import time
+    pbe = get_functional("PBE")
+    times = {}
+
+    def run():
+        for n in (101, 202, 404):
+            checker = PBChecker(spec=GridSpec(n_rs=n, n_s=n))
+            t0 = time.perf_counter()
+            checker.check(pbe, EC7)
+            times[n] = time.perf_counter() - t0
+        return times
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nPB checker runtime by resolution: { {k: round(v, 4) for k, v in times.items()} }")
+    # 16x the points should cost far less than 64x the time
+    assert times[404] < 64 * max(times[101], 1e-3)

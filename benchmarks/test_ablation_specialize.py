@@ -1,0 +1,70 @@
+"""E12 -- ablation: per-box formula specialisation (Section VI-A direction).
+
+``VerifierConfig(specialize_boxes=True)`` folds box-decidable Ite guards
+out of the formula before each solver call, so piecewise functionals
+(SCAN's alpha switches) collapse to a single analytic piece on boxes that
+stay on one side of the switch.
+
+Measured outcome (a documented *negative* result): the HC4 contractor
+already decides Ite guards natively during its forward pass and
+propagates through decided branches on the backward pass, so
+specialisation changes no verdicts and saves only the guard-evaluation
+overhead -- a few percent of wall time on SCAN, nothing on functionals
+without Ite.  The *real* obstruction for SCAN boxes straddling alpha = 1
+is the unbounded hull of the pole branch (see
+``test_rscan_vs_scan.test_enclosure_width_across_alpha_one``), which no
+amount of formula rewriting fixes without splitting at the switch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions import EC1
+from repro.functionals import get_functional
+from repro.verifier import encode
+from repro.verifier.regions import Outcome
+from repro.verifier.verifier import Verifier, VerifierConfig
+
+SCAN = get_functional("SCAN")
+
+BASE = dict(split_threshold=0.7, per_call_budget=250, global_step_budget=6000)
+
+
+def _run(specialize: bool):
+    config = VerifierConfig(**BASE, specialize_boxes=specialize)
+    return Verifier(config).verify(encode(SCAN, EC1))
+
+
+def test_specialize_off(benchmark):
+    report = benchmark.pedantic(_run, args=(False,), rounds=1, iterations=1)
+    print(f"\nplain      : {report.summary()}")
+
+
+def test_specialize_on(benchmark):
+    report = benchmark.pedantic(_run, args=(True,), rounds=1, iterations=1)
+    print(f"\nspecialised: {report.summary()}")
+
+
+def test_specialisation_changes_no_verdicts():
+    plain = _run(False)
+    spec = _run(True)
+    assert plain.classification() == spec.classification()
+    f_plain = plain.area_fractions().get(Outcome.VERIFIED, 0.0)
+    f_spec = spec.area_fractions().get(Outcome.VERIFIED, 0.0)
+    print(f"\nverified area: plain={f_plain:.1%}, specialised={f_spec:.1%}")
+    # HC4 already handles decided guards natively: coverage is identical
+    assert f_spec == pytest.approx(f_plain, abs=0.05)
+
+
+def test_specialised_formulas_are_interned():
+    """Boxes on the same side of every switch share one specialised
+    formula object (so the solver's contractor cache stays warm)."""
+    config = VerifierConfig(**BASE, specialize_boxes=True)
+    verifier = Verifier(config)
+    verifier.verify(encode(SCAN, EC1))
+    n_distinct = len(verifier._specialized_cache)
+    print(f"\ndistinct specialised formulas: {n_distinct}")
+    # 2 switching guards -> at most a handful of branch combinations,
+    # not one formula per box
+    assert 0 < n_distinct <= 8

@@ -1,0 +1,75 @@
+"""E3/E4 -- Figure 1: PBE region maps under PB (top row) and XCVerifier
+(bottom row) for Ec non-positivity, the Lieb-Oxford extension, and the
+conjectured Tc upper bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conditions import EC1, EC5, EC7
+from repro.functionals import get_functional
+from repro.pb.checker import PBChecker
+from repro.verifier import ascii_map, rasterize, verify_pair
+from repro.verifier.render import OUTCOME_CODES
+from repro.verifier.regions import Outcome
+
+from _settings import BENCH_CONFIG, BENCH_SPEC
+
+PBE = get_functional("PBE")
+CEX = OUTCOME_CODES[Outcome.COUNTEREXAMPLE]
+VERIFIED = OUTCOME_CODES[Outcome.VERIFIED]
+
+
+def test_fig1_pb_row(benchmark):
+    """Figure 1 (a-c): PB grid maps for PBE."""
+    checker = PBChecker(spec=BENCH_SPEC)
+
+    def run():
+        return {
+            c.cid: checker.check(PBE, c) for c in (EC1, EC5, EC7)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # (a) Ec non-positivity: no hatched region
+    assert not results["EC1"].any_violation
+    # (b) LO extension: no hatched region
+    assert not results["EC5"].any_violation
+    # (c) conjectured Tc bound: hatched upper-left region
+    assert results["EC7"].any_violation
+    bounds = results["EC7"].violation_bounds()
+    assert bounds["rs"][0] < 0.5 and bounds["s"][1] == pytest.approx(5.0)
+    for cid, res in results.items():
+        print(f"\nFig1 PB {cid}: {res.summary()}")
+
+
+@pytest.mark.parametrize(
+    "condition,expect_cex",
+    [(EC1, False), (EC5, False), (EC7, True)],
+    ids=["EC1", "EC5", "EC7"],
+)
+def test_fig1_xcverifier_row(benchmark, condition, expect_cex):
+    """Figure 1 (d-f): XCVerifier region maps for PBE."""
+
+    def run():
+        return verify_pair(PBE, condition, BENCH_CONFIG)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(ascii_map(report, resolution=32))
+
+    assert report.has_counterexample() == expect_cex
+    raster = rasterize(report, resolution=16)
+    if condition is EC7:
+        # (f): counterexample region covers the upper-left diagonal
+        assert (raster[12:, :4] == CEX).mean() > 0.8
+        assert (raster[:4, 12:] == CEX).mean() < 0.2
+    if condition is EC5:
+        # (e): verified on the entire input domain
+        assert (raster == VERIFIED).all()
+    if condition is EC1:
+        # (d): verified except a strip of timeouts (thin margins);
+        # bottom-right (moderate s, larger rs) verifies
+        assert (raster[:4, 8:] == VERIFIED).mean() > 0.6

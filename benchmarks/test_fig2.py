@@ -1,0 +1,80 @@
+"""E5/E6 -- Figure 2: LYP region maps under PB (top row) and XCVerifier
+(bottom row) for Ec non-positivity, the Ec scaling inequality, and the Tc
+upper bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conditions import EC1, EC2, EC6
+from repro.functionals import get_functional
+from repro.pb.checker import PBChecker
+from repro.verifier import ascii_map, rasterize, verify_pair
+from repro.verifier.render import OUTCOME_CODES
+from repro.verifier.regions import Outcome
+
+from _settings import BENCH_CONFIG, BENCH_SPEC
+
+LYP = get_functional("LYP")
+CEX = OUTCOME_CODES[Outcome.COUNTEREXAMPLE]
+VERIFIED = OUTCOME_CODES[Outcome.VERIFIED]
+
+
+def test_fig2_pb_row(benchmark):
+    """Figure 2 (a-c): PB grid maps for LYP -- all three hatched."""
+    checker = PBChecker(spec=BENCH_SPEC)
+
+    def run():
+        return {c.cid: checker.check(LYP, c) for c in (EC1, EC2, EC6)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # (a) EC1: violations at s above ~1.7 for every rs
+    b1 = results["EC1"].violation_bounds()
+    assert 1.3 < b1["s"][0] < 2.1
+    assert b1["rs"][1] == pytest.approx(5.0, abs=0.1)
+
+    # (b) EC2: violations at small rs, large s (paper: rs<2.5, s>1.48)
+    b2 = results["EC2"].violation_bounds()
+    assert b2["rs"][1] < 3.0
+    assert 1.2 < b2["s"][0] < 1.9
+
+    # (c) EC6: small corner at large rs, large s (paper: rs>4.84, s>2.42)
+    b6 = results["EC6"].violation_bounds()
+    assert b6["rs"][0] > 4.0
+    assert b6["s"][0] > 2.0
+    assert results["EC6"].violation_fraction < 0.05
+
+    for cid, res in results.items():
+        print(f"\nFig2 PB {cid}: {res.summary()} bounds={res.violation_bounds()}")
+
+
+@pytest.mark.parametrize("condition", [EC1, EC2, EC6], ids=["EC1", "EC2", "EC6"])
+def test_fig2_xcverifier_row(benchmark, condition):
+    """Figure 2 (d-f): XCVerifier maps for LYP -- cex regions isolated."""
+
+    def run():
+        return verify_pair(LYP, condition, BENCH_CONFIG)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(ascii_map(report, resolution=32))
+
+    assert report.classification() == "CEX"
+    raster = rasterize(report, resolution=16)
+
+    if condition is EC1:
+        # (d): violations fill the top, verified at the bottom
+        assert (raster[13:, :] == CEX).mean() > 0.8
+        assert (raster[:3, :] == VERIFIED).mean() > 0.8
+    if condition is EC2:
+        # (e): violations in the upper-left (small rs, large s)
+        assert (raster[12:, :6] == CEX).mean() > 0.5
+        assert (raster[:4, :] == CEX).mean() < 0.1
+    if condition is EC6:
+        # (f): small counterexample region in the upper-right corner
+        bbox = report.counterexample_bbox()
+        assert bbox["rs"].hi > 4.2
+        assert bbox["s"].hi > 2.4

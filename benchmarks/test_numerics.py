@@ -1,0 +1,77 @@
+"""E11 -- the Section VI-C numerical-issues analyses as a benchmark.
+
+Three measurements the paper's discussion section proposes as future
+work, run across the functional families:
+
+1. **PZ81 matching point**: the published constants leave a ~3.2e-5 Ha
+   discontinuity of eps_c at rs = 1 ("potentially inaccurate numerical
+   constants that lead to discontinuities of the exchange-correlation
+   energy at a given matching point").
+2. **SCAN's alpha = 1 channel vs the rSCAN line**: SCAN's switching
+   functions have essential singularities exactly at the branch boundary
+   (singular branch surfaces; benign-but-fragile division channel), which
+   rSCAN/r++SCAN remove (continuous crossover, total evaluation).
+3. **Hazard totality across all registered DFAs**: every partial
+   operation of every lifted F_c proven in-domain or witnessed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.functionals import all_functionals, get_functional
+from repro.numerics import check_continuity, check_hazards
+
+PZ81 = get_functional("PZ81")
+SCAN = get_functional("SCAN")
+RSCAN = get_functional("rSCAN")
+
+
+def test_pz81_matching_point(benchmark):
+    report = benchmark.pedantic(
+        lambda: check_continuity(PZ81.eps_c(), PZ81.domain(), n_base_points=16),
+        rounds=1,
+        iterations=1,
+    )
+    jump = report.max_value_jump()
+    print(f"\nPZ81 eps_c jump at rs=1: {jump:.4g} Ha (published constants)")
+    assert jump == pytest.approx(3.2066e-5, rel=1e-2)
+
+
+def test_scan_vs_rscan_boundaries(benchmark):
+    def run():
+        scan_rep = check_continuity(SCAN.fc(), SCAN.domain(), n_base_points=6)
+        rscan_rep = check_continuity(RSCAN.fc(), RSCAN.domain(), n_base_points=6)
+        return scan_rep, rscan_rep
+
+    scan_rep, rscan_rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nSCAN  : {scan_rep.summary()}")
+    print(f"rSCAN : {rscan_rep.summary()}")
+    assert scan_rep.singular_findings()  # essential singularity at alpha=1
+    assert rscan_rep.is_continuous(tol=1e-8)  # polynomial crossover
+
+
+def test_hazard_totality_sweep(benchmark):
+    """Prove/refute every partial operation of every registered F_c."""
+
+    def sweep():
+        out = {}
+        for functional in all_functionals():
+            report = check_hazards(functional.fc(), functional.domain())
+            out[functional.name] = report
+        return out
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    fragile = {}
+    for name, report in sorted(reports.items()):
+        print(f"{name:10s}: {report.summary()}")
+        if not report.is_total:
+            fragile[name] = report
+    # the SCAN family (and only it) carries non-'safe' sites: SCAN's own
+    # alpha=1 channel is benign-not-safe; every plain GGA/LDA is total
+    for name in ("PBE", "LYP", "AM05", "VWN RPA", "PW91", "BLYP", "PZ81",
+                 "Wigner", "VWN5", "PBEsol", "revPBE"):
+        assert reports[name].is_total, name
+    assert not reports["SCAN"].is_total
+    assert all(v.status == "benign" for v in reports["SCAN"].triggered())

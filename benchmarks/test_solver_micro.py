@@ -1,0 +1,81 @@
+"""Microbenchmarks of the solver and kernel substrates.
+
+Not a paper artifact, but the performance envelope everything else rests
+on: HC4 contraction throughput on real DFA formulas, compiled-kernel grid
+throughput, and symbolic differentiation cost per functional.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conditions import EC1, EC3
+from repro.expr.derivative import derivative
+from repro.functionals import get_functional, paper_functionals
+from repro.functionals.vars import RS
+from repro.solver.box import Box
+from repro.solver.contractor import HC4Contractor
+from repro.verifier import encode
+
+
+def test_hc4_contraction_throughput(benchmark):
+    problem = encode(get_functional("PBE"), EC1)
+    contractor = HC4Contractor(problem.negation, delta=1e-5)
+    box = Box.from_bounds({"rs": (1.0, 3.0), "s": (0.0, 2.0)})
+
+    result = benchmark(contractor.contract, box)
+    assert not result.is_empty() or True
+
+
+def test_scan_contraction_cost(benchmark):
+    """SCAN formulas are the most expensive to contract (paper Sec. VI-A)."""
+    problem = encode(get_functional("SCAN"), EC1)
+    contractor = HC4Contractor(problem.negation, delta=1e-5)
+    box = Box.from_bounds({"rs": (1.0, 3.0), "s": (0.0, 2.0), "alpha": (0.0, 2.0)})
+    benchmark(contractor.contract, box)
+
+
+def test_kernel_grid_throughput(benchmark):
+    """Vectorised F_c evaluation on a 400x400 mesh."""
+    f = get_functional("PBE")
+    kernel = f.fc_kernel()
+    rs, s = np.meshgrid(
+        np.linspace(1e-4, 5, 400), np.linspace(0, 5, 400), indexing="ij"
+    )
+
+    out = benchmark(kernel, rs, s)
+    assert out.shape == (400, 400)
+
+
+def test_symbolic_differentiation_cost(benchmark):
+    """d2 F_c / d rs2 for SCAN -- the heaviest encoder step (EC3)."""
+    f = get_functional("SCAN")
+    fc = f.fc()
+
+    def second_derivative():
+        return derivative(derivative(fc, RS), RS)
+
+    expr = benchmark.pedantic(second_derivative, rounds=1, iterations=1)
+    assert expr.dag_size() > 100
+
+
+def test_encoding_cost_by_functional(benchmark):
+    """Encoding all seven conditions for every functional (cached path
+    excluded by re-deriving)."""
+    from repro.conditions import PAPER_CONDITIONS
+
+    def encode_all():
+        sizes = {}
+        for f in paper_functionals():
+            for c in PAPER_CONDITIONS:
+                if c.applies_to(f):
+                    sizes[(f.name, c.cid)] = encode(f, c).complexity()
+        return sizes
+
+    sizes = benchmark.pedantic(encode_all, rounds=1, iterations=1)
+    assert len(sizes) == 31
+    scan_max = max(v for (n, _), v in sizes.items() if n == "SCAN")
+    others_max = max(v for (n, _), v in sizes.items() if n != "SCAN")
+    print(f"\nlargest SCAN formula: {scan_max} ops; largest other: {others_max} ops")
+    assert scan_max > others_max

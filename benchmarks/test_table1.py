@@ -1,0 +1,88 @@
+"""E1 -- Table I: XCVerifier outcomes for all 31 DFA-condition pairs.
+
+Regenerates the paper's Table I (at benchmark budgets) and checks the
+reproduced *shape*: which pairs have counterexamples, which verify, which
+exhaust the solver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import PAPER_TABLE_ONE, run_table_one
+from repro.conditions import PAPER_CONDITIONS
+from repro.functionals import paper_functionals
+
+from _settings import BENCH_CONFIG
+
+
+def test_table1_regenerate(benchmark, table_one_result):
+    """Regenerate Table I (the run itself happens in the session fixture;
+    the benchmark times one representative pair re-verification)."""
+    from repro.conditions import EC1
+    from repro.functionals import get_functional
+    from repro.verifier import verify_pair
+
+    def one_pair():
+        return verify_pair(get_functional("LYP"), EC1, BENCH_CONFIG)
+
+    report = benchmark.pedantic(one_pair, rounds=1, iterations=1)
+    assert report.classification() == "CEX"
+
+    table = table_one_result
+    print()
+    print(table.render())
+
+    # -- shape assertions against the paper's Table I -------------------------
+    cells = table.as_dict()
+
+    # LYP: counterexamples for ALL applicable conditions (the paper's
+    # strongest finding: the empirical DFA violates everything somewhere)
+    for cid in ("EC1", "EC2", "EC3", "EC6", "EC7"):
+        assert cells[cid]["LYP"] == "CEX", f"LYP {cid}"
+
+    # PBE: EC7 is the one genuine violation; EC5 verifies fully
+    assert cells["EC7"]["PBE"] == "CEX"
+    assert cells["EC5"]["PBE"] == "OK"
+    assert cells["EC1"]["PBE"] in ("OK", "OK*")
+    # the remaining PBE cells are budget-sensitive between OK* and ?
+    # (thin EC margins at large s, see EXPERIMENTS.md) but never CEX
+    for cid in ("EC2", "EC3", "EC6", "EC4"):
+        assert cells[cid]["PBE"] in ("OK", "OK*", "?"), f"PBE {cid}"
+
+    # VWN RPA: everything verified (EC7 possibly partial, as in the paper)
+    for cid in ("EC1", "EC2", "EC3", "EC6"):
+        assert cells[cid]["VWN RPA"] == "OK", f"VWN {cid}"
+    assert cells["EC7"]["VWN RPA"] in ("OK", "OK*")
+
+    # AM05: no counterexamples anywhere
+    for cid in ("EC1", "EC2", "EC3", "EC6", "EC7", "EC4", "EC5"):
+        assert cells[cid]["AM05"] != "CEX", f"AM05 {cid}"
+
+    # SCAN: hardest column -- never fully verified, never a counterexample
+    for cid in ("EC1", "EC2", "EC3", "EC6", "EC7", "EC4", "EC5"):
+        assert cells[cid]["SCAN"] in ("OK*", "?"), f"SCAN {cid}"
+
+    # LO conditions not applicable to correlation-only DFAs
+    for cid in ("EC4", "EC5"):
+        assert cells[cid]["LYP"] == "-"
+        assert cells[cid]["VWN RPA"] == "-"
+
+
+def test_table1_agreement_count(table_one_result):
+    """Count exact cell agreement with the published Table I."""
+    cells = table_one_result.as_dict()
+    total = matches = 0
+    for cid, row in PAPER_TABLE_ONE.items():
+        for fname, expected in row.items():
+            if expected == "-":
+                assert cells[cid][fname] == "-"
+                continue
+            total += 1
+            if cells[cid][fname] == expected:
+                matches += 1
+    print(f"\nTable I cell agreement with paper: {matches}/{total}")
+    # the CEX/OK cells must agree; budget-dependent OK*/? boundaries may
+    # drift (documented in EXPERIMENTS.md), so require a strong majority
+    assert total == 31
+    assert matches >= 20

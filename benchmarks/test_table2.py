@@ -1,0 +1,70 @@
+"""E2 -- Table II: consistency between the PB baseline and XCVerifier.
+
+Runs both approaches on every applicable pair, reusing the Table I
+verification reports, and checks the paper's headline: *no* mismatches --
+wherever both approaches produce a verdict, they agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import (
+    CONSISTENT,
+    MISMATCH,
+    NO_COMPARISON,
+    NOT_INCONSISTENT,
+    run_table_two,
+)
+from repro.functionals import get_functional
+from repro.pb.checker import PBChecker
+
+from _settings import BENCH_CONFIG, BENCH_SPEC
+
+
+def test_table2_regenerate(benchmark, table_one_result):
+    checker = PBChecker(spec=BENCH_SPEC)
+
+    def build():
+        return run_table_two(
+            verifier_config=BENCH_CONFIG,
+            checker=checker,
+            reports=table_one_result.reports,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    cells = table.as_dict()
+
+    # the paper's finding: results are never *inconsistent*
+    for cid, row in cells.items():
+        for fname, cell in row.items():
+            assert cell != MISMATCH, f"{fname}/{cid} mismatch"
+
+    # LYP: PB and XCVerifier find the same violation regions
+    for cid in ("EC1", "EC2", "EC3", "EC6", "EC7"):
+        assert cells[cid]["LYP"] == CONSISTENT, f"LYP {cid}"
+
+    # PBE EC7: both find the upper-left violation region
+    assert cells["EC7"]["PBE"] == CONSISTENT
+
+    # clean pairs are "not inconsistent"
+    assert cells["EC1"]["VWN RPA"] == NOT_INCONSISTENT
+    assert cells["EC5"]["PBE"] == NOT_INCONSISTENT
+
+
+def test_table2_pb_violation_coverage(table_one_result):
+    """PB's violating points must sit inside XCVerifier's cex regions."""
+    from repro.analysis.compare import pb_points_covered_fraction
+    from repro.conditions import EC1
+
+    checker = PBChecker(spec=BENCH_SPEC)
+    pb = checker.check(get_functional("LYP"), EC1)
+    report = table_one_result.reports[("LYP", "EC1")]
+    coverage = pb_points_covered_fraction(
+        pb, report, dilation=2 * BENCH_CONFIG.split_threshold
+    )
+    print(f"\nLYP/EC1: {coverage:.1%} of PB violations inside XCV cex regions")
+    assert coverage > 0.9

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: verify one DFT exact condition for one functional.
+
+Checks the Ec non-positivity condition (EC1) for the LYP correlation
+functional -- the paper's most clear-cut result: LYP's correlation energy
+turns *positive* for reduced gradients s above ~1.7, violating a known
+property of the exact functional.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import VerifierConfig, ascii_map, get_condition, get_functional, verify_pair
+
+
+def main() -> None:
+    lyp = get_functional("LYP")
+    ec1 = get_condition("EC1")
+
+    print(f"functional : {lyp}")
+    print(f"condition  : {ec1}")
+    print(f"local form : {ec1.local_condition(lyp)!r}"[:120])
+    print()
+
+    config = VerifierConfig(
+        split_threshold=0.4,     # the paper uses t = 0.05; coarser is faster
+        per_call_budget=300,     # ICP steps per solver call ("2h dReal limit")
+        global_step_budget=40_000,
+    )
+    report = verify_pair(lyp, ec1, config)
+
+    print(report.summary())
+    print()
+    print(ascii_map(report, resolution=40))
+    print()
+
+    cex = report.counterexamples()
+    print(f"{len(cex)} counterexample regions; first three models:")
+    for record in cex[:3]:
+        rs, s = record.model["rs"], record.model["s"]
+        print(f"  rs = {rs:.4f}, s = {s:.4f}  (box {record.box})")
+
+    bbox = report.counterexample_bbox()
+    print(f"\nviolation bounding box: {bbox}")
+    print("paper (Fig. 2d): counterexamples at s > 1.6563, rest verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Reproduce the region maps of Figures 1 and 2 (ASCII + CSV export).
+
+Figure 1: PBE under {EC1, EC5, EC7}; Figure 2: LYP under {EC1, EC2, EC6}.
+For each panel the script renders the XCVerifier map (bottom rows of the
+paper's figures) next to the PB grid verdict (top rows), and writes the
+raw region records to ``region_maps_<functional>_<cid>.csv``.
+
+Run:  python examples/region_maps.py [--resolution N]
+"""
+
+import argparse
+import csv
+
+from repro import PBChecker, GridSpec, VerifierConfig, ascii_map, get_condition, get_functional, verify_pair
+from repro.pb import ascii_pb_map
+from repro.verifier.render import export_rows
+
+
+def panel(functional_name: str, cid: str, config, checker, resolution: int) -> None:
+    functional = get_functional(functional_name)
+    condition = get_condition(cid)
+
+    report = verify_pair(functional, condition, config)
+    pb = checker.check(functional, condition)
+
+    print("=" * 72)
+    print(f"{functional_name} / {cid}: XCVerifier={report.classification()}  "
+          f"PB={'violated' if pb.any_violation else 'satisfied'}")
+    print("-" * 72)
+    print(ascii_map(report, resolution=resolution))
+    print()
+    print(ascii_pb_map(pb, resolution=resolution))
+    if pb.any_violation:
+        print(f"PB violation bounds: {pb.violation_bounds()}")
+    print()
+
+    out_path = f"region_maps_{functional_name.replace(' ', '_')}_{cid}.csv"
+    rows = export_rows(report)
+    with open(out_path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=sorted({k for r in rows for k in r}))
+        writer.writeheader()
+        writer.writerows(rows)
+    print(f"wrote {len(rows)} region records to {out_path}\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--resolution", type=int, default=40)
+    args = parser.parse_args()
+
+    config = VerifierConfig(
+        split_threshold=0.4, per_call_budget=250, global_step_budget=25_000
+    )
+    checker = PBChecker(spec=GridSpec(n_rs=201, n_s=201))
+
+    print("Figure 1 (PBE):")
+    for cid in ("EC1", "EC5", "EC7"):
+        panel("PBE", cid, config, checker, args.resolution)
+
+    print("Figure 2 (LYP):")
+    for cid in ("EC1", "EC2", "EC6"):
+        panel("LYP", cid, config, checker, args.resolution)
+
+
+if __name__ == "__main__":
+    main()

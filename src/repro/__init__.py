@@ -1,0 +1,43 @@
+"""XCVerifier reproduction: verifying DFT exact conditions for DFA implementations.
+
+Reproduction of "Towards Verifying Exact Conditions for Implementations of
+Density Functional Approximations" (Helal, Tao, Rubio-Gonzalez, Gygi,
+Thakur; SC-W 2024 / arXiv:2408.05316), built from scratch in Python:
+
+* :mod:`repro.expr`        -- symbolic expression IR (terms, derivatives,
+  NumPy compilation, SymPy bridge),
+* :mod:`repro.pysym`       -- symbolic execution of Python DFA model code
+  (XCEncoder front end),
+* :mod:`repro.solver`      -- delta-complete interval branch-and-prune
+  solver (dReal substitute),
+* :mod:`repro.functionals` -- PBE, SCAN, LYP, AM05, VWN RPA and LDA
+  substrates (LibXC substitute),
+* :mod:`repro.conditions`  -- the seven exact conditions in local form,
+* :mod:`repro.verifier`    -- XCEncoder + Algorithm 1 driver + region maps,
+* :mod:`repro.pb`          -- the Pederson-Burke grid-search baseline,
+* :mod:`repro.analysis`    -- Table I / Table II harnesses,
+* :mod:`repro.numerics`    -- Section VI-C numerical-issues analyses
+  (branch continuity, domain safety, sensitivity),
+* :mod:`repro.cli`         -- the ``python -m repro`` command line.
+
+Quickstart::
+
+    from repro import verify_pair, get_functional, get_condition
+    report = verify_pair(get_functional("LYP"), get_condition("EC1"))
+    print(report.summary())
+"""
+
+from .conditions import PAPER_CONDITIONS, get_condition
+from .functionals import get_functional, paper_functionals
+from .verifier import Verifier, VerifierConfig, ascii_map, encode, verify_pair
+from .pb import PBChecker, GridSpec
+from .analysis import run_table_one, run_table_two
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_CONDITIONS", "get_condition", "get_functional",
+    "paper_functionals", "Verifier", "VerifierConfig", "ascii_map",
+    "encode", "verify_pair", "PBChecker", "GridSpec", "run_table_one",
+    "run_table_two", "__version__",
+]

@@ -1,0 +1,30 @@
+"""Evaluation harnesses: Table I, Table II, consistency metrics, export."""
+
+from .tables import PAPER_TABLE_ONE, TableOne, run_table_one
+from .compare import (
+    CONSISTENT,
+    MISMATCH,
+    NO_COMPARISON,
+    NOT_INCONSISTENT,
+    PAPER_TABLE_TWO,
+    TableTwo,
+    classify_consistency,
+    pb_points_covered_fraction,
+    run_table_two,
+)
+from .export import (
+    campaign_to_json,
+    report_to_csv,
+    report_to_json,
+    table_to_json,
+    table_to_markdown,
+)
+
+__all__ = [
+    "PAPER_TABLE_ONE", "TableOne", "run_table_one",
+    "CONSISTENT", "MISMATCH", "NO_COMPARISON", "NOT_INCONSISTENT",
+    "PAPER_TABLE_TWO", "TableTwo", "classify_consistency",
+    "pb_points_covered_fraction", "run_table_two",
+    "campaign_to_json", "report_to_csv", "report_to_json",
+    "table_to_json", "table_to_markdown",
+]

@@ -1,0 +1,182 @@
+"""Table II harness: consistency between the PB baseline and XCVerifier.
+
+Following Section IV-C:
+
+* ``J``  (consistent): both approaches find violations, and the violating
+  PB points fall inside the counterexample regions XCVerifier isolated
+  (up to one split-threshold of dilation -- region boundaries are only
+  resolved to the threshold t);
+* ``J*`` (not inconsistent): neither approach finds a violation (PB passes
+  everywhere, XCVerifier verifies and/or times out);
+* ``?``: XCVerifier timed out on the whole domain, so no comparison is
+  possible (the SCAN column);
+* ``MISMATCH``: anything else -- one approach finds violations the other
+  rules out.  The paper observed none; tests assert we don't either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..conditions.base import Condition
+from ..conditions.catalog import PAPER_CONDITIONS
+from ..functionals.base import Functional
+from ..functionals.registry import paper_functionals
+from ..pb.checker import PBChecker, PBResult
+from ..verifier.regions import (
+    Outcome,
+    SYMBOL_NOT_APPLICABLE,
+    SYMBOL_UNKNOWN,
+    VerificationReport,
+)
+from ..verifier.verifier import Verifier, VerifierConfig
+
+CONSISTENT = "J"
+NOT_INCONSISTENT = "J*"
+NO_COMPARISON = "?"
+MISMATCH = "MISMATCH"
+
+
+def pb_points_covered_fraction(
+    pb_result: PBResult, report: VerificationReport, dilation: float
+) -> float:
+    """Fraction of PB-violating grid points inside XCVerifier cex regions."""
+    idx = np.argwhere(pb_result.violated)
+    if len(idx) == 0:
+        return 1.0
+    axes = pb_result.grid.axes
+    coords = {
+        name: axis[idx[:, pos]] for pos, (name, axis) in enumerate(axes.items())
+    }
+    covered = np.zeros(len(idx), dtype=bool)
+    for record in report.counterexamples():
+        inside = np.ones(len(idx), dtype=bool)
+        for name, values in coords.items():
+            iv = record.box[name]
+            inside &= (values >= iv.lo - dilation) & (values <= iv.hi + dilation)
+        covered |= inside
+    return float(covered.mean())
+
+
+def classify_consistency(
+    pb_result: PBResult,
+    report: VerificationReport,
+    dilation: float,
+    coverage_threshold: float = 0.5,
+) -> str:
+    """One Table II cell."""
+    if report.classification() == SYMBOL_UNKNOWN:
+        return NO_COMPARISON
+    pb_violates = pb_result.any_violation
+    xcv_violates = report.has_counterexample()
+    if not pb_violates and not xcv_violates:
+        return NOT_INCONSISTENT
+    if pb_violates and xcv_violates:
+        coverage = pb_points_covered_fraction(pb_result, report, dilation)
+        return CONSISTENT if coverage >= coverage_threshold else MISMATCH
+    if xcv_violates and not pb_violates:
+        # XCVerifier found a genuine violation PB's finite grid missed:
+        # still consistent in the paper's sense if the region is small,
+        # but we surface it as a mismatch for scrutiny.
+        return MISMATCH
+    return MISMATCH
+
+
+@dataclass
+class TableTwo:
+    """Consistency matrix plus the underlying artefacts."""
+
+    functionals: tuple[Functional, ...]
+    conditions: tuple[Condition, ...]
+    cells: dict[tuple[str, str], str] = field(default_factory=dict)
+    pb_results: dict[tuple[str, str], PBResult] = field(default_factory=dict)
+    reports: dict[tuple[str, str], VerificationReport] = field(default_factory=dict)
+
+    def symbol(self, functional: Functional, condition: Condition) -> str:
+        return self.cells.get(
+            (functional.name, condition.cid), SYMBOL_NOT_APPLICABLE
+        )
+
+    def as_dict(self) -> dict[str, dict[str, str]]:
+        return {
+            c.cid: {f.name: self.symbol(f, c) for f in self.functionals}
+            for c in self.conditions
+        }
+
+    def render(self) -> str:
+        name_width = max(len(c.name) + len(c.equation) + 3 for c in self.conditions)
+        col_width = max(max(len(f.name) for f in self.functionals) + 2, 10)
+        lines = ["Table II: consistency between PB and XCVerifier"]
+        header = " " * name_width + "".join(
+            f.name.rjust(col_width) for f in self.functionals
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for condition in self.conditions:
+            label = f"{condition.name} ({condition.equation})".ljust(name_width)
+            cells = "".join(
+                self.symbol(f, condition).rjust(col_width) for f in self.functionals
+            )
+            lines.append(label + cells)
+        lines.append("-" * len(header))
+        lines.append(
+            "J = consistent; J* = not inconsistent; ? = XCVerifier timed out; "
+            "- = not applicable"
+        )
+        return "\n".join(lines)
+
+
+def run_table_two(
+    verifier_config: VerifierConfig | None = None,
+    checker: PBChecker | None = None,
+    functionals: tuple[Functional, ...] | None = None,
+    conditions: tuple[Condition, ...] | None = None,
+    reports: dict[tuple[str, str], VerificationReport] | None = None,
+    verbose: bool = False,
+) -> TableTwo:
+    """Run both approaches on every applicable pair and compare.
+
+    ``reports`` may be passed to reuse the Table I verification runs.
+    """
+    from ..verifier.encoder import encode
+
+    functionals = functionals or paper_functionals()
+    conditions = conditions or PAPER_CONDITIONS
+    checker = checker or PBChecker()
+    verifier_config = verifier_config or VerifierConfig()
+    dilation = 2.0 * verifier_config.split_threshold
+
+    table = TableTwo(functionals=tuple(functionals), conditions=tuple(conditions))
+    for functional in functionals:
+        for condition in conditions:
+            if not condition.applies_to(functional):
+                continue
+            key = (functional.name, condition.cid)
+            pb_result = checker.check(functional, condition)
+            if reports is not None and key in reports:
+                report = reports[key]
+            else:
+                report = Verifier(verifier_config).verify(
+                    encode(functional, condition)
+                )
+            cell = classify_consistency(pb_result, report, dilation)
+            table.cells[key] = cell
+            table.pb_results[key] = pb_result
+            table.reports[key] = report
+            if verbose:
+                print(f"{functional.name}/{condition.cid}: {cell}")
+    return table
+
+
+#: the paper's published Table II
+PAPER_TABLE_TWO: dict[str, dict[str, str]] = {
+    "EC1": {"PBE": "J*", "LYP": "J", "AM05": "J*", "SCAN": "?", "VWN RPA": "J*"},
+    "EC2": {"PBE": "J*", "LYP": "J", "AM05": "J*", "SCAN": "?", "VWN RPA": "J*"},
+    "EC3": {"PBE": "?", "LYP": "J", "AM05": "?", "SCAN": "?", "VWN RPA": "J*"},
+    "EC6": {"PBE": "J*", "LYP": "J", "AM05": "J*", "SCAN": "?", "VWN RPA": "J*"},
+    "EC7": {"PBE": "J", "LYP": "J", "AM05": "J*", "SCAN": "?", "VWN RPA": "J*"},
+    "EC4": {"PBE": "J*", "LYP": "-", "AM05": "?", "SCAN": "?", "VWN RPA": "-"},
+    "EC5": {"PBE": "J*", "LYP": "-", "AM05": "?", "SCAN": "?", "VWN RPA": "-"},
+}

@@ -1,0 +1,133 @@
+"""Machine-readable export of verification artifacts.
+
+The paper's Section VI-B vision is to run XCVerifier inside LibXC's
+continuous integration; CI needs artifacts a machine can diff, not ASCII
+tables.  This module serialises every campaign product:
+
+* :func:`table_to_json` / :func:`table_to_markdown` -- Table I / Table II
+  matrices (both table classes share the ``as_dict`` protocol);
+* :func:`report_to_json` -- one verification run: config-free summary,
+  outcome fractions, counterexample bounding box, and the full region
+  list (via :func:`repro.verifier.render.export_rows`);
+* :func:`report_to_csv` / :func:`write_csv` -- the region list as CSV;
+* :func:`campaign_to_json` -- a whole {pair: report} campaign in one
+  document, ready for regression diffing between library versions.
+
+Everything returns plain strings/dicts; file writing is a thin layer so
+the functions stay testable without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Mapping
+
+from ..verifier.regions import VerificationReport
+from ..verifier.render import export_rows
+
+__all__ = [
+    "table_to_json",
+    "table_to_markdown",
+    "report_to_json",
+    "report_to_csv",
+    "campaign_to_json",
+    "write_csv",
+    "write_json",
+]
+
+
+def table_to_json(table, indent: int | None = 2) -> str:
+    """Serialise a TableOne/TableTwo matrix (anything with ``as_dict``)."""
+    payload = {
+        "functionals": [f.name for f in table.functionals],
+        "conditions": [c.cid for c in table.conditions],
+        "cells": table.as_dict(),
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def table_to_markdown(table) -> str:
+    """Render a table matrix as GitHub-flavoured Markdown."""
+    cells = table.as_dict()
+    names = [f.name for f in table.functionals]
+    lines = ["| Local condition | " + " | ".join(names) + " |"]
+    lines.append("|" + "---|" * (len(names) + 1))
+    for condition in table.conditions:
+        row = cells[condition.cid]
+        lines.append(
+            f"| {condition.name} ({condition.equation}) | "
+            + " | ".join(row[n] for n in names)
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def report_to_json(report: VerificationReport, indent: int | None = 2) -> str:
+    """Serialise one verification report, regions included."""
+    return json.dumps(_report_payload(report), indent=indent, sort_keys=True)
+
+
+def _report_payload(report: VerificationReport) -> dict:
+    fractions = {
+        outcome.value: fraction
+        for outcome, fraction in report.area_fractions().items()
+    }
+    bbox = report.counterexample_bbox()
+    payload = {
+        "functional": report.functional_name,
+        "condition": report.condition_id,
+        "classification": report.classification(),
+        "domain": {name: [iv.lo, iv.hi] for name, iv in report.domain.items()},
+        "area_fractions": fractions,
+        "counterexample_bbox": (
+            None
+            if bbox is None
+            else {name: [iv.lo, iv.hi] for name, iv in bbox.items()}
+        ),
+        "total_solver_steps": report.total_solver_steps,
+        "elapsed_seconds": report.elapsed_seconds,
+        "budget_exhausted": report.budget_exhausted,
+        "regions": export_rows(report),
+    }
+    return payload
+
+
+def report_to_csv(report: VerificationReport) -> str:
+    """The region list of one report as CSV text."""
+    rows = export_rows(report)
+    if not rows:
+        return ""
+    # union of keys, stable order: core columns first, then sorted extras
+    core = ["index", "depth", "outcome", "solver_steps"]
+    extras = sorted({k for row in rows for k in row} - set(core))
+    fieldnames = core + extras
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def campaign_to_json(
+    reports: Mapping[tuple[str, str], VerificationReport],
+    indent: int | None = 2,
+) -> str:
+    """Serialise a whole campaign keyed ``functional/condition``."""
+    payload = {
+        f"{fname}/{cid}": _report_payload(report)
+        for (fname, cid), report in sorted(reports.items())
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def write_json(path, text: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+
+
+def write_csv(path, text: str) -> None:
+    with open(path, "w", newline="") as handle:
+        handle.write(text)

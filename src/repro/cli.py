@@ -1,0 +1,346 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+The CLI covers the library's main entry points so every experiment of the
+paper -- and the numerical-issues extensions -- can be driven without
+writing Python:
+
+======================  =====================================================
+``list``                registered functionals and exact conditions
+``verify``              Algorithm 1 on one DFA-condition pair (+ region map)
+``pb``                  the Pederson-Burke grid check on one pair
+``compare``             PB vs XCVerifier consistency for one pair (Table II cell)
+``table1`` / ``table2`` the paper's full tables (quick budgets by default)
+``numerics``            Section VI-C analyses: continuity, hazards, sensitivity
+======================  =====================================================
+
+Exit status: 0 on success, 1 for usage errors (unknown functional or
+condition, inapplicable pair), 2 for argparse-level errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XCVerifier reproduction: verify DFT exact conditions "
+        "for density functional approximations.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list functionals and conditions")
+    p_list.add_argument(
+        "--paper-only",
+        action="store_true",
+        help="restrict to the five DFAs of the paper's evaluation",
+    )
+
+    p_verify = sub.add_parser("verify", help="run Algorithm 1 on one pair")
+    _add_pair_args(p_verify)
+    p_verify.add_argument("--budget", type=int, default=400, help="ICP steps per solver call")
+    p_verify.add_argument(
+        "--global-budget", type=int, default=50_000, help="total ICP steps for the run"
+    )
+    p_verify.add_argument(
+        "--threshold", type=float, default=0.05, help="split threshold t of Algorithm 1"
+    )
+    p_verify.add_argument("--delta", type=float, default=1e-5, help="solver delta-weakening")
+    p_verify.add_argument(
+        "--newton", action="store_true", help="enable the interval-Newton contractor"
+    )
+    p_verify.add_argument(
+        "--map", dest="map_resolution", type=int, default=0,
+        help="print an ASCII region map at the given resolution",
+    )
+    p_verify.add_argument(
+        "--json", dest="json_path", default=None,
+        help="write the full report (regions included) as JSON",
+    )
+    p_verify.add_argument(
+        "--csv", dest="csv_path", default=None,
+        help="write the region list as CSV",
+    )
+
+    p_pb = sub.add_parser("pb", help="run the Pederson-Burke grid check on one pair")
+    _add_pair_args(p_pb)
+    p_pb.add_argument("--points", type=int, default=201, help="grid points per axis")
+    p_pb.add_argument(
+        "--map", dest="map_resolution", type=int, default=0,
+        help="print an ASCII violation map at the given resolution",
+    )
+
+    p_cmp = sub.add_parser("compare", help="PB vs XCVerifier consistency (one Table II cell)")
+    _add_pair_args(p_cmp)
+    p_cmp.add_argument("--budget", type=int, default=400)
+    p_cmp.add_argument("--global-budget", type=int, default=50_000)
+    p_cmp.add_argument("--points", type=int, default=201)
+
+    p_t1 = sub.add_parser("table1", help="reproduce Table I (all pairs)")
+    p_t1.add_argument("--budget", type=int, default=250, help="ICP steps per solver call")
+    p_t1.add_argument(
+        "--global-budget", type=int, default=10_000,
+        help="total ICP steps per pair (quick default; the bench uses more)",
+    )
+    p_t1.add_argument(
+        "--json", dest="json_path", default=None,
+        help="write the matrix as JSON (CI-diffable)",
+    )
+    p_t1.add_argument(
+        "--markdown", dest="markdown_path", default=None,
+        help="write the matrix as GitHub Markdown",
+    )
+
+    p_t2 = sub.add_parser("table2", help="reproduce Table II (PB consistency)")
+    p_t2.add_argument("--budget", type=int, default=250)
+    p_t2.add_argument("--global-budget", type=int, default=10_000)
+    p_t2.add_argument("--points", type=int, default=201)
+
+    p_num = sub.add_parser(
+        "numerics", help="Section VI-C numerical-issues analyses"
+    )
+    p_num.add_argument("-f", "--functional", required=True)
+    p_num.add_argument(
+        "--check",
+        default="continuity,hazards",
+        help="comma-separated subset of {continuity, hazards, sensitivity}",
+    )
+    p_num.add_argument(
+        "--component", default="fc", choices=("fc", "fx", "fxc"),
+        help="which enhancement factor to analyse",
+    )
+    p_num.add_argument(
+        "--ieee", action="store_true",
+        help="hazard reachability under np.where (both-branch) semantics",
+    )
+    return parser
+
+
+def _add_pair_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-f", "--functional", required=True, help='e.g. "PBE"')
+    parser.add_argument("-c", "--condition", required=True, help='e.g. "EC1"')
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+class _UsageError(Exception):
+    pass
+
+
+def _resolve_pair(args):
+    from .conditions import get_condition
+    from .functionals import get_functional
+
+    try:
+        functional = get_functional(args.functional)
+    except KeyError as exc:
+        raise _UsageError(str(exc)) from None
+    try:
+        condition = get_condition(args.condition)
+    except KeyError as exc:
+        raise _UsageError(str(exc)) from None
+    if not condition.applies_to(functional):
+        raise _UsageError(
+            f"{condition.cid} does not apply to {functional.name} "
+            f"(requires {'exchange+correlation' if condition.requires_exchange else 'correlation'})"
+        )
+    return functional, condition
+
+
+def _cmd_list(args) -> int:
+    from .conditions.catalog import PAPER_CONDITIONS
+    from .functionals import all_functionals, paper_functionals
+
+    functionals = paper_functionals() if args.paper_only else all_functionals()
+    print("functionals:")
+    for f in functionals:
+        counts = f.complexity()
+        parts = [f"{k[0].upper()}:{v} ops" for k, v in counts.items()]
+        print(
+            f"  {f.name:10s} {f.family:5s} {f.category:15s} {', '.join(parts)}"
+        )
+    print("\nconditions:")
+    for c in PAPER_CONDITIONS:
+        print(f"  {c.cid}  {c.name} ({c.equation})")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .verifier import VerifierConfig, Verifier, ascii_map, encode
+    from .solver.icp import ICPSolver
+
+    functional, condition = _resolve_pair(args)
+    config = VerifierConfig(
+        split_threshold=args.threshold,
+        per_call_budget=args.budget,
+        global_step_budget=args.global_budget,
+        delta=args.delta,
+    )
+    solver = ICPSolver(
+        delta=config.delta, precision=config.precision, use_newton=args.newton
+    )
+    report = Verifier(config, solver=solver).verify(encode(functional, condition))
+    print(report.summary())
+    bbox = report.counterexample_bbox()
+    if bbox is not None:
+        print(f"counterexample region: {bbox}")
+    if args.map_resolution > 0 and len(functional.variables) >= 2:
+        print(ascii_map(report, resolution=args.map_resolution))
+    if args.json_path:
+        from .analysis.export import report_to_json, write_json
+
+        write_json(args.json_path, report_to_json(report))
+        print(f"wrote {args.json_path}")
+    if args.csv_path:
+        from .analysis.export import report_to_csv, write_csv
+
+        write_csv(args.csv_path, report_to_csv(report))
+        print(f"wrote {args.csv_path}")
+    return 0
+
+
+def _cmd_pb(args) -> int:
+    from .pb import GridSpec, PBChecker
+    from .pb.render import ascii_pb_map
+
+    functional, condition = _resolve_pair(args)
+    spec = GridSpec(n_rs=args.points, n_s=args.points)
+    result = PBChecker(spec=spec).check(functional, condition)
+    print(result.summary())
+    bounds = result.violation_bounds()
+    if bounds is not None:
+        pretty = ", ".join(f"{k} in [{lo:.4g}, {hi:.4g}]" for k, (lo, hi) in bounds.items())
+        print(f"violations within: {pretty}")
+    if args.map_resolution > 0 and len(functional.variables) >= 2:
+        print(ascii_pb_map(result, resolution=args.map_resolution))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .analysis.compare import classify_consistency
+    from .pb import GridSpec, PBChecker
+    from .verifier import Verifier, VerifierConfig, encode
+
+    functional, condition = _resolve_pair(args)
+    config = VerifierConfig(
+        per_call_budget=args.budget, global_step_budget=args.global_budget
+    )
+    report = Verifier(config).verify(encode(functional, condition))
+    pb_result = PBChecker(spec=GridSpec(n_rs=args.points, n_s=args.points)).check(
+        functional, condition
+    )
+    cell = classify_consistency(pb_result, report, 2.0 * config.split_threshold)
+    print(report.summary())
+    print(pb_result.summary())
+    print(f"consistency: {cell}  (J = consistent, J* = not inconsistent, ? = timeout)")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .analysis import run_table_one
+    from .verifier import VerifierConfig
+
+    config = VerifierConfig(
+        per_call_budget=args.budget, global_step_budget=args.global_budget
+    )
+    table = run_table_one(config)
+    print(table.render())
+    if args.json_path:
+        from .analysis.export import table_to_json, write_json
+
+        write_json(args.json_path, table_to_json(table))
+        print(f"wrote {args.json_path}")
+    if args.markdown_path:
+        from .analysis.export import table_to_markdown, write_json
+
+        write_json(args.markdown_path, table_to_markdown(table))
+        print(f"wrote {args.markdown_path}")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .analysis import run_table_two
+    from .pb import GridSpec, PBChecker
+    from .verifier import VerifierConfig
+
+    config = VerifierConfig(
+        per_call_budget=args.budget, global_step_budget=args.global_budget
+    )
+    checker = PBChecker(spec=GridSpec(n_rs=args.points, n_s=args.points))
+    table = run_table_two(config, checker)
+    print(table.render())
+    return 0
+
+
+def _cmd_numerics(args) -> int:
+    from .functionals import get_functional
+    from .numerics import check_continuity, check_hazards, sensitivity_map
+
+    try:
+        functional = get_functional(args.functional)
+    except KeyError as exc:
+        raise _UsageError(str(exc)) from None
+    checks = {part.strip() for part in args.check.split(",") if part.strip()}
+    unknown = checks - {"continuity", "hazards", "sensitivity"}
+    if unknown:
+        raise _UsageError(f"unknown checks: {sorted(unknown)}")
+
+    expr = getattr(functional, args.component)()
+    domain = functional.domain()
+    print(f"{functional.name}.{args.component} over {domain}")
+
+    if "continuity" in checks:
+        report = check_continuity(expr, domain, n_base_points=16)
+        print(f"continuity: {report.summary()}")
+        worst = report.worst()
+        if worst is not None and worst.value_jump > 0:
+            print(f"  worst jump: {worst!r}")
+        for finding in report.singular_findings()[:1]:
+            print(f"  singular boundary: {finding!r}")
+
+    if "hazards" in checks:
+        report = check_hazards(expr, domain, branch_aware=not args.ieee)
+        print(f"hazards: {report.summary()}")
+        for verdict in report.triggered():
+            loc = ", ".join(
+                f"{k}={v:.5g}" for k, v in sorted((verdict.witness or {}).items())
+            )
+            print(f"  {verdict.hazard.kind} [{verdict.status}] at {loc}")
+
+    if "sensitivity" in checks:
+        per_dim = 33 if functional.family == "MGGA" else 65
+        smap = sensitivity_map(functional, args.component, per_dim=per_dim)
+        print(f"sensitivity: {smap.summary()}")
+        for var in sorted(smap.kappa):
+            peak = smap.argmax(var)
+            loc = ", ".join(f"{k}={v:.4g}" for k, v in sorted(peak.items()))
+            print(f"  kappa_{var} peaks at {loc}")
+
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "verify": _cmd_verify,
+    "pb": _cmd_pb,
+    "compare": _cmd_compare,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "numerics": _cmd_numerics,
+}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

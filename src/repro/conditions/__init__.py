@@ -1,0 +1,23 @@
+"""DFT exact conditions (Section II of the paper) in local form."""
+
+from .base import Condition
+from .catalog import (
+    CONDITIONS,
+    EC1,
+    EC2,
+    EC3,
+    EC4,
+    EC5,
+    EC6,
+    EC7,
+    PAPER_CONDITIONS,
+    RS_INFINITY,
+    applicable_pairs,
+    get_condition,
+)
+
+__all__ = [
+    "Condition", "CONDITIONS", "EC1", "EC2", "EC3", "EC4", "EC5", "EC6",
+    "EC7", "PAPER_CONDITIONS", "RS_INFINITY", "applicable_pairs",
+    "get_condition",
+]

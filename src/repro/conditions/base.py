@@ -1,0 +1,64 @@
+"""Condition objects: DFT exact conditions in their local form.
+
+Each :class:`Condition` knows (i) which functionals it applies to and
+(ii) how to build the local-condition predicate psi for a functional, as a
+single relational atom over the functional's reduced inputs.  Derivatives
+with respect to rs are computed symbolically (as XCEncoder does with
+SymPy); the EC6 limit ``F_c(rs -> infinity)`` is approximated by
+substituting rs = 100, following the paper and PB.
+
+Conditions whose textbook form divides by rs are encoded multiplied
+through by rs (sound since rs > 0 on the domain, and easier on interval
+arithmetic); this is noted per condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..expr.nodes import Expr, Rel, Var
+from ..functionals.base import Functional
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A DFT exact condition with its local-condition builder.
+
+    Attributes
+    ----------
+    cid:
+        Short identifier, ``EC1`` ... ``EC7`` (ordering of Section II).
+    name:
+        Human-readable name as in Table I.
+    equation:
+        The paper's equation number for the local condition.
+    requires_exchange:
+        True for the Lieb-Oxford pair, which needs F_xc = F_x + F_c and
+        therefore only applies to functionals with both components
+        (PBE, AM05, SCAN) -- the ``-`` entries of Table I.
+    builder:
+        ``builder(functional) -> Rel`` producing the local condition psi.
+    """
+
+    cid: str
+    name: str
+    equation: str
+    requires_exchange: bool
+    builder: Callable[[Functional], Rel]
+
+    def applies_to(self, functional: Functional) -> bool:
+        if not functional.has_correlation:
+            return False
+        if self.requires_exchange and not functional.has_exchange:
+            return False
+        return True
+
+    def local_condition(self, functional: Functional) -> Rel:
+        """The predicate psi that must hold on the whole input domain."""
+        if not self.applies_to(functional):
+            raise ValueError(f"{self.cid} does not apply to {functional.name}")
+        return self.builder(functional)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Condition({self.cid}: {self.name})"

@@ -1,0 +1,129 @@
+"""The seven exact conditions of Pederson & Burke, in local form.
+
+Section II of the paper; equation numbers refer to the paper's local
+conditions.  All are expressed through the correlation enhancement factor
+F_c(rs, s[, alpha]) and, for the Lieb-Oxford pair, F_xc = F_x + F_c.
+
+==========  ===============================  ============================
+condition   global statement                  local condition (psi)
+==========  ===============================  ============================
+EC1 (Eq 4)  Ec[n] <= 0                        F_c >= 0
+EC2 (Eq 5)  (g-1)Ec[n_g] >= g(g-1)Ec[n]       dF_c/drs >= 0
+EC3 (Eq 6)  dUc(lambda)/dlambda <= 0          d2F_c/drs2 >= -(2/rs) dF_c/drs
+EC4 (Eq 7)  Uxc >= C_LO * integral            F_xc + rs dF_c/drs <= C_LO
+EC5 (Eq 8)  Exc >= C_LO * integral            F_xc <= C_LO
+EC6 (Eq 9)  Tc[n_g] upper bound               dF_c/drs <= (F_c(inf)-F_c)/rs
+EC7 (Eq10)  Tc[n] <= -Ec[n] (conjectured)     dF_c/drs <= F_c/rs
+==========  ===============================  ============================
+
+EC3, EC6 and EC7 are encoded multiplied through by rs (> 0 on the domain).
+EC6's limit F_c(infinity) is approximated as F_c|_{rs=100} (paper, Sec III-A).
+"""
+
+from __future__ import annotations
+
+from ..expr import builder as b
+from ..expr.derivative import derivative
+from ..expr.nodes import Expr, Rel
+from ..expr.substitute import substitute
+from ..functionals import vars as V
+from ..functionals.base import Functional
+from .base import Condition
+
+#: rs value substituted for the rs -> infinity limit in EC6 (follows PB)
+RS_INFINITY = 100.0
+
+
+def _fc(functional: Functional) -> Expr:
+    return functional.fc()
+
+
+def _dfc_drs(functional: Functional) -> Expr:
+    return derivative(_fc(functional), V.RS)
+
+
+def ec1_non_positivity(functional: Functional) -> Rel:
+    """EC1: correlation energy non-positivity, F_c >= 0 (Equation 4)."""
+    return _fc(functional).ge(0.0)
+
+
+def ec2_scaling_inequality(functional: Functional) -> Rel:
+    """EC2: Ec scaling inequality, dF_c/drs >= 0 (Equation 5)."""
+    return _dfc_drs(functional).ge(0.0)
+
+
+def ec3_uc_monotonicity(functional: Functional) -> Rel:
+    """EC3: Uc(lambda) monotonicity (Equation 6).
+
+    d2F_c/drs2 >= -(2/rs) dF_c/drs, encoded as
+    rs * d2F_c/drs2 + 2 dF_c/drs >= 0.
+    """
+    dfc = _dfc_drs(functional)
+    d2fc = derivative(dfc, V.RS)
+    return b.add(b.mul(V.RS, d2fc), b.mul(2.0, dfc)).ge(0.0)
+
+
+def ec4_lieb_oxford_uxc(functional: Functional) -> Rel:
+    """EC4: Lieb-Oxford bound on Uxc (Equation 7).
+
+    F_xc + rs dF_c/drs <= C_LO.
+    """
+    return b.add(functional.fxc(), b.mul(V.RS, _dfc_drs(functional))).le(V.C_LO)
+
+
+def ec5_lieb_oxford_exc(functional: Functional) -> Rel:
+    """EC5: Lieb-Oxford extension to Exc (Equation 8), F_xc <= C_LO."""
+    return functional.fxc().le(V.C_LO)
+
+
+def ec6_tc_upper_bound(functional: Functional) -> Rel:
+    """EC6: Tc upper bound (Equation 9).
+
+    dF_c/drs <= (F_c(inf) - F_c)/rs, encoded as
+    rs * dF_c/drs + F_c - F_c|_{rs=RS_INFINITY} <= 0.
+    """
+    fc = _fc(functional)
+    fc_inf = substitute(fc, {V.RS: RS_INFINITY})
+    lhs = b.add(b.mul(V.RS, _dfc_drs(functional)), fc, b.neg(fc_inf))
+    return lhs.le(0.0)
+
+
+def ec7_conjectured_tc_bound(functional: Functional) -> Rel:
+    """EC7: conjectured Tc upper bound (Equation 10).
+
+    dF_c/drs <= F_c/rs, encoded as rs * dF_c/drs - F_c <= 0.
+    """
+    lhs = b.sub(b.mul(V.RS, _dfc_drs(functional)), _fc(functional))
+    return lhs.le(0.0)
+
+
+EC1 = Condition("EC1", "Ec non-positivity", "Eq. 4", False, ec1_non_positivity)
+EC2 = Condition("EC2", "Ec scaling inequality", "Eq. 5", False, ec2_scaling_inequality)
+EC3 = Condition("EC3", "Uc monotonicity", "Eq. 6", False, ec3_uc_monotonicity)
+EC4 = Condition("EC4", "LO bound", "Eq. 7", True, ec4_lieb_oxford_uxc)
+EC5 = Condition("EC5", "LO extension to Exc", "Eq. 8", True, ec5_lieb_oxford_exc)
+EC6 = Condition("EC6", "Tc upper bound", "Eq. 9", False, ec6_tc_upper_bound)
+EC7 = Condition("EC7", "Conjectured Tc upper bound", "Eq. 10", False, ec7_conjectured_tc_bound)
+
+#: Table I row order
+PAPER_CONDITIONS: tuple[Condition, ...] = (EC1, EC2, EC3, EC6, EC7, EC4, EC5)
+
+#: lookup by id
+CONDITIONS: dict[str, Condition] = {c.cid: c for c in (EC1, EC2, EC3, EC4, EC5, EC6, EC7)}
+
+
+def get_condition(cid: str) -> Condition:
+    try:
+        return CONDITIONS[cid.upper()]
+    except KeyError:
+        raise KeyError(f"unknown condition {cid!r} (known: {sorted(CONDITIONS)})") from None
+
+
+def applicable_pairs(functionals=None, conditions=None):
+    """All (functional, condition) pairs evaluated in the paper: 31 of 35."""
+    from ..functionals.registry import paper_functionals
+    functionals = functionals or paper_functionals()
+    conditions = conditions or PAPER_CONDITIONS
+    return [
+        (f, c) for f in functionals for c in conditions if c.applies_to(f)
+    ]

@@ -1,0 +1,124 @@
+"""Symbolic differentiation over the expression IR.
+
+The paper's XCEncoder computes the derivatives needed by the local
+conditions (EC2-EC4, EC6, EC7 require d/d rs, EC3 additionally d^2/d rs^2)
+*symbolically* rather than by numerical approximation.  This module is the
+corresponding engine: a single memoised bottom-up pass over the DAG.
+
+Piecewise expressions differentiate branch-wise: ``d ite(c, a, b) =
+ite(c, da, db)``.  This matches the treatment of LibXC piecewise forms
+(e.g. SCAN's switching function), whose branches agree at the switch point.
+"""
+
+from __future__ import annotations
+
+from math import sqrt as _msqrt
+
+from . import builder as b
+from .nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Rel, Var, ZERO, ONE
+
+
+def derivative(expr: Expr, wrt: Var, order: int = 1) -> Expr:
+    """Return the ``order``-th symbolic derivative of ``expr`` w.r.t. ``wrt``."""
+    if order < 0:
+        raise ValueError("derivative order must be non-negative")
+    out = expr
+    for _ in range(order):
+        out = _derive_once(out, wrt)
+    return out
+
+
+def gradient(expr: Expr, wrts: tuple[Var, ...]) -> tuple[Expr, ...]:
+    """Return the tuple of first partial derivatives of ``expr``."""
+    return tuple(_derive_once(expr, v) for v in wrts)
+
+
+def _derive_once(expr: Expr, wrt: Var) -> Expr:
+    d: dict[int, Expr] = {}
+
+    for node in expr.walk():
+        if isinstance(node, Const):
+            d[id(node)] = ZERO
+        elif isinstance(node, Var):
+            d[id(node)] = ONE if node is wrt else ZERO
+        elif isinstance(node, Add):
+            d[id(node)] = b.add(*[d[id(a)] for a in node.args])
+        elif isinstance(node, Mul):
+            d[id(node)] = _derive_mul(node, d)
+        elif isinstance(node, Pow):
+            d[id(node)] = _derive_pow(node, d)
+        elif isinstance(node, Func):
+            d[id(node)] = _derive_func(node, d)
+        elif isinstance(node, Ite):
+            d[id(node)] = b.ite(node.cond, d[id(node.then)], d[id(node.orelse)])
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot differentiate {type(node).__name__}")
+
+    return d[id(expr)]
+
+
+def _derive_mul(node: Mul, d: dict[int, Expr]) -> Expr:
+    args = node.args
+    terms = []
+    for i, arg in enumerate(args):
+        darg = d[id(arg)]
+        if darg is ZERO:
+            continue
+        others = args[:i] + args[i + 1:]
+        terms.append(b.mul(darg, *others))
+    if not terms:
+        return ZERO
+    return b.add(*terms)
+
+
+def _derive_pow(node: Pow, d: dict[int, Expr]) -> Expr:
+    base, expo = node.base, node.exponent
+    dbase = d[id(base)]
+    dexpo = d[id(expo)]
+    if dexpo is ZERO:
+        if dbase is ZERO:
+            return ZERO
+        # d(b**c) = c * b**(c-1) * db
+        return b.mul(expo, b.pow_(base, b.sub(expo, ONE)), dbase)
+    # general rule: b**e * (de*log(b) + e*db/b)
+    term = b.add(
+        b.mul(dexpo, b.log(base)),
+        b.mul(expo, b.div(dbase, base)),
+    )
+    return b.mul(node, term)
+
+
+def _derive_func(node: Func, d: dict[int, Expr]) -> Expr:
+    arg = node.arg
+    darg = d[id(arg)]
+    if darg is ZERO:
+        return ZERO
+    name = node.name
+    if name == "exp":
+        inner = node
+    elif name == "log":
+        inner = b.div(ONE, arg)
+    elif name == "sqrt":
+        inner = b.div(Const(0.5), node)
+    elif name == "cbrt":
+        # d cbrt(x) = 1/(3 cbrt(x)^2)
+        inner = b.div(ONE, b.mul(Const(3.0), b.pow_(node, Const(2.0))))
+    elif name == "atan":
+        inner = b.div(ONE, b.add(ONE, b.pow_(arg, Const(2.0))))
+    elif name == "abs":
+        inner = b.ite(arg.ge(ZERO), ONE, Const(-1.0))
+    elif name == "lambertw":
+        # W'(x) = W(x) / (x * (1 + W(x))); rewritten with exp to stay
+        # well-defined at x == 0: W'(x) = 1 / (exp(W) * (1 + W))
+        inner = b.div(ONE, b.mul(b.exp(node), b.add(ONE, node)))
+    elif name == "sin":
+        inner = b.cos(arg)
+    elif name == "cos":
+        inner = b.neg(b.sin(arg))
+    elif name == "tanh":
+        inner = b.sub(ONE, b.pow_(node, Const(2.0)))
+    elif name == "erf":
+        inner = b.mul(Const(2.0 / _msqrt(3.141592653589793)), b.exp(b.neg(b.pow_(arg, Const(2.0)))))
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"no derivative rule for {name}")
+    return b.mul(inner, darg)

@@ -1,0 +1,112 @@
+"""Scalar (point) evaluation of expression DAGs.
+
+Used by the verifier's counterexample-validation step (``valid(x)`` in
+Algorithm 1 of the paper): candidate models returned by the delta-complete
+solver are plugged back into the *original* condition with ordinary
+floating-point arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Rel, Var
+
+
+class EvalError(ValueError):
+    """Raised when a point lies outside an operation's domain."""
+
+
+def evaluate(expr: Expr, env: dict[Var | str, float], strict: bool = False) -> float:
+    """Evaluate ``expr`` at the point ``env`` (vars may be keyed by name).
+
+    With ``strict=False`` (default) domain errors yield NaN, matching the
+    behaviour of grid-based checkers; with ``strict=True`` they raise
+    :class:`EvalError`.
+    """
+    by_name: dict[str, float] = {}
+    for key, value in env.items():
+        by_name[key.name if isinstance(key, Var) else key] = float(value)
+
+    memo: dict[int, float] = {}
+    try:
+        for node in expr.walk():
+            memo[id(node)] = _eval_node(node, memo, by_name)
+    except (ValueError, OverflowError, ZeroDivisionError) as exc:
+        if strict:
+            raise EvalError(str(exc)) from exc
+        return math.nan
+    return memo[id(expr)]
+
+
+def evaluate_rel(rel: Rel, env: dict[Var | str, float], tol: float = 0.0) -> bool:
+    """Evaluate a relational atom at a point (NaN counts as a violation)."""
+    gap = evaluate(rel.lhs, env) - evaluate(rel.rhs, env)
+    if math.isnan(gap):
+        return False
+    return rel.holds(gap, tol=tol)
+
+
+def _eval_node(node: Expr, memo: dict[int, float], env: dict[str, float]) -> float:
+    if isinstance(node, Const):
+        return node.value
+    if isinstance(node, Var):
+        try:
+            return env[node.name]
+        except KeyError:
+            raise EvalError(f"unbound variable {node.name!r}") from None
+    if isinstance(node, Add):
+        return math.fsum(memo[id(a)] for a in node.args)
+    if isinstance(node, Mul):
+        out = 1.0
+        for a in node.args:
+            out *= memo[id(a)]
+        return out
+    if isinstance(node, Pow):
+        base = memo[id(node.base)]
+        expo = memo[id(node.exponent)]
+        if base < 0.0 and not float(expo).is_integer():
+            raise EvalError(f"negative base {base} to fractional power {expo}")
+        if base == 0.0 and expo < 0.0:
+            raise EvalError("zero to a negative power")
+        return math.pow(base, expo)
+    if isinstance(node, Func):
+        return _eval_func(node.name, memo[id(node.arg)])
+    if isinstance(node, Ite):
+        gap = memo[id(node.cond.lhs)] - memo[id(node.cond.rhs)]
+        if math.isnan(gap):
+            raise EvalError("NaN in ite condition")
+        taken = node.then if node.cond.holds(gap) else node.orelse
+        return memo[id(taken)]
+    raise TypeError(f"cannot evaluate {type(node).__name__}")  # pragma: no cover
+
+
+def _eval_func(name: str, x: float) -> float:
+    if name == "exp":
+        if x > 709.0:
+            raise OverflowError("exp overflow")
+        return math.exp(x)
+    if name == "log":
+        return math.log(x)
+    if name == "sqrt":
+        return math.sqrt(x)
+    if name == "cbrt":
+        return math.copysign(abs(x) ** (1.0 / 3.0), x)
+    if name == "atan":
+        return math.atan(x)
+    if name == "abs":
+        return abs(x)
+    if name == "lambertw":
+        from scipy.special import lambertw as _lw
+        if x < -1.0 / math.e:
+            raise EvalError("lambertw argument below branch point")
+        return float(_lw(x).real)
+    if name == "sin":
+        return math.sin(x)
+    if name == "cos":
+        return math.cos(x)
+    if name == "tanh":
+        return math.tanh(x)
+    if name == "erf":
+        return math.erf(x)
+    raise TypeError(f"cannot evaluate function {name}")  # pragma: no cover

@@ -1,0 +1,43 @@
+"""Human-readable (infix) rendering of expression DAGs."""
+
+from __future__ import annotations
+
+from .nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Var
+
+
+def _fmt_const(value: float) -> str:
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(value)
+
+
+def to_str(expr: Expr, max_len: int | None = None) -> str:
+    """Render ``expr`` as an infix string (memoised over the DAG)."""
+    memo: dict[int, str] = {}
+
+    for node in expr.walk():
+        if isinstance(node, Const):
+            text = _fmt_const(node.value)
+            if node.value < 0:
+                text = f"({text})"
+        elif isinstance(node, Var):
+            text = node.name
+        elif isinstance(node, Add):
+            text = "(" + " + ".join(memo[id(a)] for a in node.args) + ")"
+        elif isinstance(node, Mul):
+            text = "(" + "*".join(memo[id(a)] for a in node.args) + ")"
+        elif isinstance(node, Pow):
+            text = f"{memo[id(node.base)]}**{memo[id(node.exponent)]}"
+        elif isinstance(node, Func):
+            text = f"{node.name}({memo[id(node.arg)]})"
+        elif isinstance(node, Ite):
+            cond = f"{memo[id(node.cond.lhs)]} {node.cond.op} {memo[id(node.cond.rhs)]}"
+            text = f"ite({cond}, {memo[id(node.then)]}, {memo[id(node.orelse)]})"
+        else:  # pragma: no cover - defensive
+            text = f"<{type(node).__name__}>"
+        memo[id(node)] = text
+
+    out = memo[id(expr)]
+    if max_len is not None and len(out) > max_len:
+        out = out[: max_len - 3] + "..."
+    return out

@@ -1,0 +1,36 @@
+"""Density functional approximations (the LibXC substitute).
+
+Each functional module contains plain-Python *model code* in reduced
+variables (rs, s, alpha); :class:`~repro.functionals.base.Functional`
+lifts it symbolically and compiles numeric kernels.
+"""
+
+from .base import Functional
+from .registry import (
+    AM05,
+    BLYP,
+    LYP,
+    PBE,
+    PBESOL,
+    PW91,
+    PZ81,
+    REVPBE,
+    RPPSCAN,
+    RSCAN,
+    SCAN,
+    VWN5,
+    VWN_RPA,
+    WIGNER,
+    all_functionals,
+    get_functional,
+    paper_functionals,
+    register,
+)
+from . import vars
+
+__all__ = [
+    "Functional", "AM05", "BLYP", "LYP", "PBE", "PBESOL", "PW91", "PZ81",
+    "REVPBE", "RPPSCAN", "RSCAN", "SCAN", "VWN5", "VWN_RPA", "WIGNER",
+    "all_functionals", "get_functional", "paper_functionals", "register",
+    "vars",
+]

@@ -1,0 +1,50 @@
+"""Becke 1988 exchange (B88), the empirical GGA exchange of BLYP/B3LYP.
+
+B88 corrects the LDA exchange with a term enforcing the exact -1/r
+asymptotics of the exchange energy density, with a single parameter
+beta = 0.0042 fitted to Hartree-Fock exchange energies of noble-gas
+atoms -- the empirical design style of Section I of the paper.
+
+In reduced variables (zeta = 0) the per-spin gradient variable is
+``x = |grad n_sigma| / n_sigma^(4/3) = 2 (6 pi^2)^(1/3) s`` and
+
+    F_x(s) = 1 + (beta / A_x) x^2 / (1 + 6 beta x asinh(x)),
+
+with A_x = (3/2)(3/(4 pi))^(1/3) the per-spin LDA exchange constant.
+The small-s expansion F_x = 1 + 0.2743 s^2 + ... reproduces the PW91
+gradient coefficient, which the unit tests check.
+
+``asinh`` is not a solver primitive; the model code writes it as
+``log(x + sqrt(x^2 + 1))``, which the symbolic executor inlines -- the
+same treatment the paper's XCEncoder applies to Maple's ``arcsinh``.
+"""
+
+from __future__ import annotations
+
+from ..pysym.intrinsics import log, pi, sqrt
+from .lda_x import eps_x_unif
+
+#: Becke's fitted gradient-correction strength
+BETA_B88 = 0.0042
+
+#: per-spin gradient variable in terms of s (zeta = 0): x = XS_B88 * s
+XS_B88 = 2.0 * (6.0 * pi**2) ** (1.0 / 3.0)
+
+#: per-spin LDA exchange constant A_x = (3/2)(3/(4 pi))^(1/3)
+AX_SPIN = 1.5 * (3.0 / (4.0 * pi)) ** (1.0 / 3.0)
+
+
+def asinh(u):
+    """Inverse hyperbolic sine in solver primitives."""
+    return log(u + sqrt(u * u + 1.0))
+
+
+def fx_b88(s):
+    """B88 exchange enhancement factor F_x(s)."""
+    x = XS_B88 * s
+    return 1.0 + (BETA_B88 / AX_SPIN) * x * x / (1.0 + 6.0 * BETA_B88 * x * asinh(x))
+
+
+def eps_x_b88(rs, s):
+    """B88 exchange energy per particle."""
+    return eps_x_unif(rs) * fx_b88(s)

@@ -1,0 +1,168 @@
+"""Functional objects: lifted symbolic forms plus compiled numeric kernels.
+
+A :class:`Functional` bundles a DFA's model code (plain Python, see the
+sibling modules) with everything the verifier and the PB baseline need:
+
+* symbolic expressions for eps_x / eps_c, lifted once by the symbolic
+  executor (the XCEncoder front end),
+* the exchange/correlation enhancement factors F_x, F_c, F_xc of
+  Equation 2 of the paper (F = eps / eps_x^unif),
+* compiled NumPy kernels for grid evaluation,
+* the PB input domain for the functional's family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable
+
+from ..expr import builder as b
+from ..expr.codegen import compile_numpy
+from ..expr.nodes import Expr, Var
+from ..pysym import lift
+from ..solver.box import Box
+from . import vars as V
+from .lda_x import eps_x_unif
+
+
+@dataclass(frozen=True)
+class Functional:
+    """A density functional approximation over reduced inputs.
+
+    Attributes
+    ----------
+    name:
+        Display name (as in Table I of the paper).
+    family:
+        ``"LDA"``, ``"GGA"`` or ``"MGGA"`` -- determines the input domain.
+    category:
+        ``"empirical"`` or ``"non-empirical"`` (design style, Section I).
+    exchange_model / correlation_model:
+        The Python model functions, taking the family's inputs in order
+        (rs[, s[, alpha]]).  ``None`` when the component doesn't exist
+        (LYP and VWN RPA are correlation-only in this study).
+    """
+
+    name: str
+    family: str
+    category: str
+    exchange_model: Callable | None = None
+    correlation_model: Callable | None = None
+
+    def __post_init__(self):
+        if self.family not in ("LDA", "GGA", "MGGA"):
+            raise ValueError(f"unknown family {self.family!r}")
+        if self.category not in ("empirical", "non-empirical"):
+            raise ValueError(f"unknown category {self.category!r}")
+
+    # -- inputs -----------------------------------------------------------------
+    @property
+    def variables(self) -> tuple[Var, ...]:
+        if self.family == "LDA":
+            return (V.RS,)
+        if self.family == "GGA":
+            return (V.RS, V.S)
+        return (V.RS, V.S, V.ALPHA)
+
+    def domain(self) -> Box:
+        """The PB/paper input domain for this functional's family."""
+        bounds: dict[str, tuple[float, float]] = {"rs": (V.RS_LO, V.RS_HI)}
+        if self.family in ("GGA", "MGGA"):
+            bounds["s"] = (V.S_LO, V.S_HI)
+        if self.family == "MGGA":
+            bounds["alpha"] = (V.ALPHA_LO, V.ALPHA_HI)
+        return Box.from_bounds(bounds)
+
+    @property
+    def has_exchange(self) -> bool:
+        return self.exchange_model is not None
+
+    @property
+    def has_correlation(self) -> bool:
+        return self.correlation_model is not None
+
+    # -- symbolic forms ------------------------------------------------------------
+    def eps_x(self) -> Expr:
+        """Lifted exchange energy per particle (symbolic)."""
+        if not self.has_exchange:
+            raise ValueError(f"{self.name} has no exchange component")
+        return _lift_cached(self.exchange_model, self.variables)
+
+    def eps_c(self) -> Expr:
+        """Lifted correlation energy per particle (symbolic)."""
+        if not self.has_correlation:
+            raise ValueError(f"{self.name} has no correlation component")
+        return _lift_cached(self.correlation_model, self.variables)
+
+    def fx(self) -> Expr:
+        """Exchange enhancement factor F_x = eps_x / eps_x^unif."""
+        return b.div(self.eps_x(), _eps_x_unif_expr())
+
+    def fc(self) -> Expr:
+        """Correlation enhancement factor F_c = eps_c / eps_x^unif.
+
+        Since eps_x^unif = -CX_RS/rs < 0 this is
+        F_c = -(rs / CX_RS) * eps_c, so F_c >= 0 iff eps_c <= 0 (EC1).
+        """
+        return b.div(self.eps_c(), _eps_x_unif_expr())
+
+    def fxc(self) -> Expr:
+        """Total enhancement factor F_xc = F_x + F_c (Equation 2)."""
+        return b.add(self.fx(), self.fc())
+
+    # -- numeric kernels -------------------------------------------------------------
+    def fc_kernel(self) -> Callable:
+        """Compiled NumPy kernel for F_c with argument order (rs[, s[, alpha]])."""
+        return _kernel_cached(self.fc(), self.variables)
+
+    def fx_kernel(self) -> Callable:
+        return _kernel_cached(self.fx(), self.variables)
+
+    def fxc_kernel(self) -> Callable:
+        return _kernel_cached(self.fxc(), self.variables)
+
+    def eps_c_kernel(self) -> Callable:
+        return _kernel_cached(self.eps_c(), self.variables)
+
+    def complexity(self) -> dict[str, int]:
+        """Operation counts of the lifted components (paper's size metric)."""
+        out: dict[str, int] = {}
+        if self.has_exchange:
+            out["exchange"] = self.eps_x().operation_count()
+        if self.has_correlation:
+            out["correlation"] = self.eps_c().operation_count()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = [self.family, self.category]
+        if self.has_exchange:
+            parts.append("X")
+        if self.has_correlation:
+            parts.append("C")
+        return f"Functional({self.name}: {', '.join(parts)})"
+
+
+# Lifting and compiling are pure functions of (model, variables); cache them
+# at module scope so Functional can stay a frozen dataclass.
+
+@lru_cache(maxsize=None)
+def _lift_cached(model: Callable, variables: tuple[Var, ...]) -> Expr:
+    return lift(model, *variables)
+
+
+@lru_cache(maxsize=None)
+def _eps_x_unif_expr() -> Expr:
+    return lift(eps_x_unif, V.RS)
+
+
+_KERNELS: dict[tuple[int, tuple[Var, ...]], Callable] = {}
+
+
+def _kernel_cached(expr: Expr, variables: tuple[Var, ...]) -> Callable:
+    key = (id(expr), variables)
+    kernel = _KERNELS.get(key)
+    if kernel is None:
+        kernel = compile_numpy(expr, arg_order=variables)
+        _KERNELS[key] = kernel
+    return kernel

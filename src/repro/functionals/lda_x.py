@@ -1,0 +1,14 @@
+"""Uniform electron gas (LDA) exchange, the denominator of all enhancement
+factors: F_xc = eps_xc / eps_x^unif (Equation 2 of the paper)."""
+
+from __future__ import annotations
+
+from .vars import CX_RS
+
+
+def eps_x_unif(rs):
+    """Exchange energy per particle of the uniform gas, in Hartree.
+
+    eps_x^unif(n) = -(3/4) (3 n / pi)^(1/3)  ==  -CX_RS / rs.
+    """
+    return -CX_RS / rs

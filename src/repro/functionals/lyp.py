@@ -1,0 +1,39 @@
+"""Lee-Yang-Parr (LYP) correlation functional (zeta = 0).
+
+LYP is the empirical DFA of the study: fitted to the helium atom, key
+component of B3LYP/BLYP.  We use the Miehlich et al. reformulation (the
+form implemented in LibXC's ``gga_c_lyp``), which eliminates the Laplacian
+by partial integration, specialised to the closed-shell case
+n_a = n_b = n/2, |grad n_a| = |grad n_b| = |grad n|/2:
+
+    eps_c = -a / (1 + d q)
+            - a b exp(-c q) / (1 + d q) * [ C_F - (3 + 7 delta)/18 *
+                                            (3 pi^2)^(2/3) * s^2 ]
+
+with q = n^(-1/3) = Q_RS * rs and delta = c q + d q / (1 + d q).
+
+Note the positive s^2 term: for sufficiently large reduced gradients the
+correlation energy turns *positive*, which is exactly the EC1
+(non-positivity) violation the paper reports for LYP at s > ~1.66.
+"""
+
+from __future__ import annotations
+
+from ..pysym.intrinsics import exp
+from .vars import CF_TF, Q_RS, THREE_PI2_23
+
+# LYP parameters (Colle-Salvetti fit)
+A_LYP = 0.04918
+B_LYP = 0.132
+C_LYP = 0.2533
+D_LYP = 0.349
+
+
+def eps_c_lyp(rs, s):
+    """LYP correlation energy per particle (zeta = 0), in Hartree."""
+    q = Q_RS * rs
+    dq = D_LYP * q
+    delta = C_LYP * q + dq / (1.0 + dq)
+    omega = exp(-C_LYP * q) / (1.0 + dq)
+    grad_term = (3.0 + 7.0 * delta) / 18.0 * THREE_PI2_23 * s * s
+    return -A_LYP / (1.0 + dq) - A_LYP * B_LYP * omega * (CF_TF - grad_term)

@@ -1,0 +1,46 @@
+"""Perdew-Burke-Ernzerhof (PBE) GGA exchange and correlation (zeta = 0).
+
+The workhorse non-empirical GGA.  Exchange uses the single-parameter
+enhancement factor; correlation adds the gradient correction H on top of
+the PW92 local part.
+"""
+
+from __future__ import annotations
+
+from ..pysym.intrinsics import exp, log
+from .lda_x import eps_x_unif
+from .pw92 import eps_c_pw92
+from .vars import T2C
+
+# exchange constants
+KAPPA = 0.804
+MU = 0.2195149727645171
+
+# correlation constants
+GAMMA_PBE = 0.031090690869654895  # (1 - ln 2) / pi^2
+BETA_PBE = 0.06672455060314922
+
+
+def fx_pbe(s):
+    """PBE exchange enhancement factor F_x(s)."""
+    return 1.0 + KAPPA - KAPPA / (1.0 + MU * s * s / KAPPA)
+
+
+def eps_x_pbe(rs, s):
+    """PBE exchange energy per particle."""
+    return eps_x_unif(rs) * fx_pbe(s)
+
+
+def eps_c_pbe(rs, s):
+    """PBE correlation energy per particle (zeta = 0).
+
+    eps_c = eps_c^PW92(rs) + H(rs, t), with t^2 = T2C * s^2 / rs and
+    H = gamma * ln(1 + (beta/gamma) t^2 (1 + A t^2)/(1 + A t^2 + A^2 t^4)).
+    """
+    eps_lda = eps_c_pw92(rs)
+    t2 = T2C * s * s / rs
+    A = (BETA_PBE / GAMMA_PBE) / (exp(-eps_lda / GAMMA_PBE) - 1.0)
+    num = 1.0 + A * t2
+    den = 1.0 + A * t2 + A * A * t2 * t2
+    H = GAMMA_PBE * log(1.0 + (BETA_PBE / GAMMA_PBE) * t2 * num / den)
+    return eps_lda + H

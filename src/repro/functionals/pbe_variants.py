@@ -1,0 +1,70 @@
+"""PBE parameter variants: PBEsol and revPBE.
+
+The PBE form is a family: published variants keep the rational
+enhancement factor and the H gradient correction but move the two
+parameters (mu, kappa) or the correlation beta:
+
+* **PBEsol** (Perdew et al. 2008) restores the second-order gradient
+  expansion for exchange (mu = 10/81) and refits beta = 0.046 for
+  jellium surfaces -- the "solids" counterpart of PBE, non-empirical.
+* **revPBE** (Zhang & Yang 1998) keeps PBE correlation and raises
+  kappa to 1.245, *fitted to atomic exchange energies* -- which makes it
+  empirical by the paper's classification, and pushes F_x beyond the
+  Lieb-Oxford-motivated kappa <= 0.804 bound.  revPBE is therefore the
+  interesting specimen for EC5: its F_x alone stays under C_LO = 2.27,
+  but with less margin than PBE (max F_x = 2.245 vs 1.804).
+
+Each variant is spelled out as its own model function (constants must be
+module-level names for the symbolic executor; the duplication mirrors how
+LibXC generates one Maple source per variant).
+"""
+
+from __future__ import annotations
+
+from ..pysym.intrinsics import exp, log
+from .lda_x import eps_x_unif
+from .pbe import GAMMA_PBE, KAPPA, MU, eps_c_pbe
+from .pw92 import eps_c_pw92
+from .vars import T2C
+
+# PBEsol parameters
+MU_SOL = 10.0 / 81.0
+BETA_SOL = 0.046
+
+# revPBE parameter (Zhang & Yang 1998)
+KAPPA_REV = 1.245
+
+
+def fx_pbesol(s):
+    """PBEsol exchange enhancement factor (PBE form, mu = 10/81)."""
+    return 1.0 + KAPPA - KAPPA / (1.0 + MU_SOL * s * s / KAPPA)
+
+
+def eps_x_pbesol(rs, s):
+    """PBEsol exchange energy per particle."""
+    return eps_x_unif(rs) * fx_pbesol(s)
+
+
+def eps_c_pbesol(rs, s):
+    """PBEsol correlation energy per particle (PBE form, beta = 0.046)."""
+    eps_lda = eps_c_pw92(rs)
+    t2 = T2C * s * s / rs
+    A = (BETA_SOL / GAMMA_PBE) / (exp(-eps_lda / GAMMA_PBE) - 1.0)
+    num = 1.0 + A * t2
+    den = 1.0 + A * t2 + A * A * t2 * t2
+    H = GAMMA_PBE * log(1.0 + (BETA_SOL / GAMMA_PBE) * t2 * num / den)
+    return eps_lda + H
+
+
+def fx_revpbe(s):
+    """revPBE exchange enhancement factor (PBE form, kappa = 1.245)."""
+    return 1.0 + KAPPA_REV - KAPPA_REV / (1.0 + MU * s * s / KAPPA_REV)
+
+
+def eps_x_revpbe(rs, s):
+    """revPBE exchange energy per particle."""
+    return eps_x_unif(rs) * fx_revpbe(s)
+
+
+#: revPBE reuses PBE correlation unchanged
+eps_c_revpbe = eps_c_pbe

@@ -1,0 +1,25 @@
+"""Perdew-Wang 1992 parametrisation of the uniform-gas correlation energy.
+
+Used as the LDA limit inside both PBE and SCAN correlation and for AM05's
+local part (spin-unpolarised branch, zeta = 0).
+"""
+
+from __future__ import annotations
+
+from ..pysym.intrinsics import log, sqrt
+
+# PW92 zeta=0 fit parameters
+A_PW = 0.0310907
+ALPHA1 = 0.21370
+BETA1 = 7.5957
+BETA2 = 3.5876
+BETA3 = 1.6382
+BETA4 = 0.49294
+
+
+def eps_c_pw92(rs):
+    """PW92 correlation energy per particle of the uniform gas (zeta = 0)."""
+    rs12 = sqrt(rs)
+    rs32 = rs * rs12
+    denom = 2.0 * A_PW * (BETA1 * rs12 + BETA2 * rs + BETA3 * rs32 + BETA4 * rs * rs)
+    return -2.0 * A_PW * (1.0 + ALPHA1 * rs) * log(1.0 + 1.0 / denom)

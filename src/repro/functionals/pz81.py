@@ -1,0 +1,50 @@
+"""Perdew-Zunger 1981 parametrisation of LDA correlation.
+
+PZ81 fits the Ceperley-Alder QMC energies of the uniform gas with *two
+different analytic forms* glued at rs = 1: a Pade form for the low-density
+side (rs >= 1) and the RPA-derived logarithmic expansion for the
+high-density side (rs < 1).  Section VI-C of the paper calls this out
+explicitly: the published constants make the two branches meet only
+approximately, leaving a small discontinuity of the correlation energy at
+the matching point -- the canonical example of the "numerical issues with
+DFAs" the paper proposes to analyse next.  Our value jump at rs = 1 is
+~3.3e-5 Hartree (see :mod:`repro.numerics.continuity`).
+
+The branch switch is genuine if-then-else model code, lifted to an
+:class:`~repro.expr.nodes.Ite` term by the symbolic executor.
+"""
+
+from __future__ import annotations
+
+from ..pysym.intrinsics import log, sqrt
+
+# low-density (rs >= 1) Pade fit, zeta = 0
+GAMMA_PZ = -0.1423
+BETA1_PZ = 1.0529
+BETA2_PZ = 0.3334
+
+# high-density (rs < 1) expansion, zeta = 0
+A_PZ = 0.0311
+B_PZ = -0.048
+C_PZ = 0.0020
+D_PZ = -0.0116
+
+#: the matching point of the two analytic branches
+RS_MATCH = 1.0
+
+
+def eps_c_pz81(rs):
+    """PZ81 correlation energy per particle (zeta = 0), in Hartree."""
+    if rs < RS_MATCH:
+        return A_PZ * log(rs) + B_PZ + C_PZ * rs * log(rs) + D_PZ * rs
+    return GAMMA_PZ / (1.0 + BETA1_PZ * sqrt(rs) + BETA2_PZ * rs)
+
+
+def eps_c_pz81_high_density(rs):
+    """The rs < 1 branch on its own (used by the continuity analysis)."""
+    return A_PZ * log(rs) + B_PZ + C_PZ * rs * log(rs) + D_PZ * rs
+
+
+def eps_c_pz81_low_density(rs):
+    """The rs >= 1 branch on its own (used by the continuity analysis)."""
+    return GAMMA_PZ / (1.0 + BETA1_PZ * sqrt(rs) + BETA2_PZ * rs)

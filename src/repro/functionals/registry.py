@@ -1,0 +1,202 @@
+"""Registry of the functionals evaluated in the paper (Section IV-A).
+
+Five DFAs covering the rungs LDA / GGA / meta-GGA and both design
+categories (empirical vs non-empirical):
+
+* PBE      -- popular non-empirical GGA (exchange + correlation),
+* SCAN     -- fully constrained non-empirical meta-GGA (X + C),
+* LYP      -- empirical correlation GGA (key part of BLYP/B3LYP),
+* AM05     -- non-empirical GGA designed for surfaces/solids (X + C),
+* VWN RPA  -- LDA correlation (RPA parametrisation).
+
+The registry is intentionally open: LibXC has 500+ functionals and the
+paper's future-work section aims at covering them all; adding one here is
+one model module plus one :func:`register` call.
+"""
+
+from __future__ import annotations
+
+from .am05 import eps_c_am05, eps_x_am05
+from .b88 import eps_x_b88
+from .base import Functional
+from .lyp import eps_c_lyp
+from .pbe import eps_c_pbe, eps_x_pbe
+from .pbe_variants import eps_c_pbesol, eps_c_revpbe, eps_x_pbesol, eps_x_revpbe
+from .pw91 import eps_c_pw91, eps_x_pw91
+from .pz81 import eps_c_pz81
+from .rppscan import eps_c_rppscan, eps_x_rppscan
+from .rscan import eps_c_rscan, eps_x_rscan
+from .scan import eps_c_scan, eps_x_scan
+from .vwn5 import eps_c_vwn5
+from .vwn_rpa import eps_c_vwn_rpa
+from .wigner import eps_c_wigner
+
+_REGISTRY: dict[str, Functional] = {}
+
+
+def register(functional: Functional) -> Functional:
+    key = functional.name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"functional {functional.name!r} already registered")
+    _REGISTRY[key] = functional
+    return functional
+
+
+def get_functional(name: str) -> Functional:
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown functional {name!r} (known: {known})") from None
+
+
+def all_functionals() -> tuple[Functional, ...]:
+    return tuple(_REGISTRY[k] for k in sorted(_REGISTRY))
+
+
+def paper_functionals() -> tuple[Functional, ...]:
+    """The five DFAs of the paper, in Table I column order."""
+    return tuple(get_functional(n) for n in ("PBE", "LYP", "AM05", "SCAN", "VWN RPA"))
+
+
+PBE = register(
+    Functional(
+        name="PBE",
+        family="GGA",
+        category="non-empirical",
+        exchange_model=eps_x_pbe,
+        correlation_model=eps_c_pbe,
+    )
+)
+
+SCAN = register(
+    Functional(
+        name="SCAN",
+        family="MGGA",
+        category="non-empirical",
+        exchange_model=eps_x_scan,
+        correlation_model=eps_c_scan,
+    )
+)
+
+LYP = register(
+    Functional(
+        name="LYP",
+        family="GGA",
+        category="empirical",
+        correlation_model=eps_c_lyp,
+    )
+)
+
+AM05 = register(
+    Functional(
+        name="AM05",
+        family="GGA",
+        category="non-empirical",
+        exchange_model=eps_x_am05,
+        correlation_model=eps_c_am05,
+    )
+)
+
+VWN_RPA = register(
+    Functional(
+        name="VWN RPA",
+        family="LDA",
+        category="non-empirical",
+        correlation_model=eps_c_vwn_rpa,
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Beyond the paper's evaluation: the Section VI-A/VI-B outlook functionals.
+# These demonstrate the "scale to 500+ functionals" workflow; none of them
+# enters paper_functionals(), so the Table I / Table II harnesses are
+# unchanged.
+# ---------------------------------------------------------------------------
+
+RSCAN = register(
+    Functional(
+        name="rSCAN",
+        family="MGGA",
+        category="non-empirical",
+        exchange_model=eps_x_rscan,
+        correlation_model=eps_c_rscan,
+    )
+)
+
+RPPSCAN = register(
+    Functional(
+        name="r++SCAN",
+        family="MGGA",
+        category="non-empirical",
+        exchange_model=eps_x_rppscan,
+        correlation_model=eps_c_rppscan,
+    )
+)
+
+PW91 = register(
+    Functional(
+        name="PW91",
+        family="GGA",
+        category="non-empirical",
+        exchange_model=eps_x_pw91,
+        correlation_model=eps_c_pw91,
+    )
+)
+
+PBESOL = register(
+    Functional(
+        name="PBEsol",
+        family="GGA",
+        category="non-empirical",
+        exchange_model=eps_x_pbesol,
+        correlation_model=eps_c_pbesol,
+    )
+)
+
+REVPBE = register(
+    Functional(
+        name="revPBE",
+        family="GGA",
+        category="empirical",  # kappa fitted to atomic exchange energies
+        exchange_model=eps_x_revpbe,
+        correlation_model=eps_c_revpbe,
+    )
+)
+
+BLYP = register(
+    Functional(
+        name="BLYP",
+        family="GGA",
+        category="empirical",
+        exchange_model=eps_x_b88,
+        correlation_model=eps_c_lyp,
+    )
+)
+
+PZ81 = register(
+    Functional(
+        name="PZ81",
+        family="LDA",
+        category="non-empirical",
+        correlation_model=eps_c_pz81,
+    )
+)
+
+VWN5 = register(
+    Functional(
+        name="VWN5",
+        family="LDA",
+        category="non-empirical",
+        correlation_model=eps_c_vwn5,
+    )
+)
+
+WIGNER = register(
+    Functional(
+        name="Wigner",
+        family="LDA",
+        category="empirical",
+        correlation_model=eps_c_wigner,
+    )
+)

@@ -1,0 +1,113 @@
+"""r++SCAN: rSCAN's interpolation with the r2SCAN-style alpha regularisation.
+
+Second step of the progression the paper's Section VI-A proposes as
+future verification targets (rSCAN, r++SCAN, r2SCAN, r4SCAN).  Furness et
+al. (2020/2022) observed that rSCAN's ``alpha' = alpha^3/(alpha^2 + e)``
+regularisation damages the uniform-density limit, and replaced it with
+
+    alpha~ = (tau - tau_W) / (tau_unif + eta * tau_W),   eta = 1e-3,
+
+which in our reduced variables (tau_W / tau_unif = (5/3) s^2) is
+
+    alpha~ = alpha / (1 + eta * (5/3) s^2).
+
+r++SCAN is exactly rSCAN with alpha' replaced by alpha~: same degree-7
+interpolation polynomial, same exponential tail, same exchange and
+correlation bodies.  (The r2SCAN/r4SCAN gradient-expansion restoration
+terms are a further, separate modification and are out of scope; see
+DESIGN.md.)  Unlike rSCAN's alpha', the alpha~ regularisation couples s
+into the switching function, so the verifier sees a genuinely
+two-dimensional guard -- a harder ITE shape than rSCAN's.
+"""
+
+from __future__ import annotations
+
+from ..pysym.intrinsics import exp, log, sqrt
+from .lda_x import eps_x_unif
+from .pw92 import eps_c_pw92
+from .rscan import _f_poly, _f_poly_c
+from .scan import (
+    A1,
+    B1,
+    B1C,
+    B2,
+    B2C,
+    B3,
+    B3C,
+    B4,
+    BETA0,
+    C2C,
+    C2X,
+    CHI_INF,
+    DC,
+    DX,
+    GAMMA_C,
+    H0X,
+    K1,
+    MU_AK,
+)
+from .vars import T2C
+
+#: tau_W damping strength in the regularised indicator
+ETA_RPP = 1e-3
+
+#: (5/3): tau_W / tau_unif = (5/3) s^2
+FIVE_THIRDS = 5.0 / 3.0
+
+
+def alpha_tilde(s, alpha):
+    """Regularised iso-orbital indicator alpha~ = alpha / (1 + eta (5/3) s^2)."""
+    return alpha / (1.0 + ETA_RPP * FIVE_THIRDS * s * s)
+
+
+def f_alpha_x_rpp(s, alpha):
+    """r++SCAN exchange switching function (polynomial + tail, alpha~ input)."""
+    a = alpha_tilde(s, alpha)
+    if a < 2.5:
+        return _f_poly(a)
+    return -DX * exp(-C2X / abs(a - 1.0))
+
+
+def f_alpha_c_rpp(s, alpha):
+    """r++SCAN correlation switching function."""
+    a = alpha_tilde(s, alpha)
+    if a < 2.5:
+        return _f_poly_c(a)
+    return -DC * exp(-C2C / abs(a - 1.0))
+
+
+def fx_rppscan(s, alpha):
+    """r++SCAN exchange enhancement factor (SCAN body, alpha~ switch)."""
+    s2 = s * s
+    wx = MU_AK * s2 * (1.0 + (B4 * s2 / MU_AK) * exp(-B4 * s2 / MU_AK))
+    vx = B1 * s2 + B2 * (1.0 - alpha) * exp(-B3 * (1.0 - alpha) * (1.0 - alpha))
+    x = wx + vx * vx
+    h1x = 1.0 + K1 - K1 / (1.0 + x / K1)
+    gx = 1.0 - exp(-A1 / (s**0.5))
+    return (h1x + f_alpha_x_rpp(s, alpha) * (H0X - h1x)) * gx
+
+
+def eps_x_rppscan(rs, s, alpha):
+    """r++SCAN exchange energy per particle."""
+    return eps_x_unif(rs) * fx_rppscan(s, alpha)
+
+
+def eps_c_rppscan(rs, s, alpha):
+    """r++SCAN correlation energy per particle (zeta = 0)."""
+    s2 = s * s
+    eps_lda0 = -B1C / (1.0 + B2C * sqrt(rs) + B3C * rs)
+    w0 = exp(-eps_lda0 / B1C) - 1.0
+    ginf = (1.0 + 4.0 * CHI_INF * s2) ** (-0.25)
+    h0 = B1C * log(1.0 + w0 * (1.0 - ginf))
+    eps_c0 = eps_lda0 + h0
+
+    eps_lsda = eps_c_pw92(rs)
+    w1 = exp(-eps_lsda / GAMMA_C) - 1.0
+    beta_rs = BETA0 * (1.0 + 0.1 * rs) / (1.0 + 0.1778 * rs)
+    t2 = T2C * s2 / rs
+    y = beta_rs * t2 / (GAMMA_C * w1)
+    gy = (1.0 + 4.0 * y) ** (-0.25)
+    h1 = GAMMA_C * log(1.0 + w1 * (1.0 - gy))
+    eps_c1 = eps_lsda + h1
+
+    return eps_c1 + f_alpha_c_rpp(s, alpha) * (eps_c0 - eps_c1)

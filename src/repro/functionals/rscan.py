@@ -1,0 +1,178 @@
+"""Regularized SCAN (rSCAN-style), the paper's Section VI-A outlook.
+
+The paper closes by noting that SCAN defeats the solver, and that the
+literature offers a progression -- rSCAN, r++SCAN, r2SCAN, r4SCAN --
+"designed with different adherence to exact conditions to improve the
+numerical stability of the original SCAN functional", proposing them as a
+"fascinating use case" for verification.  This module implements that use
+case: a regularized SCAN in the style of Bartok & Yates (2019) / Furness
+et al. (2020):
+
+* the iso-orbital indicator is regularised,
+  ``alpha' = alpha^3 / (alpha^2 + alpha_r)`` with ``alpha_r = 1e-3``;
+* the switching function's essential singularity at alpha = 1 is replaced
+  for ``alpha' < 2.5`` by the published degree-7 interpolation polynomial
+  (exact at f(0) = 1 and f(1) = 0), keeping the exponential tail
+  ``-d exp(c2/(1 - alpha'))`` for ``alpha' >= 2.5``.
+
+Exchange and correlation each use their own published interpolation
+coefficients (the polynomials are constructed to meet the respective
+exponential tail at alpha' = 2.5, so each channel is continuous at the
+crossover).  The exchange/correlation bodies (h1x, gx, eps_c0/eps_c1) are
+shared with SCAN -- the regularisation only touches the alpha channel,
+which is exactly where SCAN's verification difficulty (nested exp of a
+pole) lives.  The `rscan_vs_scan` ablation bench measures how much easier
+the solver's job becomes.
+"""
+
+from __future__ import annotations
+
+from ..pysym.intrinsics import exp, log, sqrt
+from .lda_x import eps_x_unif
+from .pw92 import eps_c_pw92
+from .scan import (
+    A1,
+    B1,
+    B1C,
+    B2,
+    B2C,
+    B3,
+    B3C,
+    B4,
+    BETA0,
+    C2C,
+    C2X,
+    CHI_INF,
+    DC,
+    DX,
+    GAMMA_C,
+    H0X,
+    K1,
+    MU_AK,
+)
+from .vars import T2C
+
+#: regularisation constant for the iso-orbital indicator
+ALPHA_R = 1e-3
+
+#: degree-7 interpolation coefficients (c0..c7) of the regularised
+#: exchange switching function; constructed so f(0) = 1 and f(1) = 0
+#: exactly and the exponential tail is met at alpha' = 2.5
+FP0 = 1.0
+FP1 = -0.667
+FP2 = -0.4445555
+FP3 = -0.663086601049
+FP4 = 1.451297044490
+FP5 = -0.887998041597
+FP6 = 0.234528941479
+FP7 = -0.023185843322
+
+#: tuple view of the exchange coefficients for tests/inspection
+F_ALPHA_POLY = (FP0, FP1, FP2, FP3, FP4, FP5, FP6, FP7)
+
+#: degree-7 interpolation coefficients of the *correlation* switching
+#: function (its tail constants differ, so it needs its own polynomial to
+#: stay continuous at the alpha' = 2.5 crossover)
+FC0 = 1.0
+FC1 = -0.64
+FC2 = -0.4352
+FC3 = -1.535685604549
+FC4 = 3.061560252175
+FC5 = -1.915710236206
+FC6 = 0.516884468372
+FC7 = -0.051848879792
+
+#: tuple view of the correlation coefficients for tests/inspection
+F_ALPHA_POLY_C = (FC0, FC1, FC2, FC3, FC4, FC5, FC6, FC7)
+
+
+def alpha_prime(alpha):
+    """Regularised iso-orbital indicator alpha' = a^3/(a^2 + alpha_r)."""
+    return alpha * alpha * alpha / (alpha * alpha + ALPHA_R)
+
+
+def _f_poly(a):
+    """The degree-7 exchange interpolation polynomial (Horner form).
+
+    Written with scalar constants (no tuple indexing) so it stays inside
+    the symbolic executor's supported subset -- DFA model code "does not
+    contain loops, arrays, etc." (paper, Section III-A).
+    """
+    return FP0 + a * (
+        FP1 + a * (FP2 + a * (FP3 + a * (FP4 + a * (FP5 + a * (FP6 + a * FP7)))))
+    )
+
+
+def _f_poly_c(a):
+    """The degree-7 correlation interpolation polynomial (Horner form)."""
+    return FC0 + a * (
+        FC1 + a * (FC2 + a * (FC3 + a * (FC4 + a * (FC5 + a * (FC6 + a * FC7)))))
+    )
+
+
+def f_alpha_x_rscan(alpha):
+    """rSCAN exchange switching function (polynomial + exponential tail).
+
+    The tail is written with ``abs(a - 1)``: identical to ``a - 1`` on its
+    own region (a >= 2.5) while staying bounded when the branch is
+    evaluated outside it -- the IEEE-totality idiom discussed in the
+    paper's Section VI-C, which the compiled kernels and DAG evaluation
+    both rely on.
+    """
+    a = alpha_prime(alpha)
+    if a < 2.5:
+        return _f_poly(a)
+    return -DX * exp(-C2X / abs(a - 1.0))
+
+
+def f_alpha_c_rscan(alpha):
+    """rSCAN correlation switching function."""
+    a = alpha_prime(alpha)
+    if a < 2.5:
+        return _f_poly_c(a)
+    return -DC * exp(-C2C / abs(a - 1.0))
+
+
+def fx_rscan(s, alpha):
+    """rSCAN exchange enhancement factor.
+
+    Same body as SCAN with the switching function swapped: we recover
+    F_x(s, alpha) = h1x + f(alpha)(h0x - h1x) times gx by removing SCAN's
+    own switch and adding ours (both multiply the same (h0x - h1x) gap).
+    """
+    s2 = s * s
+    wx = MU_AK * s2 * (1.0 + (B4 * s2 / MU_AK) * exp(-B4 * s2 / MU_AK))
+    vx = B1 * s2 + B2 * (1.0 - alpha) * exp(-B3 * (1.0 - alpha) * (1.0 - alpha))
+    x = wx + vx * vx
+    h1x = 1.0 + K1 - K1 / (1.0 + x / K1)
+    gx = 1.0 - exp(-A1 / (s**0.5))
+    return (h1x + f_alpha_x_rscan(alpha) * (H0X - h1x)) * gx
+
+
+def eps_x_rscan(rs, s, alpha):
+    """rSCAN exchange energy per particle."""
+    return eps_x_unif(rs) * fx_rscan(s, alpha)
+
+
+def eps_c_rscan(rs, s, alpha):
+    """rSCAN correlation energy per particle (zeta = 0).
+
+    Shares SCAN's eps_c0/eps_c1 bodies; only the interpolation changes.
+    """
+    s2 = s * s
+    eps_lda0 = -B1C / (1.0 + B2C * sqrt(rs) + B3C * rs)
+    w0 = exp(-eps_lda0 / B1C) - 1.0
+    ginf = (1.0 + 4.0 * CHI_INF * s2) ** (-0.25)
+    h0 = B1C * log(1.0 + w0 * (1.0 - ginf))
+    eps_c0 = eps_lda0 + h0
+
+    eps_lsda = eps_c_pw92(rs)
+    w1 = exp(-eps_lsda / GAMMA_C) - 1.0
+    beta_rs = BETA0 * (1.0 + 0.1 * rs) / (1.0 + 0.1778 * rs)
+    t2 = T2C * s2 / rs
+    y = beta_rs * t2 / (GAMMA_C * w1)
+    gy = (1.0 + 4.0 * y) ** (-0.25)
+    h1 = GAMMA_C * log(1.0 + w1 * (1.0 - gy))
+    eps_c1 = eps_lsda + h1
+
+    return eps_c1 + f_alpha_c_rscan(alpha) * (eps_c0 - eps_c1)

@@ -1,0 +1,111 @@
+"""SCAN meta-GGA exchange and correlation (zeta = 0).
+
+SCAN (Sun, Ruzsinszky & Perdew, PRL 2015) is "strongly constrained and
+appropriately normed": built to satisfy all 17 known exact constraints.
+It is also, by a wide margin, the most complex functional of the study --
+the LibXC implementation exceeds a thousand operations -- and the paper
+reports that the solver times out on *every* SCAN condition.
+
+Inputs are (rs, s, alpha) with the iso-orbital indicator alpha treated as
+an independent coordinate as in Pederson & Burke.  The switching functions
+f_x(alpha) and f_c(alpha) are genuinely piecewise (different analytic forms
+for alpha < 1 and alpha > 1, agreeing at alpha = 1): this is the
+if-then-else case the paper's symbolic executor must handle.
+"""
+
+from __future__ import annotations
+
+from ..pysym.intrinsics import exp, log, sqrt
+from .lda_x import eps_x_unif
+from .pw92 import eps_c_pw92
+from .vars import T2C
+
+# --- exchange constants ------------------------------------------------------
+MU_AK = 10.0 / 81.0
+K1 = 0.065
+B2 = (5913.0 / 405000.0) ** 0.5
+B1 = (511.0 / 13500.0) / (2.0 * B2)
+B3 = 0.5
+B4 = MU_AK**2 / K1 - 1606.0 / 18225.0 - B1**2
+A1 = 4.9479
+C1X = 0.667
+C2X = 0.8
+DX = 1.24
+H0X = 1.174
+
+# --- correlation constants -----------------------------------------------------
+B1C = 0.0285764
+B2C = 0.0889
+B3C = 0.125541
+C1C = 0.64
+C2C = 1.5
+DC = 0.7
+GAMMA_C = 0.031090690869654895
+BETA0 = 0.066724550603149220
+CHI_INF = 0.12802585262625815  # zeta = 0
+
+
+def f_alpha_x(alpha):
+    """SCAN exchange switching function f_x(alpha) (piecewise).
+
+    The switch point alpha = 1 (where both analytic branches tend to 0) is
+    guarded explicitly, and the alpha > 1 branch is written as
+    ``exp(-c2x/(alpha-1))`` (equal to the published ``exp(c2x/(1-alpha))``)
+    so IEEE evaluation near the switch gives the correct limit 0 instead
+    of overflowing -- the kind of ad-hoc numerical-robustness rewrite
+    Section VI-C of the paper discusses.
+    """
+    if alpha == 1.0:
+        return 0.0
+    if alpha < 1.0:
+        return exp(-C1X * alpha / (1.0 - alpha))
+    return -DX * exp(-C2X / (alpha - 1.0))
+
+
+def f_alpha_c(alpha):
+    """SCAN correlation switching function f_c(alpha) (piecewise)."""
+    if alpha == 1.0:
+        return 0.0
+    if alpha < 1.0:
+        return exp(-C1C * alpha / (1.0 - alpha))
+    return -DC * exp(-C2C / (alpha - 1.0))
+
+
+def fx_scan(s, alpha):
+    """SCAN exchange enhancement factor F_x(s, alpha)."""
+    s2 = s * s
+    # h1x: the GGA-like enhancement along alpha = 1
+    wx = MU_AK * s2 * (1.0 + (B4 * s2 / MU_AK) * exp(-B4 * s2 / MU_AK))
+    vx = B1 * s2 + B2 * (1.0 - alpha) * exp(-B3 * (1.0 - alpha) * (1.0 - alpha))
+    x = wx + vx * vx
+    h1x = 1.0 + K1 - K1 / (1.0 + x / K1)
+    gx = 1.0 - exp(-A1 / (s ** 0.5))
+    return (h1x + f_alpha_x(alpha) * (H0X - h1x)) * gx
+
+
+def eps_x_scan(rs, s, alpha):
+    """SCAN exchange energy per particle."""
+    return eps_x_unif(rs) * fx_scan(s, alpha)
+
+
+def eps_c_scan(rs, s, alpha):
+    """SCAN correlation energy per particle (zeta = 0)."""
+    s2 = s * s
+    # -- single-orbital limit (alpha = 0 end), eps_c^0 = eps_c^LDA0 + H0
+    eps_lda0 = -B1C / (1.0 + B2C * sqrt(rs) + B3C * rs)
+    w0 = exp(-eps_lda0 / B1C) - 1.0
+    ginf = (1.0 + 4.0 * CHI_INF * s2) ** (-0.25)
+    h0 = B1C * log(1.0 + w0 * (1.0 - ginf))
+    eps_c0 = eps_lda0 + h0
+
+    # -- slowly-varying limit (alpha = 1 end), eps_c^1 = eps_c^PW92 + H1
+    eps_lsda = eps_c_pw92(rs)
+    w1 = exp(-eps_lsda / GAMMA_C) - 1.0
+    beta_rs = BETA0 * (1.0 + 0.1 * rs) / (1.0 + 0.1778 * rs)
+    t2 = T2C * s2 / rs
+    y = beta_rs * t2 / (GAMMA_C * w1)
+    gy = (1.0 + 4.0 * y) ** (-0.25)
+    h1 = GAMMA_C * log(1.0 + w1 * (1.0 - gy))
+    eps_c1 = eps_lsda + h1
+
+    return eps_c1 + f_alpha_c(alpha) * (eps_c0 - eps_c1)

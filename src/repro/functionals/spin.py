@@ -1,0 +1,116 @@
+"""Spin-polarised substrate: LDA exchange/correlation at zeta != 0.
+
+The paper verifies LibXC's *spin-resolved* implementations; our reduced
+forms follow Pederson & Burke's zeta = 0 scans (DESIGN.md, deviation 1).
+This module supplies the spin machinery itself so the gap is a choice of
+scan axis, not a missing substrate:
+
+* the relative spin polarisation ``zeta = (n_up - n_down) / n`` as a
+  model-code input (:data:`ZETA`, domain [-1, 1]);
+* **exact spin scaling of exchange**:
+  ``eps_x(rs, zeta) = eps_x(rs) * ((1+zeta)^(4/3) + (1-zeta)^(4/3)) / 2``
+  -- an identity of the exact functional, i.e. itself one of the "exact
+  conditions" the paper's program targets;
+* the **full PW92 correlation** ``eps_c(rs, zeta)``: the published
+  three-fit interpolation (paramagnetic, ferromagnetic, spin stiffness)
+  with the standard f(zeta) weight;
+* the **VWN-style interpolation** helpers shared by that family.
+
+Everything is plain liftable model code, so the delta-complete solver can
+verify spin conditions too (the tests prove Ec non-positivity over the
+full (rs, zeta) box with ICP).
+"""
+
+from __future__ import annotations
+
+from ..expr.nodes import Var
+from ..pysym.intrinsics import log, sqrt
+from .lda_x import eps_x_unif
+
+#: relative spin polarisation, in [-1, 1] (NOT tagged non-negative)
+ZETA = Var("zeta")
+
+#: f''(0) = 8 / (9 (2^(4/3) - 2)), the curvature normaliser of f(zeta)
+FPP0 = 8.0 / (9.0 * (2.0 ** (4.0 / 3.0) - 2.0))
+
+#: 2^(1/3) - the ferromagnetic exchange enhancement
+TWO_13 = 2.0 ** (1.0 / 3.0)
+
+# PW92 fit parameters: (A, alpha1, beta1, beta2, beta3, beta4)
+# paramagnetic eps_c(rs, 0)
+PW92_PARA = (0.031091, 0.21370, 7.5957, 3.5876, 1.6382, 0.49294)
+# ferromagnetic eps_c(rs, 1)
+PW92_FERRO = (0.015545, 0.20548, 14.1189, 6.1977, 3.3662, 0.62517)
+# minus the spin stiffness, -alpha_c(rs)
+PW92_STIFF = (0.016887, 0.11125, 10.357, 3.6231, 0.88026, 0.49671)
+
+
+def f_zeta(zeta):
+    """PW92/VWN spin interpolation weight f(zeta).
+
+    f(zeta) = ((1+zeta)^(4/3) + (1-zeta)^(4/3) - 2) / (2^(4/3) - 2);
+    f(0) = 0, f(+-1) = 1.  Enters both the exchange spin scaling (through
+    its parent form) and the correlation interpolation.
+    """
+    opz = (1.0 + zeta) ** (4.0 / 3.0)
+    omz = (1.0 - zeta) ** (4.0 / 3.0)
+    return (opz + omz - 2.0) / (2.0 ** (4.0 / 3.0) - 2.0)
+
+
+def exchange_spin_factor(zeta):
+    """((1+zeta)^(4/3) + (1-zeta)^(4/3)) / 2: exact exchange spin scaling."""
+    opz = (1.0 + zeta) ** (4.0 / 3.0)
+    omz = (1.0 - zeta) ** (4.0 / 3.0)
+    return 0.5 * (opz + omz)
+
+
+def eps_x_unif_spin(rs, zeta):
+    """Uniform-gas exchange energy per particle at polarisation zeta.
+
+    Exact: follows from the spin-scaling identity
+    E_x[n_up, n_down] = (E_x[2 n_up] + E_x[2 n_down]) / 2.
+    """
+    return eps_x_unif(rs) * exchange_spin_factor(zeta)
+
+
+def _g_pw92(rs, A, alpha1, beta1, beta2, beta3, beta4):
+    """The PW92 G function: -2A(1 + a1 rs) ln(1 + 1/(2A (b1 x + ...)))."""
+    rs12 = sqrt(rs)
+    rs32 = rs * rs12
+    denom = 2.0 * A * (beta1 * rs12 + beta2 * rs + beta3 * rs32 + beta4 * rs * rs)
+    return -2.0 * A * (1.0 + alpha1 * rs) * log(1.0 + 1.0 / denom)
+
+
+def eps_c_pw92_para(rs):
+    """PW92 paramagnetic branch eps_c(rs, 0) (same fit as pw92.eps_c_pw92)."""
+    return _g_pw92(rs, 0.031091, 0.21370, 7.5957, 3.5876, 1.6382, 0.49294)
+
+
+def eps_c_pw92_ferro(rs):
+    """PW92 ferromagnetic branch eps_c(rs, 1)."""
+    return _g_pw92(rs, 0.015545, 0.20548, 14.1189, 6.1977, 3.3662, 0.62517)
+
+
+def minus_alpha_c_pw92(rs):
+    """PW92 fit of -alpha_c(rs).
+
+    The G form is negative with positive parameters, so PW92 fit the
+    *negated* stiffness: alpha_c(rs) = -G(rs) > 0, which is what makes
+    eps_c(rs, zeta) rise toward zero as |zeta| grows.
+    """
+    return _g_pw92(rs, 0.016887, 0.11125, 10.357, 3.6231, 0.88026, 0.49671)
+
+
+def eps_c_pw92_spin(rs, zeta):
+    """Full PW92 correlation energy per particle at polarisation zeta.
+
+    eps_c(rs, zeta) = eps_c(rs, 0)
+                    + alpha_c(rs) * f(zeta)/f''(0) * (1 - zeta^4)
+                    + [eps_c(rs, 1) - eps_c(rs, 0)] * f(zeta) * zeta^4.
+    """
+    e0 = eps_c_pw92_para(rs)
+    e1 = eps_c_pw92_ferro(rs)
+    mac = minus_alpha_c_pw92(rs)
+    f = f_zeta(zeta)
+    z4 = zeta * zeta * zeta * zeta
+    return e0 - mac * (f / FPP0) * (1.0 - z4) + (e1 - e0) * f * z4

@@ -1,0 +1,44 @@
+"""Shared input variables and physical constants for DFA model code.
+
+Following Pederson & Burke (and the paper), spin-unpolarised functionals
+are expressed in the reduced variables
+
+* ``rs``    -- Wigner-Seitz radius, ``rs = (4 pi n / 3)**(-1/3)``,
+* ``s``     -- reduced density gradient,
+  ``s = |grad n| / (2 (3 pi^2)**(1/3) n**(4/3))``,
+* ``alpha`` -- iso-orbital indicator ``(tau - tau_W) / tau_unif`` for
+  meta-GGAs (treated as an independent input, as in PB's scans).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..expr.nodes import Var
+
+RS = Var("rs", nonneg=True)
+S = Var("s", nonneg=True)
+ALPHA = Var("alpha", nonneg=True)
+
+#: exchange energy per particle of the uniform gas is -CX_RS / rs (Hartree)
+CX_RS = 0.75 * (9.0 / (4.0 * math.pi**2)) ** (1.0 / 3.0)
+
+#: t^2 = T2C * s^2 / rs relates the PBE/SCAN correlation variable t to (s, rs)
+T2C = (math.pi / 4.0) * (9.0 * math.pi / 4.0) ** (1.0 / 3.0)
+
+#: (3 pi^2)^(2/3), recurring gradient-expansion constant
+THREE_PI2_23 = (3.0 * math.pi**2) ** (2.0 / 3.0)
+
+#: (4 pi / 3)^(1/3): n^(-1/3) = Q_RS * rs
+Q_RS = (4.0 * math.pi / 3.0) ** (1.0 / 3.0)
+
+#: Thomas-Fermi kinetic constant C_F = (3/10) (3 pi^2)^(2/3)
+CF_TF = 0.3 * THREE_PI2_23
+
+#: Lieb-Oxford constant used by conditions EC4/EC5 (following PB)
+C_LO = 2.27
+
+#: paper/PB input domains
+RS_LO, RS_HI = 1e-4, 5.0
+S_LO, S_HI = 0.0, 5.0
+ALPHA_LO, ALPHA_HI = 0.0, 5.0

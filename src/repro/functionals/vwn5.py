@@ -1,0 +1,38 @@
+"""Vosko-Wilk-Nusair "functional V" LDA correlation (the usual VWN).
+
+Same Pade-of-atan analytic form as the RPA parametrisation in
+:mod:`repro.functionals.vwn_rpa`, but fitted to the Ceperley-Alder QMC
+energies rather than to RPA (paramagnetic branch, zeta = 0).  This is the
+``LDA_C_VWN`` of LibXC and the correlation inside B3LYP.  Having both
+parametrisations registered lets the analysis show that condition
+verdicts are parametrisation-independent for this family while the
+*regions* shift slightly.
+"""
+
+from __future__ import annotations
+
+from ..pysym.intrinsics import atan, log, sqrt
+
+# Ceperley-Alder fit parameters (paramagnetic), VWN 1980 functional V
+A_VWN5 = 0.0310907
+B_VWN5 = 3.72744
+C_VWN5 = 12.9352
+X0_VWN5 = -0.10498
+
+
+def eps_c_vwn5(rs):
+    """VWN5 correlation energy per particle (zeta = 0), in Hartree."""
+    x = sqrt(rs)
+    X = x * x + B_VWN5 * x + C_VWN5
+    X0 = X0_VWN5 * X0_VWN5 + B_VWN5 * X0_VWN5 + C_VWN5
+    Q = sqrt(4.0 * C_VWN5 - B_VWN5 * B_VWN5)
+    at = atan(Q / (2.0 * x + B_VWN5))
+    return A_VWN5 * (
+        log(x * x / X)
+        + (2.0 * B_VWN5 / Q) * at
+        - (B_VWN5 * X0_VWN5 / X0)
+        * (
+            log((x - X0_VWN5) * (x - X0_VWN5) / X)
+            + (2.0 * (B_VWN5 + 2.0 * X0_VWN5) / Q) * at
+        )
+    )

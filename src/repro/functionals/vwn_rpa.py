@@ -1,0 +1,31 @@
+"""Vosko-Wilk(-Nusair) RPA parametrisation of LDA correlation.
+
+This is the ``LDA_C_VWN_RPA`` functional from LibXC: the Pade fit of the
+random-phase-approximation correlation energy of the uniform gas
+(paramagnetic branch, zeta = 0).  An LDA, so the only input is rs.
+"""
+
+from __future__ import annotations
+
+from ..pysym.intrinsics import atan, log, sqrt
+
+# RPA fit parameters (paramagnetic), VWN 1980
+A_VWN = 0.0310907
+B_VWN = 13.0720
+C_VWN = 42.7198
+X0_VWN = -0.409286
+
+
+def eps_c_vwn_rpa(rs):
+    """VWN RPA correlation energy per particle (zeta = 0), in Hartree."""
+    x = sqrt(rs)
+    X = x * x + B_VWN * x + C_VWN
+    X0 = X0_VWN * X0_VWN + B_VWN * X0_VWN + C_VWN
+    Q = sqrt(4.0 * C_VWN - B_VWN * B_VWN)
+    at = atan(Q / (2.0 * x + B_VWN))
+    return A_VWN * (
+        log(x * x / X)
+        + (2.0 * B_VWN / Q) * at
+        - (B_VWN * X0_VWN / X0)
+        * (log((x - X0_VWN) * (x - X0_VWN) / X) + (2.0 * (B_VWN + 2.0 * X0_VWN) / Q) * at)
+    )

@@ -1,0 +1,20 @@
+"""Wigner's interpolation for LDA correlation.
+
+The oldest correlation DFA (Wigner 1934, constants as in the common
+modern restatement): a one-term Pade interpolation between the high- and
+low-density limits of the uniform gas.  Included as the simplest possible
+empirical LDA -- a useful smoke test for the whole pipeline (its
+conditions are all decidable almost instantly) and a floor for the solver
+complexity scale that SCAN tops.
+"""
+
+from __future__ import annotations
+
+#: Wigner interpolation constants (Hartree / bohr units)
+A_WIG = 0.44
+B_WIG = 7.8
+
+
+def eps_c_wigner(rs):
+    """Wigner correlation energy per particle, in Hartree."""
+    return -A_WIG / (rs + B_WIG)

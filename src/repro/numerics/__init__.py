@@ -1,0 +1,46 @@
+"""Numerical-issues analysis for DFA implementations (paper Section VI-C).
+
+The paper's discussion section proposes, as the next application of formal
+methods to DFT, the analysis of *numerical* issues in DFA implementations:
+
+* "Some DFAs include different functions that apply to different input
+  domains, and must ensure continuity when switching from one domain to
+  another" -- and calls out the Perdew-Zunger LDA parametrisation, whose
+  published constants "lead to discontinuities of the exchange-correlation
+  energy at a given matching point".  :mod:`repro.numerics.continuity`
+  locates the branch boundaries of lifted model code and measures value
+  and slope jumps across them.
+
+* "This is a challenging problem involving reasoning about floating points
+  and dealing with transcendental functions" -- partial operations
+  (log, sqrt, division, fractional powers) embedded in the model code can
+  leave the IEEE domain.  :mod:`repro.numerics.hazards` enumerates every
+  such site in a lifted expression and uses the delta-complete solver to
+  either *prove* the operand stays in-domain over the input box or exhibit
+  a witness input that leaves it.
+
+* "the sensitivity of the SCAN functional requires the use of extremely
+  fine grids ... to avoid large numerical errors" --
+  :mod:`repro.numerics.sensitivity` computes relative condition numbers
+  kappa = |x f'(x) / f(x)| of the enhancement factors symbolically and
+  maps where each functional amplifies input noise.
+"""
+
+from .continuity import BranchBoundary, ContinuityFinding, ContinuityReport, check_continuity
+from .hazards import Hazard, HazardReport, HazardVerdict, check_hazards, collect_hazards
+from .sensitivity import SensitivityMap, condition_number, sensitivity_map
+
+__all__ = [
+    "BranchBoundary",
+    "ContinuityFinding",
+    "ContinuityReport",
+    "check_continuity",
+    "Hazard",
+    "HazardReport",
+    "HazardVerdict",
+    "check_hazards",
+    "collect_hazards",
+    "SensitivityMap",
+    "condition_number",
+    "sensitivity_map",
+]

@@ -1,0 +1,302 @@
+"""Branch-boundary continuity analysis (paper Section VI-C).
+
+DFAs with piecewise definitions "must ensure continuity when switching
+from one domain to another"; the paper names the Perdew-Zunger LDA, whose
+published constants leave a discontinuity at the rs = 1 matching point.
+
+For every :class:`~repro.expr.nodes.Ite` in a lifted expression this
+module:
+
+1. isolates the two branch surfaces by replacing the Ite with each of its
+   bodies (:func:`repro.expr.substitute.replace_subexpr`), giving the
+   expression "as if the branch were always taken";
+2. locates points on the guard boundary ``lhs - rhs = 0`` inside the
+   input box by scanning for sign changes of the guard residual along a
+   coordinate axis and bisecting to the root;
+3. measures the **value jump** |then - else| and the **slope jump**
+   |d(then)/dv - d(else)/dv| of the full expression across each located
+   boundary point.
+
+A jump of ~0 means the branches are glued continuously (SCAN's switching
+functions, rSCAN's polynomial/tail crossover); a persistent jump is a
+genuine discontinuity of the implementation (PZ81's matching point).
+Derivative jumps with zero value jump diagnose C^0-but-not-C^1 gluing,
+which matters because the exact conditions differentiate F_c.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..expr.derivative import derivative
+from ..expr.evaluator import evaluate
+from ..expr.nodes import Expr, Ite, Rel, Var
+from ..expr.substitute import replace_subexpr
+from ..solver.box import Box
+
+__all__ = [
+    "BranchBoundary",
+    "ContinuityFinding",
+    "ContinuityReport",
+    "check_continuity",
+]
+
+
+@dataclass(frozen=True)
+class BranchBoundary:
+    """One Ite node of the expression and its guard."""
+
+    ite: Ite
+
+    @property
+    def guard(self) -> Rel:
+        return self.ite.cond
+
+    def residual(self) -> Expr:
+        """The guard residual ``lhs - rhs`` whose zero set is the boundary."""
+        return self.guard.gap()
+
+    def describe(self) -> str:
+        return f"{self.guard!r}"
+
+
+@dataclass(frozen=True)
+class ContinuityFinding:
+    """Measured jump across one boundary point.
+
+    ``singular`` marks boundary points where at least one branch surface
+    fails to evaluate at the boundary itself (NaN / overflow): the branch
+    has a pole or essential singularity exactly at the switch.  SCAN's
+    ``exp(-c/(alpha-1))`` tails are the canonical case -- there is no
+    finite jump to report, the implementation relies entirely on the guard
+    for totality (the numerical fragility Section VI-C describes and the
+    rSCAN line was designed to remove).
+    """
+
+    boundary: BranchBoundary
+    point: dict[str, float]
+    value_jump: float
+    slope_jump: float
+    bisected_var: str
+    singular: bool = False
+
+    @property
+    def is_discontinuous(self) -> bool:
+        return self.singular or self.value_jump > 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        loc = ", ".join(f"{k}={v:.5g}" for k, v in sorted(self.point.items()))
+        if self.singular:
+            return (
+                f"ContinuityFinding({self.boundary.describe()} at {loc}: "
+                f"SINGULAR branch surface)"
+            )
+        return (
+            f"ContinuityFinding({self.boundary.describe()} at {loc}: "
+            f"value_jump={self.value_jump:.3g}, slope_jump={self.slope_jump:.3g})"
+        )
+
+
+@dataclass
+class ContinuityReport:
+    """All boundary findings for one expression over one box."""
+
+    expr: Expr
+    domain: Box
+    boundaries: list[BranchBoundary] = field(default_factory=list)
+    findings: list[ContinuityFinding] = field(default_factory=list)
+
+    def max_value_jump(self) -> float:
+        return max(
+            (f.value_jump for f in self.findings if not f.singular), default=0.0
+        )
+
+    def max_slope_jump(self) -> float:
+        jumps = [
+            f.slope_jump
+            for f in self.findings
+            if not f.singular and not math.isnan(f.slope_jump)
+        ]
+        return max(jumps, default=0.0)
+
+    def singular_findings(self) -> list[ContinuityFinding]:
+        return [f for f in self.findings if f.singular]
+
+    def worst(self) -> ContinuityFinding | None:
+        return max(
+            (f for f in self.findings if not f.singular),
+            key=lambda f: f.value_jump,
+            default=None,
+        )
+
+    def is_continuous(self, tol: float = 1e-9) -> bool:
+        """True when no located boundary point jumps by more than ``tol``
+        and no branch surface is singular at the boundary."""
+        return not self.singular_findings() and self.max_value_jump() <= tol
+
+    def summary(self) -> str:
+        if not self.boundaries:
+            return "no branch boundaries (expression is a single analytic piece)"
+        n_singular = len(self.singular_findings())
+        tail = f", {n_singular} singular" if n_singular else ""
+        return (
+            f"{len(self.boundaries)} boundaries, {len(self.findings)} boundary "
+            f"points located{tail}; max value jump {self.max_value_jump():.3g}, "
+            f"max slope jump {self.max_slope_jump():.3g}"
+        )
+
+
+def ite_nodes(expr: Expr) -> list[Ite]:
+    """All unique Ite nodes of the DAG, in topological (inner-first) order."""
+    return [node for node in expr.walk() if isinstance(node, Ite)]
+
+
+def check_continuity(
+    expr: Expr,
+    domain: Box,
+    *,
+    n_base_points: int = 64,
+    bisection_steps: int = 80,
+    seed: int = 0,
+) -> ContinuityReport:
+    """Measure branch-boundary jumps of ``expr`` over ``domain``.
+
+    For each Ite, ``n_base_points`` quasi-random points seed axis scans
+    along every variable of the guard residual; each sign change of the
+    residual is bisected to the boundary (``bisection_steps`` halvings,
+    i.e. to ~1 ulp of the axis width) and both branch surfaces are
+    evaluated there.
+    """
+    report = ContinuityReport(expr, domain)
+    rng = np.random.default_rng(seed)
+    names = list(domain.names)
+    lows = np.array([domain[n].lo for n in names])
+    highs = np.array([domain[n].hi for n in names])
+
+    for ite in ite_nodes(expr):
+        boundary = BranchBoundary(ite)
+        report.boundaries.append(boundary)
+        residual = boundary.residual()
+        residual_vars = sorted(v.name for v in residual.free_vars())
+        if not residual_vars:
+            continue  # constant guard: no boundary inside the box
+
+        then_expr = replace_subexpr(expr, ite, ite.then)
+        else_expr = replace_subexpr(expr, ite, ite.orelse)
+        # symbolic slopes, computed once per (boundary, axis)
+        slopes = {
+            var_name: (
+                derivative(then_expr, _interned_var(then_expr, var_name)),
+                derivative(else_expr, _interned_var(else_expr, var_name)),
+            )
+            for var_name in residual_vars
+        }
+
+        samples = lows + rng.random((n_base_points, len(names))) * (highs - lows)
+        for row in samples:
+            base = dict(zip(names, (float(x) for x in row)))
+            for var_name in residual_vars:
+                root = _bisect_root(
+                    residual, base, var_name, domain, bisection_steps
+                )
+                if root is None:
+                    continue
+                point = dict(base)
+                point[var_name] = root
+                finding = _measure_jump(
+                    boundary, then_expr, else_expr, slopes[var_name], point, var_name
+                )
+                if finding is not None:
+                    report.findings.append(finding)
+
+    return report
+
+
+def _interned_var(expr: Expr, var_name: str) -> Var:
+    """The Var object named ``var_name`` as interned inside ``expr``.
+
+    Vars carry a ``nonneg`` tag in their intern key, so the derivative must
+    be taken with respect to the exact tagged object the functional used.
+    """
+    for v in expr.free_vars():
+        if v.name == var_name:
+            return v
+    return Var(var_name)
+
+
+def _bisect_root(
+    residual: Expr,
+    base: dict[str, float],
+    var_name: str,
+    domain: Box,
+    steps: int,
+) -> float | None:
+    """Find a zero of the guard residual along the ``var_name`` axis."""
+    iv = domain[var_name]
+    lo, hi = iv.lo, iv.hi
+
+    def f(x: float) -> float:
+        env = dict(base)
+        env[var_name] = x
+        return evaluate(residual, env)
+
+    flo, fhi = f(lo), f(hi)
+    if math.isnan(flo) or math.isnan(fhi):
+        return None
+    if flo == 0.0:
+        return lo
+    if fhi == 0.0:
+        return hi
+    if (flo > 0) == (fhi > 0):
+        return None  # no sign change along this axis line
+
+    for _ in range(steps):
+        mid = 0.5 * (lo + hi)
+        fmid = f(mid)
+        if math.isnan(fmid):
+            return None
+        if fmid == 0.0:
+            return mid
+        if (fmid > 0) == (flo > 0):
+            lo, flo = mid, fmid
+        else:
+            hi, fhi = mid, fmid
+    return 0.5 * (lo + hi)
+
+
+def _measure_jump(
+    boundary: BranchBoundary,
+    then_expr: Expr,
+    else_expr: Expr,
+    slope_exprs: tuple[Expr, Expr],
+    point: dict[str, float],
+    var_name: str,
+) -> ContinuityFinding | None:
+    then_val = evaluate(then_expr, point)
+    else_val = evaluate(else_expr, point)
+    if math.isnan(then_val) or math.isnan(else_val):
+        return ContinuityFinding(
+            boundary=boundary,
+            point=dict(point),
+            value_jump=math.nan,
+            slope_jump=math.nan,
+            bisected_var=var_name,
+            singular=True,
+        )
+    then_slope = evaluate(slope_exprs[0], point)
+    else_slope = evaluate(slope_exprs[1], point)
+    slope_jump = (
+        abs(then_slope - else_slope)
+        if not (math.isnan(then_slope) or math.isnan(else_slope))
+        else math.nan
+    )
+    return ContinuityFinding(
+        boundary=boundary,
+        point=dict(point),
+        value_jump=abs(then_val - else_val),
+        slope_jump=slope_jump,
+        bisected_var=var_name,
+    )

@@ -1,0 +1,353 @@
+"""Domain-safety analysis: prove or refute evaluation hazards.
+
+Every partial operation in a lifted DFA expression -- ``log``, ``sqrt``,
+division (a negative power), fractional powers, ``lambertw`` -- is a
+*hazard site*: an input that drives its operand out of the IEEE domain
+produces NaN/inf and, downstream, the "large numerical errors [and] slow
+convergence" of the paper's Section VI-C.
+
+For each site this module builds the *hazard formula*
+
+    domain constraints  /\\  path guards  /\\  operand out-of-domain
+
+and hands it to the same delta-complete ICP solver the verifier uses:
+
+* ``UNSAT``  -> the site is **safe**: no input in the box can trigger it;
+* delta-SAT with a witness that exactly triggers the hazard ->
+  **hazard** (or **benign** when the full expression still evaluates to a
+  finite IEEE value through the inf intermediate, e.g. ``exp(-1/0+) = 0``);
+* delta-SAT with a near-miss witness -> **inconclusive** (the
+  delta-weakening artefact, exactly the paper's spurious-model case);
+* budget exhausted -> **timeout**.
+
+Two reachability semantics are offered, matching the two evaluators in
+:mod:`repro.expr`:
+
+* ``branch_aware=True`` (scalar evaluator semantics): a site inside an
+  :class:`~repro.expr.nodes.Ite` branch is only reachable when the branch
+  guards hold, so the guards are conjoined to the hazard formula.
+* ``branch_aware=False`` (compiled-kernel / ``np.where`` semantics): both
+  branches of every Ite are always evaluated, so guards are ignored.
+  This is the semantics under which SCAN's ``exp(-c/(alpha-1))`` branch
+  divides by zero at alpha = 1 -- the very hazard that forced the rSCAN
+  redesigns the paper cites.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..expr.codegen import compile_numpy
+from ..expr.evaluator import evaluate
+from ..expr.nodes import Const, Expr, Func, Ite, Pow, Rel, Var
+from ..solver.box import Box
+from ..solver.constraint import Atom, Conjunction
+from ..solver.icp import Budget, ICPSolver
+
+__all__ = ["Hazard", "HazardVerdict", "HazardReport", "collect_hazards", "check_hazards"]
+
+#: Lambert W branch point
+_LAMBERTW_MIN = -1.0 / math.e
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One partial-operation site in an expression DAG.
+
+    Attributes
+    ----------
+    kind:
+        ``log-domain``, ``sqrt-domain``, ``division-by-zero``,
+        ``fractional-pow-domain``, ``lambertw-domain`` or ``pow-domain``.
+    operand:
+        The subexpression whose value decides whether the operation leaves
+        its domain.
+    guards:
+        Path guards: Ite conditions that hold on *every* path from the
+        root to the site (then-branch guards as-is, else-branch guards
+        negated).  Else-branches of equality guards are unrepresentable as
+        a single atom and tracked in ``excluded`` instead.
+    excluded:
+        Equality atoms whose *negation* guards the site (``x != c``).
+        They are checked exactly during witness validation but not given
+        to the interval solver (dropping a constraint only enlarges the
+        search space, so safety proofs remain sound).
+    """
+
+    kind: str
+    operand: Expr
+    guards: tuple[Rel, ...] = ()
+    excluded: tuple[Rel, ...] = ()
+
+    def requirement(self) -> str:
+        """Human-readable in-domain requirement on the operand."""
+        return {
+            "log-domain": "operand > 0",
+            "sqrt-domain": "operand >= 0",
+            "division-by-zero": "operand != 0",
+            "fractional-pow-domain": "operand >= 0",
+            "pow-domain": "operand > 0",
+            "lambertw-domain": "operand >= -1/e",
+        }[self.kind]
+
+    def violation_rels(self) -> tuple[Rel, ...]:
+        """The out-of-domain predicate as relational atoms (conjunction)."""
+        operand = self.operand
+        if self.kind == "log-domain":
+            return (operand.le(0.0),)
+        if self.kind == "sqrt-domain":
+            return (operand.lt(0.0),)
+        if self.kind == "division-by-zero":
+            # operand == 0, encoded as the two-sided conjunction
+            return (operand.le(0.0), operand.ge(0.0))
+        if self.kind == "fractional-pow-domain":
+            return (operand.lt(0.0),)
+        if self.kind == "pow-domain":
+            return (operand.le(0.0),)
+        if self.kind == "lambertw-domain":
+            return (operand.lt(_LAMBERTW_MIN),)
+        raise AssertionError(self.kind)  # pragma: no cover
+
+    def violated_exactly_at(self, point: dict[str, float], zero_tol: float) -> bool:
+        """Exact floating-point check that the operand leaves its domain."""
+        value = evaluate(self.operand, point)
+        if math.isnan(value):
+            return True  # the operand itself already fails to evaluate
+        if self.kind == "log-domain":
+            return value <= 0.0
+        if self.kind == "sqrt-domain":
+            return value < 0.0
+        if self.kind == "division-by-zero":
+            # equality hazards are measure-zero; accept delta-validated hits
+            return abs(value) <= zero_tol
+        if self.kind == "fractional-pow-domain":
+            return value < 0.0
+        if self.kind == "pow-domain":
+            return value <= 0.0
+        if self.kind == "lambertw-domain":
+            return value < _LAMBERTW_MIN
+        raise AssertionError(self.kind)  # pragma: no cover
+
+    def guards_hold_at(self, point: dict[str, float]) -> bool:
+        for rel in self.guards:
+            gap = evaluate(rel.gap(), point)
+            if math.isnan(gap) or not rel.holds(gap):
+                return False
+        for rel in self.excluded:
+            gap = evaluate(rel.gap(), point)
+            if math.isnan(gap) or rel.holds(gap):  # excluded == must NOT hold
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class HazardVerdict:
+    """Solver outcome for one hazard site."""
+
+    hazard: Hazard
+    status: str  # 'safe' | 'hazard' | 'benign' | 'inconclusive' | 'timeout'
+    witness: dict[str, float] | None = None
+    solver_steps: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"HazardVerdict({self.hazard.kind}: {self.status})"
+
+
+@dataclass
+class HazardReport:
+    """All hazard verdicts for one expression over one input box."""
+
+    expr: Expr
+    domain: Box
+    branch_aware: bool
+    verdicts: list[HazardVerdict] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for v in self.verdicts:
+            out[v.status] = out.get(v.status, 0) + 1
+        return out
+
+    @property
+    def is_total(self) -> bool:
+        """True when every site is proven safe (total IEEE evaluation)."""
+        return all(v.status == "safe" for v in self.verdicts)
+
+    def triggered(self) -> list[HazardVerdict]:
+        return [v for v in self.verdicts if v.status in ("hazard", "benign")]
+
+    def summary(self) -> str:
+        mode = "branch-aware" if self.branch_aware else "ieee (np.where)"
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts().items()))
+        return (
+            f"{len(self.verdicts)} hazard sites [{mode}]: "
+            f"{counts if counts else 'none'}"
+        )
+
+
+def collect_hazards(expr: Expr, branch_aware: bool = True) -> list[Hazard]:
+    """Enumerate the partial-operation sites of ``expr``.
+
+    With ``branch_aware`` the Ite path guards of each site are recorded; a
+    guard is attached only if *every* path from the root to the site runs
+    through the same branch of the same Ite (guard-set intersection over
+    paths, computed in one reverse-topological sweep of the DAG).
+    """
+    order = list(expr.walk())  # children-first; reversed = parents-first
+    # per-node path guards: (frozenset of (rel, polarity)), None = unvisited
+    paths: dict[int, frozenset] = {id(expr): frozenset()}
+
+    def merge(node: Expr, incoming: frozenset) -> None:
+        current = paths.get(id(node))
+        paths[id(node)] = incoming if current is None else (current & incoming)
+
+    for node in reversed(order):
+        here = paths.get(id(node))
+        if here is None:  # unreachable from root (defensive)
+            continue  # pragma: no cover
+        if isinstance(node, Ite):
+            merge(node.cond.lhs, here)
+            merge(node.cond.rhs, here)
+            merge(node.then, here | {(node.cond, True)})
+            merge(node.orelse, here | {(node.cond, False)})
+        else:
+            for child in node.children():
+                merge(child, here)
+
+    hazards: list[Hazard] = []
+    for node in order:
+        kind_operands = _site_kinds(node)
+        if not kind_operands:
+            continue
+        guards: list[Rel] = []
+        excluded: list[Rel] = []
+        if branch_aware:
+            for rel, polarity in sorted(
+                paths.get(id(node), frozenset()),
+                key=lambda item: (repr(item[0]), item[1]),
+            ):
+                if polarity:
+                    guards.append(rel)
+                elif rel.op == "==":
+                    excluded.append(rel)
+                else:
+                    guards.append(rel.negate())
+        for kind, operand in kind_operands:
+            hazards.append(
+                Hazard(kind, operand, tuple(guards), tuple(excluded))
+            )
+    return hazards
+
+
+def _site_kinds(node: Expr) -> list[tuple[str, Expr]]:
+    """The hazard kinds contributed by one node (possibly several)."""
+    if isinstance(node, Func):
+        if node.name == "log":
+            return [("log-domain", node.arg)]
+        if node.name == "sqrt":
+            return [("sqrt-domain", node.arg)]
+        if node.name == "lambertw":
+            return [("lambertw-domain", node.arg)]
+        return []
+    if isinstance(node, Pow):
+        expo = node.exponent
+        if isinstance(expo, Const):
+            out: list[tuple[str, Expr]] = []
+            if expo.is_integer():
+                if expo.value < 0:
+                    out.append(("division-by-zero", node.base))
+            else:
+                out.append(("fractional-pow-domain", node.base))
+                if expo.value < 0:
+                    out.append(("division-by-zero", node.base))
+            return out
+        # symbolic exponent: a^b = exp(b log a) needs a > 0
+        return [("pow-domain", node.base)]
+    return []
+
+
+def check_hazards(
+    expr: Expr,
+    domain: Box,
+    *,
+    branch_aware: bool = True,
+    delta: float = 1e-9,
+    budget: Budget | None = None,
+    solver: ICPSolver | None = None,
+) -> HazardReport:
+    """Classify every hazard site of ``expr`` over ``domain``.
+
+    ``delta`` doubles as the weakening of the ICP solver and the exact
+    tolerance accepted for equality (division) witnesses.
+    """
+    solver = solver or ICPSolver(delta=delta, precision=min(1e-4, delta * 100))
+    budget = budget or Budget(max_steps=5_000)
+    report = HazardReport(expr, domain, branch_aware)
+    kernel = None  # built lazily, only if a triggered witness needs benign-check
+
+    domain_names = set(domain.names)
+    for hazard in collect_hazards(expr, branch_aware=branch_aware):
+        free = {v.name for v in hazard.operand.free_vars()}
+        for rel in hazard.guards:
+            free |= {v.name for v in rel.gap().free_vars()}
+        if not free <= domain_names:
+            raise ValueError(
+                f"domain does not bind {sorted(free - domain_names)}"
+            )
+
+        if not free:
+            # constant operand: decide exactly without the solver
+            triggered = hazard.violated_exactly_at({}, zero_tol=delta)
+            status = "hazard" if triggered else "safe"
+            report.verdicts.append(HazardVerdict(hazard, status))
+            continue
+
+        parts: list = list(hazard.violation_rels())
+        parts.extend(hazard.guards)
+        formula = Conjunction.of(*[Atom.from_rel(r) for r in parts])
+        sub_domain = Box({name: domain[name] for name in sorted(free)})
+        result = solver.solve(formula, sub_domain, budget)
+
+        if result.is_unsat:
+            report.verdicts.append(
+                HazardVerdict(hazard, "safe", None, result.stats.boxes_processed)
+            )
+            continue
+        if result.is_timeout:
+            report.verdicts.append(
+                HazardVerdict(hazard, "timeout", None, result.stats.boxes_processed)
+            )
+            continue
+
+        witness = dict(domain.midpoint())
+        witness.update(result.model or {})
+        valid = hazard.violated_exactly_at(witness, zero_tol=delta) and (
+            not branch_aware or hazard.guards_hold_at(witness)
+        )
+        if not valid:
+            report.verdicts.append(
+                HazardVerdict(
+                    hazard, "inconclusive", witness, result.stats.boxes_processed
+                )
+            )
+            continue
+
+        # triggered: benign if the whole expression still evaluates finite
+        # under IEEE kernel semantics at the witness
+        if kernel is None:
+            arg_order = tuple(
+                sorted(expr.free_vars(), key=lambda v: v.name)
+            )
+            kernel = (compile_numpy(expr, arg_order), arg_order)
+        fn, arg_order = kernel
+        import numpy as np
+
+        args = [np.asarray(witness[v.name], dtype=float) for v in arg_order]
+        value = float(fn(*args))
+        status = "benign" if math.isfinite(value) else "hazard"
+        report.verdicts.append(
+            HazardVerdict(hazard, status, witness, result.stats.boxes_processed)
+        )
+
+    return report

@@ -1,0 +1,123 @@
+"""Input-sensitivity (condition number) analysis of enhancement factors.
+
+Section VI-C of the paper: "the functional form of a DFA may also make it
+sensitive to inaccuracies in its input data ... the sensitivity of the
+SCAN functional requires the use of extremely fine grids to represent the
+electron density in order to avoid large numerical errors".
+
+We quantify that sensitivity with the relative condition number
+
+    kappa_v(f; x) = | v * (df/dv)(x) / f(x) |,
+
+the factor by which a relative error in input ``v`` is amplified into a
+relative error of ``f``.  The derivative is computed *symbolically* (same
+machinery the encoder uses for the exact conditions) and compiled to a
+NumPy kernel, so kappa maps over the full PB input box cost one vectorised
+evaluation instead of finite-difference noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..expr import builder as b
+from ..expr.codegen import compile_numpy
+from ..expr.derivative import derivative
+from ..expr.nodes import Expr, Var
+from ..functionals.base import Functional
+
+__all__ = ["condition_number", "SensitivityMap", "sensitivity_map"]
+
+
+def condition_number(expr: Expr, var: Var) -> Expr:
+    """The relative condition number kappa = |var * d expr/d var / expr|."""
+    return b.abs_(b.div(b.mul(var, derivative(expr, var)), expr))
+
+
+@dataclass
+class SensitivityMap:
+    """Gridded condition numbers of one component of one functional.
+
+    ``kappa[name]`` holds kappa with respect to input ``name`` on the
+    tensor grid spanned by ``axes`` (meshgrid ``ij`` indexing).  NaN cells
+    mark points where f itself vanishes (kappa is undefined there).
+    """
+
+    functional_name: str
+    component: str
+    axes: dict[str, np.ndarray]
+    kappa: dict[str, np.ndarray]
+
+    def max_kappa(self, var: str) -> float:
+        grid = self.kappa[var]
+        finite = grid[np.isfinite(grid)]
+        return float(finite.max()) if finite.size else float("nan")
+
+    def argmax(self, var: str) -> dict[str, float]:
+        """Grid point where kappa w.r.t. ``var`` peaks."""
+        grid = np.where(np.isfinite(self.kappa[var]), self.kappa[var], -np.inf)
+        flat = int(np.argmax(grid))
+        idx = np.unravel_index(flat, grid.shape)
+        names = sorted(self.axes)
+        return {name: float(self.axes[name][i]) for name, i in zip(names, idx)}
+
+    def quantile(self, var: str, q: float) -> float:
+        grid = self.kappa[var]
+        finite = grid[np.isfinite(grid)]
+        return float(np.quantile(finite, q)) if finite.size else float("nan")
+
+    def summary(self) -> str:
+        parts = []
+        for var in sorted(self.kappa):
+            parts.append(
+                f"kappa_{var}: max={self.max_kappa(var):.3g} "
+                f"median={self.quantile(var, 0.5):.3g}"
+            )
+        return f"{self.functional_name}.{self.component}: " + "; ".join(parts)
+
+
+def sensitivity_map(
+    functional: Functional,
+    component: str = "fc",
+    per_dim: int = 65,
+    domain=None,
+) -> SensitivityMap:
+    """Map the condition numbers of a functional component over its domain.
+
+    ``component`` is ``"fc"``, ``"fx"`` or ``"fxc"``.  The grid covers the
+    functional's PB box with ``per_dim`` points per input (the rs axis is
+    log-spaced: the box spans four decades and the interesting sensitivity
+    sits at its low-density end).
+    """
+    expr = getattr(functional, component)()
+    domain = domain or functional.domain()
+    variables = functional.variables
+
+    axes: dict[str, np.ndarray] = {}
+    for var in variables:
+        iv = domain[var.name]
+        if var.name == "rs":
+            axes[var.name] = np.geomspace(max(iv.lo, 1e-8), iv.hi, per_dim)
+        else:
+            axes[var.name] = np.linspace(iv.lo, iv.hi, per_dim)
+
+    names = sorted(axes)
+    mesh = np.meshgrid(*[axes[n] for n in names], indexing="ij")
+    env = dict(zip(names, mesh))
+    arg_arrays = [env[v.name] for v in variables]
+
+    kappa: dict[str, np.ndarray] = {}
+    for var in variables:
+        kernel = compile_numpy(condition_number(expr, var), arg_order=variables)
+        with np.errstate(all="ignore"):
+            grid = kernel(*arg_arrays)
+        kappa[var.name] = np.asarray(grid, dtype=float)
+
+    return SensitivityMap(
+        functional_name=functional.name,
+        component=component,
+        axes=axes,
+        kappa=kappa,
+    )

@@ -1,0 +1,11 @@
+"""Pederson-Burke grid-search baseline (the paper's comparison approach)."""
+
+from .grid import Grid, GridSpec
+from .gradients import d2_drs2, d_drs, gradient_error_estimate
+from .checker import PBChecker, PBResult
+from .render import ascii_pb_map, downsample_mask
+
+__all__ = [
+    "Grid", "GridSpec", "d2_drs2", "d_drs", "gradient_error_estimate",
+    "PBChecker", "PBResult", "ascii_pb_map", "downsample_mask",
+]

@@ -1,0 +1,40 @@
+"""Numeric rs-derivatives on PB grids.
+
+PB "numerically approximate" the gradients the local conditions need using
+NumPy; this module is that piece.  The derivative axis is always rs
+(axis 0 of our meshes); second derivatives are one more application.
+``np.gradient`` uses second-order central differences in the interior and
+first-order one-sided stencils at the boundary -- exactly the kind of
+approximation error the paper argues symbolic derivatives avoid, and the
+E2/E9 experiments quantify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def d_drs(values: np.ndarray, rs_axis: np.ndarray) -> np.ndarray:
+    """First numeric derivative along the rs axis (axis 0)."""
+    return np.gradient(values, rs_axis, axis=0, edge_order=2)
+
+
+def d2_drs2(values: np.ndarray, rs_axis: np.ndarray) -> np.ndarray:
+    """Second numeric derivative along the rs axis (axis 0)."""
+    return d_drs(d_drs(values, rs_axis), rs_axis)
+
+
+def gradient_error_estimate(
+    values: np.ndarray, rs_axis: np.ndarray, exact: np.ndarray
+) -> dict[str, float]:
+    """Error statistics of the numeric derivative against an exact one."""
+    approx = d_drs(values, rs_axis)
+    err = np.abs(approx - exact)
+    finite = np.isfinite(err)
+    if not finite.any():
+        return {"max": float("nan"), "mean": float("nan"), "fraction_finite": 0.0}
+    return {
+        "max": float(err[finite].max()),
+        "mean": float(err[finite].mean()),
+        "fraction_finite": float(finite.mean()),
+    }

@@ -1,0 +1,71 @@
+"""ASCII rendering of PB grid verdicts (the top rows of Figures 1 and 2).
+
+The paper's figures show, for the PB approach, hatched counterexample
+regions over a satisfied background.  We downsample the boolean masks onto
+a character raster: a cell is marked violated if *any* grid point inside
+it violates (matching how a hatched region reads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .checker import PBResult
+
+CHAR_SATISFIED = "."
+CHAR_VIOLATED = "#"
+CHAR_UNDEFINED = " "
+
+
+def downsample_mask(mask: np.ndarray, out_shape: tuple[int, int]) -> np.ndarray:
+    """Max-pool a boolean mask (2D) onto ``out_shape``."""
+    if mask.ndim != 2:
+        raise ValueError("downsample_mask expects a 2D mask")
+    ny, nx = out_shape
+    rows = np.array_split(np.arange(mask.shape[0]), ny)
+    cols = np.array_split(np.arange(mask.shape[1]), nx)
+    out = np.zeros((ny, nx), dtype=bool)
+    for i, r in enumerate(rows):
+        band = mask[r[0]: r[-1] + 1]
+        for j, c in enumerate(cols):
+            out[i, j] = bool(band[:, c[0]: c[-1] + 1].any())
+    return out
+
+
+def _project_2d(result: PBResult, attr: str) -> np.ndarray:
+    """Project a mask to (rs, s); reduce extra axes (alpha) by any()."""
+    mask = getattr(result, attr)
+    if mask.ndim == 1:
+        return mask[:, None]
+    while mask.ndim > 2:
+        mask = mask.any(axis=-1)
+    return mask
+
+
+def ascii_pb_map(result: PBResult, resolution: int = 48, legend: bool = True) -> str:
+    """Render a PB verdict as ASCII with rs rightward and s upward."""
+    violated = downsample_mask(
+        _project_2d(result, "violated"), (resolution, min(resolution, _project_2d(result, "violated").shape[1]))
+    )
+    undefined = downsample_mask(
+        _project_2d(result, "undefined"),
+        violated.shape,
+    )
+    # masks are indexed [rs, s]; the plot wants s as rows (upward), rs as cols
+    violated = violated.T[::-1]
+    undefined = undefined.T[::-1]
+
+    lines = [f"{result.functional_name} / {result.condition_id}  [PB grid; rs ->, s ^]"]
+    for vrow, urow in zip(violated, undefined):
+        line = []
+        for v, u in zip(vrow, urow):
+            if v:
+                line.append(CHAR_VIOLATED)
+            elif u:
+                line.append(CHAR_UNDEFINED)
+            else:
+                line.append(CHAR_SATISFIED)
+        lines.append("".join(line))
+    if legend:
+        lines.append("legend: '#'=violating point(s)  '.'=satisfied  ' '=undefined")
+    return "\n".join(lines)

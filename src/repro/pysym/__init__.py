@@ -1,0 +1,6 @@
+"""Symbolic execution of Python DFA model code (XCEncoder front end)."""
+
+from .symexec import SymExecError, lift
+from . import intrinsics
+
+__all__ = ["SymExecError", "lift", "intrinsics"]

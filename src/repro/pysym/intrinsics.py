@@ -1,0 +1,67 @@
+"""Polymorphic math intrinsics for DFA model code.
+
+Functional model code (the analogue of the Maple sources shipped with
+LibXC) is written as ordinary Python using these intrinsics.  Each function
+dispatches on its argument type:
+
+* on floats/ints it computes numerically (so model code runs as-is), and
+* on :class:`~repro.expr.nodes.Expr` it builds IR (so the symbolic
+  execution engine can lift the same code into solver terms).
+
+This mirrors the paper's XCEncoder design, where the Maple implementation
+is translated to Python and then symbolically executed into dReal terms.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..expr import builder as _b
+from ..expr.nodes import Expr
+
+__all__ = [
+    "exp", "log", "sqrt", "cbrt", "atan", "fabs", "lambertw",
+    "sin", "cos", "tanh", "erf", "pi", "INTRINSIC_FUNCTIONS",
+]
+
+pi = math.pi
+
+
+def _dispatch(name: str, builder_fn, numeric_fn):
+    def fn(x):
+        if isinstance(x, Expr):
+            return builder_fn(x)
+        return numeric_fn(x)
+
+    fn.__name__ = name
+    fn.__qualname__ = name
+    fn.__intrinsic__ = name
+    return fn
+
+
+def _num_lambertw(x: float) -> float:
+    from scipy.special import lambertw as _lw
+    return float(_lw(x).real)
+
+
+def _num_cbrt(x: float) -> float:
+    return math.copysign(abs(x) ** (1.0 / 3.0), x)
+
+
+exp = _dispatch("exp", _b.exp, math.exp)
+log = _dispatch("log", _b.log, math.log)
+sqrt = _dispatch("sqrt", _b.sqrt, math.sqrt)
+cbrt = _dispatch("cbrt", _b.cbrt, _num_cbrt)
+atan = _dispatch("atan", _b.atan, math.atan)
+fabs = _dispatch("fabs", _b.abs_, abs)
+lambertw = _dispatch("lambertw", _b.lambertw, _num_lambertw)
+sin = _dispatch("sin", _b.sin, math.sin)
+cos = _dispatch("cos", _b.cos, math.cos)
+tanh = _dispatch("tanh", _b.tanh, math.tanh)
+erf = _dispatch("erf", _b.erf, math.erf)
+
+#: registry used by the symbolic executor to recognise intrinsic calls
+INTRINSIC_FUNCTIONS = {
+    fn.__intrinsic__: fn
+    for fn in (exp, log, sqrt, cbrt, atan, fabs, lambertw, sin, cos, tanh, erf)
+}

@@ -1,0 +1,26 @@
+"""Delta-complete interval constraint solver (dReal substitute).
+
+Subpackages:
+
+* :mod:`repro.solver.interval` -- outward-rounded interval arithmetic,
+* :mod:`repro.solver.box` -- variable boxes (search state / regions),
+* :mod:`repro.solver.constraint` -- atoms, conjunctions, delta-weakening,
+* :mod:`repro.solver.contractor` -- HC4-revise forward/backward contractor,
+* :mod:`repro.solver.newton` -- first-order mean-value (interval Newton)
+  contractor,
+* :mod:`repro.solver.icp` -- the branch-and-prune decision procedure.
+"""
+
+from .interval import EMPTY, Interval, REALS, make, point
+from .box import Box
+from .constraint import Atom, Conjunction, negate_condition
+from .contractor import HC4Contractor, enclosure, interval_eval
+from .newton import NewtonContractor
+from .icp import Budget, ICPSolver, SolverResult, SolverStats, SolverStatus
+
+__all__ = [
+    "EMPTY", "Interval", "REALS", "make", "point",
+    "Box", "Atom", "Conjunction", "negate_condition",
+    "HC4Contractor", "enclosure", "interval_eval", "NewtonContractor",
+    "Budget", "ICPSolver", "SolverResult", "SolverStats", "SolverStatus",
+]

@@ -1,0 +1,150 @@
+"""Axis-aligned boxes over named variables.
+
+A :class:`Box` is the solver's search-state: one interval per input
+variable of the DFA (rs, s, and alpha for meta-GGAs).  Boxes are also the
+unit of work for the Verifier's domain-splitting recursion (Algorithm 1 of
+the paper) and the leaves of the region maps in Figures 1 and 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..expr.nodes import Var
+from .interval import EMPTY, Interval, make
+
+
+class Box:
+    """Immutable mapping from variable names to intervals."""
+
+    __slots__ = ("names", "intervals")
+
+    def __init__(self, assignment: Mapping[str, Interval] | None = None, **kwargs):
+        merged: dict[str, Interval] = {}
+        if assignment:
+            for key, value in assignment.items():
+                merged[key.name if isinstance(key, Var) else str(key)] = value
+        for key, value in kwargs.items():
+            merged[key] = value
+        for key, value in merged.items():
+            if isinstance(value, tuple):
+                merged[key] = make(*value)
+        self.names: tuple[str, ...] = tuple(sorted(merged))
+        self.intervals: tuple[Interval, ...] = tuple(merged[n] for n in self.names)
+
+    @classmethod
+    def from_bounds(cls, bounds: Mapping[str, tuple[float, float]]) -> "Box":
+        return cls({name: make(lo, hi) for name, (lo, hi) in bounds.items()})
+
+    # -- access ---------------------------------------------------------------
+    def __getitem__(self, name: str | Var) -> Interval:
+        if isinstance(name, Var):
+            name = name.name
+        try:
+            return self.intervals[self.names.index(name)]
+        except ValueError:
+            raise KeyError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def items(self) -> Iterator[tuple[str, Interval]]:
+        return zip(self.names, self.intervals)
+
+    def replace(self, name: str, interval: Interval) -> "Box":
+        mapping = dict(self.items())
+        mapping[name] = interval
+        return Box(mapping)
+
+    # -- geometry ---------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return any(iv.is_empty() for iv in self.intervals)
+
+    def max_width(self) -> float:
+        return max((iv.width() for iv in self.intervals), default=0.0)
+
+    def widest_dim(self) -> str:
+        best, best_w = self.names[0], -1.0
+        for name, iv in self.items():
+            w = iv.width()
+            if w > best_w:
+                best, best_w = name, w
+        return best
+
+    def midpoint(self) -> dict[str, float]:
+        return {name: iv.mid() for name, iv in self.items()}
+
+    def corner_lo(self) -> dict[str, float]:
+        return {name: iv.lo for name, iv in self.items()}
+
+    def volume(self) -> float:
+        out = 1.0
+        for iv in self.intervals:
+            out *= iv.width()
+        return out
+
+    def contains_point(self, point: Mapping[str, float]) -> bool:
+        return all(self[name].contains(value) for name, value in point.items())
+
+    def intersect(self, other: "Box") -> "Box":
+        if set(self.names) != set(other.names):
+            raise ValueError("boxes over different variables")
+        return Box({n: self[n].intersect(other[n]) for n in self.names})
+
+    # -- splitting ---------------------------------------------------------------
+    def split(self, name: str | None = None) -> tuple["Box", "Box"]:
+        """Bisect along ``name`` (default: widest dimension)."""
+        if name is None:
+            name = self.widest_dim()
+        iv = self[name]
+        mid = iv.mid()
+        left = self.replace(name, make(iv.lo, mid))
+        right = self.replace(name, make(mid, iv.hi))
+        return left, right
+
+    def split_all(self) -> list["Box"]:
+        """Bisect along *every* dimension (2^n children).
+
+        This is the ``split(D)`` of Algorithm 1 in the paper, which
+        "partitions each input dimension of D into two equal parts".
+        """
+        out = [self]
+        for name in self.names:
+            nxt: list[Box] = []
+            for box in out:
+                nxt.extend(box.split(name))
+            out = nxt
+        return out
+
+    def sample_grid(self, per_dim: int) -> list[dict[str, float]]:
+        """Uniform grid of sample points (used by probing heuristics)."""
+        import itertools
+        axes = []
+        for iv in self.intervals:
+            if per_dim == 1:
+                axes.append([iv.mid()])
+            else:
+                step = iv.width() / (per_dim - 1)
+                axes.append([iv.lo + i * step for i in range(per_dim)])
+        return [dict(zip(self.names, combo)) for combo in itertools.product(*axes)]
+
+    # -- comparison / display ------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return self.names == other.names and self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        return hash((self.names, self.intervals))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = ", ".join(
+            f"{n}=[{iv.lo:.6g}, {iv.hi:.6g}]" for n, iv in self.items()
+        )
+        return f"Box({parts})"

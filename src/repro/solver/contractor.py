@@ -1,0 +1,417 @@
+"""HC4-revise contractors over expression DAGs.
+
+HC4 is the classic forward/backward interval constraint-propagation
+contractor used inside dReal's ICP loop: a *forward* pass computes interval
+enclosures bottom-up, the root enclosure is intersected with the set
+allowed by the atom (``g <= delta`` after delta-weakening), and a
+*backward* pass pushes the narrowed enclosures down through each
+operation's inverse, ultimately narrowing the variable box.
+
+Because expressions are hash-consed DAGs (not trees), a node may have many
+parents; the backward pass runs in reverse topological order so every
+parent's contribution is intersected into a shared per-node interval before
+that node propagates to its own children.
+
+Domain clipping: partial primitives (log, sqrt, fractional powers, Lambert
+W) contract their argument into the primitive's domain.  This matches
+dReal's treatment of partial functions via domain constraints and is the
+right semantics for DFA expressions, which are well-defined on the physical
+input domain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from math import inf
+
+from ..expr.nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Var
+from .box import Box
+from .constraint import Atom, Conjunction
+from .interval import EMPTY, Interval, REALS, make, point
+
+
+# ---------------------------------------------------------------------------
+# forward interval evaluation
+# ---------------------------------------------------------------------------
+
+def interval_eval(expr: Expr, box: Box) -> dict[int, Interval]:
+    """Forward pass: enclosure for every DAG node given the box."""
+    ivals: dict[int, Interval] = {}
+    for node in expr.walk():
+        ivals[id(node)] = _forward_node(node, ivals, box)
+    return ivals
+
+
+def enclosure(expr: Expr, box: Box) -> Interval:
+    """Interval enclosure of ``expr`` over ``box``."""
+    return interval_eval(expr, box)[id(expr)]
+
+
+def _forward_node(node: Expr, ivals: dict[int, Interval], box: Box) -> Interval:
+    if isinstance(node, Const):
+        return point(node.value)
+    if isinstance(node, Var):
+        try:
+            return box[node.name]
+        except KeyError:
+            raise KeyError(f"box does not bind variable {node.name!r}") from None
+    if isinstance(node, Add):
+        out = ivals[id(node.args[0])]
+        for arg in node.args[1:]:
+            out = out + ivals[id(arg)]
+        return out
+    if isinstance(node, Mul):
+        out = ivals[id(node.args[0])]
+        for arg in node.args[1:]:
+            out = out * ivals[id(arg)]
+        return out
+    if isinstance(node, Pow):
+        base = ivals[id(node.base)]
+        expo = ivals[id(node.exponent)]
+        if expo.lo == expo.hi:
+            return base.pow(expo.lo)
+        # general power via exp(e * log(b)); requires positive base
+        return (expo * base.log()).exp()
+    if isinstance(node, Func):
+        arg = ivals[id(node.arg)]
+        return _FORWARD_FUNC[node.name](arg)
+    if isinstance(node, Ite):
+        gap = ivals[id(node.cond.lhs)] - ivals[id(node.cond.rhs)]
+        branch = _decide_cond(node.cond.op, gap)
+        if branch is True:
+            return ivals[id(node.then)]
+        if branch is False:
+            return ivals[id(node.orelse)]
+        return ivals[id(node.then)].hull(ivals[id(node.orelse)])
+    raise TypeError(f"cannot interval-evaluate {type(node).__name__}")
+
+
+_FORWARD_FUNC = {
+    "exp": Interval.exp,
+    "log": Interval.log,
+    "sqrt": Interval.sqrt,
+    "cbrt": Interval.cbrt,
+    "atan": Interval.atan,
+    "abs": Interval.abs,
+    "lambertw": Interval.lambertw,
+    "sin": Interval.sin,
+    "cos": Interval.cos,
+    "tanh": Interval.tanh,
+    "erf": Interval.erf,
+}
+
+
+def _decide_cond(op: str, gap: Interval) -> bool | None:
+    """Decide a condition ``gap op 0`` over an interval, or None if unknown."""
+    if gap.is_empty():
+        return None
+    if op in ("<=", "<"):
+        if gap.hi <= 0.0 and not (op == "<" and gap.hi == 0.0 and gap.lo == 0.0):
+            return True
+        if gap.lo > 0.0 or (op == "<" and gap.lo >= 0.0):
+            return False
+        return None
+    if op in (">=", ">"):
+        flipped = _decide_cond("<=" if op == ">" else "<", gap)
+        return None if flipped is None else not flipped
+    if op == "==":
+        if gap.lo == 0.0 and gap.hi == 0.0:
+            return True
+        if not gap.contains(0.0):
+            return False
+        return None
+    raise ValueError(op)
+
+
+# ---------------------------------------------------------------------------
+# backward propagation
+# ---------------------------------------------------------------------------
+
+def _narrow(ivals: dict[int, Interval], node: Expr, allowed: Interval) -> bool:
+    """Intersect the stored enclosure of ``node``; return False if empty."""
+    current = ivals[id(node)]
+    updated = current.intersect(allowed)
+    ivals[id(node)] = updated
+    return not updated.is_empty()
+
+
+def _tan_restricted(x: Interval) -> Interval:
+    """tan on an interval inside (-pi/2, pi/2) (inverse of atan)."""
+    half_pi = math.pi / 2
+    x = x.intersect(make(-half_pi, half_pi))
+    if x.is_empty():
+        return EMPTY
+    lo = -inf if x.lo <= -half_pi + 1e-15 else math.tan(x.lo)
+    hi = inf if x.hi >= half_pi - 1e-15 else math.tan(x.hi)
+    return make(lo, hi).widened(1e-12 * (1.0 + abs(lo) + abs(hi)) if lo != -inf and hi != inf else 0.0)
+
+
+def _atanh_interval(x: Interval) -> Interval:
+    x = x.intersect(make(-1.0, 1.0))
+    if x.is_empty():
+        return EMPTY
+    lo = -inf if x.lo <= -1.0 else math.atanh(x.lo)
+    hi = inf if x.hi >= 1.0 else math.atanh(x.hi)
+    return make(lo, hi).widened(1e-14)
+
+
+def _erfinv_interval(x: Interval) -> Interval:
+    from scipy.special import erfinv
+    x = x.intersect(make(-1.0, 1.0))
+    if x.is_empty():
+        return EMPTY
+    lo = -inf if x.lo <= -1.0 else float(erfinv(x.lo))
+    hi = inf if x.hi >= 1.0 else float(erfinv(x.hi))
+    return make(lo, hi).widened(1e-12)
+
+
+def _wexpw(w: Interval) -> Interval:
+    """Inverse image of lambertw: x = w * exp(w), monotone for w >= -1."""
+    w = w.intersect(make(-1.0, inf))
+    if w.is_empty():
+        return EMPTY
+    return (w * w.exp()).widened(1e-14)
+
+
+def _root_int(y: Interval, n: int, current: Interval) -> Interval:
+    """Solve b**n = y for b, intersected with the sign info of ``current``."""
+    if n % 2 == 1:
+        # odd: monotone bijection on R
+        def _nth(v: float) -> float:
+            if v == inf or v == -inf:
+                return v
+            return math.copysign(abs(v) ** (1.0 / n), v)
+        return make(_nth(y.lo), _nth(y.hi)).widened(1e-14 * (1.0 + abs(y.lo) + abs(y.hi)))
+    # even: |b| = y**(1/n), y >= 0
+    y = y.intersect(make(0.0, inf))
+    if y.is_empty():
+        return EMPTY
+    hi_mag = inf if y.hi == inf else y.hi ** (1.0 / n)
+    lo_mag = 0.0 if y.lo <= 0.0 else y.lo ** (1.0 / n)
+    hi_mag *= 1.0 + 1e-14
+    lo_mag *= 1.0 - 1e-14
+    pos = make(lo_mag, hi_mag)
+    neg = make(-hi_mag, -lo_mag)
+    pos_part = pos.intersect(current)
+    neg_part = neg.intersect(current)
+    return pos_part.hull(neg_part)
+
+
+def _backward_pow(node: Pow, ivals: dict[int, Interval]) -> bool:
+    out = ivals[id(node)]
+    base = ivals[id(node.base)]
+    expo = ivals[id(node.exponent)]
+    if expo.lo != expo.hi:
+        # non-constant exponent: propagate through exp(e*log(b)) form
+        # log(out) = e * log(b)
+        log_out = out.log()
+        log_base = base.log()
+        if not log_base.is_empty() and not log_out.is_empty():
+            # narrow e
+            if not (log_base.lo <= 0.0 <= log_base.hi):
+                if not _narrow(ivals, node.exponent, log_out / log_base):
+                    return False
+            # narrow b: log(b) = log(out)/e
+            expo2 = ivals[id(node.exponent)]
+            if not (expo2.lo <= 0.0 <= expo2.hi):
+                if not _narrow(ivals, node.base, (log_out / expo2).exp()):
+                    return False
+        return True
+    p = expo.lo
+    if float(p).is_integer() and abs(p) < 2**31:
+        n = int(p)
+        if n == 0:
+            return True
+        if n > 0:
+            inv = _root_int(out, n, base)
+        else:
+            recip = out.inverse()
+            inv = _root_int(recip, -n, base)
+        return _narrow(ivals, node.base, inv)
+    # fractional exponent: base >= 0 and monotone
+    inv = out.pow_real(1.0 / p)
+    return _narrow(ivals, node.base, inv)
+
+
+def _backward_node(node: Expr, ivals: dict[int, Interval]) -> bool:
+    """Push the (already narrowed) enclosure of ``node`` to its children.
+
+    Returns False if some child's enclosure becomes empty (box infeasible).
+    """
+    out = ivals[id(node)]
+    if out.is_empty():
+        return False
+
+    if isinstance(node, (Const, Var)):
+        return True
+
+    if isinstance(node, Add):
+        args = node.args
+        n = len(args)
+        # prefix[i] = sum of enclosures of args[:i]; suffix[i] = sum args[i+1:]
+        prefix = [point(0.0)] * (n + 1)
+        for i, arg in enumerate(args):
+            prefix[i + 1] = prefix[i] + ivals[id(arg)]
+        suffix = [point(0.0)] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            suffix[i] = suffix[i + 1] + ivals[id(args[i])]
+        for i, arg in enumerate(args):
+            others = prefix[i] + suffix[i + 1]
+            if not _narrow(ivals, arg, out - others):
+                return False
+        return True
+
+    if isinstance(node, Mul):
+        args = node.args
+        n = len(args)
+        prefix = [point(1.0)] * (n + 1)
+        for i, arg in enumerate(args):
+            prefix[i + 1] = prefix[i] * ivals[id(arg)]
+        suffix = [point(1.0)] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            suffix[i] = suffix[i + 1] * ivals[id(args[i])]
+        for i, arg in enumerate(args):
+            others = prefix[i] * suffix[i + 1]
+            if others.lo <= 0.0 <= others.hi and others.lo != others.hi:
+                continue  # division through zero gives no contraction
+            if others.lo == 0.0 and others.hi == 0.0:
+                continue
+            if not _narrow(ivals, arg, out / others):
+                return False
+        return True
+
+    if isinstance(node, Pow):
+        return _backward_pow(node, ivals)
+
+    if isinstance(node, Func):
+        arg = node.arg
+        name = node.name
+        if name == "exp":
+            return _narrow(ivals, arg, out.log())
+        if name == "log":
+            return _narrow(ivals, arg, out.exp())
+        if name == "sqrt":
+            return _narrow(ivals, arg, out.intersect(make(0.0, inf)).pow_int(2))
+        if name == "cbrt":
+            return _narrow(ivals, arg, out.pow_int(3))
+        if name == "atan":
+            return _narrow(ivals, arg, _tan_restricted(out))
+        if name == "abs":
+            mag = out.intersect(make(0.0, inf))
+            if mag.is_empty():
+                return False
+            current = ivals[id(arg)]
+            pos = mag.intersect(current)
+            neg = (-mag).intersect(current)
+            return _narrow(ivals, arg, pos.hull(neg))
+        if name == "tanh":
+            return _narrow(ivals, arg, _atanh_interval(out))
+        if name == "erf":
+            return _narrow(ivals, arg, _erfinv_interval(out))
+        if name == "lambertw":
+            return _narrow(ivals, arg, _wexpw(out))
+        # sin/cos: non-invertible over wide ranges; skip (sound)
+        return True
+
+    if isinstance(node, Ite):
+        gap = ivals[id(node.cond.lhs)] - ivals[id(node.cond.rhs)]
+        branch = _decide_cond(node.cond.op, gap)
+        if branch is True:
+            return _narrow(ivals, node.then, out)
+        if branch is False:
+            return _narrow(ivals, node.orelse, out)
+        return True  # undecided: no sound single-branch propagation
+
+    raise TypeError(f"cannot backward-propagate {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# HC4 contractor for a conjunction of atoms
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ContractionStats:
+    forward_passes: int = 0
+    backward_passes: int = 0
+    prunes_to_empty: int = 0
+
+
+class HC4Contractor:
+    """Contract boxes against ``residual <= delta`` for every atom.
+
+    ``delta`` is the weakening of the delta-complete framework: pruning uses
+    the relaxed atoms, so an UNSAT (empty) outcome certifies unsatisfiability
+    of the *original* formula as well.
+    """
+
+    def __init__(self, formula: Conjunction, delta: float = 1e-5):
+        if delta < 0.0:
+            raise ValueError("delta must be non-negative")
+        self.formula = formula
+        self.delta = delta
+        self.stats = ContractionStats()
+        self._orders = [list(atom.residual.walk()) for atom in formula.atoms]
+
+    def contract(self, box: Box, rounds: int = 2) -> Box:
+        """Iterate HC4-revise over all atoms up to ``rounds`` fixpoint rounds."""
+        for _ in range(max(1, rounds)):
+            changed = False
+            for atom, order in zip(self.formula.atoms, self._orders):
+                new_box = self._revise(atom, order, box)
+                if new_box.is_empty():
+                    self.stats.prunes_to_empty += 1
+                    return new_box
+                if new_box != box:
+                    changed = True
+                    box = new_box
+            if not changed:
+                break
+        return box
+
+    def _revise(self, atom: Atom, order: list[Expr], box: Box) -> Box:
+        self.stats.forward_passes += 1
+        ivals: dict[int, Interval] = {}
+        # NB: empty sub-enclosures (domain clipping) are *not* fatal here:
+        # they may sit in an untaken ITE branch, where hull() ignores them.
+        # Only an empty root enclosure makes the atom unsatisfiable.
+        for node in order:
+            ivals[id(node)] = _forward_node(node, ivals, box)
+
+        root = atom.residual
+        if ivals[id(root)].is_empty():
+            return Box({name: EMPTY for name in box.names})
+        allowed = make(-inf, self.delta)
+        narrowed = ivals[id(root)].intersect(allowed)
+        if narrowed.is_empty():
+            return Box({name: EMPTY for name in box.names})
+        if ivals[id(root)].is_subset(allowed):
+            return box  # atom gives no pruning information
+        ivals[id(root)] = narrowed
+
+        self.stats.backward_passes += 1
+        for node in reversed(order):
+            if not _backward_node(node, ivals):
+                return Box({name: EMPTY for name in box.names})
+
+        out = {}
+        for name in box.names:
+            iv = box[name]
+            # collect narrowing from var nodes present in this atom
+            out[name] = iv
+        for node in order:
+            if isinstance(node, Var) and node.name in out:
+                out[node.name] = out[node.name].intersect(ivals[id(node)])
+        return Box(out)
+
+    def certainly_sat(self, box: Box) -> bool:
+        """True if every atom holds on the *whole* box (within delta)."""
+        allowed = make(-inf, self.delta)
+        for atom, order in zip(self.formula.atoms, self._orders):
+            ivals: dict[int, Interval] = {}
+            for node in order:
+                ivals[id(node)] = _forward_node(node, ivals, box)
+            root = ivals[id(atom.residual)]
+            if root.is_empty() or not root.is_subset(allowed):
+                return False
+        return True

@@ -1,0 +1,167 @@
+"""First-order (interval-Newton / mean-value) contractor.
+
+HC4 propagates constraint information through the expression *syntax*; it
+is blind to correlations between repeated occurrences of a variable (the
+interval dependency problem).  The classic complement is a first-order
+contractor built on the mean-value form
+
+    g(x) in g(m) + g'([x]) * (x - m),        m = mid([x]),
+
+which sees the expression through its symbolic derivative instead.  For an
+atom ``g <= delta`` (every solver atom is normalised to that shape) a
+point x can be *removed* whenever the mean-value enclosure stays strictly
+above delta for every admissible slope:
+
+    lo(g(m)) + min_{v in g'([x])} v * (x - m)  >  delta.
+
+The removal set is the intersection of two half-lines (one per derivative
+bound), so the kept region is computed in closed form; with several
+variables the contractor projects onto each axis in turn, holding the
+others at their interval enclosures (so ``g(m)`` is itself an interval and
+its *lower* bound is used -- sound).
+
+This is the standard Newton-style narrowing used alongside HC4 in ICP
+solvers (dReal's own ICP inherits it from RealPaver).  It shines exactly
+where HC4 stalls: residuals whose variables appear many times, e.g. the
+derivative-laden encodings of EC2/EC3/EC6/EC7.  The ``use_newton`` flag of
+:class:`~repro.solver.icp.ICPSolver` enables it after HC4 in each prune
+step; ``benchmarks/test_ablation_newton.py`` quantifies the effect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from math import inf
+
+from ..expr.derivative import derivative
+from ..expr.nodes import Expr, Var
+from .box import Box
+from .constraint import Atom, Conjunction
+from .contractor import interval_eval
+from .interval import EMPTY, Interval, make
+
+__all__ = ["NewtonContractor"]
+
+
+@dataclass
+class NewtonStats:
+    projections: int = 0
+    narrowed: int = 0
+    prunes_to_empty: int = 0
+
+
+class NewtonContractor:
+    """Mean-value contractor for a conjunction of ``g <= delta`` atoms.
+
+    Derivatives are computed symbolically once per (atom, variable) at
+    construction -- the same derivative engine the encoder uses -- and
+    enclosed with the interval evaluator per contraction call.
+    """
+
+    def __init__(self, formula: Conjunction, delta: float = 1e-5):
+        if delta < 0.0:
+            raise ValueError("delta must be non-negative")
+        self.formula = formula
+        self.delta = delta
+        self.stats = NewtonStats()
+        # (atom, var, dg/dvar) triples; vars sorted for determinism
+        self._projections: list[tuple[Atom, Var, Expr]] = []
+        for atom in formula.atoms:
+            for var in sorted(atom.residual.free_vars(), key=lambda v: v.name):
+                self._projections.append(
+                    (atom, var, derivative(atom.residual, var))
+                )
+
+    def contract(self, box: Box, rounds: int = 1) -> Box:
+        """Project every atom onto every variable, up to ``rounds`` sweeps."""
+        for _ in range(max(1, rounds)):
+            changed = False
+            for atom, var, deriv in self._projections:
+                new_box = self._project(atom, var, deriv, box)
+                if new_box.is_empty():
+                    self.stats.prunes_to_empty += 1
+                    return new_box
+                if new_box != box:
+                    changed = True
+                    box = new_box
+            if not changed:
+                break
+        return box
+
+    def _project(self, atom: Atom, var: Var, deriv: Expr, box: Box) -> Box:
+        """Narrow ``box[var]`` using mean-value expansions of the residual.
+
+        The expansion point m is tried at both interval *endpoints* (whose
+        removal sets are rays, so the hull subtraction cuts real material)
+        and at the midpoint (whose interior removal set only helps when it
+        covers the whole interval, proving the box empty).
+        """
+        self.stats.projections += 1
+        x = box[var.name]
+        if x.is_empty():
+            return _empty_like(box)
+        if x.lo == x.hi:
+            return box  # nothing to narrow on a point interval
+
+        slope = interval_eval(deriv, box)[id(deriv)]
+        if slope.is_empty() or slope.lo == -inf or slope.hi == inf:
+            return box  # derivative enclosure carries no information
+        if math.isnan(slope.lo) or math.isnan(slope.hi):
+            return box
+
+        for m in (x.lo, x.hi, x.mid()):
+            at_m = box.replace(var.name, make(m, m))
+            g_m = interval_eval(atom.residual, at_m)[id(atom.residual)]
+            if g_m.is_empty() or math.isnan(g_m.lo):
+                continue  # slice leaves a partial operation's domain
+
+            # removal set in d = x - m: both half-lines {a*d > c}, {b*d > c}
+            c = self.delta - g_m.lo
+            removal = _halfline(slope.lo, c).intersect(_halfline(slope.hi, c))
+            if removal.is_empty():
+                continue
+
+            d_now = make(x.lo - m, x.hi - m)
+            kept = _interval_minus(d_now, removal)
+            if kept.is_empty():
+                return _empty_like(box)
+            new_x = make(kept.lo + m, kept.hi + m).intersect(x)
+            if new_x.is_empty():
+                return _empty_like(box)
+            if new_x != x:
+                self.stats.narrowed += 1
+                x = new_x
+                box = box.replace(var.name, new_x)
+
+        return box
+
+
+def _halfline(a: float, c: float) -> Interval:
+    """The set {d : a * d > c} as an interval (possibly empty / all of R)."""
+    if a > 0.0:
+        return make(c / a, inf)
+    if a < 0.0:
+        return make(-inf, c / a)
+    # a == 0: holds for all d iff 0 > c
+    return make(-inf, inf) if 0.0 > c else EMPTY
+
+
+def _interval_minus(current: Interval, removed: Interval) -> Interval:
+    """Hull of ``current \\ removed`` (exact when a whole end is cut)."""
+    if removed.is_empty():
+        return current
+    lo, hi = current.lo, current.hi
+    if removed.lo <= lo and removed.hi >= hi:
+        return EMPTY
+    if removed.lo <= lo < removed.hi:
+        lo = removed.hi
+    if removed.lo < hi <= removed.hi:
+        hi = removed.lo
+    if lo > hi:
+        return EMPTY
+    return make(lo, hi)
+
+
+def _empty_like(box: Box) -> Box:
+    return Box({name: EMPTY for name in box.names})

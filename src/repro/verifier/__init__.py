@@ -1,0 +1,23 @@
+"""XCVerifier core: encoder, Algorithm 1 driver, regions, rendering."""
+
+from .encoder import EncodedProblem, encode
+from .regions import (
+    Outcome,
+    RegionRecord,
+    VerificationReport,
+    SYMBOL_COUNTEREXAMPLE,
+    SYMBOL_NOT_APPLICABLE,
+    SYMBOL_PARTIAL,
+    SYMBOL_UNKNOWN,
+    SYMBOL_VERIFIED,
+)
+from .verifier import Verifier, VerifierConfig, verify_pair
+from .render import ascii_map, export_rows, rasterize
+
+__all__ = [
+    "EncodedProblem", "encode", "Outcome", "RegionRecord",
+    "VerificationReport", "Verifier", "VerifierConfig", "verify_pair",
+    "ascii_map", "export_rows", "rasterize",
+    "SYMBOL_COUNTEREXAMPLE", "SYMBOL_NOT_APPLICABLE", "SYMBOL_PARTIAL",
+    "SYMBOL_UNKNOWN", "SYMBOL_VERIFIED",
+]

@@ -1,0 +1,68 @@
+"""XCEncoder: (functional, condition) -> solver problem.
+
+Pulls together the pieces exactly as Section III-A describes:
+
+1. the functional's model code is lifted into IR by the symbolic-execution
+   front end (:mod:`repro.pysym`) -- the analogue of translating LibXC's
+   Maple source and symbolically executing it;
+2. the condition builder computes any required derivatives symbolically
+   and produces the local condition psi;
+3. psi is negated into the satisfiability query ``not psi`` whose models
+   are condition violations (Equations 11-12 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..conditions.base import Condition
+from ..expr.nodes import Rel
+from ..functionals.base import Functional
+from ..solver.box import Box
+from ..solver.constraint import Atom, Conjunction
+
+
+@dataclass(frozen=True)
+class EncodedProblem:
+    """A ready-to-solve verification problem.
+
+    ``negation`` is the formula handed to the solver: SAT models are
+    candidate counterexamples to psi; UNSAT on a box proves psi there.
+    """
+
+    functional: Functional
+    condition: Condition
+    psi: Rel
+    negation: Conjunction
+    domain: Box
+
+    @property
+    def label(self) -> str:
+        return f"{self.functional.name} / {self.condition.cid}"
+
+    def complexity(self) -> int:
+        """Operation count of the negated formula (the paper's size metric)."""
+        return self.negation.max_operation_count()
+
+
+def encode(
+    functional: Functional,
+    condition: Condition,
+    domain: Box | None = None,
+) -> EncodedProblem:
+    """Encode the local condition of ``condition`` for ``functional``."""
+    psi = _psi_cached(functional, condition)
+    negation = Conjunction.of(Atom.from_rel(psi).negate())
+    return EncodedProblem(
+        functional=functional,
+        condition=condition,
+        psi=psi,
+        negation=negation,
+        domain=domain if domain is not None else functional.domain(),
+    )
+
+
+@lru_cache(maxsize=None)
+def _psi_cached(functional: Functional, condition: Condition) -> Rel:
+    return condition.local_condition(functional)

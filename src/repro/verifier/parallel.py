@@ -1,0 +1,131 @@
+"""Process-parallel verification drivers.
+
+Two axes of parallelism, both embarrassingly parallel and implemented with
+``concurrent.futures`` (the standard fan-out idiom for CPU-bound Python,
+since the solver is pure Python and GIL-bound):
+
+* :func:`verify_pairs_parallel` -- one worker per DFA-condition pair
+  (Table I is 31 independent jobs);
+* :func:`verify_domain_parallel` -- split one pair's domain into top-level
+  subboxes and run Algorithm 1 on each in parallel, then merge the
+  records (the recursion of Algorithm 1 is trivially parallel below the
+  first split).
+
+Workers receive (functional name, condition id) and re-encode locally:
+expression DAGs are interned per process and deliberately never pickled.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+
+from ..conditions.catalog import get_condition
+from ..functionals.registry import get_functional
+from ..solver.box import Box
+from .encoder import encode
+from .regions import RegionRecord, VerificationReport
+from .verifier import Verifier, VerifierConfig
+
+
+def _verify_job(args) -> tuple[tuple[str, str], VerificationReport]:
+    functional_name, condition_id, config, bounds = args
+    functional = get_functional(functional_name)
+    condition = get_condition(condition_id)
+    problem = encode(functional, condition)
+    domain = Box.from_bounds(bounds) if bounds is not None else None
+    report = Verifier(config).verify(problem, domain=domain)
+    return (functional_name, condition_id), report
+
+
+def verify_pairs_parallel(
+    pairs,
+    config: VerifierConfig | None = None,
+    max_workers: int | None = None,
+) -> dict[tuple[str, str], VerificationReport]:
+    """Verify many (functional, condition) pairs across worker processes."""
+    config = config or VerifierConfig()
+    jobs = [(f.name, c.cid, config, None) for f, c in pairs]
+    results: dict[tuple[str, str], VerificationReport] = {}
+    if max_workers == 1 or len(jobs) == 1:
+        for job in jobs:
+            key, report = _verify_job(job)
+            results[key] = report
+        return results
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        for key, report in pool.map(_verify_job, jobs):
+            results[key] = report
+    return results
+
+
+def verify_domain_parallel(
+    functional,
+    condition,
+    config: VerifierConfig | None = None,
+    levels: int = 1,
+    max_workers: int | None = None,
+) -> VerificationReport:
+    """Run Algorithm 1 on one pair with the domain pre-split for fan-out.
+
+    ``levels`` applications of the all-dimension split produce
+    ``2**(levels * dims)`` independent subdomains.  The merged report is
+    equivalent to a sequential run whose first ``levels`` recursion levels
+    were forced to split (the per-subdomain global budget is the full
+    budget divided by the number of subdomains, keeping total work
+    comparable).
+    """
+    config = config or VerifierConfig()
+    problem = encode(functional, condition)
+    domain = problem.domain
+
+    subdomains = [domain]
+    for _ in range(levels):
+        subdomains = [child for box in subdomains for child in box.split_all()]
+
+    if config.global_step_budget is not None:
+        per_budget = max(1, config.global_step_budget // len(subdomains))
+        worker_config = replace(config, global_step_budget=per_budget)
+    else:
+        worker_config = config
+
+    jobs = [
+        (
+            functional.name,
+            condition.cid,
+            worker_config,
+            {name: (iv.lo, iv.hi) for name, iv in box.items()},
+        )
+        for box in subdomains
+    ]
+
+    reports: list[VerificationReport] = []
+    if max_workers == 1:
+        reports = [_verify_job(job)[1] for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            reports = [report for _, report in pool.map(_verify_job, jobs)]
+
+    merged = VerificationReport(
+        functional_name=functional.name,
+        condition_id=condition.cid,
+        domain=domain,
+        records=[],
+    )
+    for report in reports:
+        offset = len(merged.records)
+        for record in report.records:
+            merged.records.append(
+                RegionRecord(
+                    index=record.index + offset,
+                    depth=record.depth + levels,
+                    box=record.box,
+                    outcome=record.outcome,
+                    model=record.model,
+                    children=[c + offset for c in record.children],
+                    solver_steps=record.solver_steps,
+                )
+            )
+        merged.total_solver_steps += report.total_solver_steps
+        merged.elapsed_seconds = max(merged.elapsed_seconds, report.elapsed_seconds)
+        merged.budget_exhausted = merged.budget_exhausted or report.budget_exhausted
+    return merged

@@ -1,0 +1,131 @@
+"""Region records and verification reports (the output of Algorithm 1)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..solver.box import Box
+
+
+class Outcome(Enum):
+    """Per-region verdicts, matching the paper's figure legend."""
+
+    VERIFIED = "verified"            # dReal: UNSAT on the region
+    COUNTEREXAMPLE = "counterexample"  # delta-SAT with a *valid* model
+    INCONCLUSIVE = "inconclusive"    # delta-SAT with a spurious model
+    TIMEOUT = "timeout"              # solver budget exhausted
+
+
+#: Table I cell symbols
+SYMBOL_VERIFIED = "OK"        # paper: check mark
+SYMBOL_PARTIAL = "OK*"        # paper: check mark with asterisk
+SYMBOL_COUNTEREXAMPLE = "CEX"  # paper: cross
+SYMBOL_UNKNOWN = "?"
+SYMBOL_NOT_APPLICABLE = "-"
+
+
+@dataclass
+class RegionRecord:
+    """One VERIFIER call: the box it examined and what it concluded."""
+
+    index: int
+    depth: int
+    box: Box
+    outcome: Outcome
+    model: dict[str, float] | None = None
+    children: list[int] = field(default_factory=list)
+    solver_steps: int = 0
+
+    def own_volume(self, records: list["RegionRecord"]) -> float:
+        """Volume attributed to this record after children paint over it."""
+        vol = self.box.volume()
+        for child_index in self.children:
+            vol -= records[child_index].box.volume()
+        return max(vol, 0.0)
+
+
+@dataclass
+class VerificationReport:
+    """Everything Algorithm 1 learned about one DFA-condition pair."""
+
+    functional_name: str
+    condition_id: str
+    domain: Box
+    records: list[RegionRecord]
+    total_solver_steps: int = 0
+    elapsed_seconds: float = 0.0
+    budget_exhausted: bool = False
+
+    # -- aggregation -------------------------------------------------------------
+    def area_fractions(self) -> dict[Outcome, float]:
+        """Domain-volume fraction finally labelled with each outcome."""
+        total = self.domain.volume()
+        fractions = {outcome: 0.0 for outcome in Outcome}
+        for record in self.records:
+            fractions[record.outcome] += record.own_volume(self.records)
+        if total > 0.0:
+            for outcome in fractions:
+                fractions[outcome] /= total
+        return fractions
+
+    def counterexamples(self) -> list[RegionRecord]:
+        return [r for r in self.records if r.outcome is Outcome.COUNTEREXAMPLE]
+
+    def has_counterexample(self) -> bool:
+        return any(r.outcome is Outcome.COUNTEREXAMPLE for r in self.records)
+
+    def verified_fraction(self) -> float:
+        return self.area_fractions()[Outcome.VERIFIED]
+
+    def classification(self) -> str:
+        """Table I cell for this pair.
+
+        Precedence follows the paper: a single valid counterexample makes
+        the pair CEX; otherwise fully verified -> OK; partially verified
+        -> OK*; nothing verified -> ?.
+        """
+        if self.has_counterexample():
+            return SYMBOL_COUNTEREXAMPLE
+        fractions = self.area_fractions()
+        verified = fractions[Outcome.VERIFIED]
+        if verified >= 1.0 - 1e-9:
+            return SYMBOL_VERIFIED
+        if verified > 1e-9:
+            return SYMBOL_PARTIAL
+        return SYMBOL_UNKNOWN
+
+    def counterexample_bbox(self) -> Box | None:
+        """Hull of the *leaf* counterexample regions (for PB comparison).
+
+        Non-leaf counterexample records exist because Algorithm 1 records
+        the verdict and then splits to isolate the violating subregions;
+        only the finest-level (childless) regions describe the violation
+        set, so the hull is taken over those.
+        """
+        leaves = [r for r in self.counterexamples() if not r.children]
+        boxes = [r.box for r in (leaves or self.counterexamples())]
+        if not boxes:
+            return None
+        names = boxes[0].names
+        from ..solver.interval import make
+        bounds = {}
+        for name in names:
+            lo = min(b[name].lo for b in boxes)
+            hi = max(b[name].hi for b in boxes)
+            bounds[name] = make(lo, hi)
+        return Box(bounds)
+
+    def summary(self) -> str:
+        fractions = self.area_fractions()
+        parts = ", ".join(
+            f"{outcome.value}={fraction:.1%}"
+            for outcome, fraction in fractions.items()
+            if fraction > 0.0
+        )
+        return (
+            f"{self.functional_name}/{self.condition_id}: "
+            f"{self.classification()} ({parts}; {len(self.records)} regions, "
+            f"{self.total_solver_steps} solver steps)"
+        )

@@ -1,0 +1,150 @@
+"""Rasterisation and ASCII rendering of region maps (Figures 1 and 2).
+
+The paper's figures classify the (rs, s) rectangle by outcome.  We paint
+the verification records onto a grid in record order -- children refine
+(paint over) their parents exactly as Algorithm 1's recursion refines
+verdicts -- and render the raster as ASCII art or export it as rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..solver.box import Box
+from .regions import Outcome, RegionRecord, VerificationReport
+
+#: single-character legend for ASCII maps
+OUTCOME_CHARS = {
+    None: " ",
+    Outcome.VERIFIED: ".",
+    Outcome.COUNTEREXAMPLE: "X",
+    Outcome.INCONCLUSIVE: "i",
+    Outcome.TIMEOUT: "T",
+}
+
+#: integer codes for the raster (NaN-free small ints)
+OUTCOME_CODES = {
+    None: 0,
+    Outcome.VERIFIED: 1,
+    Outcome.COUNTEREXAMPLE: 2,
+    Outcome.INCONCLUSIVE: 3,
+    Outcome.TIMEOUT: 4,
+}
+CODE_OUTCOMES = {v: k for k, v in OUTCOME_CODES.items()}
+
+
+def rasterize(
+    report: VerificationReport,
+    x_var: str = "rs",
+    y_var: str = "s",
+    resolution: int = 64,
+    slice_point: dict[str, float] | None = None,
+) -> np.ndarray:
+    """Paint the report's records onto a ``resolution x resolution`` raster.
+
+    Returns an integer array ``raster[iy, ix]`` of outcome codes with ``iy``
+    increasing along ``y_var`` and ``ix`` along ``x_var``.  Extra dimensions
+    (e.g. alpha for SCAN) are restricted to ``slice_point``.
+    """
+    domain = report.domain
+    if x_var not in domain.names:
+        raise KeyError(f"{x_var!r} is not a domain variable")
+    one_dimensional = y_var not in domain.names
+    xs = _cell_centers(domain[x_var].lo, domain[x_var].hi, resolution)
+    if one_dimensional:
+        ys = np.array([0.0])
+    else:
+        ys = _cell_centers(domain[y_var].lo, domain[y_var].hi, resolution)
+
+    slice_point = dict(slice_point or {})
+    raster = np.zeros((len(ys), len(xs)), dtype=np.int8)
+
+    for record in report.records:
+        box = record.box
+        # restrict to the slice: skip records not containing the slice point
+        skip = False
+        for name, value in slice_point.items():
+            if name in box.names and not box[name].contains(value):
+                skip = True
+                break
+        if skip:
+            continue
+        ix0, ix1 = _cell_range(xs, box[x_var].lo, box[x_var].hi)
+        if one_dimensional:
+            iy0, iy1 = 0, 1
+        else:
+            iy0, iy1 = _cell_range(ys, box[y_var].lo, box[y_var].hi)
+        raster[iy0:iy1, ix0:ix1] = OUTCOME_CODES[record.outcome]
+
+    return raster
+
+
+def _cell_centers(lo: float, hi: float, n: int) -> np.ndarray:
+    edges = np.linspace(lo, hi, n + 1)
+    return 0.5 * (edges[:-1] + edges[1:])
+
+
+def _cell_range(centers: np.ndarray, lo: float, hi: float) -> tuple[int, int]:
+    inside = np.nonzero((centers >= lo) & (centers <= hi))[0]
+    if len(inside) == 0:
+        return 0, 0
+    return int(inside[0]), int(inside[-1]) + 1
+
+
+def ascii_map(
+    report: VerificationReport,
+    x_var: str = "rs",
+    y_var: str = "s",
+    resolution: int = 48,
+    slice_point: dict[str, float] | None = None,
+    legend: bool = True,
+) -> str:
+    """Render a report as an ASCII region map (y increases upward)."""
+    raster = rasterize(report, x_var, y_var, resolution, slice_point)
+    lines = []
+    header = (
+        f"{report.functional_name} / {report.condition_id}  "
+        f"[{x_var} ->, {y_var} ^]"
+    )
+    lines.append(header)
+    for row in raster[::-1]:
+        lines.append("".join(OUTCOME_CHARS[CODE_OUTCOMES[int(c)]] for c in row))
+    if legend:
+        lines.append(
+            "legend: '.'=verified  'X'=counterexample  'i'=inconclusive  "
+            "'T'=timeout  ' '=below threshold/unexplored"
+        )
+    return "\n".join(lines)
+
+
+def outcome_fractions_from_raster(raster: np.ndarray) -> dict[Outcome | None, float]:
+    """Outcome fractions computed on the raster (cross-check of volumes)."""
+    total = raster.size
+    out: dict[Outcome | None, float] = {}
+    for code, outcome in CODE_OUTCOMES.items():
+        count = int((raster == code).sum())
+        if count:
+            out[outcome] = count / total
+    return out
+
+
+def export_rows(
+    report: VerificationReport,
+) -> list[dict[str, object]]:
+    """Flatten the records into plain dict rows (CSV/JSON-friendly)."""
+    rows = []
+    for record in report.records:
+        row: dict[str, object] = {
+            "index": record.index,
+            "depth": record.depth,
+            "outcome": record.outcome.value,
+            "solver_steps": record.solver_steps,
+        }
+        for name, iv in record.box.items():
+            row[f"{name}_lo"] = iv.lo
+            row[f"{name}_hi"] = iv.hi
+        if record.model:
+            for name, value in record.model.items():
+                row[f"model_{name}"] = value
+        rows.append(row)
+    return rows

@@ -1,0 +1,228 @@
+"""The VERIFIER driver: Algorithm 1 of the paper.
+
+Recursive domain splitting around the delta-complete solver:
+
+* UNSAT on a box            -> the condition is *verified* there;
+* delta-SAT, model checks   -> a *counterexample* (still split, to isolate
+  out exactly                  the violating subregions);
+* delta-SAT, spurious model -> *inconclusive* (split);
+* budget exhausted          -> *timeout* (split);
+* box below threshold t     -> stop (line 1-2 of Algorithm 1); the parent
+                               verdict stands for that area.
+
+The per-call budget plays the role of the paper's two-hour dReal limit; an
+optional *global* budget models the finite total compute of an evaluation
+campaign -- once it is exhausted, every remaining box is recorded as a
+timeout without solving, which is precisely what the all-``?`` SCAN column
+of Table I looks like.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from ..expr.evaluator import evaluate
+from ..solver.box import Box
+from ..solver.icp import Budget, ICPSolver, SolverStatus
+from .encoder import EncodedProblem
+from .regions import Outcome, RegionRecord, VerificationReport
+
+
+@dataclass(frozen=True)
+class VerifierConfig:
+    """Tuning knobs for Algorithm 1.
+
+    ``split_threshold`` is the paper's t = 0.05 (boxes narrower than this
+    are not split further).  ``per_call_budget`` bounds each solver call;
+    ``global_step_budget`` bounds the whole verification run (None for
+    unlimited).  ``split_on_counterexample`` reproduces the paper's choice
+    of splitting even after a valid counterexample, to isolate violating
+    subregions; disabling it is an ablation.
+    """
+
+    split_threshold: float = 0.05
+    per_call_budget: int = 400
+    per_call_seconds: float | None = None
+    global_step_budget: int | None = 200_000
+    delta: float = 1e-5
+    precision: float = 1e-3
+    split_on_counterexample: bool = True
+    split_on_timeout: bool = True
+    #: specialise the formula to each box before solving (Section VI-A
+    #: scalability extension): decidable Ite guards fold away, so piecewise
+    #: functionals (SCAN's alpha switches) collapse to a single analytic
+    #: piece on boxes that stay on one side of the switch.  Costs one
+    #: rebuild per box; pays off on Ite-heavy formulas.
+    specialize_boxes: bool = False
+
+    def make_solver(self) -> ICPSolver:
+        return ICPSolver(delta=self.delta, precision=self.precision)
+
+    def make_budget(self) -> Budget:
+        return Budget(
+            max_steps=self.per_call_budget, max_seconds=self.per_call_seconds
+        )
+
+
+class Verifier:
+    """Drives the solver over a recursively split domain (Algorithm 1)."""
+
+    def __init__(self, config: VerifierConfig | None = None, solver: ICPSolver | None = None):
+        self.config = config or VerifierConfig()
+        self.solver = solver or self.config.make_solver()
+        # interning table for specialised formulas: hash-consing makes equal
+        # specialisations share residual objects, so keying on residual ids
+        # dedupes them -- and keeps the solver's per-formula contractor
+        # cache effective (it is keyed on formula identity)
+        self._specialized_cache: dict[tuple, object] = {}
+
+    def verify(self, problem: EncodedProblem, domain: Box | None = None) -> VerificationReport:
+        """Run Algorithm 1 on one encoded DFA-condition pair."""
+        domain = domain if domain is not None else problem.domain
+        report = VerificationReport(
+            functional_name=problem.functional.name,
+            condition_id=problem.condition.cid,
+            domain=domain,
+            records=[],
+        )
+        t_start = time.monotonic()
+        self._steps_left = (
+            self.config.global_step_budget
+            if self.config.global_step_budget is not None
+            else math.inf
+        )
+        self._visit(problem, domain, depth=0, parent=None, report=report)
+        report.elapsed_seconds = time.monotonic() - t_start
+        report.budget_exhausted = self._steps_left <= 0
+        return report
+
+    # -- recursion ----------------------------------------------------------------
+    def _visit(
+        self,
+        problem: EncodedProblem,
+        box: Box,
+        depth: int,
+        parent: RegionRecord | None,
+        report: VerificationReport,
+    ) -> None:
+        if box.max_width() < self.config.split_threshold:  # Alg. 1, lines 1-2
+            return
+
+        record = self._solve_box(problem, box, depth, report)
+        if parent is not None:
+            parent.children.append(record.index)
+
+        if record.outcome is Outcome.VERIFIED:
+            return
+        if (
+            record.outcome is Outcome.COUNTEREXAMPLE
+            and not self.config.split_on_counterexample
+        ):
+            return
+        if record.outcome is Outcome.TIMEOUT and not self.config.split_on_timeout:
+            return
+
+        for child in box.split_all():  # Alg. 1, lines 14-15
+            self._visit(problem, child, depth + 1, record, report)
+
+    def _solve_box(
+        self,
+        problem: EncodedProblem,
+        box: Box,
+        depth: int,
+        report: VerificationReport,
+    ) -> RegionRecord:
+        index = len(report.records)
+
+        if self._steps_left <= 0:
+            # global campaign budget exhausted: everything left times out
+            record = RegionRecord(index, depth, box, Outcome.TIMEOUT)
+            report.records.append(record)
+            return record
+
+        budget = Budget(
+            max_steps=int(min(self.config.per_call_budget, self._steps_left)),
+            max_seconds=self.config.per_call_seconds,
+        )
+        formula = problem.negation
+        if self.config.specialize_boxes:
+            formula = self._specialized(formula, box)
+        result = self.solver.solve(formula, box, budget)
+        steps = result.stats.boxes_processed
+        self._steps_left -= steps
+        report.total_solver_steps += steps
+
+        if result.status is SolverStatus.UNSAT:
+            outcome, model = Outcome.VERIFIED, None
+        elif result.status is SolverStatus.DELTA_SAT:
+            if self._is_valid_counterexample(problem, result.model):
+                outcome, model = Outcome.COUNTEREXAMPLE, result.model
+            else:
+                outcome, model = Outcome.INCONCLUSIVE, result.model
+        else:
+            outcome, model = Outcome.TIMEOUT, None
+
+        record = RegionRecord(index, depth, box, outcome, model, solver_steps=steps)
+        report.records.append(record)
+        return record
+
+    def _specialized(self, formula, box: Box):
+        """Fold box-decidable Ite guards out of every atom's residual.
+
+        Returns the original formula object when nothing folds.  Distinct
+        boxes on the same side of every switch specialise to identical
+        residuals (hash-consing makes them the *same* objects), so the
+        result is interned by residual identities -- keeping the solver's
+        per-formula contractor cache (keyed on formula identity) effective
+        and bounding this cache to one entry per branch combination.
+        """
+        from ..expr.simplify import specialize
+        from ..solver.constraint import Atom, Conjunction
+
+        new_atoms = []
+        changed = False
+        for atom in formula.atoms:
+            residual = specialize(atom.residual, box)
+            if residual is not atom.residual:
+                changed = True
+                new_atoms.append(Atom(residual, atom.op))
+            else:
+                new_atoms.append(atom)
+        if not changed:
+            return formula
+        key = tuple((id(a.residual), a.op) for a in new_atoms)
+        cached = self._specialized_cache.get(key)
+        if cached is None:
+            cached = Conjunction(atoms=tuple(new_atoms))
+            self._specialized_cache[key] = cached
+        return cached
+
+    @staticmethod
+    def _is_valid_counterexample(problem: EncodedProblem, model: dict[str, float] | None) -> bool:
+        """The ``valid(x)`` check of Algorithm 1 (line 8).
+
+        Plug the model back into the *original* condition psi with plain
+        floating-point arithmetic; only a definite violation counts (NaN
+        from out-of-domain evaluation is treated as inconclusive).
+        """
+        if model is None:
+            return False
+        gap = evaluate(problem.psi.lhs, model) - evaluate(problem.psi.rhs, model)
+        if math.isnan(gap):
+            return False
+        return not problem.psi.holds(gap)
+
+
+def verify_pair(
+    functional,
+    condition,
+    config: VerifierConfig | None = None,
+    domain: Box | None = None,
+) -> VerificationReport:
+    """Convenience one-call API: encode and verify a DFA-condition pair."""
+    from .encoder import encode
+
+    problem = encode(functional, condition)
+    return Verifier(config).verify(problem, domain=domain)

@@ -1,0 +1,136 @@
+"""Tests for the machine-readable artifact export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import get_condition, get_functional, verify_pair
+from repro.analysis.export import (
+    campaign_to_json,
+    report_to_csv,
+    report_to_json,
+    table_to_json,
+    table_to_markdown,
+)
+from repro.analysis.tables import run_table_one
+from repro.verifier.verifier import VerifierConfig
+
+FAST = VerifierConfig(
+    split_threshold=1.3, per_call_budget=150, global_step_budget=2000
+)
+
+
+@pytest.fixture(scope="module")
+def lyp_report():
+    return verify_pair(get_functional("LYP"), get_condition("EC1"), FAST)
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    from repro.conditions import EC1, EC7
+
+    return run_table_one(
+        FAST,
+        functionals=(get_functional("LYP"), get_functional("VWN RPA")),
+        conditions=(EC1, EC7),
+    )
+
+
+class TestReportJSON:
+    def test_roundtrips_through_json(self, lyp_report):
+        payload = json.loads(report_to_json(lyp_report))
+        assert payload["functional"] == "LYP"
+        assert payload["condition"] == "EC1"
+        assert payload["classification"] == lyp_report.classification()
+        assert len(payload["regions"]) == len(lyp_report.records)
+
+    def test_domain_serialised(self, lyp_report):
+        payload = json.loads(report_to_json(lyp_report))
+        assert payload["domain"]["rs"] == [1e-4, 5.0]
+        assert payload["domain"]["s"] == [0.0, 5.0]
+
+    def test_bbox_present_for_cex(self, lyp_report):
+        payload = json.loads(report_to_json(lyp_report))
+        if lyp_report.has_counterexample():
+            bbox = payload["counterexample_bbox"]
+            assert set(bbox) == {"rs", "s"}
+            assert bbox["s"][0] < bbox["s"][1]
+
+    def test_fractions_sum_to_at_most_one(self, lyp_report):
+        payload = json.loads(report_to_json(lyp_report))
+        assert sum(payload["area_fractions"].values()) <= 1.0 + 1e-9
+
+    def test_compact_mode(self, lyp_report):
+        text = report_to_json(lyp_report, indent=None)
+        assert "\n" not in text.strip()
+
+
+class TestReportCSV:
+    def test_csv_parses_back(self, lyp_report):
+        text = report_to_csv(lyp_report)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(lyp_report.records)
+        assert {"index", "depth", "outcome", "solver_steps"} <= set(rows[0])
+
+    def test_outcome_values_legal(self, lyp_report):
+        rows = list(csv.DictReader(io.StringIO(report_to_csv(lyp_report))))
+        legal = {"verified", "counterexample", "inconclusive", "timeout"}
+        assert {row["outcome"] for row in rows} <= legal
+
+
+class TestTableExport:
+    def test_json_matrix(self, small_table):
+        payload = json.loads(table_to_json(small_table))
+        assert payload["functionals"] == ["LYP", "VWN RPA"]
+        assert set(payload["cells"]) == {"EC1", "EC7"}
+        assert payload["cells"]["EC1"]["LYP"] in ("CEX", "OK*", "?")
+
+    def test_markdown_matrix(self, small_table):
+        text = table_to_markdown(small_table)
+        lines = text.splitlines()
+        assert lines[0].startswith("| Local condition |")
+        assert lines[1].startswith("|---|")
+        assert len(lines) == 2 + 2  # header + separator + two conditions
+        assert "LYP" in lines[0] and "VWN RPA" in lines[0]
+
+    def test_campaign_export(self, small_table):
+        payload = json.loads(campaign_to_json(small_table.reports))
+        assert "LYP/EC1" in payload
+        assert payload["LYP/EC1"]["functional"] == "LYP"
+
+
+class TestCLIExportFlags:
+    def test_verify_writes_json_and_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        json_path = tmp_path / "report.json"
+        csv_path = tmp_path / "regions.csv"
+        rc = main(
+            [
+                "verify", "-f", "Wigner", "-c", "EC1",
+                "--global-budget", "500",
+                "--json", str(json_path), "--csv", str(csv_path),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["functional"] == "Wigner"
+        assert csv_path.read_text().startswith("index,")
+
+    def test_table1_writes_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        json_path = tmp_path / "table1.json"
+        md_path = tmp_path / "table1.md"
+        rc = main(
+            [
+                "table1", "--budget", "40", "--global-budget", "200",
+                "--json", str(json_path), "--markdown", str(md_path),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(json_path.read_text())
+        assert "EC1" in payload["cells"]
+        assert md_path.read_text().startswith("| Local condition |")

@@ -1,0 +1,185 @@
+"""Tests for the exact-condition catalog (Section II of the paper)."""
+
+import math
+
+import pytest
+
+from repro.conditions import (
+    CONDITIONS,
+    EC1,
+    EC2,
+    EC3,
+    EC4,
+    EC5,
+    EC6,
+    EC7,
+    PAPER_CONDITIONS,
+    RS_INFINITY,
+    applicable_pairs,
+    get_condition,
+)
+from repro.expr.derivative import derivative
+from repro.expr.evaluator import evaluate, evaluate_rel
+from repro.functionals import get_functional, paper_functionals
+from repro.functionals.vars import C_LO, RS
+
+
+class TestCatalogStructure:
+    def test_seven_conditions(self):
+        assert len(CONDITIONS) == 7
+        assert len(PAPER_CONDITIONS) == 7
+
+    def test_lookup(self):
+        assert get_condition("ec1") is EC1
+        assert get_condition("EC7") is EC7
+        with pytest.raises(KeyError):
+            get_condition("EC8")
+
+    def test_paper_row_order(self):
+        assert [c.cid for c in PAPER_CONDITIONS] == [
+            "EC1", "EC2", "EC3", "EC6", "EC7", "EC4", "EC5",
+        ]
+
+    def test_equations_match_paper(self):
+        assert EC1.equation == "Eq. 4"
+        assert EC5.equation == "Eq. 8"
+        assert EC7.equation == "Eq. 10"
+
+    def test_thirty_one_applicable_pairs(self):
+        pairs = applicable_pairs()
+        assert len(pairs) == 31
+
+    def test_lieb_oxford_applicability(self):
+        lyp = get_functional("LYP")
+        vwn = get_functional("VWN RPA")
+        pbe = get_functional("PBE")
+        for cond in (EC4, EC5):
+            assert not cond.applies_to(lyp)
+            assert not cond.applies_to(vwn)
+            assert cond.applies_to(pbe)
+
+    def test_correlation_conditions_apply_widely(self):
+        for f in paper_functionals():
+            for cond in (EC1, EC2, EC3, EC6, EC7):
+                assert cond.applies_to(f)
+
+    def test_local_condition_rejects_inapplicable(self):
+        with pytest.raises(ValueError):
+            EC4.local_condition(get_functional("LYP"))
+
+
+class TestConditionSemantics:
+    """Check each psi against independent evaluations at sample points."""
+
+    def test_ec1_matches_eps_sign(self):
+        f = get_functional("LYP")
+        psi = EC1.local_condition(f)
+        for rs, s in ((1.0, 0.5), (2.0, 3.0), (4.0, 1.0)):
+            eps = evaluate(f.eps_c(), {"rs": rs, "s": s})
+            assert evaluate_rel(psi, {"rs": rs, "s": s}) == (eps <= 0.0)
+
+    def test_ec2_matches_derivative_sign(self):
+        f = get_functional("LYP")
+        psi = EC2.local_condition(f)
+        dfc = derivative(f.fc(), RS)
+        for rs, s in ((0.5, 2.0), (2.0, 1.0), (4.5, 4.0)):
+            expected = evaluate(dfc, {"rs": rs, "s": s}) >= 0.0
+            assert evaluate_rel(psi, {"rs": rs, "s": s}) == expected
+
+    def test_ec3_equivalent_to_unmultiplied_form(self):
+        """rs*d2 + 2*d1 >= 0  <=>  d2 >= -(2/rs) d1 for rs > 0."""
+        f = get_functional("VWN RPA")
+        psi = EC3.local_condition(f)
+        fc = f.fc()
+        d1 = derivative(fc, RS)
+        d2 = derivative(fc, RS, 2)
+        for rs in (0.3, 1.0, 3.0):
+            env = {"rs": rs}
+            direct = evaluate(d2, env) >= -(2.0 / rs) * evaluate(d1, env)
+            assert evaluate_rel(psi, env) == direct
+
+    def test_ec4_formula(self):
+        f = get_functional("PBE")
+        psi = EC4.local_condition(f)
+        dfc = derivative(f.fc(), RS)
+        for rs, s in ((1.0, 1.0), (0.2, 4.0)):
+            env = {"rs": rs, "s": s}
+            lhs = evaluate(f.fxc(), env) + rs * evaluate(dfc, env)
+            assert evaluate_rel(psi, env) == (lhs <= C_LO)
+
+    def test_ec5_formula(self):
+        f = get_functional("PBE")
+        psi = EC5.local_condition(f)
+        for rs, s in ((1.0, 0.0), (3.0, 5.0)):
+            env = {"rs": rs, "s": s}
+            assert evaluate_rel(psi, env) == (evaluate(f.fxc(), env) <= C_LO)
+
+    def test_ec6_uses_rs_100_limit(self):
+        f = get_functional("LYP")
+        psi = EC6.local_condition(f)
+        fc = f.fc()
+        dfc = derivative(fc, RS)
+        for rs, s in ((1.0, 1.0), (4.9, 3.0)):
+            env = {"rs": rs, "s": s}
+            fc_inf = evaluate(fc, {"rs": RS_INFINITY, "s": s})
+            direct = evaluate(dfc, env) <= (fc_inf - evaluate(fc, env)) / rs
+            assert evaluate_rel(psi, env) == direct
+
+    def test_ec7_formula(self):
+        f = get_functional("PBE")
+        psi = EC7.local_condition(f)
+        fc = f.fc()
+        dfc = derivative(fc, RS)
+        for rs, s in ((0.5, 3.0), (4.0, 1.0)):
+            env = {"rs": rs, "s": s}
+            direct = evaluate(dfc, env) <= evaluate(fc, env) / rs
+            assert evaluate_rel(psi, env) == direct
+
+    def test_rs_infinity_constant(self):
+        assert RS_INFINITY == 100.0
+
+
+class TestKnownSatisfactionPatterns:
+    """Spot-checks of the paper's qualitative findings at sample points."""
+
+    def test_lyp_violates_ec1_at_large_s(self):
+        psi = EC1.local_condition(get_functional("LYP"))
+        assert not evaluate_rel(psi, {"rs": 2.0, "s": 3.0})
+        assert evaluate_rel(psi, {"rs": 2.0, "s": 0.5})
+
+    def test_pbe_satisfies_ec1_everywhere_sampled(self):
+        psi = EC1.local_condition(get_functional("PBE"))
+        for rs in (0.01, 0.5, 2.0, 5.0):
+            for s in (0.0, 1.0, 3.0, 5.0):
+                assert evaluate_rel(psi, {"rs": rs, "s": s})
+
+    def test_pbe_violates_ec7_upper_left(self):
+        psi = EC7.local_condition(get_functional("PBE"))
+        assert not evaluate_rel(psi, {"rs": 0.5, "s": 3.0})
+        assert evaluate_rel(psi, {"rs": 4.0, "s": 0.5})
+
+    def test_vwn_rpa_satisfies_all_lda_conditions_sampled(self):
+        f = get_functional("VWN RPA")
+        for cond in (EC1, EC2, EC3, EC6, EC7):
+            psi = cond.local_condition(f)
+            for rs in (0.01, 0.1, 1.0, 2.5, 5.0):
+                assert evaluate_rel(psi, {"rs": rs}), (cond.cid, rs)
+
+    def test_am05_satisfies_ec1_sampled(self):
+        psi = EC1.local_condition(get_functional("AM05"))
+        for rs in (0.1, 1.0, 4.0):
+            for s in (0.0, 2.0, 5.0):
+                assert evaluate_rel(psi, {"rs": rs, "s": s})
+
+    def test_lyp_violates_all_applicable_conditions_somewhere(self):
+        f = get_functional("LYP")
+        domain_samples = [
+            {"rs": rs, "s": s}
+            for rs in (0.05, 0.5, 1.0, 2.0, 3.0, 4.9)
+            for s in (0.5, 1.5, 2.0, 3.0, 4.5, 5.0)
+        ]
+        for cond in (EC1, EC2, EC3, EC6, EC7):
+            psi = cond.local_condition(f)
+            assert any(
+                not evaluate_rel(psi, env) for env in domain_samples
+            ), f"{cond.cid} not violated at any sample"

@@ -1,0 +1,143 @@
+"""Oracle tests: symbolic condition residuals vs finite differences.
+
+The encoder computes every rs-derivative symbolically (the paper's central
+methodological claim against grid differentiation).  These tests check the
+*encoded residuals* of the derivative conditions against high-order
+central finite differences of the enhancement-factor kernels -- for the
+paper's DFAs and for every extension functional, so a wrong derivative
+rule or a mis-encoded condition cannot hide behind an OK verdict.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.conditions.catalog import RS_INFINITY, get_condition
+from repro.expr.evaluator import evaluate
+from repro.functionals import get_functional
+from repro.functionals import vars as V
+
+
+def _fc_at(functional, rs, point):
+    env = dict(point)
+    env["rs"] = rs
+    args = [env[v.name] for v in functional.variables]
+    return float(functional.fc_kernel()(*[np.asarray(a, float) for a in args]))
+
+
+def _dfc_drs_fd(functional, point, h=1e-5):
+    """Fourth-order central difference of F_c in rs."""
+    rs = point["rs"]
+    f = lambda r: _fc_at(functional, r, point)
+    return (
+        -f(rs + 2 * h) + 8 * f(rs + h) - 8 * f(rs - h) + f(rs - 2 * h)
+    ) / (12 * h)
+
+
+def _d2fc_drs2_fd(functional, point, h=1e-4):
+    rs = point["rs"]
+    f = lambda r: _fc_at(functional, r, point)
+    return (f(rs + h) - 2 * f(rs) + f(rs - h)) / (h * h)
+
+
+#: interior sample points per family (away from branch switches)
+_POINTS = {
+    "LDA": [{"rs": 0.5}, {"rs": 2.0}, {"rs": 4.0}],
+    "GGA": [
+        {"rs": 0.5, "s": 0.5},
+        {"rs": 2.0, "s": 1.5},
+        {"rs": 4.0, "s": 3.0},
+    ],
+    "MGGA": [
+        {"rs": 1.0, "s": 1.0, "alpha": 0.4},
+        {"rs": 2.5, "s": 2.0, "alpha": 2.0},
+    ],
+}
+
+_FUNCTIONALS = [
+    "PBE", "LYP", "AM05", "VWN RPA", "SCAN",
+    "BLYP", "PW91", "PBEsol", "revPBE", "PZ81", "VWN5", "Wigner",
+    "rSCAN", "r++SCAN",
+]
+
+
+@pytest.mark.parametrize("name", _FUNCTIONALS)
+def test_ec2_residual_matches_finite_difference(name):
+    """EC2's encoded psi is dF_c/drs >= 0: its gap must be the derivative."""
+    functional = get_functional(name)
+    psi = get_condition("EC2").local_condition(functional)
+    # psi: dfc_drs >= 0, so gap = lhs - rhs = dF_c/drs
+    for point in _POINTS[functional.family]:
+        symbolic = evaluate(psi.gap(), point)
+        numeric = _dfc_drs_fd(functional, point)
+        assert symbolic == pytest.approx(numeric, rel=2e-5, abs=1e-8), (
+            name, point,
+        )
+
+
+@pytest.mark.parametrize("name", ["PBE", "LYP", "AM05", "VWN RPA", "PW91", "PZ81"])
+def test_ec7_residual_matches_finite_difference(name):
+    """EC7 encodes rs * dF_c/drs - F_c <= 0."""
+    functional = get_functional(name)
+    psi = get_condition("EC7").local_condition(functional)
+    for point in _POINTS[functional.family]:
+        fc = _fc_at(functional, point["rs"], point)
+        expected = point["rs"] * _dfc_drs_fd(functional, point) - fc
+        assert evaluate(psi.gap(), point) == pytest.approx(
+            expected, rel=2e-5, abs=1e-8
+        ), (name, point)
+
+
+@pytest.mark.parametrize("name", ["PBE", "LYP", "AM05", "VWN RPA", "PBEsol"])
+def test_ec3_residual_matches_finite_difference(name):
+    """EC3 encodes rs * d2F_c/drs2 + 2 dF_c/drs >= 0."""
+    functional = get_functional(name)
+    psi = get_condition("EC3").local_condition(functional)
+    for point in _POINTS[functional.family]:
+        expected = point["rs"] * _d2fc_drs2_fd(functional, point) + 2.0 * (
+            _dfc_drs_fd(functional, point)
+        )
+        assert evaluate(psi.gap(), point) == pytest.approx(
+            expected, rel=5e-4, abs=5e-7
+        ), (name, point)
+
+
+@pytest.mark.parametrize("name", ["PBE", "AM05", "BLYP", "PW91", "PBEsol", "revPBE"])
+def test_ec6_limit_substitution(name):
+    """EC6's F_c(inf) term equals F_c evaluated at rs = 100 exactly."""
+    functional = get_functional(name)
+    psi = get_condition("EC6").local_condition(functional)
+    for point in _POINTS[functional.family]:
+        inf_point = dict(point)
+        inf_point["rs"] = RS_INFINITY
+        fc_inf = _fc_at(functional, RS_INFINITY, point)
+        fc = _fc_at(functional, point["rs"], point)
+        expected = point["rs"] * _dfc_drs_fd(functional, point) + fc - fc_inf
+        assert evaluate(psi.gap(), point) == pytest.approx(
+            expected, rel=2e-5, abs=1e-8
+        ), (name, point)
+
+
+@pytest.mark.parametrize("name", ["BLYP", "PW91", "PBEsol", "revPBE", "r++SCAN"])
+def test_ec5_residual_is_fxc_minus_clo(name):
+    functional = get_functional(name)
+    psi = get_condition("EC5").local_condition(functional)
+    for point in _POINTS[functional.family]:
+        args = [np.asarray(point[v.name], float) for v in functional.variables]
+        fxc = float(functional.fxc_kernel()(*args))
+        assert evaluate(psi.gap(), point) == pytest.approx(
+            fxc - V.C_LO, rel=1e-10
+        ), (name, point)
+
+
+def test_pz81_ec2_on_both_branches():
+    """The derivative condition is encoded through the Ite: both branch
+    regions must match their own finite differences."""
+    functional = get_functional("PZ81")
+    psi = get_condition("EC2").local_condition(functional)
+    for rs in (0.3, 0.9, 1.1, 3.0):  # straddles the rs = 1 matching point
+        point = {"rs": rs}
+        assert evaluate(psi.gap(), point) == pytest.approx(
+            _dfc_drs_fd(functional, point), rel=2e-5
+        ), rs

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.expr import builder as b
+from repro.expr.nodes import Var
+
+
+@pytest.fixture
+def rs() -> Var:
+    return b.var("rs", nonneg=True)
+
+
+@pytest.fixture
+def s() -> Var:
+    return b.var("s", nonneg=True)
+
+
+@pytest.fixture
+def alpha() -> Var:
+    return b.var("alpha", nonneg=True)
+
+
+@pytest.fixture
+def x() -> Var:
+    return b.var("x")
+
+
+@pytest.fixture
+def y() -> Var:
+    return b.var("y")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20240814)
+
+
+def central_difference(fn, x0: float, h: float = 1e-6) -> float:
+    """Second-order central finite difference of a scalar callable."""
+    return (fn(x0 + h) - fn(x0 - h)) / (2.0 * h)
+
+
+def assert_close(actual: float, expected: float, rtol: float = 1e-9, atol: float = 1e-12):
+    assert math.isfinite(actual), f"actual is not finite: {actual}"
+    assert actual == pytest.approx(expected, rel=rtol, abs=atol), (
+        f"{actual} != {expected}"
+    )

@@ -1,0 +1,219 @@
+"""Tests for the canonicalising expression constructors."""
+
+import math
+
+import pytest
+
+from repro.expr import builder as b
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Add, Const, Func, Ite, Mul, Pow, Var
+
+
+X = Var("x")
+S = Var("s", nonneg=True)
+
+
+class TestAdd:
+    def test_constant_folding(self):
+        assert b.add(1.0, 2.0, 3.5) is Const(6.5)
+
+    def test_identity_elimination(self):
+        assert b.add(X, 0.0) is X
+
+    def test_flattening(self):
+        e = b.add(b.add(X, 1.0), b.add(X, 2.0))
+        assert isinstance(e, Add)
+        # no nested Add children
+        assert not any(isinstance(a, Add) for a in e.args)
+
+    def test_like_term_collection(self):
+        e = b.add(b.mul(2.0, X), b.mul(3.0, X))
+        assert evaluate(e, {"x": 7.0}) == pytest.approx(35.0)
+        assert e is b.mul(5.0, X)
+
+    def test_cancellation_to_zero(self):
+        assert b.add(X, b.neg(X)) is Const(0.0)
+
+    def test_empty_like_sum_is_zero(self):
+        assert b.add(0.0, 0.0) is Const(0.0)
+
+    def test_single_term_unwrapped(self):
+        assert b.add(X) is X
+
+    def test_mixed_numbers_and_exprs(self):
+        e = b.add(1, X, 2.5)
+        assert evaluate(e, {"x": 1.0}) == pytest.approx(4.5)
+
+    def test_sub(self):
+        assert evaluate(b.sub(X, 3.0), {"x": 10.0}) == pytest.approx(7.0)
+
+    def test_neg_constant(self):
+        assert b.neg(2.0) is Const(-2.0)
+
+    def test_neg_twice_is_identity(self):
+        assert b.neg(b.neg(X)) is X
+
+
+class TestMul:
+    def test_constant_folding(self):
+        assert b.mul(2.0, 3.0) is Const(6.0)
+
+    def test_identity(self):
+        assert b.mul(X, 1.0) is X
+
+    def test_annihilator(self):
+        assert b.mul(X, 0.0) is Const(0.0)
+
+    def test_flattening(self):
+        e = b.mul(b.mul(X, 2.0), b.mul(X, 3.0))
+        assert evaluate(e, {"x": 2.0}) == pytest.approx(24.0)
+        assert isinstance(e, Mul)
+        assert not any(isinstance(a, Mul) for a in e.args)
+
+    def test_same_base_merging(self):
+        e = b.mul(X, X)
+        assert e is b.pow_(X, 2.0)
+
+    def test_pow_base_merging(self):
+        e = b.mul(b.pow_(X, 2.0), b.pow_(X, 3.0))
+        assert e is b.pow_(X, 5.0)
+
+    def test_base_and_inverse_cancel(self):
+        e = b.mul(X, b.pow_(X, -1.0))
+        assert e is Const(1.0)
+
+    def test_div_by_constant(self):
+        e = b.div(X, 4.0)
+        assert evaluate(e, {"x": 2.0}) == pytest.approx(0.5)
+
+    def test_div_by_zero_constant_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            b.div(X, 0.0)
+
+    def test_div_by_expression(self):
+        e = b.div(1.0, b.add(X, 1.0))
+        assert evaluate(e, {"x": 1.0}) == pytest.approx(0.5)
+
+
+class TestPow:
+    def test_exponent_zero(self):
+        assert b.pow_(X, 0.0) is Const(1.0)
+
+    def test_exponent_one(self):
+        assert b.pow_(X, 1.0) is X
+
+    def test_const_folding(self):
+        assert b.pow_(2.0, 10.0) is Const(1024.0)
+
+    def test_base_one(self):
+        assert b.pow_(1.0, X) is Const(1.0)
+
+    def test_zero_base_positive_exponent(self):
+        assert b.pow_(0.0, 2.0) is Const(0.0)
+
+    def test_unsafe_const_fold_left_symbolic(self):
+        # (-8)**(1/3) is not foldable through math.pow; keep symbolic
+        e = b.pow_(Const(-8.0), Const(1.0 / 3.0))
+        assert isinstance(e, Pow)
+
+    def test_pow_of_pow_integer_exponents(self):
+        e = b.pow_(b.pow_(X, 2.0), 3.0)
+        assert e is b.pow_(X, 6.0)
+
+    def test_pow_of_pow_nonneg_base(self):
+        e = b.pow_(b.pow_(S, 0.5), 2.0)
+        assert e is S
+
+    def test_pow_of_pow_unsound_case_kept(self):
+        # (x**2)**0.5 != x on R; must not collapse for sign-unknown base
+        e = b.pow_(b.pow_(X, 2.0), 0.5)
+        assert evaluate(e, {"x": -3.0}) == pytest.approx(3.0)
+
+    def test_pow_distributes_over_nonneg_product(self):
+        e = b.pow_(b.mul(S, b.exp(X)), 0.5)
+        assert evaluate(e, {"s": 4.0, "x": 0.0}) == pytest.approx(2.0)
+
+    def test_exp_power_collapses(self):
+        e = b.pow_(b.exp(X), 2.0)
+        assert e is b.exp(b.mul(2.0, X))
+
+
+class TestFunctions:
+    def test_constant_folding(self):
+        assert b.exp(0.0) is Const(1.0)
+        assert b.log(1.0) is Const(0.0)
+        assert b.atan(0.0) is Const(0.0)
+        assert b.cbrt(27.0) is Const(3.0)
+        assert b.cbrt(-27.0) is Const(-3.0)
+
+    def test_exp_log_inverse_pair(self):
+        assert b.exp(b.log(X)) is X
+        assert b.log(b.exp(X)) is X
+
+    def test_log_of_nonpositive_constant_stays_symbolic(self):
+        e = b.log(Const(-1.0))
+        assert isinstance(e, Func)
+
+    def test_sqrt_becomes_half_power(self):
+        e = b.sqrt(X)
+        assert isinstance(e, Pow)
+        assert e.exponent is Const(0.5)
+
+    def test_sqrt_constant_folds(self):
+        assert b.sqrt(4.0) is Const(2.0)
+
+    def test_abs_of_nonneg_is_identity(self):
+        assert b.abs_(S) is S
+        assert isinstance(b.abs_(X), Func)
+
+    def test_lambertw_at_zero(self):
+        assert b.lambertw(0.0) is Const(0.0)
+
+    def test_lambertw_identity_value(self):
+        # W(e) = 1
+        val = b.lambertw(math.e)
+        assert isinstance(val, Const)
+        assert val.value == pytest.approx(1.0, rel=1e-12)
+
+    def test_trig_folding(self):
+        assert b.sin(0.0) is Const(0.0)
+        assert b.cos(0.0) is Const(1.0)
+        assert b.tanh(0.0) is Const(0.0)
+        assert b.erf(0.0) is Const(0.0)
+
+
+class TestIte:
+    def test_same_branches_collapse(self):
+        e = b.ite(X.le(0.0), S, S)
+        assert e is S
+
+    def test_constant_condition_resolved(self):
+        e = b.ite(Const(1.0).le(Const(2.0)), X, S)
+        assert e is X
+        e = b.ite(Const(3.0).le(Const(2.0)), X, S)
+        assert e is S
+
+    def test_symbolic_condition_kept(self):
+        e = b.ite(X.le(0.0), Const(1.0), Const(2.0))
+        assert isinstance(e, Ite)
+
+    def test_minimum_maximum(self):
+        lo = b.minimum(X, 3.0)
+        hi = b.maximum(X, 3.0)
+        assert evaluate(lo, {"x": 5.0}) == pytest.approx(3.0)
+        assert evaluate(lo, {"x": 1.0}) == pytest.approx(1.0)
+        assert evaluate(hi, {"x": 5.0}) == pytest.approx(5.0)
+        assert evaluate(hi, {"x": 1.0}) == pytest.approx(3.0)
+
+
+class TestAsExpr:
+    def test_numbers(self):
+        assert b.as_expr(2) is Const(2.0)
+        assert b.as_expr(2.5) is Const(2.5)
+
+    def test_expr_passthrough(self):
+        assert b.as_expr(X) is X
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            b.as_expr("not an expr")

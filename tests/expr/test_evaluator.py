@@ -1,0 +1,113 @@
+"""Tests for scalar evaluation (the valid(x) path of Algorithm 1)."""
+
+import math
+
+import pytest
+
+from repro.expr import builder as b
+from repro.expr.evaluator import EvalError, evaluate, evaluate_rel
+from repro.expr.nodes import Const, Var
+
+X = Var("x")
+S = Var("s", nonneg=True)
+
+
+class TestBasics:
+    def test_constant(self):
+        assert evaluate(Const(2.5), {}) == 2.5
+
+    def test_variable_by_name_and_var_key(self):
+        assert evaluate(X, {"x": 3.0}) == 3.0
+        assert evaluate(X, {X: 4.0}) == 4.0
+
+    def test_unbound_variable_nan_by_default(self):
+        assert math.isnan(evaluate(X, {}))
+
+    def test_unbound_variable_strict_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(X, {}, strict=True)
+
+    def test_arithmetic(self):
+        e = (X + 2.0) * (X - 1.0) / 3.0
+        assert evaluate(e, {"x": 4.0}) == pytest.approx(6.0)
+
+    def test_fsum_accuracy(self):
+        # adding many tiny terms to a large one: fsum keeps full precision.
+        # Build the Add node directly (the canonicalising constructor would
+        # fold the constants left-to-right and lose the tiny terms).
+        from repro.expr.nodes import Add, Const
+        e = Add((Const(1e16),) + (Const(1.0),) * 64)
+        assert evaluate(e, {}) == pytest.approx(1e16 + 64.0, abs=0.5)
+
+    def test_functions(self):
+        assert evaluate(b.exp(X), {"x": 1.0}) == pytest.approx(math.e)
+        assert evaluate(b.atan(X), {"x": 1.0}) == pytest.approx(math.pi / 4)
+        assert evaluate(b.cbrt(X), {"x": -8.0}) == pytest.approx(-2.0)
+        assert evaluate(b.abs_(X), {"x": -4.0}) == pytest.approx(4.0)
+
+    def test_lambertw(self):
+        assert evaluate(b.lambertw(X), {"x": math.e}) == pytest.approx(1.0)
+
+
+class TestDomainErrors:
+    def test_log_of_negative_is_nan(self):
+        assert math.isnan(evaluate(b.log(X), {"x": -1.0}))
+
+    def test_log_of_negative_strict_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(b.log(X), {"x": -1.0}, strict=True)
+
+    def test_negative_base_fractional_power(self):
+        e = b.pow_(X, Const(0.5))
+        assert math.isnan(evaluate(e, {"x": -4.0}))
+
+    def test_zero_to_negative_power(self):
+        e = b.pow_(X, Const(-1.0))
+        assert math.isnan(evaluate(e, {"x": 0.0}))
+
+    def test_exp_overflow_is_nan(self):
+        assert math.isnan(evaluate(b.exp(X), {"x": 1e4}))
+
+    def test_lambertw_below_branch_point(self):
+        assert math.isnan(evaluate(b.lambertw(X), {"x": -1.0}))
+
+    def test_division_by_zero(self):
+        e = b.div(1.0, X)
+        assert math.isnan(evaluate(e, {"x": 0.0}))
+
+
+class TestIte:
+    def test_branch_selection(self):
+        e = b.ite(X.lt(0.0), Const(-1.0), Const(1.0))
+        assert evaluate(e, {"x": -2.0}) == -1.0
+        assert evaluate(e, {"x": 2.0}) == 1.0
+
+    def test_boundary_uses_operator(self):
+        e = b.ite(X.lt(0.0), Const(-1.0), Const(1.0))
+        assert evaluate(e, {"x": 0.0}) == 1.0
+        e = b.ite(X.le(0.0), Const(-1.0), Const(1.0))
+        assert evaluate(e, {"x": 0.0}) == -1.0
+
+    def test_untaken_branch_may_be_undefined(self):
+        # log(x) is undefined at x = -1 but the other branch is taken...
+        # note: with DAG evaluation both branches are computed, so an
+        # undefined untaken branch propagates NaN -- this mirrors the
+        # np.where semantics of the compiled kernels and is documented.
+        e = b.ite(X.ge(0.0), X, b.neg(X))
+        assert evaluate(e, {"x": 5.0}) == 5.0
+
+
+class TestEvaluateRel:
+    def test_true_false(self):
+        rel = X.le(3.0)
+        assert evaluate_rel(rel, {"x": 2.0})
+        assert not evaluate_rel(rel, {"x": 4.0})
+
+    def test_nan_counts_as_violation(self):
+        rel = b.log(X).le(0.0)
+        assert not evaluate_rel(rel, {"x": -1.0})
+
+    def test_tolerance(self):
+        rel = X.le(0.0)
+        assert evaluate_rel(rel, {"x": 0.5}, tol=1.0)
+        assert not evaluate_rel(rel, {"x": 1.5}, tol=1.0)

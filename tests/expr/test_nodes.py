@@ -1,0 +1,209 @@
+"""Tests for the hash-consed expression node layer."""
+
+import math
+
+import pytest
+
+from repro.expr import builder as b
+from repro.expr.nodes import (
+    Add,
+    Const,
+    Expr,
+    Func,
+    Ite,
+    Mul,
+    Pow,
+    Rel,
+    Var,
+    is_const,
+    is_nonneg,
+    is_positive,
+)
+
+
+class TestInterning:
+    def test_consts_are_interned(self):
+        assert Const(1.5) is Const(1.5)
+
+    def test_negative_zero_normalised(self):
+        assert Const(-0.0) is Const(0.0)
+        assert Const(0.0).value == 0.0
+
+    def test_vars_interned_by_name_and_tag(self):
+        assert Var("a") is Var("a")
+        assert Var("a") is not Var("a", nonneg=True)
+        assert Var("a") is not Var("b")
+
+    def test_structural_sharing_of_compound_nodes(self):
+        x = Var("x")
+        e1 = b.add(x, 1.0)
+        e2 = b.add(x, 1.0)
+        assert e1 is e2
+
+    def test_same_is_identity(self):
+        x = Var("x")
+        assert b.exp(x).same(b.exp(x))
+        assert not b.exp(x).same(b.log(x))
+
+    def test_func_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            Func("sinh", Var("x"))
+
+
+class TestStructure:
+    def test_children_of_leaves_empty(self):
+        assert Const(2.0).children() == ()
+        assert Var("v").children() == ()
+
+    def test_children_of_compound(self):
+        x, y = Var("x"), Var("y")
+        e = b.mul(x, y)
+        assert set(e.children()) == {x, y}
+
+    def test_pow_children(self):
+        x = Var("x")
+        p = Pow(x, Const(3.0))
+        assert p.children() == (x, Const(3.0))
+
+    def test_ite_children_include_condition_operands(self):
+        x, y = Var("x"), Var("y")
+        node = b.ite(x.le(0.0), y, b.neg(y))
+        assert isinstance(node, Ite)
+        assert x in node.children()
+
+    def test_depth_and_size(self):
+        x = Var("x")
+        assert x.depth == 1
+        assert x.size == 1
+        e = b.exp(b.add(x, 1.0))
+        assert e.depth == 3
+        assert e.size >= 3
+
+    def test_dag_size_counts_unique_nodes(self):
+        x = Var("x")
+        shared = b.exp(x)
+        e = b.add(shared, b.mul(shared, 2.0))
+        # tree size counts exp(x) twice; dag size once
+        assert e.dag_size() < e.size + 1
+
+    def test_operation_count_excludes_leaves(self):
+        x = Var("x")
+        e = b.exp(x)  # one operation
+        assert e.operation_count() == 1
+        assert Var("y").operation_count() == 0
+
+    def test_walk_children_before_parents(self):
+        x = Var("x")
+        e = b.exp(b.add(x, 1.0))
+        order = list(e.walk())
+        assert order[-1] is e
+        pos = {id(n): i for i, n in enumerate(order)}
+        for node in order:
+            for child in node.children():
+                assert pos[id(child)] < pos[id(node)]
+
+    def test_walk_visits_each_node_once(self):
+        x = Var("x")
+        shared = b.exp(x)
+        e = b.add(shared, b.mul(shared, shared))
+        order = list(e.walk())
+        assert len(order) == len({id(n) for n in order})
+
+    def test_free_vars(self):
+        x, y = Var("x"), Var("y")
+        e = b.add(b.exp(x), b.mul(y, 2.0))
+        assert {v.name for v in e.free_vars()} == {"x", "y"}
+
+    def test_free_vars_of_constant(self):
+        assert b.const(4.0).free_vars() == frozenset()
+
+    def test_contains(self):
+        x = Var("x")
+        inner = b.exp(x)
+        e = b.add(inner, 1.0)
+        assert e.contains(inner)
+        assert not e.contains(b.log(x))
+
+
+class TestRel:
+    def test_rel_interning(self):
+        x = Var("x")
+        assert x.le(1.0) is x.le(1.0)
+        assert x.le(1.0) is not x.lt(1.0)
+
+    def test_negate_flips_operator(self):
+        x = Var("x")
+        assert x.le(0.0).negate().op == ">"
+        assert x.lt(0.0).negate().op == ">="
+        assert x.ge(0.0).negate().op == "<"
+        assert x.gt(0.0).negate().op == "<="
+
+    def test_negate_equality_raises(self):
+        x = Var("x")
+        with pytest.raises(ValueError):
+            x.eq(0.0).negate()
+
+    def test_gap_is_difference(self):
+        x = Var("x")
+        rel = x.le(3.0)
+        from repro.expr.evaluator import evaluate
+        assert evaluate(rel.gap(), {"x": 5.0}) == pytest.approx(2.0)
+
+    def test_holds_semantics(self):
+        x = Var("x")
+        assert x.le(0.0).holds(-1.0)
+        assert not x.le(0.0).holds(1.0)
+        assert x.le(0.0).holds(0.0)
+        assert not x.lt(0.0).holds(0.0)
+        assert x.ge(0.0).holds(0.0)
+        assert not x.gt(0.0).holds(0.0)
+
+    def test_holds_with_delta_weakening(self):
+        x = Var("x")
+        assert x.le(0.0).holds(0.5, tol=1.0)
+        assert x.ge(0.0).holds(-0.5, tol=1.0)
+        assert x.eq(0.0).holds(0.5, tol=1.0)
+        assert not x.eq(0.0).holds(1.5, tol=1.0)
+
+    def test_make_rejects_bad_operator(self):
+        with pytest.raises(ValueError):
+            Rel.make(Var("x"), Const(0.0), "!=")
+
+
+class TestSignPredicates:
+    def test_is_const(self):
+        assert is_const(Const(2.0))
+        assert is_const(Const(2.0), 2.0)
+        assert not is_const(Const(2.0), 3.0)
+        assert not is_const(Var("x"))
+
+    def test_nonneg_vars_and_consts(self):
+        assert is_nonneg(Var("s", nonneg=True))
+        assert not is_nonneg(Var("t"))
+        assert is_nonneg(Const(0.0))
+        assert not is_nonneg(Const(-1.0))
+
+    def test_nonneg_functions(self):
+        x = Var("x")
+        assert is_nonneg(Func("exp", x))
+        assert is_nonneg(Func("abs", x))
+        assert not is_nonneg(Func("sin", x))
+
+    def test_nonneg_even_powers(self):
+        x = Var("x")
+        assert is_nonneg(Pow(x, Const(2.0)))
+        assert not is_nonneg(Pow(x, Const(3.0)))
+
+    def test_nonneg_products_and_sums(self):
+        s = Var("s", nonneg=True)
+        assert is_nonneg(b.mul(s, s, 2.0))
+        assert is_nonneg(b.add(s, 1.0))
+        assert not is_nonneg(b.add(s, -1.0))
+
+    def test_is_positive(self):
+        s = Var("s", nonneg=True)
+        assert is_positive(Const(1.0))
+        assert not is_positive(Const(0.0))
+        assert is_positive(Func("exp", Var("x")))
+        assert is_positive(b.add(s, 1.0))
+        assert not is_positive(s)

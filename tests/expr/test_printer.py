@@ -1,0 +1,42 @@
+"""Tests for the infix printer."""
+
+from repro.expr import builder as b
+from repro.expr.nodes import Const, Var
+from repro.expr.printer import to_str
+
+X = Var("x")
+
+
+class TestPrinter:
+    def test_leaves(self):
+        assert to_str(X) == "x"
+        assert to_str(Const(2.0)) == "2"
+        assert to_str(Const(2.5)) == "2.5"
+        assert to_str(Const(-3.0)) == "(-3)"
+
+    def test_compound(self):
+        out = to_str(b.add(X, 1.0))
+        assert "x" in out and "+" in out
+
+    def test_function(self):
+        assert to_str(b.exp(X)) == "exp(x)"
+
+    def test_pow(self):
+        assert "**" in to_str(b.pow_(X, 3.0))
+
+    def test_ite(self):
+        out = to_str(b.ite(X.lt(0.0), Const(1.0), Const(2.0)))
+        assert out.startswith("ite(")
+        assert "<" in out
+
+    def test_truncation(self):
+        e = X
+        for _ in range(30):
+            e = b.exp(e)
+        out = to_str(e, max_len=40)
+        assert len(out) == 40
+        assert out.endswith("...")
+
+    def test_repr_uses_printer(self):
+        assert repr(b.exp(X)) == "exp(x)"
+        assert "<=" in repr(X.le(0.0))

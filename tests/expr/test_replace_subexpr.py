@@ -1,0 +1,77 @@
+"""Tests for subexpression replacement (used by the continuity analysis)."""
+
+import pytest
+
+from repro.expr import builder as b
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Ite, Var
+from repro.expr.substitute import replace_subexpr
+from repro.pysym import lift
+
+X = Var("x", nonneg=True)
+Y = Var("y", nonneg=True)
+
+
+class TestReplaceSubexpr:
+    def test_replace_root(self):
+        expr = b.add(X, 1.0)
+        out = replace_subexpr(expr, expr, Y)
+        assert out is Y
+
+    def test_replace_shared_node(self):
+        import math
+
+        shared = b.mul(X, X)
+        expr = b.add(shared, b.exp(shared))
+        out = replace_subexpr(expr, shared, Y)
+        # both occurrences replaced: y + exp(y)
+        assert evaluate(out, {"y": 3.0}) == pytest.approx(3.0 + math.exp(3.0))
+
+    def test_replace_with_number(self):
+        expr = b.add(b.mul(X, X), X)
+        out = replace_subexpr(expr, X, 2.0)
+        assert evaluate(out, {}) == pytest.approx(6.0)
+
+    def test_absent_target_is_identity(self):
+        expr = b.add(X, 1.0)
+        out = replace_subexpr(expr, Y, 5.0)
+        assert out is expr
+
+    def test_replace_ite_with_branch(self):
+        def model(x):
+            if x < 1.0:
+                return x
+            return x * x
+
+        expr = lift(model, X)
+        ite = next(n for n in expr.walk() if isinstance(n, Ite))
+        then_only = replace_subexpr(expr, ite, ite.then)
+        else_only = replace_subexpr(expr, ite, ite.orelse)
+        # the replaced expressions are the branch surfaces everywhere
+        assert evaluate(then_only, {"x": 3.0}) == pytest.approx(3.0)
+        assert evaluate(else_only, {"x": 0.5}) == pytest.approx(0.25)
+
+    def test_replacement_canonicalises(self):
+        # replacing with a constant folds through the builders
+        expr = b.mul(b.add(X, 1.0), 2.0)
+        out = replace_subexpr(expr, X, 0.0)
+        from repro.expr.nodes import Const
+
+        assert isinstance(out, Const)
+        assert out.value == 2.0
+
+    def test_nested_ite_only_target_replaced(self):
+        def model(x):
+            if x < 1.0:
+                return 1.0
+            if x < 2.0:
+                return 2.0
+            return 3.0
+
+        expr = lift(model, X)
+        ites = [n for n in expr.walk() if isinstance(n, Ite)]
+        assert len(ites) == 2
+        inner = min(ites, key=lambda n: n.size)
+        out = replace_subexpr(expr, inner, 9.0)
+        remaining = [n for n in out.walk() if isinstance(n, Ite)]
+        assert len(remaining) == 1

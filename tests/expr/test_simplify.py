@@ -1,0 +1,209 @@
+"""Tests for the global simplification passes."""
+
+import random
+
+import pytest
+
+from repro.expr import builder as b
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Func, Ite, Mul, Var
+from repro.expr.simplify import (
+    SimplifyStats,
+    factor_sums,
+    merge_exponentials,
+    simplify,
+    specialize,
+)
+from repro.solver.box import Box
+
+X = Var("x", nonneg=True)
+Y = Var("y", nonneg=True)
+
+
+def _equiv(e1, e2, vars=("x", "y"), lo=0.05, hi=5.0, n=60, seed=0):
+    rng = random.Random(seed)
+    for _ in range(n):
+        env = {v: rng.uniform(lo, hi) for v in vars}
+        v1, v2 = evaluate(e1, env), evaluate(e2, env)
+        assert v1 == pytest.approx(v2, rel=1e-10, abs=1e-12), env
+
+
+class TestFactorSums:
+    def test_simple_common_factor(self):
+        # x*y + x*2 -> x*(y + 2)
+        expr = b.add(b.mul(X, Y), b.mul(X, 2.0))
+        out = factor_sums(expr)
+        assert out.operation_count() < expr.operation_count()
+        _equiv(expr, out)
+
+    def test_power_factoring(self):
+        # x^3 + x^2 -> x^2 (x + 1)
+        expr = b.add(b.pow_(X, 3.0), b.pow_(X, 2.0))
+        out = factor_sums(expr)
+        _equiv(expr, out)
+        assert out.operation_count() <= expr.operation_count()
+
+    def test_fractional_power_factoring(self):
+        # x^1.5 + x^0.5 -> x^0.5 (x + 1)
+        expr = b.add(b.pow_(X, 1.5), b.pow_(X, 0.5))
+        out = factor_sums(expr)
+        _equiv(expr, out)
+
+    def test_negative_power_factoring(self):
+        # x^-2 + x^-1 -> x^-1 (x^-1 + 1)
+        expr = b.add(b.pow_(X, -2.0), b.pow_(X, -1.0))
+        out = factor_sums(expr)
+        _equiv(expr, out)
+
+    def test_no_common_factor_unchanged(self):
+        expr = b.add(b.mul(X, 2.0), b.mul(Y, 3.0))
+        assert factor_sums(expr) is expr
+
+    def test_constant_term_blocks_factoring(self):
+        expr = b.add(b.mul(X, Y), 1.0)
+        assert factor_sums(expr) is expr
+
+    def test_mixed_sign_exponents_not_factored(self):
+        # x + x^-1 share base x but opposite-sign exponents: no factoring
+        expr = b.add(X, b.pow_(X, -1.0))
+        out = factor_sums(expr)
+        _equiv(expr, out)
+
+    def test_three_terms(self):
+        # x*y + x*y^2 + x^2*y -> x*y*(1 + y + x)
+        expr = b.add(
+            b.mul(X, Y), b.mul(X, b.pow_(Y, 2.0)), b.mul(b.pow_(X, 2.0), Y)
+        )
+        out = factor_sums(expr)
+        _equiv(expr, out)
+        assert isinstance(out, Mul)
+
+    def test_nested_sums_factored_recursively(self):
+        inner = b.add(b.mul(X, Y), b.mul(X, 3.0))  # x(y+3)
+        expr = b.exp(inner)
+        out = factor_sums(expr)
+        _equiv(expr, out)
+
+
+class TestMergeExponentials:
+    def test_two_exps(self):
+        expr = b.mul(b.exp(X), b.exp(Y))
+        out = merge_exponentials(expr)
+        _equiv(expr, out)
+        # one exp remains
+        assert sum(1 for n in out.walk() if isinstance(n, Func) and n.name == "exp") == 1
+
+    def test_exp_with_other_factors(self):
+        expr = b.mul(X, b.exp(X), b.exp(b.neg(Y)), 2.0)
+        out = merge_exponentials(expr)
+        _equiv(expr, out)
+
+    def test_single_exp_unchanged(self):
+        expr = b.mul(X, b.exp(Y))
+        assert merge_exponentials(expr) is expr
+
+    def test_powered_exp_merged(self):
+        # exp(x)^2 * exp(y) -> exp(2x + y)
+        expr = b.mul(b.pow_(b.exp(X), 2.0), b.exp(Y))
+        out = merge_exponentials(expr)
+        _equiv(expr, out, hi=2.0)
+
+
+class TestSpecialize:
+    def _box(self, **bounds):
+        return Box.from_bounds(bounds)
+
+    def test_pins_point_variables(self):
+        expr = b.add(X, Y)
+        out = specialize(expr, self._box(x=(2.0, 2.0), y=(0.0, 5.0)))
+        assert {v.name for v in out.free_vars()} == {"y"}
+        assert evaluate(out, {"y": 1.0}) == pytest.approx(3.0)
+
+    def test_folds_decided_guard_true(self):
+        def model(x):
+            if x < 10.0:
+                return x
+            return x * x
+
+        from repro.pysym import lift
+
+        expr = lift(model, X)
+        out = specialize(expr, self._box(x=(0.0, 5.0)))
+        assert not any(isinstance(n, Ite) for n in out.walk())
+        _equiv(expr, out, vars=("x",))
+
+    def test_folds_decided_guard_false(self):
+        def model(x):
+            if x < 1.0:
+                return x
+            return x * x
+
+        from repro.pysym import lift
+
+        expr = lift(model, X)
+        out = specialize(expr, self._box(x=(2.0, 5.0)))
+        assert not any(isinstance(n, Ite) for n in out.walk())
+        assert evaluate(out, {"x": 3.0}) == pytest.approx(9.0)
+
+    def test_undecidable_guard_kept(self):
+        def model(x):
+            if x < 1.0:
+                return x
+            return x * x
+
+        from repro.pysym import lift
+
+        expr = lift(model, X)
+        out = specialize(expr, self._box(x=(0.0, 5.0)))
+        assert any(isinstance(n, Ite) for n in out.walk())
+
+    def test_scan_collapses_away_from_alpha_one(self):
+        from repro.functionals import get_functional
+
+        scan = get_functional("SCAN")
+        box = self._box(rs=(0.1, 5.0), s=(0.0, 5.0), alpha=(1.5, 5.0))
+        out = specialize(scan.fc(), box)
+        assert not any(isinstance(n, Ite) for n in out.walk())
+        # spot-check equivalence inside the box
+        from repro.functionals.scan import eps_c_scan
+
+        env = {"rs": 2.0, "s": 1.0, "alpha": 3.0}
+        expected = -env["rs"] * eps_c_scan(2.0, 1.0, 3.0) / 0.4581652932831429
+        assert evaluate(out, env) == pytest.approx(expected, rel=1e-10)
+
+
+class TestSimplifyDriver:
+    def test_returns_stats(self):
+        expr = b.add(b.mul(X, Y), b.mul(X, 2.0))
+        out, stats = simplify(expr)
+        assert isinstance(stats, SimplifyStats)
+        assert stats.ops_before >= stats.ops_after
+        assert 0.0 <= stats.reduction <= 1.0
+        _equiv(expr, out)
+
+    def test_fixpoint_reached(self):
+        expr = b.add(X, Y)
+        out, stats = simplify(expr)
+        assert out is expr  # nothing to do
+        assert stats.rounds <= 2
+
+    def test_functional_equivalence_on_all_paper_dfas(self):
+        from repro.functionals import paper_functionals
+
+        rng = random.Random(42)
+        for f in paper_functionals():
+            fc = f.fc()
+            out, _ = simplify(fc)
+            names = sorted(v.name for v in fc.free_vars())
+            for _ in range(20):
+                env = {n: rng.uniform(0.05, 4.5) for n in names}
+                v1, v2 = evaluate(fc, env), evaluate(out, env)
+                assert v1 == pytest.approx(v2, rel=1e-9), (f.name, env)
+
+    def test_with_box_specialisation(self):
+        from repro.functionals import get_functional
+
+        scan = get_functional("SCAN")
+        box = Box.from_bounds({"rs": (0.1, 5.0), "s": (0.0, 5.0), "alpha": (1.5, 5.0)})
+        out, stats = simplify(scan.fc(), box=box)
+        assert stats.ops_after < stats.ops_before

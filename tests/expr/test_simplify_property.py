@@ -1,0 +1,87 @@
+"""Property-based tests: simplification preserves semantics.
+
+Random expression trees are generated over positive variables (matching
+the DFA input domains) and every simplification pass must agree with the
+original expression pointwise wherever both evaluate.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import builder as b
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Expr, Var
+from repro.expr.simplify import factor_sums, merge_exponentials, simplify
+
+X = Var("x", nonneg=True)
+Y = Var("y", nonneg=True)
+
+_leaf = st.one_of(
+    st.just(X),
+    st.just(Y),
+    st.floats(min_value=-4.0, max_value=4.0, allow_nan=False).map(b.as_expr),
+)
+
+
+def _combine(children):
+    binary = st.tuples(children, children)
+    return st.one_of(
+        binary.map(lambda ab: b.add(*ab)),
+        binary.map(lambda ab: b.mul(*ab)),
+        st.tuples(
+            children, st.sampled_from([2.0, 3.0, 0.5, -1.0, 1.5])
+        ).map(lambda ae: b.pow_(ae[0], ae[1])),
+        children.map(lambda a: b.exp(b.minimum(a, b.as_expr(8.0)))),
+        children.map(lambda a: b.atan(a)),
+        children.map(lambda a: b.tanh(a)),
+    )
+
+
+exprs = st.recursive(_leaf, _combine, max_leaves=12)
+
+env_values = st.fixed_dictionaries(
+    {
+        "x": st.floats(min_value=0.05, max_value=4.0, allow_nan=False),
+        "y": st.floats(min_value=0.05, max_value=4.0, allow_nan=False),
+    }
+)
+
+
+def _agree(e1: Expr, e2: Expr, env: dict) -> None:
+    v1 = evaluate(e1, env)
+    v2 = evaluate(e2, env)
+    if math.isnan(v1) or math.isnan(v2):
+        # partial operations: both must fail or the defined one is at a
+        # removable point; accept NaN pairs only
+        assert math.isnan(v1) == math.isnan(v2)
+        return
+    assert v1 == pytest.approx(v2, rel=1e-8, abs=1e-9)
+
+
+@settings(max_examples=120, deadline=None)
+@given(expr=exprs, env=env_values)
+def test_factor_sums_preserves_value(expr, env):
+    _agree(expr, factor_sums(expr), env)
+
+
+@settings(max_examples=120, deadline=None)
+@given(expr=exprs, env=env_values)
+def test_merge_exponentials_preserves_value(expr, env):
+    _agree(expr, merge_exponentials(expr), env)
+
+
+@settings(max_examples=80, deadline=None)
+@given(expr=exprs, env=env_values)
+def test_full_simplify_preserves_value(expr, env):
+    out, stats = simplify(expr)
+    assert stats.ops_after <= stats.ops_before
+    _agree(expr, out, env)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=exprs, env=env_values)
+def test_simplify_never_grows(expr, env):
+    out, stats = simplify(expr)
+    assert out.operation_count() <= expr.operation_count()

@@ -1,0 +1,167 @@
+"""Tests for the Functional wrapper and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.expr.evaluator import evaluate
+from repro.functionals import (
+    Functional,
+    all_functionals,
+    get_functional,
+    paper_functionals,
+    register,
+)
+from repro.functionals.vars import C_LO, CX_RS
+
+
+class TestRegistry:
+    def test_paper_functionals_order(self):
+        names = [f.name for f in paper_functionals()]
+        assert names == ["PBE", "LYP", "AM05", "SCAN", "VWN RPA"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_functional("pbe").name == "PBE"
+        assert get_functional("vwn rpa").name == "VWN RPA"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_functional("B3LYP")
+
+    def test_all_functionals_sorted(self):
+        names = [f.name.lower() for f in all_functionals()]
+        assert names == sorted(names)
+
+    def test_double_register_rejected(self):
+        with pytest.raises(ValueError):
+            register(
+                Functional(
+                    name="PBE", family="GGA", category="non-empirical",
+                    correlation_model=get_functional("PBE").correlation_model,
+                )
+            )
+
+
+class TestFunctionalMetadata:
+    def test_families(self):
+        assert get_functional("VWN RPA").family == "LDA"
+        assert get_functional("PBE").family == "GGA"
+        assert get_functional("SCAN").family == "MGGA"
+
+    def test_categories(self):
+        assert get_functional("LYP").category == "empirical"
+        assert get_functional("SCAN").category == "non-empirical"
+
+    def test_invalid_family_rejected(self):
+        with pytest.raises(ValueError):
+            Functional(name="bad", family="GGGA", category="empirical")
+
+    def test_invalid_category_rejected(self):
+        with pytest.raises(ValueError):
+            Functional(name="bad", family="GGA", category="fitted")
+
+    def test_variables_by_family(self):
+        assert [v.name for v in get_functional("VWN RPA").variables] == ["rs"]
+        assert [v.name for v in get_functional("PBE").variables] == ["rs", "s"]
+        assert [v.name for v in get_functional("SCAN").variables] == [
+            "rs", "s", "alpha",
+        ]
+
+    def test_domains_match_paper(self):
+        d = get_functional("PBE").domain()
+        assert d["rs"].lo == pytest.approx(1e-4)
+        assert d["rs"].hi == pytest.approx(5.0)
+        assert d["s"].lo == 0.0 and d["s"].hi == 5.0
+        d3 = get_functional("SCAN").domain()
+        assert "alpha" in d3
+        assert "alpha" not in get_functional("LYP").domain()
+
+    def test_component_flags(self):
+        assert get_functional("LYP").has_correlation
+        assert not get_functional("LYP").has_exchange
+        assert get_functional("PBE").has_exchange
+
+    def test_missing_component_raises(self):
+        with pytest.raises(ValueError):
+            get_functional("LYP").eps_x()
+        with pytest.raises(ValueError):
+            get_functional("LYP").fx()
+
+
+class TestEnhancementFactors:
+    def test_fc_sign_convention(self):
+        """F_c >= 0 iff eps_c <= 0 (eps_x^unif < 0)."""
+        for name in ("PBE", "LYP", "AM05", "VWN RPA"):
+            f = get_functional(name)
+            env = {"rs": 2.0, "s": 2.5}
+            eps = evaluate(f.eps_c(), env)
+            fc = evaluate(f.fc(), env)
+            assert (eps <= 0.0) == (fc >= 0.0), name
+
+    def test_fc_equals_minus_rs_eps_over_cx(self):
+        f = get_functional("PBE")
+        env = {"rs": 1.7, "s": 0.9}
+        eps = evaluate(f.eps_c(), env)
+        fc = evaluate(f.fc(), env)
+        assert fc == pytest.approx(-env["rs"] * eps / CX_RS, rel=1e-12)
+
+    def test_fx_of_pbe_matches_closed_form(self):
+        from repro.functionals.pbe import fx_pbe
+        f = get_functional("PBE")
+        for s in (0.0, 1.0, 3.0):
+            assert evaluate(f.fx(), {"rs": 1.0, "s": s}) == pytest.approx(
+                fx_pbe(s), rel=1e-12
+            )
+
+    def test_fxc_is_sum(self):
+        f = get_functional("AM05")
+        env = {"rs": 2.0, "s": 1.5}
+        assert evaluate(f.fxc(), env) == pytest.approx(
+            evaluate(f.fx(), env) + evaluate(f.fc(), env), rel=1e-12
+        )
+
+    def test_pbe_fxc_below_lieb_oxford(self):
+        f = get_functional("PBE")
+        k = f.fxc_kernel()
+        rs, s = np.meshgrid(np.linspace(0.01, 5, 40), np.linspace(0, 5, 40), indexing="ij")
+        assert np.nanmax(k(rs, s)) < C_LO
+
+    def test_lifting_is_cached(self):
+        f = get_functional("PBE")
+        assert f.eps_c() is f.eps_c()
+        assert f.fc_kernel() is f.fc_kernel()
+
+    def test_complexity_reports_components(self):
+        c = get_functional("PBE").complexity()
+        assert set(c) == {"exchange", "correlation"}
+        assert c["correlation"] > c["exchange"]
+
+    def test_scan_is_most_complex(self):
+        sizes = {
+            f.name: sum(f.complexity().values()) for f in paper_functionals()
+        }
+        assert max(sizes, key=sizes.get) == "SCAN"
+
+
+class TestKernels:
+    def test_kernel_vectorisation_matches_scalar(self):
+        f = get_functional("LYP")
+        k = f.fc_kernel()
+        rs = np.array([0.5, 1.0, 2.0])
+        s = np.array([0.1, 1.0, 3.0])
+        out = k(rs, s)
+        for i in range(3):
+            assert out[i] == pytest.approx(
+                evaluate(f.fc(), {"rs": rs[i], "s": s[i]}), rel=1e-12
+            )
+
+    def test_lda_kernel_single_argument(self):
+        f = get_functional("VWN RPA")
+        k = f.fc_kernel()
+        out = k(np.array([1.0, 2.0]))
+        assert out.shape == (2,)
+
+    def test_mgga_kernel_three_arguments(self):
+        f = get_functional("SCAN")
+        k = f.fc_kernel()
+        out = k(np.array([1.0]), np.array([1.0]), np.array([2.0]))
+        assert np.isfinite(out).all()

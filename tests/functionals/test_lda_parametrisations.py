@@ -1,0 +1,120 @@
+"""Tests for the extra LDA correlation parametrisations (PZ81, VWN5, Wigner).
+
+Literature anchors:
+
+* PZ81 (zeta = 0): low-density branch at rs = 1 gives
+  gamma/(1 + beta1 + beta2) = -0.059632; high-density branch gives
+  B + D = -0.0596 -- the branches disagree by ~3.2e-5 Ha, the Section
+  VI-C matching-point discontinuity;
+* VWN5 fits the same Ceperley-Alder data as PW92, so the two agree to
+  ~1e-3 Ha over the physical range;
+* Wigner: eps_c(0) = -0.44/7.8, monotone increasing in rs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.functionals.pw92 import eps_c_pw92
+from repro.functionals.pz81 import (
+    A_PZ,
+    B_PZ,
+    D_PZ,
+    BETA1_PZ,
+    BETA2_PZ,
+    GAMMA_PZ,
+    RS_MATCH,
+    eps_c_pz81,
+    eps_c_pz81_high_density,
+    eps_c_pz81_low_density,
+)
+from repro.functionals.vwn5 import eps_c_vwn5
+from repro.functionals.vwn_rpa import eps_c_vwn_rpa
+from repro.functionals.wigner import A_WIG, B_WIG, eps_c_wigner
+
+
+class TestPZ81:
+    def test_branch_selection(self):
+        assert eps_c_pz81(0.5) == pytest.approx(eps_c_pz81_high_density(0.5))
+        assert eps_c_pz81(2.0) == pytest.approx(eps_c_pz81_low_density(2.0))
+
+    def test_low_density_value_at_match(self):
+        expected = GAMMA_PZ / (1.0 + BETA1_PZ + BETA2_PZ)
+        assert eps_c_pz81_low_density(1.0) == pytest.approx(expected, rel=1e-12)
+        assert expected == pytest.approx(-0.059632, abs=1e-6)
+
+    def test_high_density_value_at_match(self):
+        assert eps_c_pz81_high_density(1.0) == pytest.approx(B_PZ + D_PZ, rel=1e-12)
+
+    def test_matching_point_discontinuity(self):
+        # The Section VI-C numerical issue: the published constants leave a
+        # ~3.2e-5 Ha jump at rs = 1.
+        jump = eps_c_pz81_high_density(RS_MATCH) - eps_c_pz81_low_density(RS_MATCH)
+        assert jump == pytest.approx(3.2066e-5, rel=1e-3)
+        # ... which IS a discontinuity of the glued model code:
+        below = eps_c_pz81(RS_MATCH - 1e-12)
+        above = eps_c_pz81(RS_MATCH + 1e-12)
+        assert abs(below - above) > 3e-5
+
+    def test_negative_everywhere(self):
+        for rs in np.geomspace(1e-4, 100.0, 60):
+            assert eps_c_pz81(float(rs)) < 0.0
+
+    def test_monotone_increasing_in_rs_away_from_match(self):
+        lo = [eps_c_pz81(float(r)) for r in np.linspace(0.01, 0.99, 50)]
+        hi = [eps_c_pz81(float(r)) for r in np.linspace(1.01, 50.0, 50)]
+        assert all(b > a for a, b in zip(lo, lo[1:]))
+        assert all(b > a for a, b in zip(hi, hi[1:]))
+
+    def test_high_density_log_divergence(self):
+        e1 = eps_c_pz81(1e-6)
+        e2 = eps_c_pz81(1e-7)
+        assert (e2 - e1) == pytest.approx(A_PZ * math.log(0.1), rel=0.05)
+
+    def test_tracks_pw92(self):
+        # PZ81 and PW92 parametrise the same QMC data
+        for rs in (0.1, 0.5, 2.0, 5.0, 10.0):
+            assert eps_c_pz81(rs) == pytest.approx(eps_c_pw92(rs), abs=2e-3)
+
+
+class TestVWN5:
+    def test_value_at_rs1(self):
+        # canonical VWN5 zeta=0 value, about -0.0600 Ha
+        assert eps_c_vwn5(1.0) == pytest.approx(-0.0600, abs=5e-4)
+
+    def test_tracks_pw92(self):
+        for rs in (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0):
+            assert eps_c_vwn5(rs) == pytest.approx(eps_c_pw92(rs), abs=1.5e-3)
+
+    def test_negative_and_monotone(self):
+        values = [eps_c_vwn5(float(rs)) for rs in np.linspace(0.01, 50.0, 100)]
+        assert all(v < 0 for v in values)
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_less_binding_than_rpa(self):
+        # the RPA fit overbinds relative to the QMC fit
+        for rs in (0.5, 1.0, 2.0, 5.0):
+            assert eps_c_vwn_rpa(rs) < eps_c_vwn5(rs)
+
+    def test_high_density_log_divergence(self):
+        e1 = eps_c_vwn5(1e-6)
+        e2 = eps_c_vwn5(1e-7)
+        assert (e2 - e1) == pytest.approx(0.0310907 * math.log(0.1), rel=0.05)
+
+
+class TestWigner:
+    def test_value_at_origin(self):
+        assert eps_c_wigner(0.0) == pytest.approx(-A_WIG / B_WIG)
+
+    def test_negative_and_monotone(self):
+        values = [eps_c_wigner(float(rs)) for rs in np.linspace(0.0, 100.0, 100)]
+        assert all(v < 0 for v in values)
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_vanishes_at_low_density(self):
+        assert eps_c_wigner(1e6) == pytest.approx(0.0, abs=1e-6)
+
+    def test_right_order_of_magnitude(self):
+        # Wigner's interpolation is crude but lands in the QMC ballpark
+        assert eps_c_wigner(4.0) == pytest.approx(eps_c_pw92(4.0), abs=0.015)

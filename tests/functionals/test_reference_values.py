@@ -1,0 +1,200 @@
+"""Reference-value and physics-invariant tests for the DFA substrate.
+
+Literature anchors:
+
+* PW92 (zeta = 0): eps_c(1) = -0.0598, eps_c(2) = -0.0448,
+  eps_c(5) = -0.0282, eps_c(10) = -0.0186 Hartree (Perdew & Wang 1992);
+* uniform-gas exchange: eps_x = -0.458165.../rs Hartree;
+* VWN RPA tracks the RPA correlation energy (about -0.157 Ry at rs = 1);
+* PBE: F_x(0) = 1, F_x -> 1 + kappa = 1.804, eps_c(rs, s=0) = PW92;
+* SCAN: F_x(0, alpha=0) = h0x = 1.174, F_x(0, alpha=1) = 1 (uniform norm);
+* AM05: F_x(0) = 1, eps_c(rs, s=0) = PW92.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.functionals.lda_x import eps_x_unif
+from repro.functionals.pw92 import eps_c_pw92
+from repro.functionals.vwn_rpa import eps_c_vwn_rpa
+from repro.functionals.pbe import KAPPA, MU, eps_c_pbe, fx_pbe
+from repro.functionals.lyp import A_LYP, B_LYP, eps_c_lyp
+from repro.functionals.am05 import eps_c_am05, fx_am05
+from repro.functionals.scan import H0X, eps_c_scan, fx_scan
+from repro.functionals.vars import CF_TF, CX_RS
+
+
+class TestLDAExchange:
+    def test_known_constant(self):
+        assert CX_RS == pytest.approx(0.4581652932831429, rel=1e-12)
+
+    def test_value_at_rs1(self):
+        assert eps_x_unif(1.0) == pytest.approx(-0.458165, rel=1e-5)
+
+    def test_scales_inversely_with_rs(self):
+        assert eps_x_unif(2.0) == pytest.approx(eps_x_unif(1.0) / 2.0)
+
+    def test_always_negative(self):
+        for rs in (1e-4, 0.1, 1.0, 5.0, 100.0):
+            assert eps_x_unif(rs) < 0.0
+
+
+class TestPW92:
+    @pytest.mark.parametrize(
+        "rs,expected",
+        [(1.0, -0.0598), (2.0, -0.0448), (5.0, -0.0282), (10.0, -0.0186)],
+    )
+    def test_literature_values(self, rs, expected):
+        assert eps_c_pw92(rs) == pytest.approx(expected, abs=2e-4)
+
+    def test_negative_everywhere(self):
+        for rs in np.geomspace(1e-4, 1e3, 50):
+            assert eps_c_pw92(float(rs)) < 0.0
+
+    def test_monotone_increasing_in_rs(self):
+        values = [eps_c_pw92(float(rs)) for rs in np.linspace(0.01, 50.0, 200)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_high_density_log_divergence(self):
+        # eps_c ~ A ln(rs) as rs -> 0: ratio of eps at rs and rs/10
+        e1 = eps_c_pw92(1e-6)
+        e2 = eps_c_pw92(1e-7)
+        assert (e2 - e1) == pytest.approx(0.0310907 * math.log(0.1), rel=0.05)
+
+
+class TestVWNRPA:
+    def test_rpa_scale_at_rs1(self):
+        # RPA correlation energy at rs=1 is about -0.157 Ry = -0.0785 Ha
+        assert eps_c_vwn_rpa(1.0) == pytest.approx(-0.0785, abs=2e-3)
+
+    def test_negative_and_monotone(self):
+        values = [eps_c_vwn_rpa(float(rs)) for rs in np.linspace(0.01, 50.0, 100)]
+        assert all(v < 0 for v in values)
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_overestimates_true_correlation(self):
+        # RPA overbinds: |eps_RPA| > |eps_PW92|
+        for rs in (0.5, 1.0, 2.0, 5.0, 10.0):
+            assert eps_c_vwn_rpa(rs) < eps_c_pw92(rs)
+
+
+class TestPBE:
+    def test_fx_at_zero(self):
+        assert fx_pbe(0.0) == pytest.approx(1.0)
+
+    def test_fx_value_at_one(self):
+        assert fx_pbe(1.0) == pytest.approx(1.17243, abs=1e-5)
+
+    def test_fx_small_s_expansion(self):
+        s = 1e-4
+        assert fx_pbe(s) == pytest.approx(1.0 + MU * s * s, rel=1e-6)
+
+    def test_fx_saturates_below_lieb_oxford_form(self):
+        assert fx_pbe(1e6) == pytest.approx(1.0 + KAPPA, rel=1e-9)
+
+    def test_fx_monotone_in_s(self):
+        values = [fx_pbe(s) for s in np.linspace(0.0, 5.0, 100)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_correlation_reduces_to_pw92_at_s0(self):
+        for rs in (0.5, 1.0, 3.0):
+            assert eps_c_pbe(rs, 0.0) == pytest.approx(eps_c_pw92(rs), rel=1e-12)
+
+    def test_gradient_correction_is_positive(self):
+        for rs, s in ((0.5, 1.0), (2.0, 2.0), (4.0, 4.0)):
+            assert eps_c_pbe(rs, s) > eps_c_pw92(rs)
+
+    def test_correlation_nonpositive(self):
+        # the EC1 design property of PBE
+        for rs in (0.01, 0.1, 1.0, 5.0):
+            for s in (0.0, 1.0, 3.0, 5.0):
+                assert eps_c_pbe(rs, s) <= 1e-12
+
+
+class TestLYP:
+    def test_high_density_limit(self):
+        expected = -A_LYP * (1.0 + B_LYP * CF_TF)
+        assert eps_c_lyp(1e-10, 0.0) == pytest.approx(expected, rel=1e-6)
+
+    def test_negative_at_small_gradient(self):
+        for rs in (0.1, 1.0, 5.0):
+            assert eps_c_lyp(rs, 0.5) < 0.0
+
+    def test_positive_at_large_gradient(self):
+        # the paper's EC1 counterexample region (s > ~1.7)
+        for rs in (1.0, 2.0, 3.0):
+            assert eps_c_lyp(rs, 3.0) > 0.0
+
+    def test_violation_threshold_location(self):
+        # at rs = 2 the sign change happens between s = 1.6 and s = 1.8
+        assert eps_c_lyp(2.0, 1.6) < 0.0
+        assert eps_c_lyp(2.0, 1.8) > 0.0
+
+
+class TestAM05:
+    def test_fx_at_zero_is_one(self):
+        assert fx_am05(0.0) == pytest.approx(1.0, rel=1e-10)
+
+    def test_fx_increasing_then_bounded(self):
+        values = [fx_am05(s) for s in np.linspace(0.0, 5.0, 50)]
+        assert all(v >= 1.0 - 1e-12 for v in values)
+        assert max(values) < 2.27  # stays under the Lieb-Oxford form
+
+    def test_correlation_reduces_to_pw92_at_s0(self):
+        for rs in (0.5, 2.0, 4.0):
+            assert eps_c_am05(rs, 0.0) == pytest.approx(eps_c_pw92(rs), rel=1e-12)
+
+    def test_correlation_interpolates_to_gamma_fraction(self):
+        from repro.functionals.am05 import GAMMA_AM05
+        rs = 2.0
+        # s -> infinity: eps_c -> gamma * PW92
+        assert eps_c_am05(rs, 1e4) == pytest.approx(
+            GAMMA_AM05 * eps_c_pw92(rs), rel=1e-4
+        )
+
+    def test_correlation_nonpositive(self):
+        for rs in (0.01, 1.0, 5.0):
+            for s in (0.0, 2.0, 5.0):
+                assert eps_c_am05(rs, s) < 0.0
+
+
+class TestSCAN:
+    def test_single_orbital_norm(self):
+        assert fx_scan(1e-14, 0.0) == pytest.approx(H0X, rel=1e-10)
+
+    def test_uniform_gas_norm(self):
+        assert fx_scan(1e-14, 1.0) == pytest.approx(1.0, rel=1e-10)
+
+    def test_continuity_at_alpha_one(self):
+        for s in (0.5, 1.0, 3.0):
+            below = fx_scan(s, 1.0 - 1e-9)
+            at = fx_scan(s, 1.0)
+            above = fx_scan(s, 1.0 + 1e-9)
+            assert below == pytest.approx(at, abs=1e-7)
+            assert above == pytest.approx(at, abs=1e-7)
+
+    def test_correlation_continuity_at_alpha_one(self):
+        below = eps_c_scan(2.0, 1.0, 1.0 - 1e-9)
+        above = eps_c_scan(2.0, 1.0, 1.0 + 1e-9)
+        assert below == pytest.approx(above, abs=1e-7)
+
+    def test_correlation_nonpositive_on_samples(self):
+        # SCAN is built to satisfy EC1
+        for rs in (0.1, 1.0, 4.0):
+            for s in (0.1, 1.0, 4.0):
+                for alpha in (0.0, 0.5, 1.0, 2.0, 5.0):
+                    assert eps_c_scan(rs, s, alpha) <= 1e-10
+
+    def test_correlation_reduces_to_pw92_like_at_alpha1_s0(self):
+        # at s = 0, alpha = 1: eps_c = eps_c1 = PW92 + H1(t=0) = PW92
+        assert eps_c_scan(2.0, 1e-14, 1.0) == pytest.approx(
+            eps_c_pw92(2.0), rel=1e-8
+        )
+
+    def test_exchange_bounded_by_lieb_oxford(self):
+        # SCAN satisfies F_x <= 1.174 * 1.065 < 2.27 by design
+        for s in (0.0, 0.5, 2.0, 5.0):
+            for alpha in (0.0, 1.0, 3.0):
+                assert fx_scan(max(s, 1e-14), alpha) < 1.25

@@ -1,0 +1,165 @@
+"""Tests for r++SCAN (regularised-indicator SCAN, Section VI-A progression).
+
+Key properties:
+
+* alpha~ = alpha / (1 + eta (5/3) s^2) -- equal to alpha at s = 0,
+  strictly below it for s > 0;
+* the switching function is the rSCAN polynomial evaluated at alpha~,
+  continuous through alpha~ = 1 (no essential singularity) and matching
+  the exponential tail at alpha~ = 2.5;
+* r++SCAN tracks rSCAN closely at small s (where alpha' ~ alpha~ ~ alpha)
+  and SCAN away from alpha = 1;
+* the uniform-gas norm F_x(s=0, alpha=1) = 1 is restored *exactly* at
+  s = 0 (rSCAN's alpha' breaks it slightly: alpha'(1) = 1/(1+1e-3)).
+"""
+
+import numpy as np
+import pytest
+
+from repro.functionals.rppscan import (
+    ETA_RPP,
+    alpha_tilde,
+    eps_c_rppscan,
+    eps_x_rppscan,
+    f_alpha_c_rpp,
+    f_alpha_x_rpp,
+    fx_rppscan,
+)
+from repro.functionals.rscan import _f_poly, alpha_prime, fx_rscan
+from repro.functionals.scan import fx_scan, eps_c_scan
+from repro.functionals.pw92 import eps_c_pw92
+
+
+class TestAlphaTilde:
+    def test_identity_at_s0(self):
+        for a in (0.0, 0.5, 1.0, 3.0):
+            assert alpha_tilde(0.0, a) == pytest.approx(a)
+
+    def test_damped_for_positive_s(self):
+        for a in (0.5, 1.0, 3.0):
+            assert alpha_tilde(2.0, a) < a
+
+    def test_damping_magnitude(self):
+        # at s = 5: factor 1/(1 + 1e-3 * 5/3 * 25) ~ 0.96
+        assert alpha_tilde(5.0, 1.0) == pytest.approx(
+            1.0 / (1.0 + ETA_RPP * (5.0 / 3.0) * 25.0)
+        )
+
+
+class TestSwitchingFunction:
+    def test_poly_endpoints(self):
+        assert _f_poly(0.0) == pytest.approx(1.0)
+        assert _f_poly(1.0) == pytest.approx(0.0, abs=5e-9)
+
+    def test_continuity_at_alpha_one(self):
+        # no singularity: the polynomial is smooth through alpha~ = 1
+        below = f_alpha_x_rpp(0.5, 1.0 - 1e-9)
+        above = f_alpha_x_rpp(0.5, 1.0 + 1e-9)
+        assert below == pytest.approx(above, abs=1e-8)
+
+    def test_tail_matching_at_switch(self):
+        # each polynomial meets its own exponential tail at alpha~ = 2.5
+        s = 0.0
+        below = f_alpha_x_rpp(s, 2.5 - 1e-9)
+        above = f_alpha_x_rpp(s, 2.5 + 1e-9)
+        assert below == pytest.approx(above, abs=1e-6)
+        c_below = f_alpha_c_rpp(s, 2.5 - 1e-9)
+        c_above = f_alpha_c_rpp(s, 2.5 + 1e-9)
+        assert c_below == pytest.approx(c_above, abs=1e-6)
+
+    def test_guard_depends_on_s(self):
+        # with s large enough, alpha = 2.5 is pulled below the switch so
+        # the polynomial branch is taken; the two must still be close
+        # (tail matches poly at the switch), but not the identical branch
+        a_tilde = alpha_tilde(5.0, 2.51)
+        assert a_tilde < 2.5  # polynomial branch
+        assert f_alpha_x_rpp(5.0, 2.51) == pytest.approx(_f_poly(a_tilde))
+
+
+class TestEnhancementFactor:
+    def test_uniform_gas_norm_exact(self):
+        assert fx_rppscan(1e-14, 1.0) == pytest.approx(1.0, rel=1e-10)
+
+    def test_rscan_norm_error(self):
+        # rSCAN's alpha' = 1/(1+1e-3) at alpha = 1 misses the norm slightly;
+        # r++SCAN restores it (the design motivation for the change)
+        rscan_err = abs(fx_rscan(1e-14, 1.0) - 1.0)
+        rpp_err = abs(fx_rppscan(1e-14, 1.0) - 1.0)
+        assert rpp_err < rscan_err
+
+    def test_tracks_rscan_at_small_s(self):
+        for alpha in (0.0, 0.5, 2.0):
+            assert fx_rppscan(0.1, alpha) == pytest.approx(
+                fx_rscan(0.1, alpha), abs=5e-3
+            )
+
+    def test_tracks_scan_away_from_alpha_one(self):
+        for s, alpha in ((0.5, 0.0), (1.0, 3.0), (2.0, 0.2)):
+            assert fx_rppscan(s, alpha) == pytest.approx(
+                fx_scan(s, alpha), abs=0.02
+            )
+
+    def test_bounded_like_scan(self):
+        for s in (1e-10, 0.5, 2.0, 5.0):
+            for alpha in (0.0, 1.0, 3.0, 5.0):
+                assert 0.0 < fx_rppscan(s, alpha) < 1.3
+
+
+class TestCorrelation:
+    def test_reduces_to_pw92_at_s0_alpha1(self):
+        assert eps_c_rppscan(2.0, 1e-14, 1.0) == pytest.approx(
+            eps_c_pw92(2.0), rel=1e-8
+        )
+
+    def test_continuity_at_alpha_one(self):
+        below = eps_c_rppscan(2.0, 1.0, 1.0 - 1e-9)
+        above = eps_c_rppscan(2.0, 1.0, 1.0 + 1e-9)
+        assert below == pytest.approx(above, abs=1e-10)
+
+    def test_nonpositive_on_samples(self):
+        for rs in (0.1, 1.0, 4.0):
+            for s in (0.1, 1.0, 4.0):
+                for alpha in (0.0, 0.5, 1.0, 2.0, 5.0):
+                    assert eps_c_rppscan(rs, s, alpha) <= 1e-10
+
+    def test_tracks_scan_correlation(self):
+        for rs, s, alpha in ((1.0, 0.5, 0.0), (2.0, 1.0, 2.0), (0.5, 2.0, 0.5)):
+            assert eps_c_rppscan(rs, s, alpha) == pytest.approx(
+                eps_c_scan(rs, s, alpha), abs=5e-3
+            )
+
+
+class TestLifting:
+    def test_registered_and_lifts_with_ite(self):
+        from repro.functionals import get_functional
+
+        f = get_functional("r++SCAN")
+        assert f.family == "MGGA"
+        expr = f.eps_c()
+        # the alpha~ < 2.5 guard must survive lifting as an Ite
+        from repro.expr.nodes import Ite
+
+        found = [False]
+
+        def walk(e, seen=None):
+            if seen is None:
+                seen = set()
+            if id(e) in seen:
+                return
+            seen.add(id(e))
+            if isinstance(e, Ite):
+                found[0] = True
+            for child in e.children():
+                walk(child, seen)
+
+        walk(expr)
+        assert found[0]
+
+    def test_kernel_matches_model_code(self):
+        from repro.functionals import get_functional
+
+        f = get_functional("r++SCAN")
+        k = f.eps_c_kernel()
+        rs, s, alpha = 1.3, 0.7, 2.1
+        got = k(np.array([rs]), np.array([s]), np.array([alpha]))[0]
+        assert got == pytest.approx(eps_c_rppscan(rs, s, alpha), rel=1e-12)

@@ -1,0 +1,119 @@
+"""Tests for the regularized SCAN extension (paper Section VI-A outlook)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.expr.evaluator import evaluate
+from repro.functionals import get_functional
+from repro.functionals.rscan import (
+    ALPHA_R,
+    F_ALPHA_POLY,
+    alpha_prime,
+    eps_c_rscan,
+    f_alpha_c_rscan,
+    f_alpha_x_rscan,
+    fx_rscan,
+)
+from repro.functionals.scan import eps_c_scan, f_alpha_x, fx_scan
+
+
+class TestRegularisation:
+    def test_alpha_prime_near_identity_away_from_zero(self):
+        for a in (0.5, 1.0, 2.0, 5.0):
+            assert alpha_prime(a) == pytest.approx(a, rel=5e-3)
+
+    def test_alpha_prime_quenches_small_alpha(self):
+        assert alpha_prime(0.0) == 0.0
+        assert alpha_prime(1e-3) < 1e-3
+
+    def test_interpolation_endpoints(self):
+        # f(0) = 1 and f(1) = 0 exactly by construction of the coefficients
+        assert sum(F_ALPHA_POLY) == pytest.approx(0.0, abs=1e-12)
+        assert F_ALPHA_POLY[0] == 1.0
+
+    def test_correlation_interpolation_endpoints(self):
+        from repro.functionals.rscan import F_ALPHA_POLY_C
+
+        assert sum(F_ALPHA_POLY_C) == pytest.approx(0.0, abs=1e-9)
+        assert F_ALPHA_POLY_C[0] == 1.0
+
+    def test_correlation_tail_continuity_at_crossover(self):
+        # the correlation polynomial meets its own tail at alpha' = 2.5
+        # (needs alpha where alpha' crosses 2.5: alpha' is near-identity)
+        lo = f_alpha_c_rscan(2.5004)
+        hi = f_alpha_c_rscan(2.5006)
+        assert lo == pytest.approx(hi, abs=1e-3)
+
+    def test_switching_function_smooth_at_alpha_one(self):
+        # no essential singularity: values and slopes stay O(1) through 1
+        h = 1e-6
+        slope = (f_alpha_x_rscan(1.0 + h) - f_alpha_x_rscan(1.0 - h)) / (2 * h)
+        assert abs(slope) < 10.0
+        assert abs(f_alpha_x_rscan(1.0)) < 0.01
+
+    def test_tail_matches_scan_form(self):
+        # far above the crossover the tails coincide with SCAN's
+        assert f_alpha_x_rscan(4.0) == pytest.approx(f_alpha_x(4.0), rel=5e-3)
+
+
+class TestCloseToScan:
+    @pytest.mark.parametrize("s,alpha", [(0.5, 0.5), (1.0, 1.3), (3.0, 2.0), (2.0, 0.2)])
+    def test_exchange_close(self, s, alpha):
+        assert fx_rscan(s, alpha) == pytest.approx(fx_scan(s, alpha), abs=0.02)
+
+    @pytest.mark.parametrize("rs,s,alpha", [(0.5, 0.5, 0.5), (2.0, 1.0, 1.5), (4.0, 3.0, 3.0)])
+    def test_correlation_close(self, rs, s, alpha):
+        assert eps_c_rscan(rs, s, alpha) == pytest.approx(
+            eps_c_scan(rs, s, alpha), abs=5e-3
+        )
+
+    def test_correlation_nonpositive_on_samples(self):
+        for rs in (0.1, 1.0, 4.0):
+            for s in (0.1, 1.0, 4.0):
+                for alpha in (0.0, 0.5, 1.0, 2.0, 5.0):
+                    assert eps_c_rscan(rs, s, alpha) <= 1e-10
+
+
+class TestRegistryIntegration:
+    def test_registered(self):
+        f = get_functional("rSCAN")
+        assert f.family == "MGGA"
+        assert f.has_exchange and f.has_correlation
+
+    def test_not_in_paper_set(self):
+        from repro.functionals import paper_functionals
+        assert "rSCAN" not in {f.name for f in paper_functionals()}
+
+    def test_lifts_and_evaluates(self):
+        f = get_functional("rSCAN")
+        env = {"rs": 2.0, "s": 1.0, "alpha": 0.7}
+        assert evaluate(f.fc(), env) == pytest.approx(
+            -env["rs"] * eps_c_rscan(2.0, 1.0, 0.7) / 0.4581652932831429,
+            rel=1e-10,
+        )
+
+    def test_kernel_finite_on_grid(self):
+        f = get_functional("rSCAN")
+        k = f.fc_kernel()
+        rs, s, alpha = np.meshgrid(
+            np.linspace(0.01, 5, 12),
+            np.linspace(0, 5, 12),
+            np.linspace(0, 5, 12),
+            indexing="ij",
+        )
+        out = k(rs, s, alpha)
+        assert np.isfinite(out).all()
+
+    def test_conditions_apply(self):
+        from repro.conditions import EC1, EC5
+        f = get_functional("rSCAN")
+        assert EC1.applies_to(f)
+        assert EC5.applies_to(f)
+
+    def test_scalar_eval_is_total_at_alpha_one(self):
+        """Unlike SCAN, rSCAN has no diverging untaken branch at alpha = 1."""
+        f = get_functional("rSCAN")
+        value = evaluate(f.fc(), {"rs": 2.0, "s": 1.0, "alpha": 1.0})
+        assert math.isfinite(value)

@@ -1,0 +1,178 @@
+"""Tests for the spin-polarised LDA substrate.
+
+Anchors:
+
+* f(0) = 0, f(+-1) = 1, f even in zeta;
+* exchange spin scaling: eps_x(rs, 1) = 2^(1/3) eps_x(rs, 0) (exact);
+* PW92: the zeta = 0 branch equals the pw92 module; the ferromagnetic
+  branch carries less correlation; the spin stiffness alpha_c(rs) < 0;
+* Ec non-positivity holds for every zeta -- verified both by sampling and
+  by the delta-complete solver over the (rs, zeta) box.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.functionals.lda_x import eps_x_unif
+from repro.functionals.pw92 import eps_c_pw92
+from repro.functionals.spin import (
+    FPP0,
+    TWO_13,
+    ZETA,
+    eps_c_pw92_ferro,
+    eps_c_pw92_para,
+    eps_c_pw92_spin,
+    eps_x_unif_spin,
+    exchange_spin_factor,
+    f_zeta,
+    minus_alpha_c_pw92,
+)
+
+
+class TestSpinInterpolation:
+    def test_endpoints(self):
+        assert f_zeta(0.0) == pytest.approx(0.0)
+        assert f_zeta(1.0) == pytest.approx(1.0)
+        assert f_zeta(-1.0) == pytest.approx(1.0)
+
+    def test_even(self):
+        for z in (0.2, 0.5, 0.9):
+            assert f_zeta(z) == pytest.approx(f_zeta(-z))
+
+    def test_monotone_on_positive_half(self):
+        values = [f_zeta(z) for z in np.linspace(0.0, 1.0, 50)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_curvature_matches_fpp0(self):
+        h = 1e-5
+        fpp = (f_zeta(h) - 2.0 * f_zeta(0.0) + f_zeta(-h)) / (h * h)
+        assert fpp == pytest.approx(FPP0, rel=1e-4)
+
+
+class TestExchangeSpinScaling:
+    def test_unpolarised_factor_is_one(self):
+        assert exchange_spin_factor(0.0) == pytest.approx(1.0)
+
+    def test_ferromagnetic_enhancement(self):
+        assert exchange_spin_factor(1.0) == pytest.approx(TWO_13)
+        assert eps_x_unif_spin(2.0, 1.0) == pytest.approx(
+            TWO_13 * eps_x_unif(2.0)
+        )
+
+    def test_exchange_more_negative_with_polarisation(self):
+        for rs in (0.5, 1.0, 4.0):
+            for z in (0.3, 0.7, 1.0):
+                assert eps_x_unif_spin(rs, z) < eps_x_unif(rs)
+
+    def test_spin_scaling_identity(self):
+        # E_x[n_up, n_down] = (E_x[2 n_up] + E_x[2 n_down]) / 2, restated
+        # per particle: the factor must equal the two-term average
+        for z in (0.0, 0.25, 0.6, 1.0):
+            lhs = exchange_spin_factor(z)
+            rhs = 0.5 * ((1 + z) ** (4 / 3) + (1 - z) ** (4 / 3))
+            assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+class TestPW92Spin:
+    def test_para_branch_matches_pw92_module(self):
+        # PW92's published spin-fit table rounds A to 0.031091 while the
+        # zeta = 0 module uses 0.0310907: agreement to ~3e-6 relative
+        for rs in (0.1, 1.0, 5.0, 20.0):
+            assert eps_c_pw92_para(rs) == pytest.approx(eps_c_pw92(rs), rel=1e-4)
+            assert eps_c_pw92_spin(rs, 0.0) == pytest.approx(
+                eps_c_pw92(rs), rel=1e-4
+            )
+
+    def test_ferro_branch_at_zeta_one(self):
+        for rs in (0.5, 2.0, 10.0):
+            assert eps_c_pw92_spin(rs, 1.0) == pytest.approx(
+                eps_c_pw92_ferro(rs), rel=1e-10
+            )
+
+    def test_polarisation_reduces_correlation(self):
+        # parallel spins avoid each other already: |eps_c| shrinks with zeta
+        for rs in (0.5, 1.0, 5.0):
+            assert abs(eps_c_pw92_ferro(rs)) < abs(eps_c_pw92_para(rs))
+            assert eps_c_pw92_spin(rs, 1.0) > eps_c_pw92_spin(rs, 0.0)
+
+    def test_spin_stiffness_sign_convention(self):
+        # PW92 fit the *negated* stiffness with the (negative-valued) G
+        # form: alpha_c = -G > 0, which pushes eps_c toward zero with zeta
+        for rs in (0.1, 1.0, 10.0):
+            assert minus_alpha_c_pw92(rs) < 0.0
+            assert -minus_alpha_c_pw92(rs) > 0.0
+
+    def test_even_in_zeta(self):
+        for z in (0.25, 0.5, 0.9):
+            assert eps_c_pw92_spin(2.0, z) == pytest.approx(
+                eps_c_pw92_spin(2.0, -z), rel=1e-12
+            )
+
+    def test_nonpositive_everywhere_sampled(self):
+        for rs in np.geomspace(1e-3, 50.0, 20):
+            for z in np.linspace(-1.0, 1.0, 21):
+                assert eps_c_pw92_spin(float(rs), float(z)) < 0.0
+
+    def test_ferro_literature_value(self):
+        # PW92 Table: eps_c(rs=2, zeta=1) ~ -0.0252 Ha? use the fit itself
+        # as anchor at rs=1: about -0.0327 Ha (half the A of the para fit
+        # dominates the high-density log)
+        value = eps_c_pw92_ferro(1.0)
+        assert -0.040 < value < -0.025
+
+
+class TestLiftingAndVerification:
+    def test_lifts_with_zeta_variable(self):
+        from repro.functionals import vars as V
+        from repro.pysym import lift
+
+        expr = lift(eps_c_pw92_spin, V.RS, ZETA)
+        names = {v.name for v in expr.free_vars()}
+        assert names == {"rs", "zeta"}
+
+    def test_exchange_lifts_and_matches(self):
+        from repro.expr.evaluator import evaluate
+        from repro.functionals import vars as V
+        from repro.pysym import lift
+
+        expr = lift(eps_x_unif_spin, V.RS, ZETA)
+        assert evaluate(expr, {"rs": 2.0, "zeta": 0.5}) == pytest.approx(
+            eps_x_unif_spin(2.0, 0.5), rel=1e-12
+        )
+
+    def test_ec1_verified_over_spin_box_by_icp(self):
+        """Ec non-positivity of full PW92 proven over (rs, zeta) with the
+        delta-complete solver -- the spin-resolved analogue of EC1."""
+        from repro.functionals import vars as V
+        from repro.pysym import lift
+        from repro.solver import Atom, Box, Budget, Conjunction, ICPSolver
+
+        eps_c = lift(eps_c_pw92_spin, V.RS, ZETA)
+        # violation query: eps_c > 0 somewhere?
+        formula = Conjunction.of(Atom(eps_c, ">"))
+        box = Box.from_bounds({"rs": (1e-4, 5.0), "zeta": (-1.0, 1.0)})
+        result = ICPSolver().solve(formula, box, Budget(max_steps=20_000))
+        assert result.is_unsat  # verified: no positive correlation energy
+
+    def test_hazards_over_spin_box(self):
+        # (1 +- zeta)^(4/3) touches base 0 exactly at the box corners
+        # zeta = -+1: delta-decidability cannot separate the boundary, so
+        # those sites come back 'inconclusive'; nothing may actually
+        # trigger (no 'hazard'/'benign' verdicts)
+        from repro.functionals import vars as V
+        from repro.numerics import check_hazards
+        from repro.pysym import lift
+        from repro.solver import Box
+
+        expr = lift(eps_c_pw92_spin, V.RS, ZETA)
+        box = Box.from_bounds({"rs": (1e-4, 5.0), "zeta": (-1.0, 1.0)})
+        report = check_hazards(expr, box)
+        assert not report.triggered()
+        assert {v.status for v in report.verdicts} <= {
+            "safe", "inconclusive", "timeout"
+        }
+        # shrinking the box off the corners proves totality outright
+        inner = Box.from_bounds({"rs": (1e-4, 5.0), "zeta": (-0.999, 0.999)})
+        assert check_hazards(expr, inner).is_total

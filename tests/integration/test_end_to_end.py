@@ -1,0 +1,160 @@
+"""End-to-end integration tests reproducing the paper's headline shapes.
+
+These use coarse budgets (split threshold 0.7-1.25, small step budgets) so
+the whole module stays fast; the benchmarks regenerate the tables at the
+full settings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import (
+    CONSISTENT,
+    NOT_INCONSISTENT,
+    classify_consistency,
+)
+from repro.conditions import EC1, EC2, EC5, EC6, EC7, get_condition
+from repro.functionals import get_functional
+from repro.pb.checker import PBChecker
+from repro.pb.grid import GridSpec
+from repro.verifier import ascii_map, encode, rasterize, verify_pair
+from repro.verifier.regions import Outcome
+from repro.verifier.verifier import Verifier, VerifierConfig
+
+CONFIG = VerifierConfig(
+    split_threshold=0.7, per_call_budget=250, global_step_budget=15_000
+)
+CHECKER = PBChecker(spec=GridSpec(n_rs=121, n_s=121))
+
+
+@pytest.fixture(scope="module")
+def lyp_ec1_report():
+    return verify_pair(get_functional("LYP"), EC1, CONFIG)
+
+
+@pytest.fixture(scope="module")
+def pbe_ec7_report():
+    return verify_pair(get_functional("PBE"), EC7, CONFIG)
+
+
+class TestFigure2Shapes:
+    """LYP region maps (paper Figure 2)."""
+
+    def test_counterexamples_at_large_s_verified_below(self, lyp_ec1_report):
+        raster = rasterize(lyp_ec1_report, resolution=16)
+        cex_code = 2
+        verified_code = 1
+        top_rows = raster[12:, :]
+        bottom_rows = raster[:3, :]
+        assert (top_rows == cex_code).mean() > 0.8
+        assert (bottom_rows == verified_code).mean() > 0.8
+
+    def test_classification_cex(self, lyp_ec1_report):
+        assert lyp_ec1_report.classification() == "CEX"
+
+    def test_ascii_map_renders(self, lyp_ec1_report):
+        art = ascii_map(lyp_ec1_report, resolution=24)
+        assert "X" in art and "." in art
+
+    def test_ec2_counterexamples_at_small_rs(self):
+        report = verify_pair(get_functional("LYP"), EC2, CONFIG)
+        assert report.classification() == "CEX"
+        bbox = report.counterexample_bbox()
+        # paper: violations at rs < 2.5, s > 1.48
+        assert bbox["rs"].lo < 1.5
+        assert bbox["s"].hi > 4.0
+
+    def test_ec6_small_corner_region(self):
+        report = verify_pair(get_functional("LYP"), EC6, CONFIG)
+        assert report.classification() == "CEX"
+        bbox = report.counterexample_bbox()
+        # paper: rs > 4.84, s > 2.42 -- bottom-right-ish corner
+        assert bbox["rs"].hi > 4.3
+        assert bbox["s"].hi > 2.4
+
+
+class TestFigure1Shapes:
+    """PBE region maps (paper Figure 1)."""
+
+    def test_ec7_counterexample_covers_upper_left(self, pbe_ec7_report):
+        raster = rasterize(pbe_ec7_report, resolution=16)
+        cex_code = 2
+        upper_left = raster[12:, :4]
+        assert (upper_left == cex_code).mean() > 0.8
+
+    def test_ec7_lower_right_not_counterexample(self, pbe_ec7_report):
+        raster = rasterize(pbe_ec7_report, resolution=16)
+        lower_right = raster[:4, 12:]
+        assert (lower_right == 2).mean() < 0.2
+
+    def test_ec5_verified_everywhere(self):
+        report = verify_pair(get_functional("PBE"), EC5, CONFIG)
+        assert report.classification() == "OK"
+
+    def test_ec1_no_counterexample(self):
+        report = verify_pair(get_functional("PBE"), EC1, CONFIG)
+        assert report.classification() in ("OK", "OK*")
+
+
+class TestTableTwoConsistency:
+    """PB and XCVerifier must agree wherever both produce verdicts."""
+
+    @pytest.mark.parametrize("cid", ["EC1", "EC2", "EC7"])
+    def test_lyp_consistent(self, cid):
+        cond = get_condition(cid)
+        pb = CHECKER.check(get_functional("LYP"), cond)
+        report = verify_pair(get_functional("LYP"), cond, CONFIG)
+        cell = classify_consistency(pb, report, dilation=1.4)
+        assert cell == CONSISTENT
+
+    def test_pbe_ec7_consistent(self):
+        pb = CHECKER.check(get_functional("PBE"), EC7)
+        report = verify_pair(get_functional("PBE"), EC7, CONFIG)
+        assert classify_consistency(pb, report, dilation=1.4) == CONSISTENT
+
+    def test_vwn_rpa_not_inconsistent(self):
+        pb = CHECKER.check(get_functional("VWN RPA"), EC1)
+        report = verify_pair(get_functional("VWN RPA"), EC1, CONFIG)
+        assert classify_consistency(pb, report, dilation=1.4) == NOT_INCONSISTENT
+
+
+class TestScanColumn:
+    """SCAN: the hardest functional; most of the domain exhausts budgets."""
+
+    def test_scan_ec3_mostly_timeout(self):
+        config = VerifierConfig(
+            split_threshold=1.25, per_call_budget=150, global_step_budget=3000
+        )
+        report = verify_pair(get_functional("SCAN"), get_condition("EC3"), config)
+        fractions = report.area_fractions()
+        assert fractions[Outcome.TIMEOUT] > 0.5
+        assert not report.has_counterexample()
+
+    def test_scan_never_fully_verified(self):
+        config = VerifierConfig(
+            split_threshold=1.25, per_call_budget=150, global_step_budget=3000
+        )
+        for cid in ("EC1", "EC7"):
+            report = verify_pair(get_functional("SCAN"), get_condition(cid), config)
+            assert report.classification() in ("OK*", "?"), cid
+
+
+class TestVerifierVsDirectSampling:
+    """XCVerifier's verified regions must contain no sampled violations."""
+
+    def test_verified_regions_are_clean(self, lyp_ec1_report):
+        problem = encode(get_functional("LYP"), EC1)
+        from repro.expr.evaluator import evaluate_rel
+
+        rng = np.random.default_rng(7)
+        for record in lyp_ec1_report.records:
+            if record.outcome is not Outcome.VERIFIED:
+                continue
+            for _ in range(5):
+                pt = {
+                    name: float(rng.uniform(iv.lo, iv.hi))
+                    for name, iv in record.box.items()
+                }
+                assert evaluate_rel(problem.psi, pt), (
+                    f"sampled violation inside verified region {record.box}: {pt}"
+                )

@@ -1,0 +1,185 @@
+"""Tests for branch-boundary continuity analysis (Section VI-C)."""
+
+import math
+
+import pytest
+
+from repro.expr import builder as b
+from repro.expr.nodes import Var
+from repro.functionals import get_functional
+from repro.numerics import check_continuity
+from repro.numerics.continuity import BranchBoundary, ite_nodes
+from repro.pysym import lift
+from repro.solver.box import Box
+
+X = Var("x", nonneg=True)
+
+
+def _box(**bounds):
+    return Box.from_bounds(bounds)
+
+
+class TestIteDiscovery:
+    def test_no_ite_in_analytic_expr(self):
+        expr = b.add(b.mul(X, X), 1.0)
+        assert ite_nodes(expr) == []
+        report = check_continuity(expr, _box(x=(0.0, 2.0)))
+        assert report.boundaries == []
+        assert report.is_continuous()
+        assert "single analytic piece" in report.summary()
+
+    def test_finds_lifted_if(self):
+        def model(x):
+            if x < 1.0:
+                return x
+            return x * x
+
+        expr = lift(model, X)
+        assert len(ite_nodes(expr)) == 1
+
+
+class TestSyntheticBoundaries:
+    def test_continuous_glue_has_zero_jump(self):
+        def model(x):
+            if x < 1.0:
+                return 2.0 * x
+            return x * x + 1.0  # equals 2 at x = 1: continuous
+
+        expr = lift(model, X)
+        report = check_continuity(expr, _box(x=(0.0, 3.0)), n_base_points=4)
+        assert report.findings
+        assert report.max_value_jump() == pytest.approx(0.0, abs=1e-12)
+        # slopes differ: 2 vs 2x -> 2 vs 2 ... equal! use slope-jump case below
+        assert report.is_continuous()
+
+    def test_value_jump_measured(self):
+        def model(x):
+            if x < 1.0:
+                return x
+            return x + 0.25  # deliberate 0.25 jump
+
+        expr = lift(model, X)
+        report = check_continuity(expr, _box(x=(0.0, 2.0)), n_base_points=4)
+        assert report.max_value_jump() == pytest.approx(0.25, rel=1e-9)
+        assert not report.is_continuous()
+        worst = report.worst()
+        assert worst.point["x"] == pytest.approx(1.0, abs=1e-9)
+        assert worst.bisected_var == "x"
+
+    def test_slope_jump_measured(self):
+        def model(x):
+            if x < 1.0:
+                return x
+            return 2.0 * x - 1.0  # continuous, kinked: slopes 1 vs 2
+
+        expr = lift(model, X)
+        report = check_continuity(expr, _box(x=(0.0, 2.0)), n_base_points=4)
+        assert report.max_value_jump() == pytest.approx(0.0, abs=1e-12)
+        assert report.max_slope_jump() == pytest.approx(1.0, rel=1e-9)
+
+    def test_boundary_outside_box_not_located(self):
+        def model(x):
+            if x < 10.0:
+                return x
+            return x + 1.0
+
+        expr = lift(model, X)
+        report = check_continuity(expr, _box(x=(0.0, 2.0)), n_base_points=4)
+        assert len(report.boundaries) == 1
+        assert report.findings == []  # residual has no sign change in box
+
+    def test_deterministic_under_seed(self):
+        def model(x):
+            if x < 1.0:
+                return x
+            return x + 0.5
+
+        expr = lift(model, X)
+        r1 = check_continuity(expr, _box(x=(0.0, 2.0)), n_base_points=8, seed=7)
+        r2 = check_continuity(expr, _box(x=(0.0, 2.0)), n_base_points=8, seed=7)
+        assert [f.point for f in r1.findings] == [f.point for f in r2.findings]
+
+
+class TestBranchBoundary:
+    def test_residual_and_description(self):
+        def model(x):
+            if x < 2.0:
+                return x
+            return -x
+
+        expr = lift(model, X)
+        boundary = BranchBoundary(ite_nodes(expr)[0])
+        assert "x" in boundary.describe()
+        from repro.expr.evaluator import evaluate
+
+        assert evaluate(boundary.residual(), {"x": 2.0}) == pytest.approx(0.0)
+
+
+class TestPZ81MatchingPoint:
+    """The paper's canonical numerical-issues example."""
+
+    def test_detects_published_discontinuity(self):
+        pz = get_functional("PZ81")
+        report = check_continuity(pz.fc(), pz.domain(), n_base_points=8)
+        assert not report.is_continuous()
+        worst = report.worst()
+        assert worst.point["rs"] == pytest.approx(1.0, abs=1e-9)
+        # jump in F_c = jump in eps_c * rs / CX_RS = 3.2066e-5 / 0.45817
+        assert worst.value_jump == pytest.approx(6.999e-5, rel=1e-3)
+
+    def test_eps_c_jump_matches_constants(self):
+        pz = get_functional("PZ81")
+        report = check_continuity(pz.eps_c(), pz.domain(), n_base_points=8)
+        assert report.max_value_jump() == pytest.approx(3.2066e-5, rel=1e-3)
+
+    def test_slope_jump_also_present(self):
+        pz = get_functional("PZ81")
+        report = check_continuity(pz.eps_c(), pz.domain(), n_base_points=8)
+        # PZ81's branches also disagree in d/drs at the matching point
+        assert report.max_slope_jump() > 1e-5
+
+
+class TestSCANFamily:
+    def test_scan_boundaries_are_singular(self):
+        scan = get_functional("SCAN")
+        report = check_continuity(scan.fc(), scan.domain(), n_base_points=4)
+        assert len(report.boundaries) == 2  # alpha == 1 and alpha < 1 switches
+        assert report.singular_findings()
+        assert not report.is_continuous()
+
+    def test_rscan_is_continuous(self):
+        rscan = get_functional("rSCAN")
+        report = check_continuity(rscan.fc(), rscan.domain(), n_base_points=4)
+        assert not report.singular_findings()
+        # polynomial/tail crossover agrees to fit accuracy
+        assert report.max_value_jump() < 1e-9
+
+    def test_rppscan_is_continuous(self):
+        rpp = get_functional("r++SCAN")
+        report = check_continuity(rpp.fc(), rpp.domain(), n_base_points=4)
+        assert not report.singular_findings()
+        assert report.max_value_jump() < 1e-9
+
+    def test_smooth_functionals_have_no_boundaries(self):
+        for name in ("PBE", "LYP", "AM05", "VWN RPA", "PW91"):
+            f = get_functional(name)
+            report = check_continuity(f.fc(), f.domain(), n_base_points=2)
+            assert report.boundaries == [], name
+
+
+class TestSingularClassification:
+    def test_pole_at_boundary_flagged_singular(self):
+        from repro.pysym.intrinsics import exp
+
+        def model(x):
+            if x < 1.0:
+                return exp(-1.0 / (1.0 - x))  # essential singularity at 1
+            return 0.0
+
+        expr = lift(model, X)
+        report = check_continuity(expr, _box(x=(0.0, 2.0)), n_base_points=4)
+        assert report.singular_findings()
+        finding = report.singular_findings()[0]
+        assert finding.is_discontinuous
+        assert math.isnan(finding.value_jump)
+        assert "SINGULAR" in repr(finding)

@@ -1,0 +1,107 @@
+"""Tests for the condition-number sensitivity analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.expr import builder as b
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Var
+from repro.functionals import get_functional
+from repro.numerics import condition_number, sensitivity_map
+
+X = Var("x", nonneg=True)
+
+
+class TestConditionNumber:
+    def test_power_law_has_constant_kappa(self):
+        # f = x^n  ->  kappa = n everywhere
+        for n in (1.0, 2.0, 3.5):
+            kappa = condition_number(b.pow_(X, n), X)
+            for x in (0.5, 1.0, 4.0):
+                assert evaluate(kappa, {"x": x}) == pytest.approx(n)
+
+    def test_exponential_kappa_grows_linearly(self):
+        # f = exp(x) -> kappa = x
+        kappa = condition_number(b.exp(X), X)
+        for x in (0.1, 1.0, 10.0):
+            assert evaluate(kappa, {"x": x}) == pytest.approx(x)
+
+    def test_constant_function_insensitive(self):
+        kappa = condition_number(b.add(b.as_expr(3.0), b.mul(0.0, X)), X)
+        assert evaluate(kappa, {"x": 2.0}) == pytest.approx(0.0)
+
+    def test_kappa_diverges_at_zeros(self):
+        # f = x - 1 has a zero at 1: kappa -> infinity nearby
+        kappa = condition_number(b.sub(X, 1.0), X)
+        assert evaluate(kappa, {"x": 1.0 + 1e-9}) > 1e6
+
+    def test_matches_finite_difference(self):
+        # kappa for LYP's F_c against a numeric estimate
+        lyp = get_functional("LYP")
+        fc = lyp.fc()
+        rs_var = next(v for v in fc.free_vars() if v.name == "rs")
+        kappa = condition_number(fc, rs_var)
+        point = {"rs": 2.0, "s": 0.5}
+        h = 1e-6
+        up = evaluate(fc, {"rs": 2.0 + h, "s": 0.5})
+        dn = evaluate(fc, {"rs": 2.0 - h, "s": 0.5})
+        mid = evaluate(fc, point)
+        fd = abs(2.0 * (up - dn) / (2.0 * h) / mid)
+        assert evaluate(kappa, point) == pytest.approx(fd, rel=1e-5)
+
+
+class TestSensitivityMap:
+    def test_map_shapes(self):
+        pbe = get_functional("PBE")
+        m = sensitivity_map(pbe, "fc", per_dim=17)
+        assert set(m.kappa) == {"rs", "s"}
+        assert m.kappa["rs"].shape == (17, 17)
+        assert set(m.axes) == {"rs", "s"}
+
+    def test_mgga_has_three_axes(self):
+        scan = get_functional("SCAN")
+        m = sensitivity_map(scan, "fc", per_dim=9)
+        assert set(m.kappa) == {"rs", "s", "alpha"}
+        assert m.kappa["alpha"].shape == (9, 9, 9)
+
+    def test_lda_has_one_axis(self):
+        vwn = get_functional("VWN RPA")
+        m = sensitivity_map(vwn, "fc", per_dim=33)
+        assert set(m.kappa) == {"rs"}
+
+    def test_max_and_argmax_consistent(self):
+        pbe = get_functional("PBE")
+        m = sensitivity_map(pbe, "fc", per_dim=17)
+        peak = m.argmax("s")
+        assert set(peak) == {"rs", "s"}
+        # evaluating kappa at the argmax must reproduce the max
+        fc = pbe.fc()
+        s_var = next(v for v in fc.free_vars() if v.name == "s")
+        kappa = condition_number(fc, s_var)
+        assert evaluate(kappa, peak) == pytest.approx(m.max_kappa("s"), rel=1e-9)
+
+    def test_lyp_sign_change_dominates(self):
+        # LYP's F_c crosses zero inside the box: kappa blows up near the
+        # nodal line, so LYP's max kappa dwarfs PBE's
+        lyp_m = sensitivity_map(get_functional("LYP"), "fc", per_dim=33)
+        pbe_m = sensitivity_map(get_functional("PBE"), "fc", per_dim=33)
+        assert lyp_m.max_kappa("s") > 10.0 * pbe_m.max_kappa("s")
+
+    def test_summary_mentions_each_axis(self):
+        pbe = get_functional("PBE")
+        text = sensitivity_map(pbe, "fc", per_dim=9).summary()
+        assert "kappa_rs" in text and "kappa_s" in text
+
+    def test_quantile_bounds(self):
+        pbe = get_functional("PBE")
+        m = sensitivity_map(pbe, "fc", per_dim=17)
+        assert m.quantile("rs", 0.5) <= m.max_kappa("rs")
+
+    def test_exchange_component(self):
+        pbe = get_functional("PBE")
+        m = sensitivity_map(pbe, "fx", per_dim=17)
+        # F_x(s) is independent of rs: kappa_rs identically ~0
+        assert m.max_kappa("rs") == pytest.approx(0.0, abs=1e-12)
+        assert m.max_kappa("s") > 0.1

@@ -1,0 +1,73 @@
+"""Tests for numeric gradients against exact derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.expr.derivative import derivative
+from repro.functionals import get_functional
+from repro.functionals.vars import RS
+from repro.pb.gradients import d2_drs2, d_drs, gradient_error_estimate
+
+
+class TestFiniteDifferences:
+    def test_linear_exact(self):
+        rs = np.linspace(0.0, 1.0, 11)
+        values = 3.0 * rs + 1.0
+        np.testing.assert_allclose(d_drs(values, rs), 3.0, atol=1e-12)
+
+    def test_quadratic_interior_exact(self):
+        rs = np.linspace(0.0, 1.0, 101)
+        values = rs**2
+        grad = d_drs(values, rs)
+        np.testing.assert_allclose(grad[1:-1], 2.0 * rs[1:-1], atol=1e-10)
+
+    def test_second_derivative_of_cubic(self):
+        rs = np.linspace(0.0, 2.0, 401)
+        values = rs**3
+        d2 = d2_drs2(values, rs)
+        np.testing.assert_allclose(d2[3:-3], 6.0 * rs[3:-3], rtol=1e-3, atol=1e-6)
+
+    def test_axis_is_rs_only(self):
+        rs = np.linspace(0.0, 1.0, 21)
+        s = np.linspace(0.0, 1.0, 7)
+        rs_mesh, s_mesh = np.meshgrid(rs, s, indexing="ij")
+        values = rs_mesh * 5.0 + s_mesh * 100.0
+        grad = d_drs(values, rs)
+        np.testing.assert_allclose(grad, 5.0, atol=1e-9)
+
+
+class TestAgainstSymbolicDerivative:
+    def test_pbe_dfc_drs_converges(self):
+        """Numeric gradient approaches the symbolic one as the grid refines.
+
+        This is experiment E2's core claim: the PB baseline's derivative is
+        an approximation, the verifier's is exact.
+        """
+        f = get_functional("PBE")
+        kernel = f.fc_kernel()
+        exact_expr = derivative(f.fc(), RS)
+        from repro.expr.codegen import compile_numpy
+        exact_kernel = compile_numpy(exact_expr, arg_order=f.variables)
+
+        errors = []
+        for n in (51, 201, 801):
+            rs = np.linspace(0.5, 5.0, n)
+            s = np.full_like(rs, 1.0)
+            approx = d_drs(kernel(rs, s), rs)
+            exact = exact_kernel(rs, s)
+            errors.append(np.abs(approx - exact)[2:-2].max())
+        assert errors[1] < errors[0]
+        assert errors[2] < errors[1]
+
+    def test_error_estimate_helper(self):
+        f = get_functional("LYP")
+        kernel = f.fc_kernel()
+        exact_expr = derivative(f.fc(), RS)
+        from repro.expr.codegen import compile_numpy
+        exact_kernel = compile_numpy(exact_expr, arg_order=f.variables)
+        rs = np.linspace(0.5, 5.0, 101)
+        s = np.full_like(rs, 2.0)
+        stats = gradient_error_estimate(kernel(rs, s), rs, exact_kernel(rs, s))
+        assert stats["fraction_finite"] == 1.0
+        assert stats["max"] < 1e-2
+        assert stats["mean"] <= stats["max"]

@@ -1,0 +1,66 @@
+"""Tests for the PB ASCII map renderer."""
+
+import numpy as np
+import pytest
+
+from repro.conditions import EC1
+from repro.functionals import get_functional
+from repro.pb import GridSpec, PBChecker, ascii_pb_map, downsample_mask
+
+
+class TestDownsample:
+    def test_any_pooling(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[0, 0] = True
+        out = downsample_mask(mask, (2, 2))
+        assert out[0, 0]
+        assert not out[1, 1]
+
+    def test_shape(self):
+        mask = np.zeros((100, 60), dtype=bool)
+        assert downsample_mask(mask, (10, 6)).shape == (10, 6)
+
+    def test_all_true_preserved(self):
+        mask = np.ones((9, 9), dtype=bool)
+        assert downsample_mask(mask, (3, 3)).all()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            downsample_mask(np.zeros(5, dtype=bool), (1, 1))
+
+
+class TestAsciiPBMap:
+    @pytest.fixture(scope="class")
+    def lyp_result(self):
+        return PBChecker(spec=GridSpec(n_rs=61, n_s=61)).check(
+            get_functional("LYP"), EC1
+        )
+
+    def test_violations_at_top(self, lyp_result):
+        art = ascii_pb_map(lyp_result, resolution=12, legend=False)
+        rows = art.splitlines()[1:]
+        assert set(rows[0]) == {"#"}        # top row (s = 5) all violating
+        assert "#" not in rows[-1]          # bottom row (s = 0) clean
+
+    def test_legend(self, lyp_result):
+        assert "legend" in ascii_pb_map(lyp_result)
+        assert "legend" not in ascii_pb_map(lyp_result, legend=False)
+
+    def test_header_names_pair(self, lyp_result):
+        assert "LYP / EC1" in ascii_pb_map(lyp_result)
+
+    def test_lda_renders_single_row(self):
+        result = PBChecker(spec=GridSpec(n_rs=61)).check(
+            get_functional("VWN RPA"), EC1
+        )
+        art = ascii_pb_map(result, resolution=12, legend=False)
+        rows = art.splitlines()[1:]
+        assert len(rows) == 1
+        assert set(rows[0]) <= {".", " "}
+
+    def test_mgga_projects_alpha(self):
+        result = PBChecker(spec=GridSpec(n_rs=31, n_s=31, n_alpha=5)).check(
+            get_functional("SCAN"), EC1
+        )
+        art = ascii_pb_map(result, resolution=8, legend=False)
+        assert len(art.splitlines()) == 9

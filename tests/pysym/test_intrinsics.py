@@ -1,0 +1,62 @@
+"""Tests for polymorphic math intrinsics."""
+
+import math
+
+import pytest
+
+from repro.expr.nodes import Expr, Func, Var
+from repro.pysym import intrinsics as I
+
+X = Var("x")
+
+
+class TestNumericDispatch:
+    @pytest.mark.parametrize(
+        "fn,ref,arg",
+        [
+            (I.exp, math.exp, 1.2),
+            (I.log, math.log, 2.5),
+            (I.sqrt, math.sqrt, 4.0),
+            (I.atan, math.atan, 0.7),
+            (I.fabs, abs, -3.0),
+            (I.sin, math.sin, 0.4),
+            (I.cos, math.cos, 0.4),
+            (I.tanh, math.tanh, 0.9),
+            (I.erf, math.erf, 0.3),
+        ],
+    )
+    def test_matches_math(self, fn, ref, arg):
+        assert fn(arg) == pytest.approx(ref(arg))
+
+    def test_cbrt_negative(self):
+        assert I.cbrt(-8.0) == pytest.approx(-2.0)
+
+    def test_lambertw_identity(self):
+        assert I.lambertw(1.0) * math.exp(I.lambertw(1.0)) == pytest.approx(1.0)
+
+    def test_pi_constant(self):
+        assert I.pi == math.pi
+
+
+class TestSymbolicDispatch:
+    def test_returns_expressions(self):
+        out = I.exp(X)
+        assert isinstance(out, Expr)
+
+    def test_registry_complete(self):
+        assert set(I.INTRINSIC_FUNCTIONS) == {
+            "exp", "log", "sqrt", "cbrt", "atan", "fabs", "lambertw",
+            "sin", "cos", "tanh", "erf",
+        }
+
+    def test_intrinsic_tag(self):
+        assert I.exp.__intrinsic__ == "exp"
+
+    def test_symbolic_matches_numeric(self):
+        from repro.expr.evaluator import evaluate
+
+        for name, fn in I.INTRINSIC_FUNCTIONS.items():
+            arg = 0.7
+            assert evaluate(fn(X), {"x": arg}) == pytest.approx(
+                fn(arg), rel=1e-12
+            ), name

@@ -1,0 +1,291 @@
+"""Tests for the Python symbolic execution engine (XCEncoder front end)."""
+
+import math
+
+import pytest
+
+from repro.expr import builder as b
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Const, Expr, Ite, Var
+from repro.pysym import SymExecError, lift
+from repro.pysym.intrinsics import atan, cbrt, exp, fabs, lambertw, log, sqrt
+
+X = Var("x")
+Y = Var("y")
+
+# --- model functions used as lifting targets ---------------------------------
+
+GLOBAL_COEFF = 2.5
+
+
+def straight_line(a, c):
+    t = a * a + 1.0
+    u = t / (a + 2.0)
+    return u - c
+
+
+def uses_intrinsics(a):
+    return exp(-a) * log(1.0 + a * a) + sqrt(a * a + 1.0)
+
+
+def uses_global(a):
+    return GLOBAL_COEFF * a
+
+
+def helper(a):
+    return a * a + 1.0
+
+
+def calls_helper(a):
+    return helper(a) + helper(2.0 * a)
+
+
+def with_default(a, scale=3.0):
+    return scale * a
+
+
+def branch_both_return(a):
+    if a < 1.0:
+        return a * a
+    return 2.0 * a - 1.0
+
+
+def branch_if_else(a):
+    if a >= 0.0:
+        out = a
+    else:
+        out = -a
+    return out + 1.0
+
+
+def nested_branches(a, c):
+    if a < 0.0:
+        if c < 0.0:
+            return a * c
+        return a - c
+    return a + c
+
+
+def early_return_then_code(a):
+    if a < 0.0:
+        return 0.0
+    t = a * a
+    return t + 1.0
+
+
+def cond_expression(a):
+    return (a if a >= 0.0 else -a) + 1.0
+
+
+def tuple_assign(a):
+    p, q = a + 1.0, a - 1.0
+    return p * q
+
+
+def aug_assign(a):
+    t = a
+    t += 2.0
+    t *= 3.0
+    return t
+
+
+def recursive(a):
+    return recursive(a) + 1.0
+
+
+def uses_loop(a):
+    total = 0.0
+    for _ in range(3):
+        total = total + a
+    return total
+
+
+def no_return(a):
+    t = a + 1.0
+
+
+class TestStraightLine:
+    def test_basic_arithmetic(self):
+        e = lift(straight_line, X, Y)
+        assert evaluate(e, {"x": 2.0, "y": 0.5}) == pytest.approx(
+            straight_line(2.0, 0.5)
+        )
+
+    def test_numeric_arguments_fold(self):
+        e = lift(straight_line, 2.0, 0.5)
+        assert isinstance(e, (Const, float)) or not e.free_vars()
+
+    def test_intrinsics(self):
+        e = lift(uses_intrinsics, X)
+        assert evaluate(e, {"x": 1.3}) == pytest.approx(uses_intrinsics(1.3))
+
+    def test_globals_resolved(self):
+        e = lift(uses_global, X)
+        assert evaluate(e, {"x": 2.0}) == pytest.approx(5.0)
+
+    def test_helper_inlined(self):
+        e = lift(calls_helper, X)
+        assert evaluate(e, {"x": 1.5}) == pytest.approx(calls_helper(1.5))
+
+    def test_default_arguments(self):
+        e = lift(with_default, X)
+        assert evaluate(e, {"x": 2.0}) == pytest.approx(6.0)
+
+    def test_keyword_arguments(self):
+        e = lift(with_default, X, scale=10.0)
+        assert evaluate(e, {"x": 2.0}) == pytest.approx(20.0)
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(SymExecError):
+            lift(with_default, X, nope=1.0)
+
+    def test_missing_argument_rejected(self):
+        with pytest.raises(SymExecError):
+            lift(straight_line, X)
+
+    def test_tuple_assignment(self):
+        e = lift(tuple_assign, X)
+        assert evaluate(e, {"x": 3.0}) == pytest.approx(8.0)
+
+    def test_augmented_assignment(self):
+        e = lift(aug_assign, X)
+        assert evaluate(e, {"x": 1.0}) == pytest.approx(9.0)
+
+
+class TestBranching:
+    def test_both_return_creates_ite(self):
+        e = lift(branch_both_return, X)
+        assert isinstance(e, Ite)
+        for xv in (-1.0, 0.5, 1.0, 2.0):
+            assert evaluate(e, {"x": xv}) == pytest.approx(branch_both_return(xv))
+
+    def test_if_else_assignment(self):
+        e = lift(branch_if_else, X)
+        for xv in (-3.0, 0.0, 3.0):
+            assert evaluate(e, {"x": xv}) == pytest.approx(branch_if_else(xv))
+
+    def test_nested_branches(self):
+        e = lift(nested_branches, X, Y)
+        for xv in (-1.0, 1.0):
+            for yv in (-2.0, 2.0):
+                assert evaluate(e, {"x": xv, "y": yv}) == pytest.approx(
+                    nested_branches(xv, yv)
+                )
+
+    def test_early_return(self):
+        e = lift(early_return_then_code, X)
+        assert evaluate(e, {"x": -1.0}) == pytest.approx(0.0)
+        assert evaluate(e, {"x": 2.0}) == pytest.approx(5.0)
+
+    def test_conditional_expression(self):
+        e = lift(cond_expression, X)
+        assert evaluate(e, {"x": -4.0}) == pytest.approx(5.0)
+        assert evaluate(e, {"x": 4.0}) == pytest.approx(5.0)
+
+    def test_concrete_condition_is_resolved_statically(self):
+        def concrete_branch(a):
+            if 1.0 < 2.0:
+                return a
+            return -a
+
+        e = lift(concrete_branch, X)
+        assert e is X
+
+
+class TestRejections:
+    def test_recursion_rejected(self):
+        with pytest.raises(SymExecError):
+            lift(recursive, X)
+
+    def test_loops_rejected(self):
+        with pytest.raises(SymExecError):
+            lift(uses_loop, X)
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(SymExecError):
+            lift(no_return, X)
+
+    def test_unbound_name_rejected(self):
+        def bad(a):
+            return a + undefined_name  # noqa: F821
+
+        with pytest.raises(SymExecError):
+            lift(bad, X)
+
+    def test_unsupported_builtin_rejected(self):
+        def bad(a):
+            return max(a, 0.0)
+
+        with pytest.raises(SymExecError):
+            lift(bad, X)
+
+    def test_builtin_abs_is_mapped(self):
+        def uses_abs(a):
+            return abs(a) + 1.0
+
+        e = lift(uses_abs, X)
+        assert evaluate(e, {"x": -2.0}) == pytest.approx(3.0)
+
+    def test_chained_comparison_rejected(self):
+        def bad(a):
+            if 0.0 < a < 1.0:
+                return a
+            return -a
+
+        with pytest.raises(SymExecError):
+            lift(bad, X)
+
+    def test_boolean_condition_rejected(self):
+        def bad(a):
+            if a:
+                return a
+            return -a
+
+        with pytest.raises(SymExecError):
+            lift(bad, X)
+
+    def test_string_constant_rejected(self):
+        def bad(a):
+            t = "nope"
+            return a
+
+        with pytest.raises(SymExecError):
+            lift(bad, X)
+
+
+class TestFunctionalModelCode:
+    """The real model code must lift and agree with direct numeric execution."""
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            {"rs": 0.3, "s": 0.1, "alpha": 0.0},
+            {"rs": 1.0, "s": 1.0, "alpha": 0.9},
+            {"rs": 2.7, "s": 3.3, "alpha": 1.1},
+            {"rs": 4.9, "s": 4.9, "alpha": 4.9},
+        ],
+    )
+    def test_lift_agrees_with_numeric_execution(self, point):
+        from repro.functionals.lyp import eps_c_lyp
+        from repro.functionals.pbe import eps_c_pbe, eps_x_pbe
+        from repro.functionals.am05 import eps_c_am05, eps_x_am05
+        from repro.functionals.scan import eps_c_scan, eps_x_scan
+        from repro.functionals.vwn_rpa import eps_c_vwn_rpa
+
+        rs, s, alpha = point["rs"], point["s"], point["alpha"]
+        cases = [
+            (eps_c_lyp, (rs, s)),
+            (eps_c_pbe, (rs, s)),
+            (eps_x_pbe, (rs, s)),
+            (eps_c_am05, (rs, s)),
+            (eps_x_am05, (rs, s)),
+            (eps_c_vwn_rpa, (rs,)),
+            (eps_c_scan, (rs, s, alpha)),
+            (eps_x_scan, (rs, s, alpha)),
+        ]
+        for model, args in cases:
+            direct = model(*args)
+            names = ["rs", "s", "alpha"][: len(args)]
+            lifted = lift(model, *[Var(n, nonneg=True) for n in names])
+            symbolic = evaluate(lifted, dict(zip(names, args)))
+            assert symbolic == pytest.approx(direct, rel=1e-12), model.__name__

@@ -1,0 +1,125 @@
+"""Tests for variable boxes."""
+
+import pytest
+
+from repro.solver.box import Box
+from repro.solver.interval import EMPTY, make
+
+
+def box2(rs=(0.0, 5.0), s=(0.0, 5.0)) -> Box:
+    return Box.from_bounds({"rs": rs, "s": s})
+
+
+class TestConstruction:
+    def test_from_bounds(self):
+        b = box2()
+        assert b["rs"].lo == 0.0 and b["rs"].hi == 5.0
+
+    def test_kwargs_with_tuples(self):
+        b = Box(x=(1.0, 2.0))
+        assert b["x"] == make(1.0, 2.0)
+
+    def test_var_keys_accepted(self):
+        from repro.expr.nodes import Var
+        b = Box({Var("q"): make(0.0, 1.0)})
+        assert "q" in b
+
+    def test_names_sorted(self):
+        b = Box.from_bounds({"z": (0, 1), "a": (0, 1)})
+        assert b.names == ("a", "z")
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(KeyError):
+            box2()["nope"]
+
+    def test_len_iter_items(self):
+        b = box2()
+        assert len(b) == 2
+        assert set(b) == {"rs", "s"}
+        assert dict(b.items())["s"].hi == 5.0
+
+
+class TestGeometry:
+    def test_empty_detection(self):
+        b = Box(x=make(1.0, 2.0), y=EMPTY)
+        assert b.is_empty()
+        assert not box2().is_empty()
+
+    def test_max_width_and_widest(self):
+        b = Box.from_bounds({"a": (0, 1), "b": (0, 10)})
+        assert b.max_width() == pytest.approx(10.0)
+        assert b.widest_dim() == "b"
+
+    def test_midpoint(self):
+        mid = box2().midpoint()
+        assert mid == {"rs": 2.5, "s": 2.5}
+
+    def test_volume(self):
+        assert box2().volume() == pytest.approx(25.0)
+
+    def test_contains_point(self):
+        b = box2()
+        assert b.contains_point({"rs": 1.0, "s": 4.9})
+        assert not b.contains_point({"rs": 6.0, "s": 1.0})
+
+    def test_intersect(self):
+        a = box2(rs=(0, 3), s=(0, 3))
+        c = box2(rs=(2, 5), s=(1, 2))
+        out = a.intersect(c)
+        assert out["rs"] == make(2.0, 3.0)
+        assert out["s"] == make(1.0, 2.0)
+
+    def test_intersect_mismatched_vars_raises(self):
+        with pytest.raises(ValueError):
+            box2().intersect(Box(x=(0.0, 1.0)))
+
+    def test_replace(self):
+        b = box2().replace("rs", make(1.0, 2.0))
+        assert b["rs"] == make(1.0, 2.0)
+        assert b["s"].hi == 5.0
+
+
+class TestSplitting:
+    def test_split_halves_widest_by_default(self):
+        b = Box.from_bounds({"a": (0, 1), "b": (0, 10)})
+        left, right = b.split()
+        assert left["b"].hi == pytest.approx(5.0)
+        assert right["b"].lo == pytest.approx(5.0)
+        assert left["a"] == b["a"]
+
+    def test_split_named_dimension(self):
+        left, right = box2().split("rs")
+        assert left["rs"].hi == pytest.approx(2.5)
+        assert right["rs"].lo == pytest.approx(2.5)
+
+    def test_split_covers_parent(self):
+        b = box2()
+        left, right = b.split()
+        assert left.volume() + right.volume() == pytest.approx(b.volume())
+
+    def test_split_all_2d_gives_four(self):
+        children = box2().split_all()
+        assert len(children) == 4
+        assert sum(c.volume() for c in children) == pytest.approx(25.0)
+
+    def test_split_all_3d_gives_eight(self):
+        b = Box.from_bounds({"a": (0, 1), "b": (0, 1), "c": (0, 1)})
+        assert len(b.split_all()) == 8
+
+    def test_sample_grid(self):
+        pts = box2().sample_grid(3)
+        assert len(pts) == 9
+        assert {"rs", "s"} == set(pts[0])
+        rs_values = sorted({p["rs"] for p in pts})
+        assert rs_values == pytest.approx([0.0, 2.5, 5.0])
+
+    def test_sample_grid_single_point(self):
+        pts = box2().sample_grid(1)
+        assert pts == [{"rs": 2.5, "s": 2.5}]
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        assert box2() == box2()
+        assert hash(box2()) == hash(box2())
+        assert box2() != box2(rs=(0, 4))

@@ -1,0 +1,273 @@
+"""Tests for outward-rounded interval arithmetic."""
+
+import math
+from math import inf
+
+import pytest
+
+from repro.solver.interval import EMPTY, Interval, REALS, make, point
+
+
+class TestConstruction:
+    def test_make_normalises_empty(self):
+        assert make(2.0, 1.0).is_empty()
+        assert make(math.nan, 1.0).is_empty()
+
+    def test_point(self):
+        p = point(3.0)
+        assert p.lo == p.hi == 3.0
+        assert not p.is_empty()
+
+    def test_empty_properties(self):
+        assert EMPTY.is_empty()
+        assert EMPTY.width() == 0.0
+        assert not EMPTY.contains(0.0)
+
+    def test_reals(self):
+        assert REALS.contains(1e300)
+        assert REALS.contains(-1e300)
+
+
+class TestQueries:
+    def test_width(self):
+        assert make(1.0, 3.0).width() == pytest.approx(2.0)
+
+    def test_mid_finite(self):
+        assert make(1.0, 3.0).mid() == pytest.approx(2.0)
+
+    def test_mid_half_infinite(self):
+        assert make(-inf, 0.0).mid() <= -1.0
+        assert make(0.0, inf).mid() >= 1.0
+        assert make(-inf, inf).mid() == 0.0
+
+    def test_contains(self):
+        iv = make(1.0, 2.0)
+        assert iv.contains(1.0) and iv.contains(2.0) and iv.contains(1.5)
+        assert not iv.contains(0.999)
+
+    def test_subset(self):
+        assert make(1.0, 2.0).is_subset(make(0.0, 3.0))
+        assert not make(1.0, 4.0).is_subset(make(0.0, 3.0))
+        assert EMPTY.is_subset(make(0.0, 1.0))
+
+    def test_overlaps(self):
+        assert make(0.0, 2.0).overlaps(make(1.0, 3.0))
+        assert make(0.0, 1.0).overlaps(make(1.0, 2.0))  # touching counts
+        assert not make(0.0, 1.0).overlaps(make(2.0, 3.0))
+        assert not EMPTY.overlaps(make(0.0, 1.0))
+
+
+class TestSetOps:
+    def test_intersect(self):
+        out = make(0.0, 2.0).intersect(make(1.0, 3.0))
+        assert out.lo == 1.0 and out.hi == 2.0
+
+    def test_intersect_disjoint_empty(self):
+        assert make(0.0, 1.0).intersect(make(2.0, 3.0)).is_empty()
+
+    def test_hull(self):
+        out = make(0.0, 1.0).hull(make(3.0, 4.0))
+        assert out.lo == 0.0 and out.hi == 4.0
+
+    def test_hull_with_empty(self):
+        iv = make(1.0, 2.0)
+        assert iv.hull(EMPTY) == iv
+        assert EMPTY.hull(iv) == iv
+
+    def test_widened(self):
+        out = make(1.0, 2.0).widened(0.5)
+        assert out.lo == 0.5 and out.hi == 2.5
+
+
+class TestArithmetic:
+    def test_add_contains_sum(self):
+        a, c = make(1.0, 2.0), make(-1.0, 3.0)
+        out = a + c
+        assert out.contains(1.5 + 2.0)
+        assert out.lo <= 0.0 <= out.hi
+
+    def test_sub(self):
+        out = make(1.0, 2.0) - make(0.5, 1.5)
+        assert out.contains(2.0 - 0.5)
+        assert out.contains(1.0 - 1.5)
+
+    def test_neg(self):
+        out = -make(1.0, 2.0)
+        assert out.lo == -2.0 and out.hi == -1.0
+
+    def test_mul_signs(self):
+        assert (make(1, 2) * make(3, 4)).contains(6.0)
+        assert (make(-2, -1) * make(3, 4)).contains(-8.0)
+        assert (make(-1, 2) * make(-3, 4)).contains(-6.0)
+        assert (make(-1, 2) * make(-3, 4)).contains(8.0)
+
+    def test_mul_with_infinity_and_zero(self):
+        out = make(0.0, 1.0) * make(0.0, inf)
+        assert not out.is_empty()
+        assert out.lo <= 0.0
+
+    def test_empty_propagation(self):
+        iv = make(1.0, 2.0)
+        assert (iv + EMPTY).is_empty()
+        assert (iv * EMPTY).is_empty()
+        assert (-EMPTY).is_empty()
+
+    def test_inverse_positive(self):
+        out = make(2.0, 4.0).inverse()
+        assert out.contains(0.25) and out.contains(0.5)
+        assert not out.contains(0.6)
+
+    def test_inverse_spanning_zero_is_reals(self):
+        assert make(-1.0, 1.0).inverse() == REALS
+
+    def test_inverse_touching_zero(self):
+        out = make(0.0, 2.0).inverse()
+        assert out.hi == inf
+        assert out.lo == pytest.approx(0.5)
+        out = make(-2.0, 0.0).inverse()
+        assert out.lo == -inf
+
+    def test_inverse_of_zero_point_empty(self):
+        assert point(0.0).inverse().is_empty()
+
+    def test_division(self):
+        out = make(1.0, 2.0) / make(2.0, 4.0)
+        assert out.contains(0.25) and out.contains(1.0)
+
+    def test_abs(self):
+        assert make(1.0, 2.0).abs() == make(1.0, 2.0)
+        assert make(-2.0, -1.0).abs() == make(1.0, 2.0)
+        out = make(-1.0, 2.0).abs()
+        assert out.lo == 0.0 and out.hi == 2.0
+
+
+class TestPowers:
+    def test_pow_even_spanning_zero(self):
+        out = make(-2.0, 3.0).pow_int(2)
+        assert out.lo == 0.0
+        assert out.contains(9.0) and out.contains(4.0)
+
+    def test_pow_odd(self):
+        out = make(-2.0, 3.0).pow_int(3)
+        assert out.contains(-8.0) and out.contains(27.0)
+
+    def test_pow_zero(self):
+        assert make(-1.0, 1.0).pow_int(0) == point(1.0)
+
+    def test_pow_negative_int(self):
+        out = make(2.0, 4.0).pow_int(-1)
+        assert out.contains(0.25) and out.contains(0.5)
+
+    def test_pow_real_positive_exponent(self):
+        out = make(4.0, 9.0).pow_real(0.5)
+        assert out.contains(2.0) and out.contains(3.0)
+
+    def test_pow_real_clips_negative_base(self):
+        out = make(-4.0, 9.0).pow_real(0.5)
+        assert out.lo <= 0.0 and out.contains(3.0)
+
+    def test_pow_real_entirely_negative_base_empty(self):
+        assert make(-4.0, -1.0).pow_real(0.5).is_empty()
+
+    def test_pow_real_negative_exponent_with_zero(self):
+        out = make(0.0, 4.0).pow_real(-0.5)
+        assert out.hi == inf
+        assert out.contains(0.5)
+
+    def test_pow_dispatch(self):
+        assert make(2.0, 3.0).pow(2.0).contains(9.0)
+        assert make(4.0, 4.0).pow(0.5).contains(2.0)
+
+
+class TestTranscendental:
+    def test_exp(self):
+        out = make(0.0, 1.0).exp()
+        assert out.contains(1.0) and out.contains(math.e)
+
+    def test_exp_saturation(self):
+        out = make(0.0, 1e9).exp()
+        assert out.hi == inf
+        out = make(-inf, 0.0).exp()
+        assert out.lo == 0.0
+
+    def test_log(self):
+        out = make(1.0, math.e).log()
+        assert out.contains(0.0) and out.contains(1.0)
+
+    def test_log_clips_domain(self):
+        out = make(-1.0, math.e).log()
+        assert out.lo == -inf and out.contains(1.0)
+
+    def test_log_of_nonpositive_empty(self):
+        assert make(-2.0, -1.0).log().is_empty()
+        assert point(0.0).log().is_empty()
+
+    def test_sqrt(self):
+        out = make(4.0, 16.0).sqrt()
+        assert out.contains(2.0) and out.contains(4.0)
+
+    def test_cbrt_handles_negative(self):
+        out = make(-27.0, 8.0).cbrt()
+        assert out.contains(-3.0) and out.contains(2.0)
+
+    def test_atan_bounds(self):
+        out = REALS.atan()
+        assert out.lo == pytest.approx(-math.pi / 2)
+        assert out.hi == pytest.approx(math.pi / 2)
+
+    def test_tanh(self):
+        out = make(-1.0, 1.0).tanh()
+        assert out.contains(math.tanh(0.5))
+        assert -1.0 <= out.lo and out.hi <= 1.0
+
+    def test_erf(self):
+        out = make(0.0, 1.0).erf()
+        assert out.contains(math.erf(0.5))
+
+    def test_lambertw_monotone(self):
+        out = make(0.0, math.e).lambertw()
+        assert out.contains(0.0) and out.contains(1.0)
+
+    def test_lambertw_clips_branch_point(self):
+        out = make(-10.0, 0.0).lambertw()
+        assert not out.is_empty()
+        assert out.lo <= -1.0 + 1e-6
+
+    def test_lambertw_unbounded(self):
+        assert make(0.0, inf).lambertw().hi == inf
+
+
+class TestTrig:
+    def test_sin_narrow(self):
+        out = make(0.1, 0.2).sin()
+        assert out.contains(math.sin(0.15))
+        assert out.width() < 0.2
+
+    def test_sin_contains_max(self):
+        out = make(0.0, math.pi).sin()
+        assert out.hi >= 1.0 - 1e-12
+        assert out.lo <= 1e-12
+
+    def test_sin_wide_is_unit(self):
+        out = make(0.0, 10.0).sin()
+        assert out.lo == -1.0 and out.hi == 1.0
+
+    def test_cos_contains_min(self):
+        out = make(0.0, math.pi).cos()
+        assert out.lo <= -1.0 + 1e-12
+        assert out.hi >= 1.0 - 1e-12
+
+    def test_cos_narrow(self):
+        out = make(1.0, 1.1).cos()
+        assert out.contains(math.cos(1.05))
+
+
+class TestEqualityHash:
+    def test_equality(self):
+        assert make(1.0, 2.0) == make(1.0, 2.0)
+        assert make(1.0, 2.0) != make(1.0, 3.0)
+        assert EMPTY == make(5.0, 4.0)
+
+    def test_hash_consistency(self):
+        assert hash(make(1.0, 2.0)) == hash(make(1.0, 2.0))
+        assert hash(EMPTY) == hash(make(3.0, 2.0))

@@ -1,0 +1,135 @@
+"""Property-based soundness tests for interval arithmetic.
+
+The fundamental theorem of interval arithmetic: for every operation op and
+every x in X (y in Y), op(x, y) is contained in OP(X, Y).  Violating this
+would make the solver's UNSAT answers (and therefore every "verified" cell
+of Table I) wrong, so these properties are the most safety-critical in the
+suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.solver.interval import Interval, make
+
+bounds = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def interval_and_member(draw):
+    a = draw(bounds)
+    b = draw(bounds)
+    lo, hi = min(a, b), max(a, b)
+    t = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    x = lo + t * (hi - lo)
+    x = min(max(x, lo), hi)
+    return make(lo, hi), x
+
+
+@given(interval_and_member(), interval_and_member())
+@settings(max_examples=300, deadline=None)
+def test_add_sub_mul_containment(pair_a, pair_b):
+    (A, a), (B, bb) = pair_a, pair_b
+    assert (A + B).contains(a + bb)
+    assert (A - B).contains(a - bb)
+    assert (A * B).contains(a * bb)
+
+
+@given(interval_and_member(), interval_and_member())
+@settings(max_examples=200, deadline=None)
+def test_division_containment(pair_a, pair_b):
+    (A, a), (B, bb) = pair_a, pair_b
+    assume(bb != 0.0)
+    quotient = a / bb
+    assume(math.isfinite(quotient))
+    assert (A / B).contains(quotient)
+
+
+@given(interval_and_member())
+@settings(max_examples=300, deadline=None)
+def test_unary_containment(pair):
+    A, a = pair
+    assert (-A).contains(-a)
+    assert A.abs().contains(abs(a))
+    assert A.cbrt().contains(math.copysign(abs(a) ** (1 / 3), a))
+    assert A.atan().contains(math.atan(a))
+    assert A.tanh().contains(math.tanh(a))
+    assert A.erf().contains(math.erf(a))
+    assert A.sin().contains(math.sin(a))
+    assert A.cos().contains(math.cos(a))
+
+
+@given(interval_and_member())
+@settings(max_examples=300, deadline=None)
+def test_exp_log_containment(pair):
+    A, a = pair
+    if a < 700:
+        assert A.exp().contains(math.exp(a))
+    if a > 0:
+        assert A.log().contains(math.log(a))
+        assert A.sqrt().contains(math.sqrt(a))
+
+
+def _safe_pow(a: float, p: float) -> float | None:
+    try:
+        value = a**p
+    except (OverflowError, ZeroDivisionError):
+        return None
+    return value if math.isfinite(value) else None
+
+
+@given(interval_and_member(), st.sampled_from([-3, -2, -1, 2, 3, 4, 5]))
+@settings(max_examples=300, deadline=None)
+def test_integer_power_containment(pair, n):
+    A, a = pair
+    if n < 0:
+        assume(a != 0.0)
+    value = _safe_pow(a, n)
+    assume(value is not None)
+    assert A.pow_int(n).contains(value)
+
+
+@given(interval_and_member(), st.sampled_from([0.5, 1.5, -0.5, 1 / 3, 2.5, -1.5]))
+@settings(max_examples=300, deadline=None)
+def test_real_power_containment(pair, p):
+    A, a = pair
+    assume(a > 0.0)
+    value = _safe_pow(a, p)
+    assume(value is not None)
+    assert A.pow_real(p).contains(value)
+
+
+@given(interval_and_member())
+@settings(max_examples=200, deadline=None)
+def test_lambertw_containment(pair):
+    from scipy.special import lambertw
+
+    A, a = pair
+    assume(a >= -1.0 / math.e + 1e-9)
+    value = float(lambertw(a).real)
+    assert A.lambertw().contains(value)
+
+
+@given(interval_and_member(), interval_and_member())
+@settings(max_examples=200, deadline=None)
+def test_intersect_hull_laws(pair_a, pair_b):
+    (A, a), (B, _) = pair_a, pair_b
+    inter = A.intersect(B)
+    hull = A.hull(B)
+    assert hull.contains(a)
+    if inter.contains(a):
+        assert A.contains(a) and B.contains(a)
+    if B.contains(a):
+        assert inter.contains(a)
+
+
+@given(interval_and_member())
+@settings(max_examples=200, deadline=None)
+def test_mid_is_member(pair):
+    A, _ = pair
+    assert A.contains(A.mid())

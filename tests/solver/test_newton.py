@@ -1,0 +1,180 @@
+"""Tests for the first-order mean-value (interval Newton) contractor."""
+
+import pytest
+
+from repro.expr import builder as b
+from repro.expr.nodes import Var
+from repro.solver import Atom, Box, Budget, Conjunction, ICPSolver
+from repro.solver.newton import NewtonContractor, _halfline, _interval_minus
+from repro.solver.interval import EMPTY, make
+
+X = Var("x", nonneg=True)
+Y = Var("y", nonneg=True)
+
+
+def _formula(residual, op="<="):
+    return Conjunction.of(Atom(residual, op))
+
+
+def _box(**bounds):
+    return Box.from_bounds(bounds)
+
+
+class TestHalfline:
+    def test_positive_slope(self):
+        hl = _halfline(2.0, 4.0)  # 2d > 4 -> d > 2
+        assert hl.lo == pytest.approx(2.0)
+        assert hl.hi == float("inf")
+
+    def test_negative_slope(self):
+        hl = _halfline(-2.0, 4.0)  # -2d > 4 -> d < -2
+        assert hl.hi == pytest.approx(-2.0)
+        assert hl.lo == float("-inf")
+
+    def test_zero_slope_never(self):
+        assert _halfline(0.0, 4.0).is_empty()  # 0 > 4 never
+
+    def test_zero_slope_always(self):
+        hl = _halfline(0.0, -1.0)  # 0 > -1 always
+        assert hl.lo == float("-inf") and hl.hi == float("inf")
+
+
+class TestIntervalMinus:
+    def test_no_removal(self):
+        assert _interval_minus(make(0, 1), EMPTY) == make(0, 1)
+
+    def test_full_removal(self):
+        assert _interval_minus(make(0, 1), make(-1, 2)).is_empty()
+
+    def test_cut_left(self):
+        out = _interval_minus(make(0, 4), make(-1, 2))
+        assert (out.lo, out.hi) == (2, 4)
+
+    def test_cut_right(self):
+        out = _interval_minus(make(0, 4), make(3, 9))
+        assert (out.lo, out.hi) == (0, 3)
+
+    def test_interior_removal_keeps_hull(self):
+        # sound but lossless subtraction is impossible in one interval
+        out = _interval_minus(make(0, 4), make(1, 2))
+        assert (out.lo, out.hi) == (0, 4)
+
+
+class TestContractorOnPolynomials:
+    def test_proves_positive_quadratic_unsat(self):
+        # x^2 - 2x + 1.5 has minimum 0.5 > 0: 'residual <= 0' is infeasible
+        g = b.add(b.mul(X, X), b.mul(-2.0, X), 1.5)
+        nc = NewtonContractor(_formula(g))
+        out = nc.contract(_box(x=(0.0, 4.0)), rounds=8)
+        assert out.is_empty()
+
+    def test_narrows_linear_constraint(self):
+        # x - 2 <= 0 on [0, 4]: Newton should cut (2, 4] away
+        g = b.sub(X, 2.0)
+        nc = NewtonContractor(_formula(g))
+        out = nc.contract(_box(x=(0.0, 4.0)), rounds=4)
+        # the cut lands at 2 + delta (the solver's delta-weakening)
+        assert out["x"].hi == pytest.approx(2.0, abs=1e-4)
+        assert out["x"].lo == pytest.approx(0.0)
+
+    def test_keeps_feasible_region(self):
+        # x^2 - 1 <= 0: feasible exactly on [0, 1] (x nonneg box)
+        g = b.sub(b.mul(X, X), 1.0)
+        nc = NewtonContractor(_formula(g))
+        out = nc.contract(_box(x=(0.0, 4.0)), rounds=8)
+        assert not out.is_empty()
+        assert out["x"].lo == pytest.approx(0.0)
+        assert out["x"].hi == pytest.approx(1.0, abs=1e-2)
+
+    def test_soundness_never_drops_solutions(self):
+        # all true solutions of x^2 <= 2 must survive contraction
+        g = b.sub(b.mul(X, X), 2.0)
+        nc = NewtonContractor(_formula(g))
+        out = nc.contract(_box(x=(0.0, 4.0)), rounds=8)
+        for x in (0.0, 0.5, 1.0, 1.4142):
+            assert out["x"].contains(x), x
+
+    def test_two_variables(self):
+        # x + y - 1 <= 0 on [0,4]^2: each axis narrows to [0, 1]
+        g = b.add(X, Y, -1.0)
+        nc = NewtonContractor(_formula(g))
+        out = nc.contract(_box(x=(0.0, 4.0), y=(0.0, 4.0)), rounds=4)
+        assert out["x"].hi == pytest.approx(1.0, abs=1e-4)
+        assert out["y"].hi == pytest.approx(1.0, abs=1e-4)
+
+    def test_point_interval_untouched(self):
+        g = b.sub(X, 2.0)
+        nc = NewtonContractor(_formula(g))
+        box = _box(x=(3.0, 3.0))
+        # x = 3 violates, but a point interval is left for the prune step
+        assert nc.contract(box) == box
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            NewtonContractor(_formula(b.sub(X, 1.0)), delta=-1.0)
+
+    def test_stats_accumulate(self):
+        g = b.sub(X, 2.0)
+        nc = NewtonContractor(_formula(g))
+        nc.contract(_box(x=(0.0, 4.0)))
+        assert nc.stats.projections >= 1
+        assert nc.stats.narrowed >= 1
+
+
+class TestContractorWithTranscendentals:
+    def test_exp_constraint(self):
+        # exp(x) - 2 <= 0: feasible for x <= ln 2
+        g = b.sub(b.exp(X), 2.0)
+        nc = NewtonContractor(_formula(g))
+        out = nc.contract(_box(x=(0.0, 4.0)), rounds=8)
+        import math
+
+        assert out["x"].hi == pytest.approx(math.log(2.0), abs=1e-2)
+
+    def test_log_partiality_is_handled(self):
+        # log(x - 1) <= 0 with box straddling the domain edge: the slice at
+        # x = lo leaves log's domain; contractor must skip, not crash
+        g = b.log(b.sub(X, 1.0))
+        nc = NewtonContractor(_formula(g))
+        out = nc.contract(_box(x=(0.0, 4.0)))
+        assert not out.is_empty()
+        assert out["x"].contains(1.5)  # log(0.5) < 0: a true solution
+
+
+class TestSolverIntegration:
+    def test_use_newton_flag(self):
+        solver = ICPSolver(use_newton=True)
+        g = b.add(b.mul(X, X), b.mul(-2.0, X), 1.5)
+        result = solver.solve(_formula(g), _box(x=(0.0, 4.0)), Budget(max_steps=100))
+        assert result.is_unsat
+
+    def test_same_verdicts_with_and_without(self):
+        # Newton is an accelerator, not a semantics change
+        cases = [
+            (b.add(b.mul(X, X), b.mul(-2.0, X), 1.5), "unsat"),
+            (b.add(b.mul(X, X), b.mul(-2.0, X), 0.5), "delta-sat"),
+            (b.sub(b.exp(X), 0.5), "unsat"),  # exp(x) >= 1 > 0.5 on x >= 0
+        ]
+        for residual, expected in cases:
+            for newton in (False, True):
+                solver = ICPSolver(use_newton=newton)
+                result = solver.solve(
+                    _formula(residual), _box(x=(0.0, 4.0)), Budget(max_steps=5000)
+                )
+                assert result.status.value == expected, (residual, newton)
+
+    def test_newton_reduces_boxes_on_dependency_heavy_residual(self):
+        # the dependency problem: t*(1-t) with t = x repeated; HC4 alone
+        # needs bisection, Newton sees the derivative
+        from repro import get_condition, get_functional
+        from repro.verifier.encoder import encode
+
+        prob = encode(get_functional("PBE"), get_condition("EC2"))
+        sub = _box(rs=(1.25, 2.5), s=(0.0, 1.25))
+        boxes = {}
+        for newton in (False, True):
+            solver = ICPSolver(use_newton=newton)
+            result = solver.solve(prob.negation, sub, Budget(max_steps=40_000))
+            assert result.is_unsat
+            boxes[newton] = result.stats.boxes_processed
+        assert boxes[True] < boxes[False]

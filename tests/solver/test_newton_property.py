@@ -1,0 +1,98 @@
+"""Property-based soundness tests for the Newton (mean-value) contractor.
+
+The safety property: contraction may shrink a box but must NEVER drop a
+point that satisfies the (delta-weakened) constraint.  Exercised over
+random cubics and exp-quadratics whose true solution sets are easy to
+sample.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import builder as b
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Var
+from repro.solver import Atom, Box, Conjunction
+from repro.solver.newton import NewtonContractor
+
+X = Var("x", nonneg=True)
+
+coeff = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+def _cubic(c3, c2, c1, c0):
+    return b.add(
+        b.mul(c3, b.pow_(X, 3.0)),
+        b.mul(c2, b.pow_(X, 2.0)),
+        b.mul(c1, X),
+        b.as_expr(c0),
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(c3=coeff, c2=coeff, c1=coeff, c0=coeff, data=st.data())
+def test_cubic_contraction_keeps_solutions(c3, c2, c1, c0, data):
+    g = _cubic(c3, c2, c1, c0)
+    formula = Conjunction.of(Atom(g, "<="))
+    box = Box.from_bounds({"x": (0.0, 4.0)})
+    nc = NewtonContractor(formula, delta=1e-9)
+    out = nc.contract(box, rounds=4)
+
+    # sample candidate points; all true solutions must survive
+    xs = data.draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+            min_size=5,
+            max_size=12,
+        )
+    )
+    for x in xs:
+        value = evaluate(g, {"x": x})
+        if value <= 0.0:
+            assert not out.is_empty(), (c3, c2, c1, c0, x)
+            assert out["x"].lo <= x <= out["x"].hi or math.isclose(
+                out["x"].lo, x, abs_tol=1e-9
+            ) or math.isclose(out["x"].hi, x, abs_tol=1e-9), (
+                c3, c2, c1, c0, x, out["x"],
+            )
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=coeff, c=coeff, data=st.data())
+def test_exp_constraint_contraction_sound(a, c, data):
+    # g = exp(a*x) + c <= 0
+    g = b.add(b.exp(b.mul(a, X)), b.as_expr(c))
+    formula = Conjunction.of(Atom(g, "<="))
+    box = Box.from_bounds({"x": (0.0, 3.0)})
+    nc = NewtonContractor(formula, delta=1e-9)
+    out = nc.contract(box, rounds=4)
+
+    xs = data.draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+            min_size=4,
+            max_size=10,
+        )
+    )
+    for x in xs:
+        value = evaluate(g, {"x": x})
+        if not math.isnan(value) and value <= 0.0:
+            assert not out.is_empty()
+            assert out["x"].lo - 1e-9 <= x <= out["x"].hi + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(c2=coeff, c1=coeff, c0=coeff)
+def test_empty_result_implies_truly_infeasible(c2, c1, c0):
+    # if the contractor empties the box, a fine scan must find no solution
+    g = _cubic(0.0, c2, c1, c0)
+    formula = Conjunction.of(Atom(g, "<="))
+    box = Box.from_bounds({"x": (0.0, 4.0)})
+    nc = NewtonContractor(formula, delta=1e-9)
+    out = nc.contract(box, rounds=6)
+    if out.is_empty():
+        for i in range(401):
+            x = 4.0 * i / 400
+            assert evaluate(g, {"x": x}) > 0.0, (c2, c1, c0, x)

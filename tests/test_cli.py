@@ -1,0 +1,173 @@
+"""Tests for the command-line interface (python -m repro ...).
+
+All commands are exercised through :func:`repro.cli.main` with stdout
+captured by pytest -- no subprocesses, so coverage and failures stay
+visible.  Budgets are kept tiny: these tests check wiring and output
+format, not verification quality (the benches do that).
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args([])
+        assert exc.value.code == 2
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_verify_requires_pair(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "-f", "PBE"])
+
+
+class TestList:
+    def test_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("PBE", "LYP", "SCAN", "BLYP", "PZ81", "r++SCAN"):
+            assert name in out
+        assert "EC1" in out and "EC7" in out
+
+    def test_paper_only(self, capsys):
+        assert main(["list", "--paper-only"]) == 0
+        out = capsys.readouterr().out
+        assert "PBE" in out
+        assert "BLYP" not in out
+
+
+class TestVerify:
+    def test_quick_verify(self, capsys):
+        rc = main(
+            ["verify", "-f", "Wigner", "-c", "EC1", "--global-budget", "500"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Wigner/EC1" in out
+        assert "OK" in out  # Wigner's eps_c < 0 everywhere: verified fast
+
+    def test_verify_with_map(self, capsys):
+        rc = main(
+            [
+                "verify", "-f", "LYP", "-c", "EC1",
+                "--global-budget", "2000", "--budget", "150", "--map", "16",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+
+    def test_verify_with_newton(self, capsys):
+        rc = main(
+            [
+                "verify", "-f", "VWN RPA", "-c", "EC1",
+                "--global-budget", "500", "--newton",
+            ]
+        )
+        assert rc == 0
+        assert "VWN RPA/EC1" in capsys.readouterr().out
+
+    def test_unknown_functional(self, capsys):
+        assert main(["verify", "-f", "NOPE", "-c", "EC1"]) == 1
+        assert "unknown functional" in capsys.readouterr().err
+
+    def test_unknown_condition(self, capsys):
+        assert main(["verify", "-f", "PBE", "-c", "EC9"]) == 1
+        assert "unknown condition" in capsys.readouterr().err
+
+    def test_inapplicable_pair(self, capsys):
+        # LYP has no exchange: the Lieb-Oxford pair does not apply
+        assert main(["verify", "-f", "LYP", "-c", "EC5"]) == 1
+        assert "does not apply" in capsys.readouterr().err
+
+
+class TestPB:
+    def test_pb_satisfied(self, capsys):
+        rc = main(["pb", "-f", "PBE", "-c", "EC1", "--points", "81"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "satisfied" in out
+
+    def test_pb_violated_with_bounds(self, capsys):
+        rc = main(["pb", "-f", "LYP", "-c", "EC1", "--points", "81"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "violated" in out
+        assert "violations within" in out
+
+    def test_pb_map(self, capsys):
+        rc = main(["pb", "-f", "LYP", "-c", "EC1", "--points", "81", "--map", "16"])
+        assert rc == 0
+        assert capsys.readouterr().out.count("\n") > 16
+
+
+class TestCompare:
+    def test_consistent_pair(self, capsys):
+        rc = main(
+            [
+                "compare", "-f", "LYP", "-c", "EC1",
+                "--points", "81", "--budget", "200", "--global-budget", "8000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "consistency:" in out
+
+
+class TestTables:
+    def test_table1_quick(self, capsys):
+        rc = main(["table1", "--budget", "40", "--global-budget", "200"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "VWN RPA" in out
+
+    def test_table2_quick(self, capsys):
+        rc = main(
+            [
+                "table2", "--budget", "40", "--global-budget", "200",
+                "--points", "61",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+
+class TestNumerics:
+    def test_continuity_on_pz81(self, capsys):
+        rc = main(["numerics", "-f", "PZ81", "--check", "continuity"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "continuity:" in out
+        assert "worst jump" in out  # PZ81's matching point discontinuity
+
+    def test_hazards_on_pbe(self, capsys):
+        rc = main(["numerics", "-f", "PBE", "--check", "hazards"])
+        assert rc == 0
+        assert "hazards:" in capsys.readouterr().out
+
+    def test_ieee_mode(self, capsys):
+        rc = main(["numerics", "-f", "rSCAN", "--check", "hazards", "--ieee"])
+        assert rc == 0
+        assert "np.where" in capsys.readouterr().out
+
+    def test_sensitivity(self, capsys):
+        rc = main(
+            ["numerics", "-f", "LYP", "--check", "sensitivity", "--component", "fc"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kappa_rs" in out and "peaks at" in out
+
+    def test_unknown_check_rejected(self, capsys):
+        assert main(["numerics", "-f", "PBE", "--check", "vibes"]) == 1
+        assert "unknown checks" in capsys.readouterr().err
+
+    def test_unknown_functional(self, capsys):
+        assert main(["numerics", "-f", "NOPE"]) == 1

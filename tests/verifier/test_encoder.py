@@ -1,0 +1,58 @@
+"""Tests for XCEncoder (condition x functional -> solver problem)."""
+
+import pytest
+
+from repro.conditions import EC1, EC4, EC5, EC7
+from repro.functionals import get_functional
+from repro.solver.box import Box
+from repro.verifier.encoder import encode
+
+
+class TestEncode:
+    def test_basic_fields(self):
+        problem = encode(get_functional("LYP"), EC1)
+        assert problem.label == "LYP / EC1"
+        assert problem.psi.op in (">=", "<=")
+        assert len(problem.negation) == 1
+
+    def test_domain_defaults_to_functional_domain(self):
+        problem = encode(get_functional("SCAN"), EC1)
+        assert set(problem.domain.names) == {"rs", "s", "alpha"}
+
+    def test_domain_override(self):
+        domain = Box.from_bounds({"rs": (1.0, 2.0), "s": (0.0, 1.0)})
+        problem = encode(get_functional("PBE"), EC1, domain=domain)
+        assert problem.domain is domain
+
+    def test_negation_flips_semantics(self):
+        problem = encode(get_functional("LYP"), EC1)
+        # psi holds at small s; the negation must hold where psi fails
+        good = {"rs": 2.0, "s": 0.5}
+        bad = {"rs": 2.0, "s": 3.0}
+        from repro.expr.evaluator import evaluate_rel
+        assert evaluate_rel(problem.psi, good)
+        assert not evaluate_rel(problem.psi, bad)
+        assert problem.negation.holds_at(bad)
+        assert not problem.negation.holds_at(good)
+
+    def test_encoding_cached(self):
+        p1 = encode(get_functional("PBE"), EC7)
+        p2 = encode(get_functional("PBE"), EC7)
+        assert p1.psi is p2.psi
+
+    def test_inapplicable_pair_raises(self):
+        with pytest.raises(ValueError):
+            encode(get_functional("LYP"), EC4)
+
+    def test_complexity_ordering(self):
+        """SCAN encodings are the largest, as the paper reports."""
+        ec1_sizes = {
+            name: encode(get_functional(name), EC1).complexity()
+            for name in ("PBE", "LYP", "AM05", "SCAN", "VWN RPA")
+        }
+        assert max(ec1_sizes, key=ec1_sizes.get) == "SCAN"
+
+    def test_lieb_oxford_requires_exchange_in_formula(self):
+        problem = encode(get_functional("PBE"), EC5)
+        free = problem.negation.free_var_names()
+        assert free == {"rs", "s"}

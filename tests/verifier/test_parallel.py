@@ -1,0 +1,73 @@
+"""Tests for the process-parallel verification drivers."""
+
+import pytest
+
+from repro.conditions import EC1
+from repro.functionals import get_functional
+from repro.verifier.parallel import verify_domain_parallel, verify_pairs_parallel
+from repro.verifier.verifier import VerifierConfig
+
+FAST = VerifierConfig(
+    split_threshold=1.0, per_call_budget=200, global_step_budget=4000
+)
+
+
+class TestVerifyPairsParallel:
+    def test_sequential_fallback(self):
+        pairs = [(get_functional("VWN RPA"), EC1), (get_functional("LYP"), EC1)]
+        results = verify_pairs_parallel(pairs, FAST, max_workers=1)
+        assert results[("VWN RPA", "EC1")].classification() == "OK"
+        assert results[("LYP", "EC1")].classification() == "CEX"
+
+    def test_parallel_two_workers(self):
+        pairs = [(get_functional("VWN RPA"), EC1), (get_functional("LYP"), EC1)]
+        results = verify_pairs_parallel(pairs, FAST, max_workers=2)
+        assert len(results) == 2
+        assert results[("LYP", "EC1")].has_counterexample()
+
+    def test_parallel_matches_sequential_classification(self):
+        pairs = [(get_functional("LYP"), EC1)]
+        seq = verify_pairs_parallel(pairs, FAST, max_workers=1)
+        par = verify_pairs_parallel(pairs, FAST, max_workers=2)
+        key = ("LYP", "EC1")
+        assert seq[key].classification() == par[key].classification()
+
+
+class TestVerifyDomainParallel:
+    def test_merged_report_covers_domain(self):
+        report = verify_domain_parallel(
+            get_functional("LYP"), EC1, FAST, levels=1, max_workers=1
+        )
+        assert report.classification() == "CEX"
+        total = sum(
+            r.own_volume(report.records) for r in report.records
+        )
+        # top-level subdomains at depth 1 cover everything their verdicts
+        # reach; with a 1.0 threshold every subdomain gets one record
+        assert total > 0.0
+
+    def test_levels_produce_subdomain_records(self):
+        report = verify_domain_parallel(
+            get_functional("LYP"), EC1, FAST, levels=1, max_workers=1
+        )
+        top = [r for r in report.records if r.depth == 1]
+        assert len(top) == 4  # 2D domain, one split level
+
+    def test_parallel_workers_agree_with_sequential(self):
+        seq = verify_domain_parallel(
+            get_functional("LYP"), EC1, FAST, levels=1, max_workers=1
+        )
+        par = verify_domain_parallel(
+            get_functional("LYP"), EC1, FAST, levels=1, max_workers=2
+        )
+        assert seq.classification() == par.classification()
+        assert len(seq.records) == len(par.records)
+
+    def test_indices_are_consistent(self):
+        report = verify_domain_parallel(
+            get_functional("LYP"), EC1, FAST, levels=1, max_workers=1
+        )
+        for i, record in enumerate(report.records):
+            assert record.index == i
+            for child in record.children:
+                assert 0 <= child < len(report.records)

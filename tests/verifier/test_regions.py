@@ -1,0 +1,114 @@
+"""Tests for region records and report aggregation."""
+
+import pytest
+
+from repro.solver.box import Box
+from repro.verifier.regions import (
+    Outcome,
+    RegionRecord,
+    SYMBOL_COUNTEREXAMPLE,
+    SYMBOL_PARTIAL,
+    SYMBOL_UNKNOWN,
+    SYMBOL_VERIFIED,
+    VerificationReport,
+)
+
+
+def make_report(records, domain=None):
+    return VerificationReport(
+        functional_name="TEST",
+        condition_id="EC1",
+        domain=domain or Box.from_bounds({"x": (0.0, 4.0)}),
+        records=records,
+    )
+
+
+def rec(index, lo, hi, outcome, depth=0, children=None):
+    return RegionRecord(
+        index=index,
+        depth=depth,
+        box=Box.from_bounds({"x": (lo, hi)}),
+        outcome=outcome,
+        children=children or [],
+    )
+
+
+class TestAreaAccounting:
+    def test_single_verified_record(self):
+        report = make_report([rec(0, 0.0, 4.0, Outcome.VERIFIED)])
+        assert report.area_fractions()[Outcome.VERIFIED] == pytest.approx(1.0)
+        assert report.classification() == SYMBOL_VERIFIED
+
+    def test_children_paint_over_parent(self):
+        parent = rec(0, 0.0, 4.0, Outcome.TIMEOUT, children=[1, 2])
+        left = rec(1, 0.0, 2.0, Outcome.VERIFIED, depth=1)
+        right = rec(2, 2.0, 4.0, Outcome.COUNTEREXAMPLE, depth=1)
+        right.model = {"x": 3.0}
+        report = make_report([parent, left, right])
+        fractions = report.area_fractions()
+        assert fractions[Outcome.VERIFIED] == pytest.approx(0.5)
+        assert fractions[Outcome.COUNTEREXAMPLE] == pytest.approx(0.5)
+        assert fractions[Outcome.TIMEOUT] == pytest.approx(0.0)
+
+    def test_partial_children_leave_parent_area(self):
+        parent = rec(0, 0.0, 4.0, Outcome.TIMEOUT, children=[1])
+        left = rec(1, 0.0, 2.0, Outcome.VERIFIED, depth=1)
+        report = make_report([parent, left])
+        fractions = report.area_fractions()
+        assert fractions[Outcome.TIMEOUT] == pytest.approx(0.5)
+        assert fractions[Outcome.VERIFIED] == pytest.approx(0.5)
+
+    def test_own_volume_never_negative(self):
+        parent = rec(0, 0.0, 1.0, Outcome.TIMEOUT, children=[1, 2])
+        # children that (incorrectly) overlap more than the parent volume
+        c1 = rec(1, 0.0, 1.0, Outcome.VERIFIED, depth=1)
+        c2 = rec(2, 0.0, 1.0, Outcome.VERIFIED, depth=1)
+        records = [parent, c1, c2]
+        assert parent.own_volume(records) == 0.0
+
+
+class TestClassification:
+    def test_counterexample_takes_precedence(self):
+        records = [
+            rec(0, 0.0, 4.0, Outcome.TIMEOUT, children=[1, 2]),
+            rec(1, 0.0, 2.0, Outcome.VERIFIED, depth=1),
+            rec(2, 2.0, 4.0, Outcome.COUNTEREXAMPLE, depth=1),
+        ]
+        assert make_report(records).classification() == SYMBOL_COUNTEREXAMPLE
+
+    def test_partial_symbol(self):
+        records = [
+            rec(0, 0.0, 4.0, Outcome.TIMEOUT, children=[1]),
+            rec(1, 0.0, 2.0, Outcome.VERIFIED, depth=1),
+        ]
+        assert make_report(records).classification() == SYMBOL_PARTIAL
+
+    def test_unknown_symbol(self):
+        records = [rec(0, 0.0, 4.0, Outcome.TIMEOUT)]
+        assert make_report(records).classification() == SYMBOL_UNKNOWN
+
+    def test_inconclusive_only_is_unknown(self):
+        records = [rec(0, 0.0, 4.0, Outcome.INCONCLUSIVE)]
+        assert make_report(records).classification() == SYMBOL_UNKNOWN
+
+
+class TestReportHelpers:
+    def test_counterexample_bbox(self):
+        records = [
+            rec(0, 0.0, 4.0, Outcome.TIMEOUT, children=[1, 2]),
+            rec(1, 1.0, 2.0, Outcome.COUNTEREXAMPLE, depth=1),
+            rec(2, 3.0, 4.0, Outcome.COUNTEREXAMPLE, depth=1),
+        ]
+        bbox = make_report(records).counterexample_bbox()
+        assert bbox["x"].lo == pytest.approx(1.0)
+        assert bbox["x"].hi == pytest.approx(4.0)
+
+    def test_counterexample_bbox_none_when_clean(self):
+        report = make_report([rec(0, 0.0, 4.0, Outcome.VERIFIED)])
+        assert report.counterexample_bbox() is None
+
+    def test_summary_mentions_key_facts(self):
+        report = make_report([rec(0, 0.0, 4.0, Outcome.VERIFIED)])
+        text = report.summary()
+        assert "TEST/EC1" in text
+        assert "OK" in text

@@ -1,0 +1,106 @@
+"""Tests for region-map rasterisation and ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.solver.box import Box
+from repro.verifier.regions import Outcome, RegionRecord, VerificationReport
+from repro.verifier.render import (
+    OUTCOME_CODES,
+    ascii_map,
+    export_rows,
+    outcome_fractions_from_raster,
+    rasterize,
+)
+
+
+def report_2d():
+    domain = Box.from_bounds({"rs": (0.0, 4.0), "s": (0.0, 4.0)})
+    records = [
+        RegionRecord(0, 0, domain, Outcome.TIMEOUT, children=[1, 2]),
+        RegionRecord(
+            1, 1, Box.from_bounds({"rs": (0.0, 2.0), "s": (0.0, 4.0)}),
+            Outcome.VERIFIED,
+        ),
+        RegionRecord(
+            2, 1, Box.from_bounds({"rs": (2.0, 4.0), "s": (2.0, 4.0)}),
+            Outcome.COUNTEREXAMPLE, model={"rs": 3.0, "s": 3.0},
+        ),
+    ]
+    return VerificationReport("T", "EC1", domain, records)
+
+
+class TestRasterize:
+    def test_painting_order(self):
+        raster = rasterize(report_2d(), resolution=8)
+        # left half verified
+        assert (raster[:, :4] == OUTCOME_CODES[Outcome.VERIFIED]).all()
+        # upper right quadrant counterexample (s is the row axis)
+        assert (raster[4:, 4:] == OUTCOME_CODES[Outcome.COUNTEREXAMPLE]).all()
+        # lower right quadrant keeps the parent's timeout
+        assert (raster[:4, 4:] == OUTCOME_CODES[Outcome.TIMEOUT]).all()
+
+    def test_shape(self):
+        raster = rasterize(report_2d(), resolution=16)
+        assert raster.shape == (16, 16)
+
+    def test_1d_report(self):
+        domain = Box.from_bounds({"rs": (0.0, 4.0)})
+        report = VerificationReport(
+            "T", "EC1", domain,
+            [RegionRecord(0, 0, domain, Outcome.VERIFIED)],
+        )
+        raster = rasterize(report, resolution=8)
+        assert raster.shape == (1, 8)
+        assert (raster == OUTCOME_CODES[Outcome.VERIFIED]).all()
+
+    def test_slice_point_filters_records(self):
+        domain = Box.from_bounds(
+            {"rs": (0.0, 4.0), "s": (0.0, 4.0), "alpha": (0.0, 4.0)}
+        )
+        low_alpha = RegionRecord(
+            0, 0,
+            Box.from_bounds({"rs": (0.0, 4.0), "s": (0.0, 4.0), "alpha": (0.0, 1.0)}),
+            Outcome.VERIFIED,
+        )
+        report = VerificationReport("T", "EC1", domain, [low_alpha])
+        hit = rasterize(report, resolution=4, slice_point={"alpha": 0.5})
+        miss = rasterize(report, resolution=4, slice_point={"alpha": 3.0})
+        assert (hit == OUTCOME_CODES[Outcome.VERIFIED]).all()
+        assert (miss == 0).all()
+
+    def test_unknown_axis_raises(self):
+        with pytest.raises(KeyError):
+            rasterize(report_2d(), x_var="nope")
+
+
+class TestAsciiMap:
+    def test_contains_legend_and_chars(self):
+        art = ascii_map(report_2d(), resolution=8)
+        assert "X" in art and "." in art
+        assert "legend" in art
+        assert "T / EC1" in art
+
+    def test_no_legend_option(self):
+        art = ascii_map(report_2d(), resolution=8, legend=False)
+        assert "legend" not in art
+
+    def test_row_count(self):
+        art = ascii_map(report_2d(), resolution=8, legend=False)
+        lines = art.splitlines()
+        assert len(lines) == 9  # header + 8 rows
+
+
+class TestExports:
+    def test_fractions_from_raster(self):
+        raster = rasterize(report_2d(), resolution=8)
+        fractions = outcome_fractions_from_raster(raster)
+        assert fractions[Outcome.VERIFIED] == pytest.approx(0.5)
+        assert fractions[Outcome.COUNTEREXAMPLE] == pytest.approx(0.25)
+
+    def test_export_rows(self):
+        rows = export_rows(report_2d())
+        assert len(rows) == 3
+        assert rows[0]["outcome"] == "timeout"
+        assert rows[2]["model_rs"] == pytest.approx(3.0)
+        assert {"rs_lo", "rs_hi", "s_lo", "s_hi"} <= set(rows[0])

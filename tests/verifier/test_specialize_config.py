@@ -1,0 +1,79 @@
+"""Unit tests for the specialize_boxes verifier option (Sec. VI-A knob)."""
+
+import pytest
+
+from repro import get_condition, get_functional
+from repro.verifier.encoder import encode
+from repro.verifier.regions import Outcome
+from repro.verifier.verifier import Verifier, VerifierConfig
+
+QUICK = dict(split_threshold=1.3, per_call_budget=150, global_step_budget=2500)
+
+
+class TestSpecializeBoxes:
+    def test_default_off(self):
+        assert VerifierConfig().specialize_boxes is False
+
+    def test_no_ite_formula_is_untouched(self):
+        # PBE has no Ite: specialisation must return the original formula
+        # object (so the solver's contractor cache stays warm)
+        problem = encode(get_functional("PBE"), get_condition("EC1"))
+        verifier = Verifier(VerifierConfig(**QUICK, specialize_boxes=True))
+        out = verifier._specialized(problem.negation, problem.domain)
+        assert out is problem.negation
+        assert verifier._specialized_cache == {}
+
+    def test_scan_subbox_specialises(self):
+        from repro.solver.box import Box
+
+        problem = encode(get_functional("SCAN"), get_condition("EC1"))
+        verifier = Verifier(VerifierConfig(**QUICK, specialize_boxes=True))
+        sub = Box.from_bounds(
+            {"rs": (0.1, 5.0), "s": (0.0, 5.0), "alpha": (1.5, 5.0)}
+        )
+        out = verifier._specialized(problem.negation, sub)
+        assert out is not problem.negation
+        assert (
+            out.max_operation_count()
+            < problem.negation.max_operation_count()
+        )
+
+    def test_specialised_formula_interned(self):
+        from repro.solver.box import Box
+
+        problem = encode(get_functional("SCAN"), get_condition("EC1"))
+        verifier = Verifier(VerifierConfig(**QUICK, specialize_boxes=True))
+        box_a = Box.from_bounds(
+            {"rs": (0.1, 2.0), "s": (0.0, 5.0), "alpha": (1.5, 3.0)}
+        )
+        box_b = Box.from_bounds(
+            {"rs": (2.0, 5.0), "s": (0.0, 5.0), "alpha": (3.0, 5.0)}
+        )
+        out_a = verifier._specialized(problem.negation, box_a)
+        out_b = verifier._specialized(problem.negation, box_b)
+        # both boxes sit on the same side of every switch: one object
+        assert out_a is out_b
+        assert len(verifier._specialized_cache) == 1
+
+    def test_verdicts_match_plain_run(self):
+        problem = encode(get_functional("SCAN"), get_condition("EC1"))
+        results = {}
+        for flag in (False, True):
+            config = VerifierConfig(**QUICK, specialize_boxes=flag)
+            report = Verifier(config).verify(problem)
+            results[flag] = (
+                report.classification(),
+                report.has_counterexample(),
+            )
+        assert results[False] == results[True]
+
+    def test_counterexamples_still_validated(self):
+        # LYP has no Ite; with the flag on, the CEX machinery is unchanged
+        config = VerifierConfig(**QUICK, specialize_boxes=True)
+        report = Verifier(config).verify(
+            encode(get_functional("LYP"), get_condition("EC1"))
+        )
+        assert report.has_counterexample()
+        for record in report.counterexamples():
+            assert record.outcome is Outcome.COUNTEREXAMPLE
+            assert record.model is not None
