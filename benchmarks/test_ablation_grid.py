@@ -75,11 +75,16 @@ def test_checker_runtime_scales_linearly(benchmark):
     times = {}
 
     def run():
+        # warm-up: first check pays one-off kernel compilation/caching costs
+        PBChecker(spec=GridSpec(n_rs=51, n_s=51)).check(pbe, EC7)
         for n in (101, 202, 404):
             checker = PBChecker(spec=GridSpec(n_rs=n, n_s=n))
-            t0 = time.perf_counter()
-            checker.check(pbe, EC7)
-            times[n] = time.perf_counter() - t0
+            best = float("inf")
+            for _ in range(3):  # best-of-3 damps scheduler noise
+                t0 = time.perf_counter()
+                checker.check(pbe, EC7)
+                best = min(best, time.perf_counter() - t0)
+            times[n] = best
         return times
 
     benchmark.pedantic(run, rounds=1, iterations=1)

@@ -16,6 +16,7 @@ from repro.functionals import get_functional, paper_functionals
 from repro.functionals.vars import RS
 from repro.solver.box import Box
 from repro.solver.contractor import HC4Contractor
+from repro.solver.icp import ICPSolver
 from repro.verifier import encode
 
 
@@ -26,6 +27,79 @@ def test_hc4_contraction_throughput(benchmark):
 
     result = benchmark(contractor.contract, box)
     assert not result.is_empty() or True
+
+
+def test_hc4_tree_walk_throughput(benchmark):
+    """The legacy tree-walking executor, kept as the comparison baseline."""
+    problem = encode(get_functional("PBE"), EC1)
+    contractor = HC4Contractor(problem.negation, delta=1e-5, backend="walk")
+    box = Box.from_bounds({"rs": (1.0, 3.0), "s": (0.0, 2.0)})
+
+    benchmark(contractor.contract, box)
+
+
+def test_tape_vm_speedup_over_tree_walk():
+    """Acceptance check: tape-compiled HC4 >= 2x the tree walk on PBE-class
+    residuals, with identical contraction output."""
+    import time
+
+    problem = encode(get_functional("PBE"), EC1)
+    box = Box.from_bounds({"rs": (1.0, 3.0), "s": (0.0, 2.0)})
+
+    def best_of(contractor, repeats=5, iters=20):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                contractor.contract(box)
+            best = min(best, (time.perf_counter() - t0) / iters)
+        return best
+
+    tape_c = HC4Contractor(problem.negation, delta=1e-5, backend="tape")
+    walk_c = HC4Contractor(problem.negation, delta=1e-5, backend="walk")
+    tape_box = tape_c.contract(box)
+    walk_box = walk_c.contract(box)
+    for name in tape_box.names:
+        assert tape_box[name].lo == walk_box[name].lo
+        assert tape_box[name].hi == walk_box[name].hi
+
+    t_tape = best_of(tape_c)
+    t_walk = best_of(walk_c)
+    ratio = t_walk / t_tape
+    print(f"\nHC4 contract: walk {t_walk*1e3:.3f} ms, tape {t_tape*1e3:.3f} ms, "
+          f"speedup {ratio:.2f}x")
+    assert ratio >= 2.0, f"tape VM only {ratio:.2f}x faster than tree walk"
+
+
+def test_solver_call_speedup_over_tree_walk():
+    """Full ICP solver calls (contract + probe + split) on the PBE EC1
+    negation: the tape backend must at least halve the per-call cost."""
+    import time
+
+    problem = encode(get_functional("PBE"), EC1)
+    box = Box.from_bounds({"rs": (1.0, 3.0), "s": (0.0, 2.0)})
+    from repro.solver.icp import Budget
+
+    budget = Budget(max_steps=60)
+
+    def best_of(backend, repeats=3):
+        solver = ICPSolver(delta=1e-5, precision=1e-3, backend=backend)
+        result = solver.solve(problem.negation, box, budget)  # warm caches
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            solver.solve(problem.negation, box, budget)
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    t_tape, r_tape = best_of("tape")
+    t_walk, r_walk = best_of("walk")
+    assert r_tape.status == r_walk.status
+    assert r_tape.model == r_walk.model
+    ratio = t_walk / t_tape
+    print(f"\nICP solve: walk {t_walk*1e3:.1f} ms, tape {t_tape*1e3:.1f} ms, "
+          f"speedup {ratio:.2f}x")
+    assert ratio >= 1.5, f"solver calls only {ratio:.2f}x faster than tree walk"
 
 
 def test_scan_contraction_cost(benchmark):

@@ -3,7 +3,14 @@
 Used by the verifier's counterexample-validation step (``valid(x)`` in
 Algorithm 1 of the paper): candidate models returned by the delta-complete
 solver are plugged back into the *original* condition with ordinary
-floating-point arithmetic.
+floating-point arithmetic.  It is also the engine behind ``Atom.holds_at``
+probing, which runs once per box inside the ICP loop.
+
+Because of that hot-path role, :func:`evaluate` executes a flat compiled
+tape (:mod:`repro.solver.tape`) instead of re-walking the DAG; the original
+tree-walking implementation is kept as :func:`evaluate_tree`, the
+differential-testing oracle.  Both perform the identical sequence of float
+operations, so they agree bit for bit.
 """
 
 from __future__ import annotations
@@ -11,10 +18,55 @@ from __future__ import annotations
 import math
 
 from .nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Rel, Var
+from ..scipy_compat import special
 
 
 class EvalError(ValueError):
     """Raised when a point lies outside an operation's domain."""
+
+
+# ---------------------------------------------------------------------------
+# scalar primitives (shared with the tape VM)
+# ---------------------------------------------------------------------------
+
+def _scalar_exp(x: float) -> float:
+    if x > 709.0:
+        raise OverflowError("exp overflow")
+    return math.exp(x)
+
+
+def _scalar_cbrt(x: float) -> float:
+    return math.copysign(abs(x) ** (1.0 / 3.0), x)
+
+
+def _scalar_lambertw(x: float) -> float:
+    if x < -1.0 / math.e:
+        raise EvalError("lambertw argument below branch point")
+    return float(special("lambertw")(x).real)
+
+
+#: scalar implementation of every unary IR function; the single source of
+#: truth for point semantics, used by both execution strategies.
+SCALAR_FUNCS = {
+    "exp": _scalar_exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "cbrt": _scalar_cbrt,
+    "atan": math.atan,
+    "abs": abs,
+    "lambertw": _scalar_lambertw,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tanh": math.tanh,
+    "erf": math.erf,
+}
+
+
+def _env_by_name(env: dict[Var | str, float]) -> dict[str, float]:
+    by_name: dict[str, float] = {}
+    for key, value in env.items():
+        by_name[key.name if isinstance(key, Var) else key] = float(value)
+    return by_name
 
 
 def evaluate(expr: Expr, env: dict[Var | str, float], strict: bool = False) -> float:
@@ -24,10 +76,22 @@ def evaluate(expr: Expr, env: dict[Var | str, float], strict: bool = False) -> f
     behaviour of grid-based checkers; with ``strict=True`` they raise
     :class:`EvalError`.
     """
-    by_name: dict[str, float] = {}
-    for key, value in env.items():
-        by_name[key.name if isinstance(key, Var) else key] = float(value)
+    # deferred import: repro.solver.tape imports this module for the
+    # scalar primitive table above
+    from ..solver.tape import tape_for
 
+    tape = tape_for(expr)
+    try:
+        return tape.eval_point(_env_by_name(env))
+    except (ValueError, OverflowError, ZeroDivisionError) as exc:
+        if strict:
+            raise EvalError(str(exc)) from exc
+        return math.nan
+
+
+def evaluate_tree(expr: Expr, env: dict[Var | str, float], strict: bool = False) -> float:
+    """Tree-walking reference implementation (differential-testing oracle)."""
+    by_name = _env_by_name(env)
     memo: dict[int, float] = {}
     try:
         for node in expr.walk():
@@ -82,31 +146,8 @@ def _eval_node(node: Expr, memo: dict[int, float], env: dict[str, float]) -> flo
 
 
 def _eval_func(name: str, x: float) -> float:
-    if name == "exp":
-        if x > 709.0:
-            raise OverflowError("exp overflow")
-        return math.exp(x)
-    if name == "log":
-        return math.log(x)
-    if name == "sqrt":
-        return math.sqrt(x)
-    if name == "cbrt":
-        return math.copysign(abs(x) ** (1.0 / 3.0), x)
-    if name == "atan":
-        return math.atan(x)
-    if name == "abs":
-        return abs(x)
-    if name == "lambertw":
-        from scipy.special import lambertw as _lw
-        if x < -1.0 / math.e:
-            raise EvalError("lambertw argument below branch point")
-        return float(_lw(x).real)
-    if name == "sin":
-        return math.sin(x)
-    if name == "cos":
-        return math.cos(x)
-    if name == "tanh":
-        return math.tanh(x)
-    if name == "erf":
-        return math.erf(x)
-    raise TypeError(f"cannot evaluate function {name}")  # pragma: no cover
+    try:
+        fn = SCALAR_FUNCS[name]
+    except KeyError:  # pragma: no cover
+        raise TypeError(f"cannot evaluate function {name}") from None
+    return fn(x)

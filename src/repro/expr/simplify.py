@@ -168,7 +168,13 @@ def _factor_add(node: Add) -> Expr:
             if remaining != 0.0:
                 rest.append(b.pow_(base, remaining))
         reduced_terms.append(b.mul(*rest) if rest else b.as_expr(1.0))
-    return b.mul(*common_factors, b.add(*reduced_terms))
+    out = b.mul(*common_factors, b.add(*reduced_terms))
+    # factoring can *grow* the DAG (e.g. x + x**3 -> x * (1 + x**2) adds a
+    # Mul without removing anything); keep the original in that case so
+    # simplify() never increases the operation count
+    if out.operation_count() >= node.operation_count():
+        return node
+    return out
 
 
 def factor_sums(expr: Expr) -> Expr:

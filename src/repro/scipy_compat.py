@@ -1,0 +1,19 @@
+"""Lazy accessors for SciPy functions used on solver hot paths.
+
+``scipy.special`` imports are deferred until first use and memoised, so
+modules on the interval/point evaluation hot paths neither pay the import
+at module load nor re-run the import machinery per call.  Keeping the
+pattern in one place also keeps the gating consistent if SciPy is absent.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=None)
+def special(name: str):
+    """Return ``scipy.special.<name>``, importing scipy once on first use."""
+    from scipy import special as _special
+
+    return getattr(_special, name)

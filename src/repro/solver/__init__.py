@@ -5,6 +5,8 @@ Subpackages:
 * :mod:`repro.solver.interval` -- outward-rounded interval arithmetic,
 * :mod:`repro.solver.box` -- variable boxes (search state / regions),
 * :mod:`repro.solver.constraint` -- atoms, conjunctions, delta-weakening,
+* :mod:`repro.solver.tape` -- the tape-compiled interval VM (flat SSA
+  instruction tapes for the forward/backward/point executors),
 * :mod:`repro.solver.contractor` -- HC4-revise forward/backward contractor,
 * :mod:`repro.solver.newton` -- first-order mean-value (interval Newton)
   contractor,
@@ -14,6 +16,7 @@ Subpackages:
 from .interval import EMPTY, Interval, REALS, make, point
 from .box import Box
 from .constraint import Atom, Conjunction, negate_condition
+from .tape import CompiledAtom, CompiledConjunction, Tape, compile_expr, tape_for
 from .contractor import HC4Contractor, enclosure, interval_eval
 from .newton import NewtonContractor
 from .icp import Budget, ICPSolver, SolverResult, SolverStats, SolverStatus
@@ -21,6 +24,7 @@ from .icp import Budget, ICPSolver, SolverResult, SolverStats, SolverStatus
 __all__ = [
     "EMPTY", "Interval", "REALS", "make", "point",
     "Box", "Atom", "Conjunction", "negate_condition",
+    "CompiledAtom", "CompiledConjunction", "Tape", "compile_expr", "tape_for",
     "HC4Contractor", "enclosure", "interval_eval", "NewtonContractor",
     "Budget", "ICPSolver", "SolverResult", "SolverStats", "SolverStatus",
 ]

@@ -17,22 +17,40 @@ W) contract their argument into the primitive's domain.  This matches
 dReal's treatment of partial functions via domain constraints and is the
 right semantics for DFA expressions, which are well-defined on the physical
 input domain.
+
+Execution strategy: by default :class:`HC4Contractor` compiles each atom's
+residual into a flat instruction tape (:mod:`repro.solver.tape`) and runs
+forward/backward off that tape with a preallocated slot vector -- same
+operations, same order, several-fold less interpretation overhead than
+re-walking the DAG per box.  ``backend="walk"`` selects the original
+tree-walking executors, kept as the differential-testing oracle.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import inf
 
 from ..expr.nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Var
 from .box import Box
 from .constraint import Atom, Conjunction
-from .interval import EMPTY, Interval, REALS, make, point
+from .interval import EMPTY, Interval, make, point
+from .tape import (
+    COND_CODE,
+    CompiledConjunction,
+    Tape,
+    atanh_interval as _atanh_interval,
+    decide_cond,
+    erfinv_interval as _erfinv_interval,
+    root_int as _root_int,
+    tan_restricted as _tan_restricted,
+    tape_for,
+    wexpw as _wexpw,
+)
 
 
 # ---------------------------------------------------------------------------
-# forward interval evaluation
+# forward interval evaluation (tree-walk oracle)
 # ---------------------------------------------------------------------------
 
 def interval_eval(expr: Expr, box: Box) -> dict[int, Interval]:
@@ -44,8 +62,8 @@ def interval_eval(expr: Expr, box: Box) -> dict[int, Interval]:
 
 
 def enclosure(expr: Expr, box: Box) -> Interval:
-    """Interval enclosure of ``expr`` over ``box``."""
-    return interval_eval(expr, box)[id(expr)]
+    """Interval enclosure of ``expr`` over ``box`` (tape-compiled)."""
+    return tape_for(expr).enclosure(box)
 
 
 def _forward_node(node: Expr, ivals: dict[int, Interval], box: Box) -> Interval:
@@ -104,28 +122,11 @@ _FORWARD_FUNC = {
 
 def _decide_cond(op: str, gap: Interval) -> bool | None:
     """Decide a condition ``gap op 0`` over an interval, or None if unknown."""
-    if gap.is_empty():
-        return None
-    if op in ("<=", "<"):
-        if gap.hi <= 0.0 and not (op == "<" and gap.hi == 0.0 and gap.lo == 0.0):
-            return True
-        if gap.lo > 0.0 or (op == "<" and gap.lo >= 0.0):
-            return False
-        return None
-    if op in (">=", ">"):
-        flipped = _decide_cond("<=" if op == ">" else "<", gap)
-        return None if flipped is None else not flipped
-    if op == "==":
-        if gap.lo == 0.0 and gap.hi == 0.0:
-            return True
-        if not gap.contains(0.0):
-            return False
-        return None
-    raise ValueError(op)
+    return decide_cond(COND_CODE[op], gap)
 
 
 # ---------------------------------------------------------------------------
-# backward propagation
+# backward propagation (tree-walk oracle)
 # ---------------------------------------------------------------------------
 
 def _narrow(ivals: dict[int, Interval], node: Expr, allowed: Interval) -> bool:
@@ -134,68 +135,6 @@ def _narrow(ivals: dict[int, Interval], node: Expr, allowed: Interval) -> bool:
     updated = current.intersect(allowed)
     ivals[id(node)] = updated
     return not updated.is_empty()
-
-
-def _tan_restricted(x: Interval) -> Interval:
-    """tan on an interval inside (-pi/2, pi/2) (inverse of atan)."""
-    half_pi = math.pi / 2
-    x = x.intersect(make(-half_pi, half_pi))
-    if x.is_empty():
-        return EMPTY
-    lo = -inf if x.lo <= -half_pi + 1e-15 else math.tan(x.lo)
-    hi = inf if x.hi >= half_pi - 1e-15 else math.tan(x.hi)
-    return make(lo, hi).widened(1e-12 * (1.0 + abs(lo) + abs(hi)) if lo != -inf and hi != inf else 0.0)
-
-
-def _atanh_interval(x: Interval) -> Interval:
-    x = x.intersect(make(-1.0, 1.0))
-    if x.is_empty():
-        return EMPTY
-    lo = -inf if x.lo <= -1.0 else math.atanh(x.lo)
-    hi = inf if x.hi >= 1.0 else math.atanh(x.hi)
-    return make(lo, hi).widened(1e-14)
-
-
-def _erfinv_interval(x: Interval) -> Interval:
-    from scipy.special import erfinv
-    x = x.intersect(make(-1.0, 1.0))
-    if x.is_empty():
-        return EMPTY
-    lo = -inf if x.lo <= -1.0 else float(erfinv(x.lo))
-    hi = inf if x.hi >= 1.0 else float(erfinv(x.hi))
-    return make(lo, hi).widened(1e-12)
-
-
-def _wexpw(w: Interval) -> Interval:
-    """Inverse image of lambertw: x = w * exp(w), monotone for w >= -1."""
-    w = w.intersect(make(-1.0, inf))
-    if w.is_empty():
-        return EMPTY
-    return (w * w.exp()).widened(1e-14)
-
-
-def _root_int(y: Interval, n: int, current: Interval) -> Interval:
-    """Solve b**n = y for b, intersected with the sign info of ``current``."""
-    if n % 2 == 1:
-        # odd: monotone bijection on R
-        def _nth(v: float) -> float:
-            if v == inf or v == -inf:
-                return v
-            return math.copysign(abs(v) ** (1.0 / n), v)
-        return make(_nth(y.lo), _nth(y.hi)).widened(1e-14 * (1.0 + abs(y.lo) + abs(y.hi)))
-    # even: |b| = y**(1/n), y >= 0
-    y = y.intersect(make(0.0, inf))
-    if y.is_empty():
-        return EMPTY
-    hi_mag = inf if y.hi == inf else y.hi ** (1.0 / n)
-    lo_mag = 0.0 if y.lo <= 0.0 else y.lo ** (1.0 / n)
-    hi_mag *= 1.0 + 1e-14
-    lo_mag *= 1.0 - 1e-14
-    pos = make(lo_mag, hi_mag)
-    neg = make(-hi_mag, -lo_mag)
-    pos_part = pos.intersect(current)
-    neg_part = neg.intersect(current)
-    return pos_part.hull(neg_part)
 
 
 def _backward_pow(node: Pow, ivals: dict[int, Interval]) -> bool:
@@ -343,22 +282,60 @@ class HC4Contractor:
     ``delta`` is the weakening of the delta-complete framework: pruning uses
     the relaxed atoms, so an UNSAT (empty) outcome certifies unsatisfiability
     of the *original* formula as well.
+
+    ``formula`` may be a :class:`Conjunction` (residual DAGs are compiled to
+    tapes here) or an already-compiled
+    :class:`~repro.solver.tape.CompiledConjunction` (e.g. shipped to a
+    worker process).  ``backend="walk"`` runs the original tree-walking
+    executors instead of the tape VM (oracle for differential testing;
+    requires a :class:`Conjunction`).
     """
 
-    def __init__(self, formula: Conjunction, delta: float = 1e-5):
+    def __init__(
+        self,
+        formula: Conjunction | CompiledConjunction,
+        delta: float = 1e-5,
+        backend: str = "tape",
+    ):
         if delta < 0.0:
             raise ValueError("delta must be non-negative")
+        if backend not in ("tape", "walk"):
+            raise ValueError("backend must be 'tape' or 'walk'")
+        if backend == "walk" and isinstance(formula, CompiledConjunction):
+            raise ValueError("the walk backend needs expression-level atoms")
         self.formula = formula
         self.delta = delta
+        self.backend = backend
         self.stats = ContractionStats()
-        self._orders = [list(atom.residual.walk()) for atom in formula.atoms]
+        if backend == "walk":
+            # tree-walk oracle: contraction/certainly_sat never touch tapes,
+            # so a tape-VM bug in the interval executors cannot leak into
+            # both sides of a differential comparison.  (Point probing via
+            # Atom.holds_at still uses the tape scalar evaluator on both
+            # backends; its independent oracle is evaluate_tree, compared
+            # directly in tests/solver/test_tape.py.)
+            self._orders = [list(atom.residual.walk()) for atom in formula.atoms]
+            self._tapes = None
+            self._los = None
+            self._his = None
+            return
+        self._orders = None
+        if isinstance(formula, CompiledConjunction):
+            self._tapes: list[Tape] = [atom.tape for atom in formula.atoms]
+        else:
+            self._tapes = [tape_for(atom.residual) for atom in formula.atoms]
+        # preallocated per-slot lo/hi endpoint arrays, one pair per atom
+        self._los: list[list[float]] = [[0.0] * t.n_slots for t in self._tapes]
+        self._his: list[list[float]] = [[0.0] * t.n_slots for t in self._tapes]
 
     def contract(self, box: Box, rounds: int = 2) -> Box:
         """Iterate HC4-revise over all atoms up to ``rounds`` fixpoint rounds."""
+        revise = self._revise_tape if self.backend == "tape" else self._revise_walk
+        atoms = self.formula.atoms
         for _ in range(max(1, rounds)):
             changed = False
-            for atom, order in zip(self.formula.atoms, self._orders):
-                new_box = self._revise(atom, order, box)
+            for i, atom in enumerate(atoms):
+                new_box = revise(i, atom, box)
                 if new_box.is_empty():
                     self.stats.prunes_to_empty += 1
                     return new_box
@@ -369,12 +346,43 @@ class HC4Contractor:
                 break
         return box
 
-    def _revise(self, atom: Atom, order: list[Expr], box: Box) -> Box:
+    # -- tape-compiled revise ----------------------------------------------
+    def _revise_tape(self, i: int, atom, box: Box) -> Box:
         self.stats.forward_passes += 1
-        ivals: dict[int, Interval] = {}
+        tape = self._tapes[i]
+        los = self._los[i]
+        his = self._his[i]
         # NB: empty sub-enclosures (domain clipping) are *not* fatal here:
         # they may sit in an untaken ITE branch, where hull() ignores them.
         # Only an empty root enclosure makes the atom unsatisfiable.
+        tape.forward_arrays(box, los, his)
+
+        root = tape.root
+        root_lo = los[root]
+        root_hi = his[root]
+        delta = self.delta
+        if not root_lo <= root_hi or root_lo > delta:
+            # empty root enclosure, or no overlap with (-inf, delta]
+            return Box({name: EMPTY for name in box.names})
+        if root_hi <= delta:
+            return box  # atom gives no pruning information
+        his[root] = delta  # intersect root with the allowed set
+
+        self.stats.backward_passes += 1
+        if not tape.backward_arrays(los, his):
+            return Box({name: EMPTY for name in box.names})
+
+        out = {name: box[name] for name in box.names}
+        for name, slot in tape.var_slots:
+            if name in out:
+                out[name] = out[name].intersect(Interval(los[slot], his[slot]))
+        return Box(out)
+
+    # -- tree-walk revise (oracle) ------------------------------------------
+    def _revise_walk(self, i: int, atom: Atom, box: Box) -> Box:
+        self.stats.forward_passes += 1
+        order = self._orders[i]
+        ivals: dict[int, Interval] = {}
         for node in order:
             ivals[id(node)] = _forward_node(node, ivals, box)
 
@@ -396,9 +404,7 @@ class HC4Contractor:
 
         out = {}
         for name in box.names:
-            iv = box[name]
-            # collect narrowing from var nodes present in this atom
-            out[name] = iv
+            out[name] = box[name]
         for node in order:
             if isinstance(node, Var) and node.name in out:
                 out[node.name] = out[node.name].intersect(ivals[id(node)])
@@ -406,12 +412,21 @@ class HC4Contractor:
 
     def certainly_sat(self, box: Box) -> bool:
         """True if every atom holds on the *whole* box (within delta)."""
-        allowed = make(-inf, self.delta)
-        for atom, order in zip(self.formula.atoms, self._orders):
-            ivals: dict[int, Interval] = {}
-            for node in order:
-                ivals[id(node)] = _forward_node(node, ivals, box)
-            root = ivals[id(atom.residual)]
-            if root.is_empty() or not root.is_subset(allowed):
+        if self.backend == "walk":
+            allowed = make(-inf, self.delta)
+            for atom, order in zip(self.formula.atoms, self._orders):
+                ivals: dict[int, Interval] = {}
+                for node in order:
+                    ivals[id(node)] = _forward_node(node, ivals, box)
+                root = ivals[id(atom.residual)]
+                if root.is_empty() or not root.is_subset(allowed):
+                    return False
+            return True
+        for i, tape in enumerate(self._tapes):
+            los = self._los[i]
+            his = self._his[i]
+            tape.forward_arrays(box, los, his)
+            root = tape.root
+            if not los[root] <= his[root] or his[root] > self.delta:
                 return False
         return True

@@ -132,6 +132,11 @@ class ICPSolver:
         box.  Pays off on derivative-heavy residuals where HC4's
         syntax-directed pruning stalls; costs one symbolic derivative per
         (atom, variable) up front plus extra interval sweeps per box.
+    backend:
+        Execution strategy for the HC4 contractor: ``"tape"`` (default)
+        compiles residuals to flat instruction tapes
+        (:mod:`repro.solver.tape`); ``"walk"`` uses the original
+        tree-walking executors (the differential-testing oracle).
     """
 
     def __init__(
@@ -143,11 +148,14 @@ class ICPSolver:
         use_contraction: bool = True,
         use_newton: bool = False,
         search: str = "bfs",
+        backend: str = "tape",
     ):
         if precision <= 0.0:
             raise ValueError("precision must be positive")
         if search not in ("bfs", "dfs"):
             raise ValueError("search must be 'bfs' or 'dfs'")
+        if backend not in ("tape", "walk"):
+            raise ValueError("backend must be 'tape' or 'walk'")
         self.delta = delta
         self.precision = precision
         self.contraction_rounds = contraction_rounds
@@ -155,23 +163,27 @@ class ICPSolver:
         self.use_contraction = use_contraction
         self.use_newton = use_newton
         self.search = search
+        self.backend = backend
         # contractors are pure functions of the formula; reuse across the
-        # many solver calls Algorithm 1 makes for the same condition
-        self._contractors: dict[int, HC4Contractor] = {}
-        self._newtons: dict[int, NewtonContractor] = {}
+        # many solver calls Algorithm 1 makes for the same condition.
+        # Keyed on the formula itself (holding a strong reference), NOT on
+        # id(formula): ids are recycled after garbage collection, which
+        # could silently serve a stale contractor for a different formula.
+        self._contractors: dict[object, HC4Contractor] = {}
+        self._newtons: dict[object, NewtonContractor] = {}
 
     def _contractor_for(self, formula: Conjunction) -> HC4Contractor:
-        contractor = self._contractors.get(id(formula))
+        contractor = self._contractors.get(formula)
         if contractor is None:
-            contractor = HC4Contractor(formula, delta=self.delta)
-            self._contractors[id(formula)] = contractor
+            contractor = HC4Contractor(formula, delta=self.delta, backend=self.backend)
+            self._contractors[formula] = contractor
         return contractor
 
     def _newton_for(self, formula: Conjunction) -> NewtonContractor:
-        contractor = self._newtons.get(id(formula))
+        contractor = self._newtons.get(formula)
         if contractor is None:
             contractor = NewtonContractor(formula, delta=self.delta)
-            self._newtons[id(formula)] = contractor
+            self._newtons[formula] = contractor
         return contractor
 
     def solve(

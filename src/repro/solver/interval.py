@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from math import inf, isnan, nextafter
 
+from ..scipy_compat import special
+
 __all__ = [
     "Interval", "EMPTY", "REALS", "make", "point",
 ]
@@ -340,10 +342,11 @@ def _cbrt_scalar(x: float) -> float:
 
 
 def _lambertw_scalar(x: float) -> float:
-    from scipy.special import lambertw
+    # lazy memoised accessor: the scipy import used to run per call on the
+    # contractor hot path
     if x < -1.0 / math.e:
         x = -1.0 / math.e
-    return float(lambertw(x).real)
+    return float(special("lambertw")(x).real)
 
 
 def _trig_range(x: Interval, fn, offset: float) -> Interval:

@@ -35,11 +35,10 @@ from dataclasses import dataclass
 from math import inf
 
 from ..expr.derivative import derivative
-from ..expr.nodes import Expr, Var
 from .box import Box
-from .constraint import Atom, Conjunction
-from .contractor import interval_eval
+from .constraint import Conjunction
 from .interval import EMPTY, Interval, make
+from .tape import CompiledConjunction, Tape, tape_for
 
 __all__ = ["NewtonContractor"]
 
@@ -55,30 +54,48 @@ class NewtonContractor:
     """Mean-value contractor for a conjunction of ``g <= delta`` atoms.
 
     Derivatives are computed symbolically once per (atom, variable) at
-    construction -- the same derivative engine the encoder uses -- and
-    enclosed with the interval evaluator per contraction call.
+    construction -- the same derivative engine the encoder uses -- then
+    compiled to instruction tapes (:mod:`repro.solver.tape`) whose forward
+    pass supplies the slope and residual enclosures per contraction call.
+    ``formula`` may also be an already-compiled
+    :class:`~repro.solver.tape.CompiledConjunction` carrying derivative
+    tapes (``derivatives=True`` at compilation time).
     """
 
-    def __init__(self, formula: Conjunction, delta: float = 1e-5):
+    def __init__(self, formula: Conjunction | CompiledConjunction, delta: float = 1e-5):
         if delta < 0.0:
             raise ValueError("delta must be non-negative")
         self.formula = formula
         self.delta = delta
         self.stats = NewtonStats()
-        # (atom, var, dg/dvar) triples; vars sorted for determinism
-        self._projections: list[tuple[Atom, Var, Expr]] = []
-        for atom in formula.atoms:
-            for var in sorted(atom.residual.free_vars(), key=lambda v: v.name):
-                self._projections.append(
-                    (atom, var, derivative(atom.residual, var))
-                )
+        # (residual tape, var name, dg/dvar tape) triples; sorted by name
+        # for determinism
+        self._projections: list[tuple[Tape, str, Tape]] = []
+        if isinstance(formula, CompiledConjunction):
+            for atom in formula.atoms:
+                if atom.deriv_tapes is None:
+                    raise ValueError(
+                        "CompiledConjunction lacks derivative tapes; compile "
+                        "with derivatives=True to use the Newton contractor"
+                    )
+                for name in sorted(atom.deriv_tapes):
+                    self._projections.append(
+                        (atom.tape, name, atom.deriv_tapes[name])
+                    )
+        else:
+            for atom in formula.atoms:
+                residual_tape = tape_for(atom.residual)
+                for var in sorted(atom.residual.free_vars(), key=lambda v: v.name):
+                    self._projections.append(
+                        (residual_tape, var.name, tape_for(derivative(atom.residual, var)))
+                    )
 
     def contract(self, box: Box, rounds: int = 1) -> Box:
         """Project every atom onto every variable, up to ``rounds`` sweeps."""
         for _ in range(max(1, rounds)):
             changed = False
-            for atom, var, deriv in self._projections:
-                new_box = self._project(atom, var, deriv, box)
+            for residual_tape, name, deriv_tape in self._projections:
+                new_box = self._project(residual_tape, name, deriv_tape, box)
                 if new_box.is_empty():
                     self.stats.prunes_to_empty += 1
                     return new_box
@@ -89,8 +106,8 @@ class NewtonContractor:
                 break
         return box
 
-    def _project(self, atom: Atom, var: Var, deriv: Expr, box: Box) -> Box:
-        """Narrow ``box[var]`` using mean-value expansions of the residual.
+    def _project(self, residual_tape: Tape, name: str, deriv_tape: Tape, box: Box) -> Box:
+        """Narrow ``box[name]`` using mean-value expansions of the residual.
 
         The expansion point m is tried at both interval *endpoints* (whose
         removal sets are rays, so the hull subtraction cuts real material)
@@ -98,21 +115,21 @@ class NewtonContractor:
         covers the whole interval, proving the box empty).
         """
         self.stats.projections += 1
-        x = box[var.name]
+        x = box[name]
         if x.is_empty():
             return _empty_like(box)
         if x.lo == x.hi:
             return box  # nothing to narrow on a point interval
 
-        slope = interval_eval(deriv, box)[id(deriv)]
+        slope = deriv_tape.enclosure(box)
         if slope.is_empty() or slope.lo == -inf or slope.hi == inf:
             return box  # derivative enclosure carries no information
         if math.isnan(slope.lo) or math.isnan(slope.hi):
             return box
 
         for m in (x.lo, x.hi, x.mid()):
-            at_m = box.replace(var.name, make(m, m))
-            g_m = interval_eval(atom.residual, at_m)[id(atom.residual)]
+            at_m = box.replace(name, make(m, m))
+            g_m = residual_tape.enclosure(at_m)
             if g_m.is_empty() or math.isnan(g_m.lo):
                 continue  # slice leaves a partial operation's domain
 
@@ -132,7 +149,7 @@ class NewtonContractor:
             if new_x != x:
                 self.stats.narrowed += 1
                 x = new_x
-                box = box.replace(var.name, new_x)
+                box = box.replace(name, new_x)
 
         return box
 

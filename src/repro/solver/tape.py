@@ -1,0 +1,949 @@
+"""Tape-compiled interval VM for the solver hot path.
+
+The HC4 contractor, the mean-value Newton contractor and point probing all
+used to re-walk hash-consed expression DAGs for every box, paying per node
+for an ``isinstance`` dispatch chain and two ``dict[id(node)]`` lookups.
+This module linearizes each residual DAG *once* into a flat SSA instruction
+tape and re-runs the three executors off that tape:
+
+* every unique DAG node gets one integer *slot* (its SSA value number, in
+  topological order);
+* constants are folded into a literal pool preloaded into the slot vector;
+* each interior node becomes one fixed-shape instruction
+  ``(opcode, out_slot, a, b, aux)`` dispatched on a small-integer opcode;
+* the backward (HC4-revise) pass runs the same instruction list in
+  reverse with each opcode's inverse semantics;
+* scalar point evaluation runs the same tape with float semantics.
+
+The VM performs exactly the same interval/float operations in exactly the
+same order as the tree-walking oracles in
+:mod:`repro.solver.contractor` and :mod:`repro.expr.evaluator`, so the two
+execution strategies agree bit for bit; the speedup comes purely from
+removing the per-node interpretation overhead.  Tapes are flat picklable
+data (ints, floats, strings, tuples), which also lets the process-parallel
+verifier ship compiled formulas to workers instead of re-encoding DAGs.
+"""
+
+from __future__ import annotations
+
+import math
+from math import inf
+
+from ..expr.evaluator import EvalError, SCALAR_FUNCS
+from ..scipy_compat import special
+from ..expr.nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Var
+from .interval import EMPTY, Interval, make
+
+__all__ = [
+    "Tape",
+    "compile_expr",
+    "tape_for",
+    "clear_tape_cache",
+    "CompiledAtom",
+    "CompiledConjunction",
+]
+
+
+# ---------------------------------------------------------------------------
+# opcodes and auxiliary encodings
+# ---------------------------------------------------------------------------
+
+OP_ADD2 = 0   # out = a + b
+OP_MUL2 = 1   # out = a * b
+OP_ADDN = 2   # out = fold(+, args); a is a tuple of slots
+OP_MULN = 3   # out = fold(*, args); a is a tuple of slots
+OP_POW = 4    # out = a ** b; aux preresolves a constant exponent
+OP_FUNC = 5   # out = fn(a); b is the function index
+OP_ITE = 6    # a = (lhs, rhs, then, orelse); b is the condition op code
+
+#: condition operator codes for Ite guards and relational atoms
+COND_LE, COND_LT, COND_GE, COND_GT, COND_EQ = 0, 1, 2, 3, 4
+COND_CODE = {"<=": COND_LE, "<": COND_LT, ">=": COND_GE, ">": COND_GT, "==": COND_EQ}
+
+#: function indices (position in the forward/scalar tables below)
+FUNC_NAMES = (
+    "exp", "log", "sqrt", "cbrt", "atan", "abs",
+    "lambertw", "sin", "cos", "tanh", "erf",
+)
+FUNC_INDEX = {name: i for i, name in enumerate(FUNC_NAMES)}
+(F_EXP, F_LOG, F_SQRT, F_CBRT, F_ATAN, F_ABS,
+ F_LAMBERTW, F_SIN, F_COS, F_TANH, F_ERF) = range(len(FUNC_NAMES))
+
+_FORWARD_TABLE = (
+    Interval.exp, Interval.log, Interval.sqrt, Interval.cbrt,
+    Interval.atan, Interval.abs, Interval.lambertw, Interval.sin,
+    Interval.cos, Interval.tanh, Interval.erf,
+)
+_SCALAR_TABLE = tuple(SCALAR_FUNCS[name] for name in FUNC_NAMES)
+
+NINF = -inf
+PINF = inf
+
+
+def decide_cond(code: int, gap: Interval) -> bool | None:
+    """Decide ``gap op 0`` over an interval, or None if undecided.
+
+    Semantics identical to the tree-walk contractor's ``_decide_cond``.
+    """
+    if gap.is_empty():
+        return None
+    if code == COND_LE or code == COND_LT:
+        strict = code == COND_LT
+        if gap.hi <= 0.0 and not (strict and gap.hi == 0.0 and gap.lo == 0.0):
+            return True
+        if gap.lo > 0.0 or (strict and gap.lo >= 0.0):
+            return False
+        return None
+    if code == COND_GE or code == COND_GT:
+        flipped = decide_cond(COND_LE if code == COND_GT else COND_LT, gap)
+        return None if flipped is None else not flipped
+    if code == COND_EQ:
+        if gap.lo == 0.0 and gap.hi == 0.0:
+            return True
+        if not gap.contains(0.0):
+            return False
+        return None
+    raise ValueError(code)
+
+
+def cond_holds(code: int, value: float, tol: float = 0.0) -> bool:
+    """Scalar relational check ``value op 0`` with delta-weakening ``tol``."""
+    if code == COND_LE:
+        return value <= tol
+    if code == COND_LT:
+        return value < tol
+    if code == COND_GE:
+        return value >= -tol
+    if code == COND_GT:
+        return value > -tol
+    return abs(value) <= tol
+
+
+# ---------------------------------------------------------------------------
+# backward-step primitives (inverse interval forms)
+# ---------------------------------------------------------------------------
+# These are the single source of truth for the HC4 inverse operations; the
+# tree-walk oracle in repro.solver.contractor imports them from here.
+
+def tan_restricted(x: Interval) -> Interval:
+    """tan on an interval inside (-pi/2, pi/2) (inverse of atan)."""
+    half_pi = math.pi / 2
+    x = x.intersect(make(-half_pi, half_pi))
+    if x.is_empty():
+        return EMPTY
+    lo = -inf if x.lo <= -half_pi + 1e-15 else math.tan(x.lo)
+    hi = inf if x.hi >= half_pi - 1e-15 else math.tan(x.hi)
+    return make(lo, hi).widened(
+        1e-12 * (1.0 + abs(lo) + abs(hi)) if lo != -inf and hi != inf else 0.0
+    )
+
+
+def atanh_interval(x: Interval) -> Interval:
+    x = x.intersect(make(-1.0, 1.0))
+    if x.is_empty():
+        return EMPTY
+    lo = -inf if x.lo <= -1.0 else math.atanh(x.lo)
+    hi = inf if x.hi >= 1.0 else math.atanh(x.hi)
+    return make(lo, hi).widened(1e-14)
+
+
+def erfinv_interval(x: Interval) -> Interval:
+    erfinv = special("erfinv")
+    x = x.intersect(make(-1.0, 1.0))
+    if x.is_empty():
+        return EMPTY
+    lo = -inf if x.lo <= -1.0 else float(erfinv(x.lo))
+    hi = inf if x.hi >= 1.0 else float(erfinv(x.hi))
+    return make(lo, hi).widened(1e-12)
+
+
+def wexpw(w: Interval) -> Interval:
+    """Inverse image of lambertw: x = w * exp(w), monotone for w >= -1."""
+    w = w.intersect(make(-1.0, inf))
+    if w.is_empty():
+        return EMPTY
+    return (w * w.exp()).widened(1e-14)
+
+
+def root_int(y: Interval, n: int, current: Interval) -> Interval:
+    """Solve b**n = y for b, intersected with the sign info of ``current``."""
+    if n % 2 == 1:
+        # odd: monotone bijection on R
+        def _nth(v: float) -> float:
+            if v == inf or v == -inf:
+                return v
+            return math.copysign(abs(v) ** (1.0 / n), v)
+        return make(_nth(y.lo), _nth(y.hi)).widened(
+            1e-14 * (1.0 + abs(y.lo) + abs(y.hi))
+        )
+    # even: |b| = y**(1/n), y >= 0
+    y = y.intersect(make(0.0, inf))
+    if y.is_empty():
+        return EMPTY
+    hi_mag = inf if y.hi == inf else y.hi ** (1.0 / n)
+    lo_mag = 0.0 if y.lo <= 0.0 else y.lo ** (1.0 / n)
+    hi_mag *= 1.0 + 1e-14
+    lo_mag *= 1.0 - 1e-14
+    pos = make(lo_mag, hi_mag)
+    neg = make(-hi_mag, -lo_mag)
+    pos_part = pos.intersect(current)
+    neg_part = neg.intersect(current)
+    return pos_part.hull(neg_part)
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+def compile_expr(expr: Expr) -> "Tape":
+    """Linearize an expression DAG into a flat instruction tape.
+
+    Slots are assigned in the same topological (children-first) order the
+    tree-walk executors use, so both strategies perform the identical
+    sequence of primitive operations.
+    """
+    order = list(expr.walk())
+    slot_of: dict[int, int] = {id(node): i for i, node in enumerate(order)}
+    instrs: list[tuple] = []
+    var_slots: list[tuple[str, int]] = []
+    const_slots: list[tuple[int, float]] = []
+
+    for out, node in enumerate(order):
+        if isinstance(node, Const):
+            const_slots.append((out, node.value))
+        elif isinstance(node, Var):
+            var_slots.append((node.name, out))
+        elif isinstance(node, Add):
+            args = tuple(slot_of[id(a)] for a in node.args)
+            if len(args) == 2:
+                instrs.append((OP_ADD2, out, args[0], args[1], None))
+            else:
+                instrs.append((OP_ADDN, out, args, 0, None))
+        elif isinstance(node, Mul):
+            args = tuple(slot_of[id(a)] for a in node.args)
+            if len(args) == 2:
+                instrs.append((OP_MUL2, out, args[0], args[1], None))
+            else:
+                instrs.append((OP_MULN, out, args, 0, None))
+        elif isinstance(node, Pow):
+            aux = None
+            if isinstance(node.exponent, Const):
+                p = node.exponent.value
+                if float(p).is_integer() and abs(p) < 2**31:
+                    aux = ("i", int(p), p)
+                else:
+                    aux = ("r", p, p)
+            instrs.append(
+                (OP_POW, out, slot_of[id(node.base)], slot_of[id(node.exponent)], aux)
+            )
+        elif isinstance(node, Func):
+            instrs.append(
+                (OP_FUNC, out, slot_of[id(node.arg)], FUNC_INDEX[node.name], node.name)
+            )
+        elif isinstance(node, Ite):
+            args = (
+                slot_of[id(node.cond.lhs)],
+                slot_of[id(node.cond.rhs)],
+                slot_of[id(node.then)],
+                slot_of[id(node.orelse)],
+            )
+            instrs.append((OP_ITE, out, args, COND_CODE[node.cond.op], None))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot compile {type(node).__name__}")
+
+    return Tape(
+        instrs=tuple(instrs),
+        n_slots=len(order),
+        root=slot_of[id(expr)],
+        var_slots=tuple(var_slots),
+        const_slots=tuple(const_slots),
+    )
+
+
+class Tape:
+    """A compiled expression: flat instructions plus slot metadata.
+
+    The persistent state (``instrs``, ``var_slots``, ``const_slots``,
+    ``root``, ``n_slots``) is pure flat data and pickles cheaply; the
+    resolved per-instruction dispatch lists are rebuilt on unpickle.
+
+    The interval executors keep per-slot ``lo``/``hi`` endpoints in two
+    preallocated float arrays instead of ``Interval`` objects, and inline
+    the endpoint arithmetic of the hot opcodes (add/mul chains) directly in
+    the dispatch loop: the *values* computed are identical to the
+    ``Interval`` methods (same operations, same order, same outward
+    rounding), but the per-op allocation and method-call overhead is gone.
+    The empty interval is encoded the same way (``lo > hi``).
+    """
+
+    __slots__ = (
+        "instrs", "n_slots", "root", "var_slots", "const_slots",
+        "_fwd", "_rev", "_scalar", "_init_los", "_init_his", "_scalar_init",
+    )
+
+    def __init__(self, instrs, n_slots, root, var_slots, const_slots):
+        self.instrs = instrs
+        self.n_slots = n_slots
+        self.root = root
+        self.var_slots = var_slots
+        self.const_slots = const_slots
+        self._build_runtime()
+
+    # -- pickling ----------------------------------------------------------
+    def __getstate__(self):
+        return (self.instrs, self.n_slots, self.root, self.var_slots, self.const_slots)
+
+    def __setstate__(self, state):
+        self.instrs, self.n_slots, self.root, self.var_slots, self.const_slots = state
+        self._build_runtime()
+
+    def _build_runtime(self) -> None:
+        # resolve FUNC instructions to bound callables; map the binary
+        # fast-path opcodes back to their n-ary form for the backward pass
+        fwd: list[tuple] = []
+        scalar: list[tuple] = []
+        rev: list[tuple] = []
+        for op, out, a, b, aux in self.instrs:
+            if op == OP_FUNC:
+                fwd.append((op, out, a, b, _FORWARD_TABLE[b]))
+                scalar.append((op, out, a, b, _SCALAR_TABLE[b]))
+            else:
+                fwd.append((op, out, a, b, aux))
+                scalar.append((op, out, a, b, aux))
+        for op, out, a, b, aux in reversed(self.instrs):
+            if op == OP_ADD2:
+                rev.append((OP_ADDN, out, (a, b), 0, None))
+            elif op == OP_MUL2:
+                rev.append((OP_MULN, out, (a, b), 0, None))
+            else:
+                rev.append((op, out, a, b, aux))
+        self._fwd = fwd
+        self._scalar = scalar
+        self._rev = rev
+        self._init_los = [0.0] * self.n_slots
+        self._init_his = [0.0] * self.n_slots
+        self._scalar_init = [0.0] * self.n_slots
+        for slot, value in self.const_slots:
+            self._init_los[slot] = value
+            self._init_his[slot] = value
+            self._scalar_init[slot] = value
+
+    # -- interval forward pass --------------------------------------------
+    def forward_arrays(self, box, los: list, his: list) -> None:
+        """Forward interval evaluation into preallocated lo/hi arrays."""
+        los[:] = self._init_los
+        his[:] = self._init_his
+        for name, i in self.var_slots:
+            try:
+                iv = box[name]
+            except KeyError:
+                raise KeyError(f"box does not bind variable {name!r}") from None
+            los[i] = iv.lo
+            his[i] = iv.hi
+        nextafter = math.nextafter
+        for op, out, a, b, aux in self._fwd:
+            if op == OP_ADD2:
+                alo = los[a]; ahi = his[a]; blo = los[b]; bhi = his[b]
+                if alo <= ahi and blo <= bhi:
+                    s = alo + blo
+                    los[out] = NINF if (s != s or s == NINF) else nextafter(s, NINF)
+                    s = ahi + bhi
+                    his[out] = PINF if (s != s or s == PINF) else nextafter(s, PINF)
+                else:
+                    los[out] = PINF; his[out] = NINF
+            elif op == OP_MUL2:
+                alo = los[a]; ahi = his[a]; blo = los[b]; bhi = his[b]
+                if alo <= ahi and blo <= bhi:
+                    p = alo * blo
+                    if p != p:
+                        p = 0.0
+                    lo = hi = p
+                    p = alo * bhi
+                    if p != p:
+                        p = 0.0
+                    if p < lo:
+                        lo = p
+                    elif p > hi:
+                        hi = p
+                    p = ahi * blo
+                    if p != p:
+                        p = 0.0
+                    if p < lo:
+                        lo = p
+                    elif p > hi:
+                        hi = p
+                    p = ahi * bhi
+                    if p != p:
+                        p = 0.0
+                    if p < lo:
+                        lo = p
+                    elif p > hi:
+                        hi = p
+                    los[out] = NINF if lo == NINF else nextafter(lo, NINF)
+                    his[out] = PINF if hi == PINF else nextafter(hi, PINF)
+                else:
+                    los[out] = PINF; his[out] = NINF
+            elif op == OP_FUNC:
+                iv = aux(Interval(los[a], his[a]))
+                los[out] = iv.lo
+                his[out] = iv.hi
+            elif op == OP_POW:
+                if aux is None:
+                    base = Interval(los[a], his[a])
+                    elo = los[b]
+                    if elo == his[b]:
+                        iv = base.pow(elo)
+                    else:
+                        iv = (Interval(elo, his[b]) * base.log()).exp()
+                elif aux[0] == "i":
+                    iv = Interval(los[a], his[a]).pow_int(aux[1])
+                else:
+                    iv = Interval(los[a], his[a]).pow_real(aux[1])
+                los[out] = iv.lo
+                his[out] = iv.hi
+            elif op == OP_ADDN:
+                i = a[0]
+                clo = los[i]; chi = his[i]
+                for i in a[1:]:
+                    blo = los[i]; bhi = his[i]
+                    if clo <= chi and blo <= bhi:
+                        s = clo + blo
+                        clo = NINF if (s != s or s == NINF) else nextafter(s, NINF)
+                        s = chi + bhi
+                        chi = PINF if (s != s or s == PINF) else nextafter(s, PINF)
+                    else:
+                        clo = PINF; chi = NINF
+                los[out] = clo; his[out] = chi
+            elif op == OP_MULN:
+                i = a[0]
+                clo = los[i]; chi = his[i]
+                for i in a[1:]:
+                    blo = los[i]; bhi = his[i]
+                    if clo <= chi and blo <= bhi:
+                        p = clo * blo
+                        if p != p:
+                            p = 0.0
+                        lo = hi = p
+                        p = clo * bhi
+                        if p != p:
+                            p = 0.0
+                        if p < lo:
+                            lo = p
+                        elif p > hi:
+                            hi = p
+                        p = chi * blo
+                        if p != p:
+                            p = 0.0
+                        if p < lo:
+                            lo = p
+                        elif p > hi:
+                            hi = p
+                        p = chi * bhi
+                        if p != p:
+                            p = 0.0
+                        if p < lo:
+                            lo = p
+                        elif p > hi:
+                            hi = p
+                        clo = NINF if lo == NINF else nextafter(lo, NINF)
+                        chi = PINF if hi == PINF else nextafter(hi, PINF)
+                    else:
+                        clo = PINF; chi = NINF
+                los[out] = clo; his[out] = chi
+            else:  # OP_ITE
+                lhs, rhs, then, orelse = a
+                branch = _decide_gap(b, los, his, lhs, rhs)
+                if branch is True:
+                    los[out] = los[then]; his[out] = his[then]
+                elif branch is False:
+                    los[out] = los[orelse]; his[out] = his[orelse]
+                else:
+                    tlo = los[then]; thi = his[then]
+                    olo = los[orelse]; ohi = his[orelse]
+                    if not tlo <= thi:
+                        los[out] = olo; his[out] = ohi
+                    elif not olo <= ohi:
+                        los[out] = tlo; his[out] = thi
+                    else:
+                        los[out] = tlo if tlo <= olo else olo
+                        his[out] = thi if thi >= ohi else ohi
+
+    def enclosure(self, box) -> Interval:
+        """Interval enclosure of the compiled expression over ``box``."""
+        n = self.n_slots
+        los = [0.0] * n  # forward_arrays re-initialises from the templates
+        his = [0.0] * n
+        self.forward_arrays(box, los, his)
+        lo = los[self.root]
+        hi = his[self.root]
+        if not lo <= hi:
+            return EMPTY
+        return Interval(lo, hi)
+
+    # -- interval backward (HC4-revise) pass --------------------------------
+    def backward_arrays(self, los: list, his: list) -> bool:
+        """Push narrowed enclosures down the tape; False if a slot empties.
+
+        Mirrors the tree-walk ``_backward_node`` instruction for
+        instruction (including its treatment of an empty stored enclosure
+        anywhere as infeasibility), so contraction results are identical.
+        """
+        nextafter = math.nextafter
+        for op, out, a, b, aux in self._rev:
+            olo = los[out]
+            ohi = his[out]
+            if not olo <= ohi:
+                return False
+
+            if op == OP_ADDN:
+                n = len(a)
+                # prefix[i] = sum of args[:i]; suffix[i] = sum of args[i:]
+                plo = [0.0] * (n + 1); phi = [0.0] * (n + 1)
+                clo = 0.0; chi = 0.0
+                for k in range(n):
+                    i = a[k]
+                    blo = los[i]; bhi = his[i]
+                    if clo <= chi and blo <= bhi:
+                        s = clo + blo
+                        clo = NINF if (s != s or s == NINF) else nextafter(s, NINF)
+                        s = chi + bhi
+                        chi = PINF if (s != s or s == PINF) else nextafter(s, PINF)
+                    else:
+                        clo = PINF; chi = NINF
+                    plo[k + 1] = clo; phi[k + 1] = chi
+                slo = [0.0] * (n + 1); shi = [0.0] * (n + 1)
+                clo = 0.0; chi = 0.0
+                for k in range(n - 1, -1, -1):
+                    i = a[k]
+                    blo = los[i]; bhi = his[i]
+                    if clo <= chi and blo <= bhi:
+                        s = clo + blo
+                        clo = NINF if (s != s or s == NINF) else nextafter(s, NINF)
+                        s = chi + bhi
+                        chi = PINF if (s != s or s == PINF) else nextafter(s, PINF)
+                    else:
+                        clo = PINF; chi = NINF
+                    slo[k] = clo; shi[k] = chi
+                for k in range(n):
+                    # others = prefix[k] + suffix[k+1]
+                    alo = plo[k]; ahi = phi[k]; blo = slo[k + 1]; bhi = shi[k + 1]
+                    if alo <= ahi and blo <= bhi:
+                        s = alo + blo
+                        vlo = NINF if (s != s or s == NINF) else nextafter(s, NINF)
+                        s = ahi + bhi
+                        vhi = PINF if (s != s or s == PINF) else nextafter(s, PINF)
+                        # allowed = out - others
+                        if vlo <= vhi:
+                            s = olo - vhi
+                            alo = NINF if (s != s or s == NINF) else nextafter(s, NINF)
+                            s = ohi - vlo
+                            ahi = PINF if (s != s or s == PINF) else nextafter(s, PINF)
+                        else:
+                            alo = PINF; ahi = NINF
+                    else:
+                        alo = PINF; ahi = NINF
+                    i = a[k]
+                    lo = los[i]; hi = his[i]
+                    if alo > lo:
+                        lo = alo
+                    if ahi < hi:
+                        hi = ahi
+                    los[i] = lo; his[i] = hi
+                    if not lo <= hi:
+                        return False
+
+            elif op == OP_MULN:
+                n = len(a)
+                plo = [1.0] * (n + 1); phi = [1.0] * (n + 1)
+                clo = 1.0; chi = 1.0
+                for k in range(n):
+                    i = a[k]
+                    blo = los[i]; bhi = his[i]
+                    clo, chi = _mul_ep(clo, chi, blo, bhi, nextafter)
+                    plo[k + 1] = clo; phi[k + 1] = chi
+                slo = [1.0] * (n + 1); shi = [1.0] * (n + 1)
+                clo = 1.0; chi = 1.0
+                for k in range(n - 1, -1, -1):
+                    i = a[k]
+                    blo = los[i]; bhi = his[i]
+                    clo, chi = _mul_ep(clo, chi, blo, bhi, nextafter)
+                    slo[k] = clo; shi[k] = chi
+                for k in range(n):
+                    vlo, vhi = _mul_ep(plo[k], phi[k], slo[k + 1], shi[k + 1], nextafter)
+                    if vlo <= 0.0 <= vhi and vlo != vhi:
+                        continue  # division through zero gives no contraction
+                    if vlo == 0.0 and vhi == 0.0:
+                        continue
+                    # allowed = out / others = out * inverse(others); the
+                    # two guards above leave only empty or strictly-signed
+                    # [vlo, vhi], so the zero-endpoint inverse cases of
+                    # Interval.inverse() are unreachable here
+                    if not vlo <= vhi:
+                        ilo = PINF; ihi = NINF
+                    else:
+                        s = 1.0 / vhi
+                        ilo = NINF if (s != s or s == NINF) else nextafter(s, NINF)
+                        s = 1.0 / vlo
+                        ihi = PINF if (s != s or s == PINF) else nextafter(s, PINF)
+                    alo, ahi = _mul_ep(olo, ohi, ilo, ihi, nextafter)
+                    i = a[k]
+                    lo = los[i]; hi = his[i]
+                    if alo > lo:
+                        lo = alo
+                    if ahi < hi:
+                        hi = ahi
+                    los[i] = lo; his[i] = hi
+                    if not lo <= hi:
+                        return False
+
+            elif op == OP_POW:
+                if not _backward_pow(los, his, Interval(olo, ohi), a, b, aux):
+                    return False
+
+            elif op == OP_FUNC:
+                if not _backward_func(los, his, Interval(olo, ohi), a, b):
+                    return False
+
+            else:  # OP_ITE
+                lhs, rhs, then, orelse = a
+                branch = _decide_gap(b, los, his, lhs, rhs)
+                if branch is True:
+                    target = then
+                elif branch is False:
+                    target = orelse
+                else:
+                    continue  # undecided: no sound single-branch propagation
+                lo = los[target]; hi = his[target]
+                if olo > lo:
+                    lo = olo
+                if ohi < hi:
+                    hi = ohi
+                los[target] = lo; his[target] = hi
+                if not lo <= hi:
+                    return False
+        return True
+
+    # -- scalar (point) evaluation ------------------------------------------
+    def eval_point(self, env: dict[str, float]) -> float:
+        """Evaluate at a point; raises on domain errors like the tree walk."""
+        slots = self._scalar_init[:]
+        for name, i in self.var_slots:
+            try:
+                slots[i] = env[name]
+            except KeyError:
+                raise EvalError(f"unbound variable {name!r}") from None
+        for op, out, a, b, aux in self._scalar:
+            if op == OP_ADD2:
+                # fsum, not +: the oracle's fsum raises on inf + -inf where
+                # + would yield a silently propagating NaN
+                slots[out] = math.fsum((slots[a], slots[b]))
+            elif op == OP_MUL2:
+                slots[out] = slots[a] * slots[b]
+            elif op == OP_FUNC:
+                slots[out] = aux(slots[a])
+            elif op == OP_POW:
+                base = slots[a]
+                expo = aux[2] if aux is not None else slots[b]
+                if base < 0.0 and not float(expo).is_integer():
+                    raise EvalError(
+                        f"negative base {base} to fractional power {expo}"
+                    )
+                if base == 0.0 and expo < 0.0:
+                    raise EvalError("zero to a negative power")
+                slots[out] = math.pow(base, expo)
+            elif op == OP_ADDN:
+                slots[out] = math.fsum(slots[i] for i in a)
+            elif op == OP_MULN:
+                acc = 1.0
+                for i in a:
+                    acc *= slots[i]
+                slots[out] = acc
+            else:  # OP_ITE
+                lhs, rhs, then, orelse = a
+                gap = slots[lhs] - slots[rhs]
+                if math.isnan(gap):
+                    raise EvalError("NaN in ite condition")
+                slots[out] = slots[then] if cond_holds(b, gap) else slots[orelse]
+        return slots[self.root]
+
+    def eval_scalar(self, env: dict[str, float]) -> float:
+        """Evaluate at a point; domain errors yield NaN (non-strict mode)."""
+        try:
+            return self.eval_point(env)
+        except (ValueError, OverflowError, ZeroDivisionError):
+            return math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tape({len(self.instrs)} instrs, {self.n_slots} slots, "
+            f"{len(self.var_slots)} var loads, {len(self.const_slots)} consts)"
+        )
+
+
+def _mul_ep(alo: float, ahi: float, blo: float, bhi: float, nextafter) -> tuple:
+    """Endpoint form of ``Interval.__mul__`` (same values, no allocation)."""
+    if not (alo <= ahi and blo <= bhi):
+        return PINF, NINF
+    p = alo * blo
+    if p != p:
+        p = 0.0
+    lo = hi = p
+    p = alo * bhi
+    if p != p:
+        p = 0.0
+    if p < lo:
+        lo = p
+    elif p > hi:
+        hi = p
+    p = ahi * blo
+    if p != p:
+        p = 0.0
+    if p < lo:
+        lo = p
+    elif p > hi:
+        hi = p
+    p = ahi * bhi
+    if p != p:
+        p = 0.0
+    if p < lo:
+        lo = p
+    elif p > hi:
+        hi = p
+    return (
+        NINF if lo == NINF else nextafter(lo, NINF),
+        PINF if hi == PINF else nextafter(hi, PINF),
+    )
+
+
+def _decide_f(code: int, glo: float, ghi: float) -> bool | None:
+    """``decide_cond`` over non-empty gap endpoints."""
+    if code == COND_LE or code == COND_LT:
+        strict = code == COND_LT
+        if ghi <= 0.0 and not (strict and ghi == 0.0 and glo == 0.0):
+            return True
+        if glo > 0.0 or (strict and glo >= 0.0):
+            return False
+        return None
+    if code == COND_GE or code == COND_GT:
+        flipped = _decide_f(COND_LE if code == COND_GT else COND_LT, glo, ghi)
+        return None if flipped is None else not flipped
+    # COND_EQ
+    if glo == 0.0 and ghi == 0.0:
+        return True
+    if not glo <= 0.0 <= ghi:
+        return False
+    return None
+
+
+def _decide_gap(code: int, los: list, his: list, lhs: int, rhs: int) -> bool | None:
+    """Decide an Ite guard from slot endpoints: ``(lhs - rhs) op 0``."""
+    llo = los[lhs]; lhi = his[lhs]; rlo = los[rhs]; rhi = his[rhs]
+    if not (llo <= lhi and rlo <= rhi):
+        return None  # empty gap: undecided, like decide_cond(EMPTY)
+    s = llo - rhi
+    glo = NINF if (s != s or s == NINF) else math.nextafter(s, NINF)
+    s = lhi - rlo
+    ghi = PINF if (s != s or s == PINF) else math.nextafter(s, PINF)
+    return _decide_f(code, glo, ghi)
+
+
+def _narrow(los: list, his: list, i: int, allowed: Interval) -> bool:
+    """Intersect slot ``i`` with ``allowed``; False if it empties."""
+    alo = allowed.lo
+    ahi = allowed.hi
+    lo = los[i]; hi = his[i]
+    if alo > lo:
+        lo = alo
+    if ahi < hi:
+        hi = ahi
+    los[i] = lo; his[i] = hi
+    return lo <= hi
+
+
+def _backward_pow(los, his, out: Interval, bslot: int, eslot: int, aux) -> bool:
+    """Inverse propagation for OP_POW, mirroring the tree walk exactly."""
+    if aux is None:
+        base = Interval(los[bslot], his[bslot])
+        elo = los[eslot]
+        ehi = his[eslot]
+        if elo != ehi:
+            # non-constant exponent: propagate through exp(e*log(b)) form
+            log_out = out.log()
+            log_base = base.log()
+            if not log_base.is_empty() and not log_out.is_empty():
+                if not (log_base.lo <= 0.0 <= log_base.hi):
+                    if not _narrow(los, his, eslot, log_out / log_base):
+                        return False
+                expo2 = Interval(los[eslot], his[eslot])
+                if not (expo2.lo <= 0.0 <= expo2.hi):
+                    if not _narrow(los, his, bslot, (log_out / expo2).exp()):
+                        return False
+            return True
+        p = elo
+        if float(p).is_integer() and abs(p) < 2**31:
+            aux = ("i", int(p), p)
+        else:
+            aux = ("r", p, p)
+    base = Interval(los[bslot], his[bslot])
+    if aux[0] == "i":
+        n = aux[1]
+        if n == 0:
+            return True
+        if n > 0:
+            inv = root_int(out, n, base)
+        else:
+            inv = root_int(out.inverse(), -n, base)
+        return _narrow(los, his, bslot, inv)
+    # fractional exponent: base >= 0 and monotone
+    return _narrow(los, his, bslot, out.pow_real(1.0 / aux[1]))
+
+
+def _backward_func(los, his, out: Interval, arg: int, fidx: int) -> bool:
+    """Inverse propagation for OP_FUNC, mirroring the tree-walk cases."""
+    if fidx == F_EXP:
+        return _narrow(los, his, arg, out.log())
+    if fidx == F_LOG:
+        return _narrow(los, his, arg, out.exp())
+    if fidx == F_SQRT:
+        return _narrow(los, his, arg, out.intersect(make(0.0, inf)).pow_int(2))
+    if fidx == F_CBRT:
+        return _narrow(los, his, arg, out.pow_int(3))
+    if fidx == F_ATAN:
+        return _narrow(los, his, arg, tan_restricted(out))
+    if fidx == F_ABS:
+        mag = out.intersect(make(0.0, inf))
+        if mag.is_empty():
+            return False
+        current = Interval(los[arg], his[arg])
+        pos = mag.intersect(current)
+        neg = (-mag).intersect(current)
+        return _narrow(los, his, arg, pos.hull(neg))
+    if fidx == F_TANH:
+        return _narrow(los, his, arg, atanh_interval(out))
+    if fidx == F_ERF:
+        return _narrow(los, his, arg, erfinv_interval(out))
+    if fidx == F_LAMBERTW:
+        return _narrow(los, his, arg, wexpw(out))
+    # sin/cos: non-invertible over wide ranges; skip (sound)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# tape cache
+# ---------------------------------------------------------------------------
+
+#: id-keyed cache holding a strong reference to the expression alongside its
+#: tape.  The strong reference pins the id, so the ``is`` check cannot alias
+#: a recycled id to a stale tape (unlike a bare ``dict[id(expr)]``).
+_TAPE_CACHE: dict[int, tuple[Expr, Tape]] = {}
+_TAPE_CACHE_MAX = 4096
+
+
+def tape_for(expr: Expr) -> Tape:
+    """Compile ``expr`` (memoised on the interned expression object)."""
+    key = id(expr)
+    entry = _TAPE_CACHE.get(key)
+    if entry is not None and entry[0] is expr:
+        # re-insert so dict order tracks recency: eviction below is LRU,
+        # keeping long-lived hot tapes (residuals, psi sides) pinned
+        del _TAPE_CACHE[key]
+        _TAPE_CACHE[key] = entry
+        return entry[1]
+    tape = compile_expr(expr)
+    if len(_TAPE_CACHE) >= _TAPE_CACHE_MAX:
+        # evict the oldest entry (FIFO via dict insertion order) -- a full
+        # clear() would recompile the entire hot working set
+        _TAPE_CACHE.pop(next(iter(_TAPE_CACHE)))
+    _TAPE_CACHE[id(expr)] = (expr, tape)
+    return tape
+
+
+def clear_tape_cache() -> None:
+    """Drop the tape cache (used by tests to bound memory)."""
+    _TAPE_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# compiled formulas: picklable tape-level atoms and conjunctions
+# ---------------------------------------------------------------------------
+
+class CompiledAtom:
+    """A normalised inequality atom ``residual op 0`` compiled to a tape.
+
+    Optionally carries tapes of the residual's partial derivatives (needed
+    only by the Newton contractor).
+    """
+
+    __slots__ = ("tape", "op", "deriv_tapes")
+
+    def __init__(self, tape: Tape, op: str, deriv_tapes: dict[str, Tape] | None = None):
+        self.tape = tape
+        self.op = op
+        self.deriv_tapes = deriv_tapes
+
+    @classmethod
+    def from_atom(cls, atom, derivatives: bool = False) -> "CompiledAtom":
+        tape = tape_for(atom.residual)
+        deriv_tapes = None
+        if derivatives:
+            from ..expr.derivative import derivative
+            from ..expr.nodes import Var
+            deriv_tapes = {}
+            for var in sorted(atom.residual.free_vars(), key=lambda v: v.name):
+                deriv_tapes[var.name] = tape_for(derivative(atom.residual, var))
+        return cls(tape, atom.op, deriv_tapes)
+
+    def holds_at(self, point: dict[str, float], tol: float = 0.0) -> bool:
+        """Exact floating-point check at a point (NaN counts as failure)."""
+        value = self.tape.eval_scalar(point)
+        if math.isnan(value):
+            return False
+        return cond_holds(COND_CODE[self.op], value, tol)
+
+    def __getstate__(self):
+        return (self.tape, self.op, self.deriv_tapes)
+
+    def __setstate__(self, state):
+        self.tape, self.op, self.deriv_tapes = state
+
+
+class CompiledConjunction:
+    """A conjunction of :class:`CompiledAtom` -- flat, picklable, DAG-free.
+
+    Duck-types the parts of :class:`repro.solver.constraint.Conjunction`
+    that the ICP solver uses (``atoms``, ``holds_at``, ``free_var_names``),
+    so it can be handed straight to :meth:`ICPSolver.solve`; process-pool
+    workers deserialize it without re-encoding any expression DAGs.
+    """
+
+    __slots__ = ("atoms",)
+
+    def __init__(self, atoms: tuple[CompiledAtom, ...]):
+        self.atoms = tuple(atoms)
+
+    @classmethod
+    def from_conjunction(cls, formula, derivatives: bool = False) -> "CompiledConjunction":
+        return cls(
+            tuple(CompiledAtom.from_atom(a, derivatives=derivatives) for a in formula.atoms)
+        )
+
+    def holds_at(self, point: dict[str, float], tol: float = 0.0) -> bool:
+        return all(atom.holds_at(point, tol=tol) for atom in self.atoms)
+
+    def free_var_names(self) -> frozenset[str]:
+        names: set[str] = set()
+        for atom in self.atoms:
+            names.update(name for name, _ in atom.tape.var_slots)
+        return frozenset(names)
+
+    def __iter__(self):
+        return iter(self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __getstate__(self):
+        return self.atoms
+
+    def __setstate__(self, state):
+        self.atoms = state

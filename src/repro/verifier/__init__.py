@@ -1,6 +1,6 @@
 """XCVerifier core: encoder, Algorithm 1 driver, regions, rendering."""
 
-from .encoder import EncodedProblem, encode
+from .encoder import CompiledProblem, EncodedProblem, compile_problem, encode
 from .regions import (
     Outcome,
     RegionRecord,
@@ -15,7 +15,8 @@ from .verifier import Verifier, VerifierConfig, verify_pair
 from .render import ascii_map, export_rows, rasterize
 
 __all__ = [
-    "EncodedProblem", "encode", "Outcome", "RegionRecord",
+    "CompiledProblem", "EncodedProblem", "compile_problem", "encode",
+    "Outcome", "RegionRecord",
     "VerificationReport", "Verifier", "VerifierConfig", "verify_pair",
     "ascii_map", "export_rows", "rasterize",
     "SYMBOL_COUNTEREXAMPLE", "SYMBOL_NOT_APPLICABLE", "SYMBOL_PARTIAL",

@@ -66,3 +66,72 @@ def encode(
 @lru_cache(maxsize=None)
 def _psi_cached(functional: Functional, condition: Condition) -> Rel:
     return condition.local_condition(functional)
+
+
+class CompiledProblem:
+    """A verification problem compiled to instruction tapes -- DAG-free.
+
+    Everything Algorithm 1 needs, as flat picklable data: the negated
+    formula as a :class:`~repro.solver.tape.CompiledConjunction` (solver
+    input), the two sides of the original condition psi as scalar tapes
+    (counterexample validation), and the domain box.  Process-pool workers
+    deserialize this directly instead of re-running the symbolic encoder;
+    the tapes were compiled once in the parent.
+    """
+
+    __slots__ = (
+        "functional_name", "condition_id", "negation",
+        "psi_lhs", "psi_rhs", "psi_op", "domain",
+    )
+
+    def __init__(self, functional_name, condition_id, negation, psi_lhs, psi_rhs, psi_op, domain):
+        self.functional_name = functional_name
+        self.condition_id = condition_id
+        self.negation = negation
+        self.psi_lhs = psi_lhs
+        self.psi_rhs = psi_rhs
+        self.psi_op = psi_op
+        self.domain = domain
+
+    @property
+    def label(self) -> str:
+        return f"{self.functional_name} / {self.condition_id}"
+
+    def is_violation(self, model: dict[str, float]) -> bool:
+        """The ``valid(x)`` check of Algorithm 1: does ``model`` break psi?"""
+        import math
+
+        from ..solver.tape import COND_CODE, cond_holds
+
+        gap = self.psi_lhs.eval_scalar(model) - self.psi_rhs.eval_scalar(model)
+        if math.isnan(gap):
+            return False
+        return not cond_holds(COND_CODE[self.psi_op], gap)
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state):
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+
+def compile_problem(problem: EncodedProblem, derivatives: bool = False) -> CompiledProblem:
+    """Compile an encoded problem into picklable tapes.
+
+    ``derivatives=True`` additionally compiles per-variable derivative
+    tapes, required if the consuming solver enables the Newton contractor.
+    """
+    from ..solver.tape import CompiledConjunction, tape_for
+
+    return CompiledProblem(
+        functional_name=problem.functional.name,
+        condition_id=problem.condition.cid,
+        negation=CompiledConjunction.from_conjunction(
+            problem.negation, derivatives=derivatives
+        ),
+        psi_lhs=tape_for(problem.psi.lhs),
+        psi_rhs=tape_for(problem.psi.rhs),
+        psi_op=problem.psi.op,
+        domain=problem.domain,
+    )

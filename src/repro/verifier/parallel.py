@@ -11,8 +11,15 @@ since the solver is pure Python and GIL-bound):
   records (the recursion of Algorithm 1 is trivially parallel below the
   first split).
 
-Workers receive (functional name, condition id) and re-encode locally:
-expression DAGs are interned per process and deliberately never pickled.
+Expression DAGs are interned per process and deliberately never pickled.
+Jobs instead ship either a (functional name, condition id) pair that the
+worker re-encodes locally, or -- the fast path -- a
+:class:`~repro.verifier.encoder.CompiledProblem`: instruction tapes are
+flat picklable data, so the parent encodes/compiles *once* and workers
+skip symbolic encoding entirely.  ``verify_domain_parallel`` always ships
+tapes (it encodes in the parent anyway); ``verify_pairs_parallel`` makes it
+opt-in via ``precompile`` because parent-side encoding of many pairs is
+itself serial work.
 """
 
 from __future__ import annotations
@@ -23,29 +30,50 @@ from dataclasses import replace
 from ..conditions.catalog import get_condition
 from ..functionals.registry import get_functional
 from ..solver.box import Box
-from .encoder import encode
+from .encoder import CompiledProblem, compile_problem, encode
 from .regions import RegionRecord, VerificationReport
 from .verifier import Verifier, VerifierConfig
 
 
 def _verify_job(args) -> tuple[tuple[str, str], VerificationReport]:
-    functional_name, condition_id, config, bounds = args
-    functional = get_functional(functional_name)
-    condition = get_condition(condition_id)
-    problem = encode(functional, condition)
+    payload, config, bounds = args
+    if isinstance(payload, CompiledProblem):
+        problem = payload
+        key = (problem.functional_name, problem.condition_id)
+    else:
+        functional_name, condition_id = payload
+        functional = get_functional(functional_name)
+        condition = get_condition(condition_id)
+        problem = encode(functional, condition)
+        key = (functional_name, condition_id)
     domain = Box.from_bounds(bounds) if bounds is not None else None
     report = Verifier(config).verify(problem, domain=domain)
-    return (functional_name, condition_id), report
+    return key, report
 
 
 def verify_pairs_parallel(
     pairs,
     config: VerifierConfig | None = None,
     max_workers: int | None = None,
+    precompile: bool = False,
 ) -> dict[tuple[str, str], VerificationReport]:
-    """Verify many (functional, condition) pairs across worker processes."""
+    """Verify many (functional, condition) pairs across worker processes.
+
+    With ``precompile=True`` the parent encodes and tape-compiles every
+    pair up front and ships flat tapes to the workers; otherwise each
+    worker re-encodes its own pair (parallelising the symbolic encoding,
+    which pays off when encoding itself is the bottleneck, e.g. SCAN).
+    """
     config = config or VerifierConfig()
-    jobs = [(f.name, c.cid, config, None) for f, c in pairs]
+    if precompile:
+        if config.specialize_boxes:
+            raise ValueError(
+                "precompile=True is incompatible with specialize_boxes: box "
+                "specialisation needs expression-level residuals in the worker"
+            )
+        jobs = [(compile_problem(encode(f, c)), config, None) for f, c in pairs]
+    else:
+        jobs = [((f.name, c.cid), config, None) for f, c in pairs]
     results: dict[tuple[str, str], VerificationReport] = {}
     if max_workers == 1 or len(jobs) == 1:
         for job in jobs:
@@ -73,6 +101,10 @@ def verify_domain_parallel(
     were forced to split (the per-subdomain global budget is the full
     budget divided by the number of subdomains, keeping total work
     comparable).
+
+    The pair is encoded *once* here and shipped to workers as compiled
+    tapes -- workers no longer re-run the symbolic encoder per subdomain
+    (unless ``config.specialize_boxes`` forces expression-level residuals).
     """
     config = config or VerifierConfig()
     problem = encode(functional, condition)
@@ -88,10 +120,13 @@ def verify_domain_parallel(
     else:
         worker_config = config
 
+    if config.specialize_boxes:
+        payload: object = (functional.name, condition.cid)
+    else:
+        payload = compile_problem(problem)
     jobs = [
         (
-            functional.name,
-            condition.cid,
+            payload,
             worker_config,
             {name: (iv.lo, iv.hi) for name, iv in box.items()},
         )

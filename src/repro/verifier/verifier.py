@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from ..expr.evaluator import evaluate
 from ..solver.box import Box
 from ..solver.icp import Budget, ICPSolver, SolverStatus
-from .encoder import EncodedProblem
+from .encoder import CompiledProblem, EncodedProblem
 from .regions import Outcome, RegionRecord, VerificationReport
 
 
@@ -78,12 +78,25 @@ class Verifier:
         # cache effective (it is keyed on formula identity)
         self._specialized_cache: dict[tuple, object] = {}
 
-    def verify(self, problem: EncodedProblem, domain: Box | None = None) -> VerificationReport:
-        """Run Algorithm 1 on one encoded DFA-condition pair."""
+    def verify(
+        self,
+        problem: EncodedProblem | CompiledProblem,
+        domain: Box | None = None,
+    ) -> VerificationReport:
+        """Run Algorithm 1 on one encoded (or tape-compiled) pair."""
+        if isinstance(problem, CompiledProblem):
+            functional_name, condition_id = problem.functional_name, problem.condition_id
+            if self.config.specialize_boxes:
+                raise ValueError(
+                    "specialize_boxes needs expression-level residuals; "
+                    "pass the EncodedProblem instead of a CompiledProblem"
+                )
+        else:
+            functional_name, condition_id = problem.functional.name, problem.condition.cid
         domain = domain if domain is not None else problem.domain
         report = VerificationReport(
-            functional_name=problem.functional.name,
-            condition_id=problem.condition.cid,
+            functional_name=functional_name,
+            condition_id=condition_id,
             domain=domain,
             records=[],
         )
@@ -147,7 +160,7 @@ class Verifier:
             max_seconds=self.config.per_call_seconds,
         )
         formula = problem.negation
-        if self.config.specialize_boxes:
+        if self.config.specialize_boxes and not isinstance(problem, CompiledProblem):
             formula = self._specialized(formula, box)
         result = self.solver.solve(formula, box, budget)
         steps = result.stats.boxes_processed
@@ -200,7 +213,9 @@ class Verifier:
         return cached
 
     @staticmethod
-    def _is_valid_counterexample(problem: EncodedProblem, model: dict[str, float] | None) -> bool:
+    def _is_valid_counterexample(
+        problem: EncodedProblem | CompiledProblem, model: dict[str, float] | None
+    ) -> bool:
         """The ``valid(x)`` check of Algorithm 1 (line 8).
 
         Plug the model back into the *original* condition psi with plain
@@ -209,6 +224,8 @@ class Verifier:
         """
         if model is None:
             return False
+        if isinstance(problem, CompiledProblem):
+            return problem.is_violation(model)
         gap = evaluate(problem.psi.lhs, model) - evaluate(problem.psi.rhs, model)
         if math.isnan(gap):
             return False

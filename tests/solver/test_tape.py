@@ -1,0 +1,287 @@
+"""Differential tests: tape VM vs the tree-walking oracles.
+
+The tape executors are specified to perform the *identical* sequence of
+primitive float/interval operations as the tree walks, so every comparison
+here is exact (bit for bit), which is stronger than the outward-rounding
+slack the solver itself would tolerate.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.expr import builder as b
+from repro.expr.evaluator import evaluate, evaluate_tree
+from repro.expr.nodes import Expr
+from repro.solver.box import Box
+from repro.solver.constraint import Atom, Conjunction
+from repro.solver.contractor import HC4Contractor, interval_eval
+from repro.solver.icp import Budget, ICPSolver
+from repro.solver.tape import (
+    CompiledConjunction,
+    Tape,
+    compile_expr,
+    tape_for,
+)
+
+
+# ---------------------------------------------------------------------------
+# random residual generator
+# ---------------------------------------------------------------------------
+
+X = b.var("x", nonneg=True)
+Y = b.var("y")
+Z = b.var("z", nonneg=True)
+
+_UNARY = ("exp", "log", "sqrt", "cbrt", "atan", "abs", "sin", "cos", "tanh", "erf")
+
+
+def random_expr(rng: random.Random, depth: int = 4) -> Expr:
+    """A random residual over x (nonneg), y, z (nonneg)."""
+    if depth <= 0 or rng.random() < 0.25:
+        return rng.choice(
+            [X, Y, Z, b.const(rng.uniform(-3.0, 3.0)), b.const(rng.choice([0.5, 1.0, 2.0, 3.0]))]
+        )
+    kind = rng.random()
+    if kind < 0.3:
+        n = rng.randint(2, 4)
+        return b.add(*[random_expr(rng, depth - 1) for _ in range(n)])
+    if kind < 0.55:
+        n = rng.randint(2, 3)
+        return b.mul(*[random_expr(rng, depth - 1) for _ in range(n)])
+    if kind < 0.7:
+        expo = rng.choice([-2, -1, 2, 3, 0.5, 1.5, -0.5])
+        return b.pow_(random_expr(rng, depth - 1), expo)
+    if kind < 0.92:
+        name = rng.choice(_UNARY)
+        return getattr(b, name if name != "abs" else "abs_")(random_expr(rng, depth - 1))
+    cond = random_expr(rng, depth - 2).le(random_expr(rng, depth - 2))
+    return b.ite(cond, random_expr(rng, depth - 1), random_expr(rng, depth - 1))
+
+
+def random_box(rng: random.Random) -> Box:
+    def iv(lo_min, lo_max, w_max):
+        lo = rng.uniform(lo_min, lo_max)
+        return (lo, lo + rng.uniform(0.0, w_max))
+
+    return Box.from_bounds(
+        {"x": iv(0.0, 2.0, 2.0), "y": iv(-2.0, 1.0, 3.0), "z": iv(0.0, 1.0, 1.5)}
+    )
+
+
+def assert_boxes_identical(b1: Box, b2: Box) -> None:
+    assert b1.names == b2.names
+    for name in b1.names:
+        i1, i2 = b1[name], b2[name]
+        if i1.is_empty() and i2.is_empty():
+            continue
+        assert i1.lo == i2.lo and i1.hi == i2.hi, (name, i1, i2)
+
+
+CORPUS_SEEDS = range(40)
+
+
+# ---------------------------------------------------------------------------
+# forward enclosure parity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", CORPUS_SEEDS)
+def test_forward_enclosure_matches_tree_walk(seed):
+    rng = random.Random(seed)
+    expr = random_expr(rng)
+    box = random_box(rng)
+    walk = interval_eval(expr, box)[id(expr)]
+    tape = tape_for(expr).enclosure(box)
+    if walk.is_empty():
+        assert tape.is_empty()
+    else:
+        assert (walk.lo, walk.hi) == (tape.lo, tape.hi)
+
+
+# ---------------------------------------------------------------------------
+# HC4 contraction parity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", CORPUS_SEEDS)
+def test_contraction_matches_tree_walk(seed):
+    rng = random.Random(1000 + seed)
+    formula = Conjunction.of(
+        *[Atom(random_expr(rng), rng.choice(["<=", "<"])) for _ in range(rng.randint(1, 3))]
+    )
+    box = random_box(rng)
+    tape_c = HC4Contractor(formula, delta=1e-5, backend="tape")
+    walk_c = HC4Contractor(formula, delta=1e-5, backend="walk")
+    assert_boxes_identical(tape_c.contract(box), walk_c.contract(box))
+
+
+def test_certainly_sat_agrees_with_walk_revise():
+    rng = random.Random(7)
+    for _ in range(20):
+        expr = random_expr(rng)
+        formula = Conjunction.of(Atom(expr, "<="))
+        box = random_box(rng)
+        contractor = HC4Contractor(formula, delta=1e-5)
+        walk = interval_eval(expr, box)[id(expr)]
+        expected = (not walk.is_empty()) and walk.hi <= 1e-5
+        assert contractor.certainly_sat(box) == expected
+
+
+# ---------------------------------------------------------------------------
+# scalar point-evaluation parity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", CORPUS_SEEDS)
+def test_point_eval_matches_tree_walk(seed):
+    rng = random.Random(2000 + seed)
+    expr = random_expr(rng)
+    for _ in range(5):
+        env = {
+            "x": rng.uniform(0.0, 3.0),
+            "y": rng.uniform(-3.0, 3.0),
+            "z": rng.uniform(0.0, 2.0),
+        }
+        v_tape = evaluate(expr, env)
+        v_walk = evaluate_tree(expr, env)
+        if math.isnan(v_walk):
+            assert math.isnan(v_tape)
+        else:
+            assert v_tape == v_walk
+
+
+# ---------------------------------------------------------------------------
+# solver-status parity (the property the PR must preserve end to end)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(12))
+def test_solver_status_and_model_match(seed):
+    rng = random.Random(3000 + seed)
+    formula = Conjunction.of(Atom(random_expr(rng, depth=3), "<="))
+    box = random_box(rng)
+    budget = Budget(max_steps=300)
+    results = {}
+    for backend in ("tape", "walk"):
+        solver = ICPSolver(delta=1e-5, precision=1e-2, backend=backend)
+        results[backend] = solver.solve(formula, box, budget)
+    assert results["tape"].status == results["walk"].status
+    assert results["tape"].model == results["walk"].model
+    assert (
+        results["tape"].stats.boxes_processed == results["walk"].stats.boxes_processed
+    )
+
+
+# ---------------------------------------------------------------------------
+# tape structure, cache, and pickling
+# ---------------------------------------------------------------------------
+
+def test_tape_is_flat_picklable_data():
+    rng = random.Random(42)
+    expr = random_expr(rng)
+    tape = compile_expr(expr)
+    clone = pickle.loads(pickle.dumps(tape))
+    assert clone.instrs == tape.instrs
+    assert clone.root == tape.root
+    box = random_box(rng)
+    t1, t2 = tape.enclosure(box), clone.enclosure(box)
+    if t1.is_empty():
+        assert t2.is_empty()
+    else:
+        assert (t1.lo, t1.hi) == (t2.lo, t2.hi)
+
+
+def test_tape_cache_returns_same_tape_for_interned_expr():
+    expr = b.exp(X) + Y
+    assert tape_for(expr) is tape_for(expr)
+    # hash-consing means structural reconstruction hits the same tape
+    assert tape_for(b.exp(X) + Y) is tape_for(expr)
+
+
+def test_constants_folded_into_literal_pool():
+    expr = b.const(2.0) * X + b.const(3.5)
+    tape = compile_expr(expr)
+    values = {v for _, v in tape.const_slots}
+    assert {2.0, 3.5} <= values
+    # constants generate no instructions: only the mul and the add remain
+    assert len(tape.instrs) == 2
+
+
+def test_compiled_conjunction_roundtrip_through_pickle():
+    rng = random.Random(5)
+    formula = Conjunction.of(Atom(random_expr(rng), "<="))
+    compiled = pickle.loads(pickle.dumps(CompiledConjunction.from_conjunction(formula)))
+    box = random_box(rng)
+    assert_boxes_identical(
+        HC4Contractor(compiled, delta=1e-5).contract(box),
+        HC4Contractor(formula, delta=1e-5, backend="walk").contract(box),
+    )
+    env = {"x": 0.3, "y": -0.7, "z": 0.9}
+    assert compiled.holds_at(env) == formula.holds_at(env)
+    assert compiled.free_var_names() == formula.free_var_names()
+
+
+def test_newton_contractor_accepts_compiled_conjunction_with_derivatives():
+    from repro.solver.newton import NewtonContractor
+
+    expr = (X - 1.0) * (X - 1.0) + Y * Y
+    formula = Conjunction.of(Atom(expr, "<="))
+    compiled = CompiledConjunction.from_conjunction(formula, derivatives=True)
+    compiled = pickle.loads(pickle.dumps(compiled))
+    box = Box.from_bounds({"x": (0.0, 2.0), "y": (-1.0, 1.0)})
+    n1 = NewtonContractor(formula, delta=1e-5).contract(box)
+    n2 = NewtonContractor(compiled, delta=1e-5).contract(box)
+    assert_boxes_identical(n1, n2)
+
+
+def test_newton_requires_derivative_tapes():
+    from repro.solver.newton import NewtonContractor
+
+    formula = Conjunction.of(Atom(X * X, "<="))
+    compiled = CompiledConjunction.from_conjunction(formula)
+    with pytest.raises(ValueError, match="derivative"):
+        NewtonContractor(compiled)
+
+
+def test_walk_backend_rejects_compiled_conjunction():
+    formula = Conjunction.of(Atom(X + Y, "<="))
+    compiled = CompiledConjunction.from_conjunction(formula)
+    with pytest.raises(ValueError, match="walk"):
+        HC4Contractor(compiled, backend="walk")
+
+
+# ---------------------------------------------------------------------------
+# solver cache keying (regression: id() reuse must not alias contractors)
+# ---------------------------------------------------------------------------
+
+def test_contractor_cache_is_not_id_keyed():
+    solver = ICPSolver()
+    box = Box.from_bounds({"x": (0.0, 1.0)})
+    import gc
+
+    seen = set()
+    for k in range(6):
+        formula = Conjunction.of(Atom(X - float(k), "<="))
+        solver.solve(formula, box, Budget(max_steps=10))
+        contractor = solver._contractors[formula]
+        assert contractor.formula is formula
+        seen.add(id(formula))
+        del formula
+        gc.collect()
+    # every formula got its own cached contractor, held by strong reference
+    assert len(solver._contractors) == 6
+
+
+def test_paper_functional_contraction_parity():
+    """PBE-class residual: the acceptance-criterion formula class."""
+    from repro.conditions import EC1
+    from repro.functionals import get_functional
+    from repro.verifier import encode
+
+    problem = encode(get_functional("PBE"), EC1)
+    box = Box.from_bounds({"rs": (1.0, 3.0), "s": (0.0, 2.0)})
+    tape_c = HC4Contractor(problem.negation, delta=1e-5, backend="tape")
+    walk_c = HC4Contractor(problem.negation, delta=1e-5, backend="walk")
+    for sub in box.split_all():
+        assert_boxes_identical(tape_c.contract(sub), walk_c.contract(sub))

@@ -32,6 +32,18 @@ class TestVerifyPairsParallel:
         key = ("LYP", "EC1")
         assert seq[key].classification() == par[key].classification()
 
+    def test_precompiled_tapes_match_reencoding_workers(self):
+        pairs = [(get_functional("VWN RPA"), EC1), (get_functional("LYP"), EC1)]
+        reencoded = verify_pairs_parallel(pairs, FAST, max_workers=1)
+        precompiled = verify_pairs_parallel(pairs, FAST, max_workers=1, precompile=True)
+        for key, seq_report in reencoded.items():
+            pre_report = precompiled[key]
+            assert len(seq_report.records) == len(pre_report.records)
+            for a, b in zip(seq_report.records, pre_report.records):
+                assert a.outcome == b.outcome
+                assert a.model == b.model
+                assert a.box == b.box
+
 
 class TestVerifyDomainParallel:
     def test_merged_report_covers_domain(self):
