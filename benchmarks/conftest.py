@@ -13,7 +13,6 @@ from __future__ import annotations
 import pytest
 
 from repro.pb.checker import PBChecker
-from repro.pb.grid import GridSpec
 from repro.verifier.verifier import VerifierConfig
 
 from _settings import BENCH_CONFIG, BENCH_SPEC

@@ -7,12 +7,10 @@ contractor contributes over pure bisection.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.conditions import EC1
 from repro.functionals import get_functional
 from repro.solver.box import Box
-from repro.solver.constraint import Atom, Conjunction
 from repro.solver.icp import Budget, ICPSolver, SolverStatus
 from repro.verifier import encode, verify_pair
 from repro.verifier.regions import Outcome

@@ -10,9 +10,8 @@ vectorised checker.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.conditions import EC1, EC2, EC7
+from repro.conditions import EC1, EC7
 from repro.expr.codegen import compile_numpy
 from repro.expr.derivative import derivative
 from repro.functionals import get_functional

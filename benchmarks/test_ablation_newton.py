@@ -14,7 +14,6 @@ on this problem) at a modest per-box cost; the verdict never changes
 
 from __future__ import annotations
 
-import pytest
 
 from repro.conditions import EC2
 from repro.functionals import get_functional

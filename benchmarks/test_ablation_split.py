@@ -8,7 +8,6 @@ compare how much of the domain gets decided.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.conditions import EC1
 from repro.functionals import get_functional
@@ -17,7 +16,6 @@ from repro.verifier import encode, verify_pair
 from repro.verifier.regions import Outcome
 from repro.verifier.verifier import VerifierConfig
 
-from _settings import BENCH_CONFIG
 
 PBE = get_functional("PBE")
 

@@ -5,7 +5,6 @@ conjectured Tc upper bound.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.conditions import EC1, EC5, EC7

@@ -5,7 +5,6 @@ upper bound.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.conditions import EC1, EC2, EC6

@@ -20,7 +20,6 @@ outcome we observe:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.conditions import EC1
 from repro.functionals import get_functional

@@ -7,11 +7,8 @@ exhaust the solver.
 
 from __future__ import annotations
 
-import pytest
 
-from repro.analysis.tables import PAPER_TABLE_ONE, run_table_one
-from repro.conditions import PAPER_CONDITIONS
-from repro.functionals import paper_functionals
+from repro.analysis.tables import PAPER_TABLE_ONE
 
 from _settings import BENCH_CONFIG
 

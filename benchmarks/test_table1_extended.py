@@ -17,7 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.tables import run_table_one
-from repro.functionals import all_functionals, get_functional
+from repro.functionals import all_functionals
 from repro.verifier.verifier import VerifierConfig
 
 #: lighter than BENCH_CONFIG: 14 functionals x ~5 conditions is ~70 pairs,

@@ -7,12 +7,10 @@ wherever both approaches produce a verdict, they agree.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.compare import (
     CONSISTENT,
     MISMATCH,
-    NO_COMPARISON,
     NOT_INCONSISTENT,
     run_table_two,
 )

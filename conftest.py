@@ -1,0 +1,12 @@
+"""Repo-level collection rules.
+
+The slow ablation benchmark files are excluded from the tier-1 run
+(`python -m pytest -x -q`); the scheduled nightly workflow opts back in by
+setting ``REPRO_RUN_ABLATIONS``.
+"""
+
+import os
+
+collect_ignore_glob = []
+if not os.environ.get("REPRO_RUN_ABLATIONS"):
+    collect_ignore_glob.append("benchmarks/test_ablation_*.py")

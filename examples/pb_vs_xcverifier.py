@@ -12,7 +12,7 @@ Run:  python examples/pb_vs_xcverifier.py
 import time
 
 from repro import GridSpec, PBChecker, VerifierConfig, run_table_two
-from repro.analysis.compare import MISMATCH, PAPER_TABLE_TWO
+from repro.analysis.compare import MISMATCH
 
 
 def main() -> None:

@@ -26,7 +26,6 @@ from ..functionals.base import Functional
 from ..functionals.registry import paper_functionals
 from ..pb.checker import PBChecker, PBResult
 from ..verifier.regions import (
-    Outcome,
     SYMBOL_NOT_APPLICABLE,
     SYMBOL_UNKNOWN,
     VerificationReport,

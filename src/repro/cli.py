@@ -55,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--newton", action="store_true", help="enable the interval-Newton contractor"
     )
     p_verify.add_argument(
+        "--backend", choices=("batch", "tape", "walk"), default="batch",
+        help="solver execution strategy (bit-identical; perf knob)",
+    )
+    p_verify.add_argument(
+        "--batch-size", type=int, default=256,
+        help="boxes per frontier batch (backend=batch)",
+    )
+    p_verify.add_argument(
         "--map", dest="map_resolution", type=int, default=0,
         help="print an ASCII region map at the given resolution",
     )
@@ -189,7 +197,11 @@ def _cmd_verify(args) -> int:
         delta=args.delta,
     )
     solver = ICPSolver(
-        delta=config.delta, precision=config.precision, use_newton=args.newton
+        delta=config.delta,
+        precision=config.precision,
+        use_newton=args.newton,
+        backend=args.backend,
+        batch_size=args.batch_size,
     )
     report = Verifier(config, solver=solver).verify(encode(functional, condition))
     print(report.summary())

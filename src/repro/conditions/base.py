@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..expr.nodes import Expr, Rel, Var
+from ..expr.nodes import Rel
 from ..functionals.base import Functional
 
 

@@ -36,7 +36,6 @@ from .nodes import (
     NEG_ONE,
     is_const,
     is_nonneg,
-    is_positive,
 )
 
 

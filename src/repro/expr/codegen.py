@@ -108,7 +108,7 @@ def compile_numpy(
     body = "\n".join(lines) if lines else "    pass"
     source = (
         f"def _kernel({', '.join(names)}):\n"
-        f"  with np.errstate(all='ignore'):\n"
+        "  with np.errstate(all='ignore'):\n"
         f"{body}\n"
         f"    return np.asarray({result}, dtype=float) + 0.0*({'+'.join(names) if names else '0'})\n"
     )

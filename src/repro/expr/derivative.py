@@ -15,7 +15,7 @@ from __future__ import annotations
 from math import sqrt as _msqrt
 
 from . import builder as b
-from .nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Rel, Var, ZERO, ONE
+from .nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Var, ZERO, ONE
 
 
 def derivative(expr: Expr, wrt: Var, order: int = 1) -> Expr:

@@ -13,7 +13,7 @@ sibling modules) with everything the verifier and the PB baseline need:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable
 

@@ -15,7 +15,7 @@ log/sqrt as in :mod:`repro.functionals.b88`.
 
 from __future__ import annotations
 
-from ..pysym.intrinsics import exp, log, pi, sqrt
+from ..pysym.intrinsics import exp, log, pi
 from .b88 import asinh
 from .lda_x import eps_x_unif
 from .pw92 import eps_c_pw92

@@ -92,7 +92,7 @@ class ContinuityFinding:
         if self.singular:
             return (
                 f"ContinuityFinding({self.boundary.describe()} at {loc}: "
-                f"SINGULAR branch surface)"
+                "SINGULAR branch surface)"
             )
         return (
             f"ContinuityFinding({self.boundary.describe()} at {loc}: "

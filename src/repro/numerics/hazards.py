@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 
 from ..expr.codegen import compile_numpy
 from ..expr.evaluator import evaluate
-from ..expr.nodes import Const, Expr, Func, Ite, Pow, Rel, Var
+from ..expr.nodes import Const, Expr, Func, Ite, Pow, Rel
 from ..solver.box import Box
 from ..solver.constraint import Atom, Conjunction
 from ..solver.icp import Budget, ICPSolver

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterator, Mapping
 
 from ..expr.nodes import Var
-from .interval import EMPTY, Interval, make
+from .interval import Interval, make
 
 
 class Box:

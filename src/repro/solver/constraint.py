@@ -16,7 +16,7 @@ as in dReal's delta-complete decision framework.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..expr import builder as b
 from ..expr.evaluator import evaluate

@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import inf
 
+import numpy as np
+
 from ..expr.nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Var
 from .box import Box
 from .constraint import Atom, Conjunction
@@ -269,6 +271,10 @@ def _backward_node(node: Expr, ivals: dict[int, Interval]) -> bool:
 # HC4 contractor for a conjunction of atoms
 # ---------------------------------------------------------------------------
 
+#: verdicts of the vectorised batch filter (:meth:`HC4Contractor.classify_batch`)
+BATCH_UNKNOWN, BATCH_SAT, BATCH_REFUTED = 0, 1, 2
+
+
 @dataclass
 class ContractionStats:
     forward_passes: int = 0
@@ -409,6 +415,198 @@ class HC4Contractor:
             if isinstance(node, Var) and node.name in out:
                 out[node.name] = out[node.name].intersect(ivals[id(node)])
         return Box(out)
+
+    def classify_batch(self, boxes) -> np.ndarray:
+        """Vectorised decide pass over a batch of boxes (tape backend only).
+
+        Replays, from one batched forward pass per atom, exactly the
+        decisions the first fixpoint round of :meth:`contract` would reach
+        using forward enclosures alone.  Returns one ``int8`` verdict per
+        box:
+
+        * :data:`BATCH_REFUTED` -- some atom's root enclosure is empty or
+          lies entirely above ``delta`` while every atom before it gave no
+          pruning information, so ``contract`` would return an empty box;
+        * :data:`BATCH_SAT` -- every atom's enclosure already sits within
+          ``delta``: ``contract`` is a no-op and :meth:`certainly_sat`
+          holds on the whole box;
+        * :data:`BATCH_UNKNOWN` -- neither; the per-box path must decide.
+
+        The underlying forward pass is bit-identical to the per-box one,
+        so the verdicts match what the per-box code would conclude.  This
+        is the cheap forward-only filter; the frontier solver itself uses
+        :meth:`contract_batch`, which subsumes these verdicts and also
+        performs the batched backward revise.
+        """
+        if self.backend != "tape":
+            raise ValueError("classify_batch requires the tape backend")
+        n_boxes = len(boxes)
+        codes = np.zeros(n_boxes, dtype=np.int8)
+        if n_boxes == 0:
+            return codes
+        delta = self.delta
+        all_sat = np.ones(n_boxes, dtype=bool)
+        refuted = np.zeros(n_boxes, dtype=bool)
+        for tape in self._tapes:
+            root_lo, root_hi = tape.enclosure_batch(boxes)
+            nonempty = root_lo <= root_hi
+            # refute: empty root, or no overlap with (-inf, delta];
+            # sat: whole enclosure inside the allowed set
+            refuted |= all_sat & (~nonempty | (root_lo > delta))
+            all_sat &= nonempty & (root_hi <= delta)
+        codes[refuted] = BATCH_REFUTED
+        codes[~refuted & all_sat] = BATCH_SAT
+        return codes
+
+    def contract_batch(
+        self, boxes: list[Box], rounds: int = 2
+    ) -> tuple[list[Box], np.ndarray]:
+        """Contract a whole batch of boxes with the batched tape executors.
+
+        Semantically equivalent -- box for box, bit for bit -- to calling
+        :meth:`contract` on each element: the same fixpoint rounds, the
+        same atom order, the same forward/backward endpoint arithmetic
+        (see :meth:`Tape.forward_batch` / :meth:`Tape.backward_batch`),
+        with each instruction executed once per *batch* instead of once
+        per box.  Columns refuted by an atom drop out of later atoms, and
+        columns whose box reached the per-box loop's break condition (no
+        change in a round) stop iterating, exactly like the scalar loop.
+
+        Returns ``(contracted, certainly_sat)``: the contracted box per
+        input (an empty box where pruned; the *original* object where
+        contraction was a no-op) and a boolean per box that equals
+        :meth:`certainly_sat` on the contracted box (False for pruned
+        boxes), computed from one extra batched forward pass per atom.
+
+        Boxes that are *already empty* on input are returned untouched
+        and never contracted -- mirroring the solver loops, which prune
+        them before contraction.  ``ContractionStats`` counters advance by
+        the per-column revise/backward counts, matching what the
+        equivalent sequence of per-box :meth:`contract` calls would
+        record.
+        """
+        if self.backend != "tape":
+            raise ValueError("contract_batch requires the tape backend")
+        n_boxes = len(boxes)
+        if n_boxes == 0:
+            return [], np.zeros(0, dtype=bool)
+        names = boxes[0].names
+        var_lo = {name: np.array([b[name].lo for b in boxes]) for name in names}
+        var_hi = {name: np.array([b[name].hi for b in boxes]) for name in names}
+
+        input_empty = np.array([b.is_empty() for b in boxes])
+        alive = ~input_empty
+        ever_changed = np.zeros(n_boxes, dtype=bool)
+        active = alive.copy()  # columns still iterating rounds
+        for _ in range(max(1, rounds)):
+            changed = np.zeros(n_boxes, dtype=bool)
+            for i, tape in enumerate(self._tapes):
+                cols = np.nonzero(active & alive)[0]
+                if cols.size == 0:
+                    break
+                self._revise_batch(i, tape, cols, var_lo, var_hi, alive, changed)
+            active &= alive & changed
+            ever_changed |= changed
+            if not active.any():
+                break
+
+        # one batched forward per atom over the final boxes decides
+        # certainly_sat for the whole batch
+        allsat = alive.copy()
+        for tape in self._tapes:
+            cols = np.nonzero(allsat)[0]
+            if cols.size == 0:
+                break
+            sub_lo = {name: arr[cols] for name, arr in var_lo.items()}
+            sub_hi = {name: arr[cols] for name, arr in var_hi.items()}
+            lo_mat, hi_mat = tape.load_batch_arrays(sub_lo, sub_hi, cols.size)
+            tape.forward_batch(lo_mat, hi_mat)
+            root_lo = lo_mat[tape.root]
+            root_hi = hi_mat[tape.root]
+            allsat[cols] &= (root_lo <= root_hi) & (root_hi <= self.delta)
+
+        out: list[Box] = []
+        for j, box in enumerate(boxes):
+            if input_empty[j]:
+                out.append(box)
+            elif not alive[j]:
+                self.stats.prunes_to_empty += 1
+                out.append(Box({name: EMPTY for name in names}))
+            elif not ever_changed[j]:
+                out.append(box)
+            else:
+                out.append(
+                    Box(
+                        {
+                            name: Interval(float(var_lo[name][j]), float(var_hi[name][j]))
+                            for name in names
+                        }
+                    )
+                )
+        return out, allsat
+
+    def _revise_batch(
+        self,
+        i: int,
+        tape: Tape,
+        cols: np.ndarray,
+        var_lo: dict[str, np.ndarray],
+        var_hi: dict[str, np.ndarray],
+        alive: np.ndarray,
+        changed: np.ndarray,
+    ) -> None:
+        """One batched HC4-revise of atom ``i`` over the columns ``cols``."""
+        self.stats.forward_passes += int(cols.size)
+        sub_lo = {name: arr[cols] for name, arr in var_lo.items()}
+        sub_hi = {name: arr[cols] for name, arr in var_hi.items()}
+        lo_mat, hi_mat = tape.load_batch_arrays(sub_lo, sub_hi, cols.size)
+        tape.forward_batch(lo_mat, hi_mat)
+        root = tape.root
+        root_lo = lo_mat[root]
+        root_hi = hi_mat[root]
+        delta = self.delta
+        nonempty = root_lo <= root_hi
+        # empty root enclosure, or no overlap with (-inf, delta]: refuted
+        refuted = ~nonempty | (root_lo > delta)
+        alive[cols[refuted]] = False
+        # enclosure within the allowed set: the atom gives no pruning
+        # information for that column, leave its box untouched
+        needs_backward = ~refuted & (root_hi > delta)
+        sub = np.nonzero(needs_backward)[0]
+        if sub.size == 0:
+            return
+        self.stats.backward_passes += int(sub.size)
+        blo = lo_mat[:, sub]
+        bhi = hi_mat[:, sub]
+        bhi[root] = delta  # intersect root with the allowed set
+        ok = tape.backward_batch(blo, bhi)
+        bcols = cols[sub]
+        narrowed_lo = {}
+        narrowed_hi = {}
+        for name, slot in tape.var_slots:
+            cur_lo = var_lo[name][bcols]
+            cur_hi = var_hi[name][bcols]
+            s_lo = blo[slot]
+            s_hi = bhi[slot]
+            # Interval.intersect endpoint picks (max/min with the scalar
+            # tie and NaN behaviour), then its emptiness normalisation
+            n_lo = np.where(s_lo > cur_lo, s_lo, cur_lo)
+            n_hi = np.where(s_hi < cur_hi, s_hi, cur_hi)
+            ok &= ~((n_lo > n_hi) | np.isnan(n_lo) | np.isnan(n_hi))
+            narrowed_lo[name] = n_lo
+            narrowed_hi[name] = n_hi
+        atom_changed = np.zeros(len(bcols), dtype=bool)
+        for name in narrowed_lo:
+            cur_lo = var_lo[name][bcols]
+            cur_hi = var_hi[name][bcols]
+            n_lo = narrowed_lo[name]
+            n_hi = narrowed_hi[name]
+            atom_changed |= (n_lo != cur_lo) | (n_hi != cur_hi)
+            write = ok
+            var_lo[name][bcols[write]] = n_lo[write]
+            var_hi[name][bcols[write]] = n_hi[write]
+        alive[bcols[~ok]] = False
+        changed[bcols[ok & atom_changed]] = True
 
     def certainly_sat(self, box: Box) -> bool:
         """True if every atom holds on the *whole* box (within delta)."""

@@ -29,9 +29,11 @@ from __future__ import annotations
 import math
 from math import inf
 
+import numpy as np
+
 from ..expr.evaluator import EvalError, SCALAR_FUNCS
-from ..scipy_compat import special
 from ..expr.nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Var
+from ..scipy_compat import special
 from .interval import EMPTY, Interval, make
 
 __all__ = [
@@ -78,6 +80,80 @@ _SCALAR_TABLE = tuple(SCALAR_FUNCS[name] for name in FUNC_NAMES)
 
 NINF = -inf
 PINF = inf
+
+#: below this batch width the batched interval executors run the scalar
+#: per-column code instead of NumPy kernels: per-ufunc-call overhead is
+#: flat in the width, so narrow batches are cheaper on Python floats (the
+#: two strategies are bit-identical; the threshold is pure tuning)
+_VECTOR_MIN = 48
+
+#: exp overflow guard shared with the scalar evaluator's ``_scalar_exp``
+_EXP_OVERFLOW = 709.0
+_LAMBERTW_BRANCH = -1.0 / math.e
+
+
+def _batch_exp(x: np.ndarray) -> np.ndarray:
+    return np.where(x > _EXP_OVERFLOW, np.nan, np.exp(np.minimum(x, _EXP_OVERFLOW)))
+
+
+def _batch_log(x: np.ndarray) -> np.ndarray:
+    return np.where(x <= 0.0, np.nan, np.log(np.where(x <= 0.0, 1.0, x)))
+
+
+def _batch_erf(x: np.ndarray) -> np.ndarray:
+    return special("erf")(x)
+
+
+def _batch_lambertw(x: np.ndarray) -> np.ndarray:
+    clipped = np.maximum(x, _LAMBERTW_BRANCH)
+    w = np.real(special("lambertw")(clipped))
+    return np.where(x < _LAMBERTW_BRANCH, np.nan, w)
+
+
+#: vectorised point semantics of every unary IR function, indexed like
+#: ``FUNC_NAMES``; domain errors yield NaN (``eval_scalar`` convention)
+_BATCH_FUNCS = (
+    _batch_exp, _batch_log, np.sqrt, np.cbrt, np.arctan, np.abs,
+    _batch_lambertw, np.sin, np.cos, np.tanh, _batch_erf,
+)
+
+
+def _bad_exp(x):
+    return x > _EXP_OVERFLOW
+
+
+def _bad_log(x):
+    return x <= 0.0
+
+
+def _bad_sqrt(x):
+    return x < 0.0
+
+
+def _bad_lambertw(x):
+    return x < _LAMBERTW_BRANCH
+
+
+#: per-function domain-error predicates (None: total on the reals); the
+#: scalar executor *raises* on these inputs wherever they occur in the
+#: tape, so the batch pass accumulates them into a poison mask
+_BATCH_FUNC_BAD = (
+    _bad_exp, _bad_log, _bad_sqrt, None, None, None,
+    _bad_lambertw, None, None, None, None,
+)
+
+
+def _cond_holds_batch(code: int, gap: np.ndarray) -> np.ndarray:
+    """Vectorised ``cond_holds`` at ``tol=0`` (NaN gaps handled by callers)."""
+    if code == COND_LE:
+        return gap <= 0.0
+    if code == COND_LT:
+        return gap < 0.0
+    if code == COND_GE:
+        return gap >= 0.0
+    if code == COND_GT:
+        return gap > 0.0
+    return np.abs(gap) <= 0.0
 
 
 def decide_cond(code: int, gap: Interval) -> bool | None:
@@ -340,6 +416,10 @@ class Tape:
                 raise KeyError(f"box does not bind variable {name!r}") from None
             los[i] = iv.lo
             his[i] = iv.hi
+        self._forward_ops(los, his)
+
+    def _forward_ops(self, los: list, his: list) -> None:
+        """Run the forward instructions over fully loaded slot arrays."""
         nextafter = math.nextafter
         for op, out, a, b, aux in self._fwd:
             if op == OP_ADD2:
@@ -479,6 +559,367 @@ class Tape:
         if not lo <= hi:
             return EMPTY
         return Interval(lo, hi)
+
+    # -- batched interval forward pass --------------------------------------
+    def load_batch(self, boxes) -> tuple[np.ndarray, np.ndarray]:
+        """Allocate ``(n_slots, n_boxes)`` endpoint matrices for ``boxes``.
+
+        Column ``j`` of the variable rows holds the endpoints of box ``j``;
+        every other row is computed by :meth:`forward_batch`.
+        """
+        n_boxes = len(boxes)
+        lo_mat = np.empty((self.n_slots, n_boxes), dtype=np.float64)
+        hi_mat = np.empty((self.n_slots, n_boxes), dtype=np.float64)
+        for name, i in self.var_slots:
+            row_lo = lo_mat[i]
+            row_hi = hi_mat[i]
+            for j, box in enumerate(boxes):
+                try:
+                    iv = box[name]
+                except KeyError:
+                    raise KeyError(f"box does not bind variable {name!r}") from None
+                row_lo[j] = iv.lo
+                row_hi[j] = iv.hi
+        return lo_mat, hi_mat
+
+    def forward_batch(self, lo_mat: np.ndarray, hi_mat: np.ndarray) -> None:
+        """Forward interval evaluation over a batch of boxes, in place.
+
+        ``lo_mat``/``hi_mat`` are ``(n_slots, n_boxes)`` float64 matrices
+        whose variable rows are already filled (see :meth:`load_batch`);
+        constant rows are reloaded here and each instruction is executed
+        *once* over all columns.  Every column ends up bit-for-bit equal to
+        a :meth:`forward_arrays` run on that box: the endpoint arithmetic
+        of add/mul chains and Ite guards is vectorised with the exact same
+        operations and outward rounding (``np.nextafter`` elementwise
+        matches ``math.nextafter``), while Pow/Func instructions -- whose
+        scalar semantics go through libm -- run the identical per-column
+        ``Interval`` calls the per-box executor makes.  The empty interval
+        keeps its ``lo > hi`` encoding, and NaN endpoints propagate to
+        empty exactly like the per-box comparisons do.  Zero-width batches
+        are valid and leave the matrices untouched.
+        """
+        for slot, value in self.const_slots:
+            lo_mat[slot] = value
+            hi_mat[slot] = value
+        if lo_mat.shape[1] < _VECTOR_MIN:
+            # narrow batch: NumPy's fixed per-ufunc-call overhead beats the
+            # vector win, so run the scalar executor column by column (the
+            # .tolist() round trip keeps the arithmetic on Python floats)
+            cols_lo = lo_mat.T.tolist()
+            cols_hi = hi_mat.T.tolist()
+            for j in range(lo_mat.shape[1]):
+                self._forward_ops(cols_lo[j], cols_hi[j])
+            lo_mat[:] = np.asarray(cols_lo).T
+            hi_mat[:] = np.asarray(cols_hi).T
+            return
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            self._forward_batch_ops(lo_mat, hi_mat)
+
+    def _forward_batch_ops(self, lo_mat: np.ndarray, hi_mat: np.ndarray) -> None:
+        n_boxes = lo_mat.shape[1]
+        for op, out, a, b, aux in self._fwd:
+            if op == OP_ADD2:
+                lo, hi = _add_ep_batch(lo_mat[a], hi_mat[a], lo_mat[b], hi_mat[b])
+                lo_mat[out] = lo
+                hi_mat[out] = hi
+            elif op == OP_MUL2:
+                lo, hi = _mul_ep_batch(lo_mat[a], hi_mat[a], lo_mat[b], hi_mat[b])
+                lo_mat[out] = lo
+                hi_mat[out] = hi
+            elif op == OP_FUNC:
+                # .tolist() round-trips give the per-column loop plain
+                # Python floats: identical IEEE values, several-fold
+                # faster than operating on np.float64 scalars
+                alo = lo_mat[a].tolist()
+                ahi = hi_mat[a].tolist()
+                olo = [0.0] * n_boxes
+                ohi = [0.0] * n_boxes
+                for j in range(n_boxes):
+                    iv = aux(Interval(alo[j], ahi[j]))
+                    olo[j] = iv.lo
+                    ohi[j] = iv.hi
+                lo_mat[out] = olo
+                hi_mat[out] = ohi
+            elif op == OP_POW:
+                blo = lo_mat[a].tolist()
+                bhi = hi_mat[a].tolist()
+                olo = [0.0] * n_boxes
+                ohi = [0.0] * n_boxes
+                if aux is None:
+                    elo_row = lo_mat[b].tolist()
+                    ehi_row = hi_mat[b].tolist()
+                    for j in range(n_boxes):
+                        base = Interval(blo[j], bhi[j])
+                        elo = elo_row[j]
+                        if elo == ehi_row[j]:
+                            iv = base.pow(elo)
+                        else:
+                            iv = (Interval(elo, ehi_row[j]) * base.log()).exp()
+                        olo[j] = iv.lo
+                        ohi[j] = iv.hi
+                elif aux[0] == "i":
+                    n = aux[1]
+                    for j in range(n_boxes):
+                        iv = Interval(blo[j], bhi[j]).pow_int(n)
+                        olo[j] = iv.lo
+                        ohi[j] = iv.hi
+                else:
+                    p = aux[1]
+                    for j in range(n_boxes):
+                        iv = Interval(blo[j], bhi[j]).pow_real(p)
+                        olo[j] = iv.lo
+                        ohi[j] = iv.hi
+                lo_mat[out] = olo
+                hi_mat[out] = ohi
+            elif op == OP_ADDN:
+                i = a[0]
+                clo = lo_mat[i]
+                chi = hi_mat[i]
+                for i in a[1:]:
+                    clo, chi = _add_ep_batch(clo, chi, lo_mat[i], hi_mat[i])
+                lo_mat[out] = clo
+                hi_mat[out] = chi
+            elif op == OP_MULN:
+                i = a[0]
+                clo = lo_mat[i]
+                chi = hi_mat[i]
+                for i in a[1:]:
+                    clo, chi = _mul_ep_batch(clo, chi, lo_mat[i], hi_mat[i])
+                lo_mat[out] = clo
+                hi_mat[out] = chi
+            else:  # OP_ITE
+                lhs, rhs, then, orelse = a
+                is_true, is_false = _decide_gap_batch(b, lo_mat, hi_mat, lhs, rhs)
+                tlo = lo_mat[then]
+                thi = hi_mat[then]
+                olo = lo_mat[orelse]
+                ohi = hi_mat[orelse]
+                # undecided columns take the hull, ignoring an empty branch;
+                # the <=-picks (not np.minimum) replicate the per-box
+                # comparisons exactly, including signed-zero choices
+                t_empty = ~(tlo <= thi)
+                o_empty = ~(olo <= ohi)
+                lo = np.where(tlo <= olo, tlo, olo)
+                hi = np.where(thi >= ohi, thi, ohi)
+                lo = np.where(o_empty, tlo, lo)
+                hi = np.where(o_empty, thi, hi)
+                lo = np.where(t_empty, olo, lo)
+                hi = np.where(t_empty, ohi, hi)
+                lo = np.where(is_true, tlo, np.where(is_false, olo, lo))
+                hi = np.where(is_true, thi, np.where(is_false, ohi, hi))
+                lo_mat[out] = lo
+                hi_mat[out] = hi
+
+    def enclosure_batch(self, boxes) -> tuple[np.ndarray, np.ndarray]:
+        """Root enclosure endpoints over a batch of boxes.
+
+        Returns the root row of a :meth:`forward_batch` run as two 1-d
+        arrays ``(root_lo, root_hi)``; a column with ``lo > hi`` (or NaN)
+        encodes an empty enclosure, exactly like :meth:`enclosure`
+        returning :data:`~repro.solver.interval.EMPTY`.
+        """
+        lo_mat, hi_mat = self.load_batch(boxes)
+        self.forward_batch(lo_mat, hi_mat)
+        return lo_mat[self.root].copy(), hi_mat[self.root].copy()
+
+    def load_batch_arrays(
+        self, var_los: dict[str, np.ndarray], var_his: dict[str, np.ndarray], n_boxes: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Allocate batch matrices with variable rows taken from arrays."""
+        lo_mat = np.empty((self.n_slots, n_boxes), dtype=np.float64)
+        hi_mat = np.empty((self.n_slots, n_boxes), dtype=np.float64)
+        for name, i in self.var_slots:
+            try:
+                lo_mat[i] = var_los[name]
+                hi_mat[i] = var_his[name]
+            except KeyError:
+                raise KeyError(f"box does not bind variable {name!r}") from None
+        return lo_mat, hi_mat
+
+    # -- batched interval backward (HC4-revise) pass -------------------------
+    def backward_batch(self, lo_mat: np.ndarray, hi_mat: np.ndarray) -> np.ndarray:
+        """Batched backward pass; returns the per-column feasibility mask.
+
+        Runs the reverse tape over ``(n_slots, n_boxes)`` matrices (after a
+        :meth:`forward_batch` and a root intersection), narrowing slot rows
+        in place.  Column ``j`` of the result is False exactly when
+        :meth:`backward_arrays` on that box would have returned False; a
+        dead column's remaining instructions keep executing (their values
+        are garbage but harmless), whereas the per-box pass stops early --
+        the surviving columns see the identical narrowing sequence either
+        way.  Add/mul chains and Ite guards are vectorised with the same
+        endpoint arithmetic as the scalar pass; Pow/Func inverses run the
+        existing per-column primitives on column views.
+        """
+        n_boxes = lo_mat.shape[1]
+        alive = np.ones(n_boxes, dtype=bool)
+        if n_boxes < _VECTOR_MIN:
+            # narrow batch: the scalar backward per column is cheaper than
+            # the per-ufunc-call overhead of the vector path
+            cols_lo = lo_mat.T.tolist()
+            cols_hi = hi_mat.T.tolist()
+            for j in range(n_boxes):
+                alive[j] = self.backward_arrays(cols_lo[j], cols_hi[j])
+            lo_mat[:] = np.asarray(cols_lo).T
+            hi_mat[:] = np.asarray(cols_hi).T
+            return alive
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            self._backward_batch_ops(lo_mat, hi_mat, alive)
+        return alive
+
+    def _backward_batch_ops(
+        self, lo_mat: np.ndarray, hi_mat: np.ndarray, alive: np.ndarray
+    ) -> None:
+        for op, out, a, b, aux in self._rev:
+            olo = lo_mat[out]
+            ohi = hi_mat[out]
+            # an empty stored enclosure anywhere means infeasibility, as in
+            # the per-box pass
+            alive &= olo <= ohi
+            if not alive.any():
+                return
+
+            if op == OP_ADDN:
+                n = len(a)
+                zeros = np.zeros_like(olo)
+                plo = [zeros] * (n + 1)
+                phi = [zeros] * (n + 1)
+                clo = zeros
+                chi = zeros
+                for k in range(n):
+                    i = a[k]
+                    clo, chi = _add_ep_batch(clo, chi, lo_mat[i], hi_mat[i])
+                    plo[k + 1] = clo
+                    phi[k + 1] = chi
+                slo = [zeros] * (n + 1)
+                shi = [zeros] * (n + 1)
+                clo = zeros
+                chi = zeros
+                for k in range(n - 1, -1, -1):
+                    i = a[k]
+                    clo, chi = _add_ep_batch(clo, chi, lo_mat[i], hi_mat[i])
+                    slo[k] = clo
+                    shi[k] = chi
+                for k in range(n):
+                    vlo, vhi = _add_ep_batch(plo[k], phi[k], slo[k + 1], shi[k + 1])
+                    # allowed = out - others, with the scalar pass's guards
+                    nonempty = vlo <= vhi
+                    s = olo - vhi
+                    alo = np.nextafter(s, NINF)
+                    np.copyto(alo, NINF, where=s != s)
+                    s = ohi - vlo
+                    ahi = np.nextafter(s, PINF)
+                    np.copyto(ahi, PINF, where=s != s)
+                    np.copyto(alo, PINF, where=~nonempty)
+                    np.copyto(ahi, NINF, where=~nonempty)
+                    i = a[k]
+                    lo = lo_mat[i]
+                    hi = hi_mat[i]
+                    np.copyto(lo, alo, where=alo > lo)
+                    np.copyto(hi, ahi, where=ahi < hi)
+                    alive &= lo <= hi
+
+            elif op == OP_MULN:
+                n = len(a)
+                ones = np.ones_like(olo)
+                plo = [ones] * (n + 1)
+                phi = [ones] * (n + 1)
+                clo = ones
+                chi = ones
+                for k in range(n):
+                    i = a[k]
+                    clo, chi = _mul_ep_batch(clo, chi, lo_mat[i], hi_mat[i])
+                    plo[k + 1] = clo
+                    phi[k + 1] = chi
+                slo = [ones] * (n + 1)
+                shi = [ones] * (n + 1)
+                clo = ones
+                chi = ones
+                for k in range(n - 1, -1, -1):
+                    i = a[k]
+                    clo, chi = _mul_ep_batch(clo, chi, lo_mat[i], hi_mat[i])
+                    slo[k] = clo
+                    shi[k] = chi
+                for k in range(n):
+                    vlo, vhi = _mul_ep_batch(plo[k], phi[k], slo[k + 1], shi[k + 1])
+                    # division through zero gives no contraction (skip), and
+                    # the remaining columns have empty or strictly-signed
+                    # [vlo, vhi], so the zero-endpoint inverse cases of
+                    # Interval.inverse() stay unreachable columnwise too
+                    skip = (vlo <= 0.0) & (0.0 <= vhi) & (vlo != vhi)
+                    skip |= (vlo == 0.0) & (vhi == 0.0)
+                    empty_v = ~(vlo <= vhi)
+                    s = 1.0 / vhi
+                    ilo = np.nextafter(s, NINF)
+                    np.copyto(ilo, NINF, where=s != s)
+                    s = 1.0 / vlo
+                    ihi = np.nextafter(s, PINF)
+                    np.copyto(ihi, PINF, where=s != s)
+                    np.copyto(ilo, PINF, where=empty_v)
+                    np.copyto(ihi, NINF, where=empty_v)
+                    alo, ahi = _mul_ep_batch(olo, ohi, ilo, ihi)
+                    i = a[k]
+                    lo = lo_mat[i]
+                    hi = hi_mat[i]
+                    np.copyto(lo, alo, where=~skip & (alo > lo))
+                    np.copyto(hi, ahi, where=~skip & (ahi < hi))
+                    alive &= skip | (lo <= hi)
+
+            elif op == OP_POW:
+                # run the existing scalar inverse per column on plain
+                # Python floats (dict shims stand in for the slot arrays;
+                # only slots a and b are read or narrowed)
+                blo = lo_mat[a].tolist()
+                bhi = hi_mat[a].tolist()
+                elo = lo_mat[b].tolist()
+                ehi = hi_mat[b].tolist()
+                olo_l = olo.tolist()
+                ohi_l = ohi.tolist()
+                for j in np.nonzero(alive)[0]:
+                    los_d = {a: blo[j], b: elo[j]}
+                    his_d = {a: bhi[j], b: ehi[j]}
+                    ok = _backward_pow(
+                        los_d, his_d, Interval(olo_l[j], ohi_l[j]), a, b, aux
+                    )
+                    blo[j] = los_d[a]
+                    bhi[j] = his_d[a]
+                    elo[j] = los_d[b]
+                    ehi[j] = his_d[b]
+                    if not ok:
+                        alive[j] = False
+                lo_mat[a] = blo
+                hi_mat[a] = bhi
+                lo_mat[b] = elo
+                hi_mat[b] = ehi
+
+            elif op == OP_FUNC:
+                alo = lo_mat[a].tolist()
+                ahi = hi_mat[a].tolist()
+                olo_l = olo.tolist()
+                ohi_l = ohi.tolist()
+                for j in np.nonzero(alive)[0]:
+                    los_d = {a: alo[j]}
+                    his_d = {a: ahi[j]}
+                    ok = _backward_func(
+                        los_d, his_d, Interval(olo_l[j], ohi_l[j]), a, b
+                    )
+                    alo[j] = los_d[a]
+                    ahi[j] = his_d[a]
+                    if not ok:
+                        alive[j] = False
+                lo_mat[a] = alo
+                hi_mat[a] = ahi
+
+            else:  # OP_ITE
+                lhs, rhs, then, orelse = a
+                is_true, is_false = _decide_gap_batch(b, lo_mat, hi_mat, lhs, rhs)
+                for mask, target in ((is_true, then), (is_false, orelse)):
+                    lo = lo_mat[target]
+                    hi = hi_mat[target]
+                    np.copyto(lo, olo, where=mask & (olo > lo))
+                    np.copyto(hi, ohi, where=mask & (ohi < hi))
+                    alive &= ~mask | (lo <= hi)
 
     # -- interval backward (HC4-revise) pass --------------------------------
     def backward_arrays(self, los: list, his: list) -> bool:
@@ -673,6 +1114,89 @@ class Tape:
         except (ValueError, OverflowError, ZeroDivisionError):
             return math.nan
 
+    def eval_point_batch(self, env: dict[str, np.ndarray]) -> np.ndarray:
+        """Vectorised scalar evaluation over a whole grid of points.
+
+        ``env`` maps each variable name to an ndarray (all broadcastable to
+        a common shape); the result has that shape.  Semantics follow
+        :meth:`eval_scalar`: a domain error *anywhere* in the tape
+        (negative base to a fractional power, ``log`` of a non-positive
+        number, exp overflow, Lambert W below the branch point, pow
+        overflow, NaN in an ``ite`` guard) poisons that point to NaN --
+        like the eager scalar executor, which raises even when the
+        offending instruction feeds an untaken ``ite`` branch.  Unlike the
+        bit-exact interval batch pass, values may differ from
+        :meth:`eval_point` by rounding ulps: n-ary sums accumulate
+        pairwise instead of via ``math.fsum``, and transcendentals go
+        through NumPy's libm rather than CPython's.  One semantic gap
+        remains: a *sum* of finite values overflowing to +/-inf saturates
+        here, where ``math.fsum`` raises and the scalar path yields NaN.
+        """
+        slots: list = [None] * self.n_slots
+        for slot, value in self.const_slots:
+            slots[slot] = value
+        shape = None
+        for name, i in self.var_slots:
+            try:
+                arr = np.asarray(env[name], dtype=np.float64)
+            except KeyError:
+                raise EvalError(f"unbound variable {name!r}") from None
+            slots[i] = arr
+            shape = arr.shape if shape is None else np.broadcast_shapes(shape, arr.shape)
+        nan = np.nan
+        err = False  # poison mask: domain errors anywhere abort the point
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            for op, out, a, b, aux in self._scalar:
+                if op == OP_ADD2:
+                    slots[out] = slots[a] + slots[b]
+                elif op == OP_MUL2:
+                    slots[out] = slots[a] * slots[b]
+                elif op == OP_FUNC:
+                    arg = np.asarray(slots[a], dtype=np.float64)
+                    bad_fn = _BATCH_FUNC_BAD[b]
+                    if bad_fn is not None:
+                        err = err | bad_fn(arg)
+                    slots[out] = _BATCH_FUNCS[b](arg)
+                elif op == OP_POW:
+                    base = np.asarray(slots[a], dtype=np.float64)
+                    expo = aux[2] if aux is not None else np.asarray(slots[b])
+                    value = np.power(base, expo)
+                    if aux is None:
+                        frac = (expo != np.floor(expo)) | np.isinf(expo)
+                    else:
+                        frac = not float(expo).is_integer()
+                    bad = (base < 0.0) & frac
+                    bad |= (base == 0.0) & (np.asarray(expo) < 0.0)
+                    # finite operands overflowing to inf: math.pow raises
+                    # OverflowError there, which eval_scalar maps to NaN
+                    bad |= np.isinf(value) & np.isfinite(base) & np.isfinite(expo)
+                    err = err | bad
+                    slots[out] = np.where(bad, nan, value)
+                elif op == OP_ADDN:
+                    acc = slots[a[0]]
+                    for i in a[1:]:
+                        acc = acc + slots[i]
+                    slots[out] = acc
+                elif op == OP_MULN:
+                    acc = slots[a[0]]
+                    for i in a[1:]:
+                        acc = acc * slots[i]
+                    slots[out] = acc
+                else:  # OP_ITE
+                    lhs, rhs, then, orelse = a
+                    gap = np.asarray(slots[lhs] - slots[rhs], dtype=np.float64)
+                    err = err | np.isnan(gap)
+                    slots[out] = np.where(
+                        _cond_holds_batch(b, gap), slots[then], slots[orelse]
+                    )
+        result = np.asarray(slots[self.root], dtype=np.float64)
+        if shape is not None and result.shape != shape:
+            result = np.broadcast_to(result, shape).copy()
+        if err is not False:
+            result = np.where(err, nan, result)
+            result = np.asarray(result, dtype=np.float64)
+        return result
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Tape({len(self.instrs)} instrs, {self.n_slots} slots, "
@@ -713,6 +1237,93 @@ def _mul_ep(alo: float, ahi: float, blo: float, bhi: float, nextafter) -> tuple:
         NINF if lo == NINF else nextafter(lo, NINF),
         PINF if hi == PINF else nextafter(hi, PINF),
     )
+
+
+def _add_ep_batch(alo, ahi, blo, bhi) -> tuple[np.ndarray, np.ndarray]:
+    """Columnwise form of the inline ADD2 endpoint arithmetic.
+
+    Same values as the per-box code: outward-rounded sums, NaN sums
+    saturating to the infinite endpoint, empty inputs producing the empty
+    encoding (``lo > hi``).
+    """
+    nonempty = (alo <= ahi) & (blo <= bhi)
+    s = alo + blo
+    lo = np.nextafter(s, NINF)
+    np.copyto(lo, NINF, where=s != s)
+    s = ahi + bhi
+    hi = np.nextafter(s, PINF)
+    np.copyto(hi, PINF, where=s != s)
+    np.copyto(lo, PINF, where=~nonempty)
+    np.copyto(hi, NINF, where=~nonempty)
+    return lo, hi
+
+
+def _mul_ep_batch(alo, ahi, blo, bhi) -> tuple[np.ndarray, np.ndarray]:
+    """Columnwise form of ``_mul_ep``: identical products and NaN
+    cleaning, min/max over the four endpoint products, then one-ulp
+    outward rounding.  The scalar code picks min/max with sequential
+    ``<``/``>`` compares, which can differ from a reduction only in the
+    sign of a zero -- and ``nextafter`` maps both zeros to the same
+    neighbour, so the rounded outputs are bit-identical.
+    """
+    prods = np.empty((4,) + alo.shape)
+    np.multiply(alo, blo, out=prods[0])
+    np.multiply(alo, bhi, out=prods[1])
+    np.multiply(ahi, blo, out=prods[2])
+    np.multiply(ahi, bhi, out=prods[3])
+    np.copyto(prods, 0.0, where=prods != prods)
+    lo = prods.min(axis=0)
+    hi = prods.max(axis=0)
+    out_lo = np.nextafter(lo, NINF)
+    out_hi = np.nextafter(hi, PINF)
+    np.copyto(out_lo, NINF, where=lo == NINF)
+    np.copyto(out_hi, PINF, where=hi == PINF)
+    empty = ~((alo <= ahi) & (blo <= bhi))
+    np.copyto(out_lo, PINF, where=empty)
+    np.copyto(out_hi, NINF, where=empty)
+    return out_lo, out_hi
+
+
+def _decide_masks_batch(code: int, glo, ghi, nonempty) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised ``_decide_f``: (decided-true, decided-false) masks.
+
+    Columns with an empty gap (``nonempty`` False) are undecided in both
+    masks, mirroring ``decide_cond`` on :data:`~repro.solver.interval.EMPTY`.
+    """
+    if code == COND_LE or code == COND_LT:
+        if code == COND_LT:
+            is_true = (ghi <= 0.0) & ~((ghi == 0.0) & (glo == 0.0))
+            is_false = (glo >= 0.0) & ~is_true
+        else:
+            is_true = ghi <= 0.0
+            is_false = glo > 0.0
+        return is_true & nonempty, is_false & nonempty
+    if code == COND_GE or code == COND_GT:
+        flipped = COND_LE if code == COND_GT else COND_LT
+        is_true, is_false = _decide_masks_batch(flipped, glo, ghi, nonempty)
+        return is_false, is_true
+    # COND_EQ
+    is_true = (glo == 0.0) & (ghi == 0.0)
+    is_false = ~((glo <= 0.0) & (ghi >= 0.0)) & ~is_true
+    return is_true & nonempty, is_false & nonempty
+
+
+def _decide_gap_batch(
+    code: int, lo_mat: np.ndarray, hi_mat: np.ndarray, lhs: int, rhs: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised ``_decide_gap`` over all columns of an Ite guard."""
+    llo = lo_mat[lhs]
+    lhi = hi_mat[lhs]
+    rlo = lo_mat[rhs]
+    rhi = hi_mat[rhs]
+    nonempty = (llo <= lhi) & (rlo <= rhi)
+    s = llo - rhi
+    glo = np.nextafter(s, NINF)
+    np.copyto(glo, NINF, where=s != s)
+    s = lhi - rlo
+    ghi = np.nextafter(s, PINF)
+    np.copyto(ghi, PINF, where=s != s)
+    return _decide_masks_batch(code, glo, ghi, nonempty)
 
 
 def _decide_f(code: int, glo: float, ghi: float) -> bool | None:

@@ -20,10 +20,17 @@ skip symbolic encoding entirely.  ``verify_domain_parallel`` always ships
 tapes (it encodes in the parent anyway); ``verify_pairs_parallel`` makes it
 opt-in via ``precompile`` because parent-side encoding of many pairs is
 itself serial work.
+
+``verify_domain_parallel`` additionally *chunks* the subdomains: each job
+carries the payload once plus a whole list of boxes, so unpickling cost is
+per chunk (not per subdomain) and the worker-side solver -- the batched
+frontier ICP by default -- reuses its warm contractor caches across every
+box of the chunk.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 
@@ -36,7 +43,19 @@ from .verifier import Verifier, VerifierConfig
 
 
 def _verify_job(args) -> tuple[tuple[str, str], VerificationReport]:
-    payload, config, bounds = args
+    key, reports = _verify_chunk((args[0], args[1], [args[2]]))
+    return key, reports[0]
+
+
+def _verify_chunk(args) -> tuple[tuple[str, str], list[VerificationReport]]:
+    """Verify a whole chunk of subdomains against one shipped problem.
+
+    The payload (tapes or a pair to re-encode) is deserialized *once* per
+    chunk, and one :class:`Verifier` -- hence one solver with its warm
+    per-formula contractor cache -- runs every box in the chunk, instead
+    of paying the unpickle + cache-rebuild cost per subdomain.
+    """
+    payload, config, bounds_list = args
     if isinstance(payload, CompiledProblem):
         problem = payload
         key = (problem.functional_name, problem.condition_id)
@@ -46,9 +65,14 @@ def _verify_job(args) -> tuple[tuple[str, str], VerificationReport]:
         condition = get_condition(condition_id)
         problem = encode(functional, condition)
         key = (functional_name, condition_id)
-    domain = Box.from_bounds(bounds) if bounds is not None else None
-    report = Verifier(config).verify(problem, domain=domain)
-    return key, report
+    verifier = Verifier(config)
+    reports = [
+        verifier.verify(
+            problem, domain=Box.from_bounds(bounds) if bounds is not None else None
+        )
+        for bounds in bounds_list
+    ]
+    return key, reports
 
 
 def verify_pairs_parallel(
@@ -92,6 +116,7 @@ def verify_domain_parallel(
     config: VerifierConfig | None = None,
     levels: int = 1,
     max_workers: int | None = None,
+    chunk_size: int | None = None,
 ) -> VerificationReport:
     """Run Algorithm 1 on one pair with the domain pre-split for fan-out.
 
@@ -105,6 +130,10 @@ def verify_domain_parallel(
     The pair is encoded *once* here and shipped to workers as compiled
     tapes -- workers no longer re-run the symbolic encoder per subdomain
     (unless ``config.specialize_boxes`` forces expression-level residuals).
+    Subdomains are shipped in *chunks* of ``chunk_size`` boxes per job
+    (default: spread evenly, four chunks per worker), so the payload is
+    pickled once per chunk and each worker's solver keeps its warm
+    contractor cache across the boxes of a chunk.
     """
     config = config or VerifierConfig()
     problem = encode(functional, condition)
@@ -124,21 +153,26 @@ def verify_domain_parallel(
         payload: object = (functional.name, condition.cid)
     else:
         payload = compile_problem(problem)
-    jobs = [
-        (
-            payload,
-            worker_config,
-            {name: (iv.lo, iv.hi) for name, iv in box.items()},
-        )
-        for box in subdomains
+
+    all_bounds = [
+        {name: (iv.lo, iv.hi) for name, iv in box.items()} for box in subdomains
     ]
+    if chunk_size is None:
+        workers = max_workers or os.cpu_count() or 1
+        chunk_size = max(1, -(-len(all_bounds) // (workers * 4)))
+    chunks = [
+        all_bounds[i : i + chunk_size] for i in range(0, len(all_bounds), chunk_size)
+    ]
+    jobs = [(payload, worker_config, chunk) for chunk in chunks]
 
     reports: list[VerificationReport] = []
-    if max_workers == 1:
-        reports = [_verify_job(job)[1] for job in jobs]
+    if max_workers == 1 or len(jobs) == 1:
+        for job in jobs:
+            reports.extend(_verify_chunk(job)[1])
     else:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            reports = [report for _, report in pool.map(_verify_job, jobs)]
+            for _, chunk_reports in pool.map(_verify_chunk, jobs):
+                reports.extend(chunk_reports)
 
     merged = VerificationReport(
         functional_name=functional.name,

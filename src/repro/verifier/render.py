@@ -10,8 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..solver.box import Box
-from .regions import Outcome, RegionRecord, VerificationReport
+from .regions import Outcome, VerificationReport
 
 #: single-character legend for ASCII maps
 OUTCOME_CHARS = {

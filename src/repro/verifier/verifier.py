@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..expr.evaluator import evaluate
 from ..solver.box import Box
@@ -56,9 +56,20 @@ class VerifierConfig:
     #: piece on boxes that stay on one side of the switch.  Costs one
     #: rebuild per box; pays off on Ite-heavy formulas.
     specialize_boxes: bool = False
+    #: solver execution strategy (see :class:`ICPSolver`): the batched
+    #: frontier loop by default; "tape"/"walk" select the per-box paths
+    #: (all bit-identical -- these are perf/ablation knobs, and workers of
+    #: the parallel drivers inherit them through the pickled config)
+    solver_backend: str = "batch"
+    batch_size: int = 256
 
     def make_solver(self) -> ICPSolver:
-        return ICPSolver(delta=self.delta, precision=self.precision)
+        return ICPSolver(
+            delta=self.delta,
+            precision=self.precision,
+            backend=self.solver_backend,
+            batch_size=self.batch_size,
+        )
 
     def make_budget(self) -> Budget:
         return Budget(

@@ -1,7 +1,5 @@
 """Tests for the Table II consistency harness."""
 
-import numpy as np
-import pytest
 
 from repro.analysis.compare import (
     CONSISTENT,

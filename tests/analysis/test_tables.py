@@ -1,6 +1,5 @@
 """Tests for the Table I harness."""
 
-import pytest
 
 from repro.analysis.tables import PAPER_TABLE_ONE, TableOne, run_table_one
 from repro.conditions import EC1, PAPER_CONDITIONS

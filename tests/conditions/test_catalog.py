@@ -1,6 +1,5 @@
 """Tests for the exact-condition catalog (Section II of the paper)."""
 
-import math
 
 import pytest
 

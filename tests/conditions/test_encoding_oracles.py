@@ -8,7 +8,6 @@ paper's DFAs and for every extension functional, so a wrong derivative
 rule or a mis-encoded condition cannot hide behind an OK verdict.
 """
 
-import math
 
 import numpy as np
 import pytest

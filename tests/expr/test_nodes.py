@@ -1,17 +1,13 @@
 """Tests for the hash-consed expression node layer."""
 
-import math
 
 import pytest
 
 from repro.expr import builder as b
 from repro.expr.nodes import (
-    Add,
     Const,
-    Expr,
     Func,
     Ite,
-    Mul,
     Pow,
     Rel,
     Var,

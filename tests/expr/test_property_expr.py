@@ -22,6 +22,8 @@ from repro.expr.derivative import derivative
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expr, Var
 
+from tests.support import hyp_examples
+
 X = Var("px")
 Y = Var("py")
 
@@ -82,7 +84,7 @@ def exprs(draw, depth: int = 3) -> Expr:
 
 
 @given(e=exprs(), xv=finite_floats, yv=finite_floats)
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=hyp_examples(150), deadline=None)
 def test_scalar_eval_matches_numpy_kernel(e, xv, yv):
     env = {"px": xv, "py": yv}
     scalar = evaluate(e, env)
@@ -93,7 +95,7 @@ def test_scalar_eval_matches_numpy_kernel(e, xv, yv):
 
 
 @given(e=exprs(), xv=finite_floats, yv=finite_floats)
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=hyp_examples(100), deadline=None)
 def test_derivative_matches_sympy(e, xv, yv):
     """Exact oracle: our derivative engine vs SymPy's, evaluated pointwise.
 
@@ -113,7 +115,7 @@ def test_derivative_matches_sympy(e, xv, yv):
 
 
 @given(e=exprs(), xv=finite_floats, yv=finite_floats)
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=hyp_examples(150), deadline=None)
 def test_substitution_commutes_with_evaluation(e, xv, yv):
     from repro.expr.substitute import substitute
 
@@ -126,7 +128,7 @@ def test_substitution_commutes_with_evaluation(e, xv, yv):
 
 
 @given(e=exprs())
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=hyp_examples(100), deadline=None)
 def test_interning_gives_structural_equality(e):
     # rebuilding the same structure yields the same object
     from repro.expr.substitute import substitute
@@ -136,7 +138,7 @@ def test_interning_gives_structural_equality(e):
 
 
 @given(e=exprs(), xv=finite_floats, yv=finite_floats)
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=hyp_examples(100), deadline=None)
 def test_sympy_roundtrip_preserves_value(e, xv, yv):
     from repro.expr.sympy_bridge import from_sympy, to_sympy
 

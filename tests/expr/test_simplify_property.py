@@ -15,6 +15,8 @@ from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expr, Var
 from repro.expr.simplify import factor_sums, merge_exponentials, simplify
 
+from tests.support import hyp_examples
+
 X = Var("x", nonneg=True)
 Y = Var("y", nonneg=True)
 
@@ -60,19 +62,19 @@ def _agree(e1: Expr, e2: Expr, env: dict) -> None:
     assert v1 == pytest.approx(v2, rel=1e-8, abs=1e-9)
 
 
-@settings(max_examples=120, deadline=None)
+@settings(max_examples=hyp_examples(120), deadline=None)
 @given(expr=exprs, env=env_values)
 def test_factor_sums_preserves_value(expr, env):
     _agree(expr, factor_sums(expr), env)
 
 
-@settings(max_examples=120, deadline=None)
+@settings(max_examples=hyp_examples(120), deadline=None)
 @given(expr=exprs, env=env_values)
 def test_merge_exponentials_preserves_value(expr, env):
     _agree(expr, merge_exponentials(expr), env)
 
 
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=hyp_examples(80), deadline=None)
 @given(expr=exprs, env=env_values)
 def test_full_simplify_preserves_value(expr, env):
     out, stats = simplify(expr)
@@ -80,7 +82,7 @@ def test_full_simplify_preserves_value(expr, env):
     _agree(expr, out, env)
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hyp_examples(60), deadline=None)
 @given(expr=exprs, env=env_values)
 def test_simplify_never_grows(expr, env):
     out, stats = simplify(expr)

@@ -1,6 +1,5 @@
 """Tests for the SymPy round-trip bridge."""
 
-import math
 
 import pytest
 import sympy as sp

@@ -21,6 +21,8 @@ from repro.functionals import get_functional, paper_functionals
 from repro.solver.box import Box
 from repro.solver.contractor import enclosure
 
+from tests.support import hyp_examples
+
 rs_vals = st.floats(min_value=1e-4, max_value=5.0, allow_nan=False)
 s_vals = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
 alpha_vals = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
@@ -35,7 +37,7 @@ def env_for(functional, rs, s, alpha):
 
 
 @given(name=st.sampled_from(FUNCTIONALS), rs=rs_vals, s=s_vals, alpha=alpha_vals)
-@settings(max_examples=120, deadline=None)
+@settings(max_examples=hyp_examples(120), deadline=None)
 def test_lifted_matches_model_code(name, rs, s, alpha):
     f = get_functional(name)
     env = env_for(f, rs, s, alpha)
@@ -53,7 +55,7 @@ def test_lifted_matches_model_code(name, rs, s, alpha):
 
 
 @given(name=st.sampled_from(FUNCTIONALS), rs=rs_vals, s=s_vals, alpha=alpha_vals)
-@settings(max_examples=120, deadline=None)
+@settings(max_examples=hyp_examples(120), deadline=None)
 def test_kernel_matches_scalar(name, rs, s, alpha):
     f = get_functional(name)
     env = env_for(f, rs, s, alpha)
@@ -70,7 +72,7 @@ def test_kernel_matches_scalar(name, rs, s, alpha):
     s=st.floats(min_value=0.1, max_value=4.9),
     w=st.floats(min_value=0.01, max_value=0.5),
 )
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=hyp_examples(80), deadline=None)
 def test_enclosure_contains_point_value(name, rs, s, w):
     """Interval soundness on the actual F_c expressions."""
     f = get_functional(name)
@@ -93,7 +95,7 @@ def test_enclosure_contains_point_value(name, rs, s, w):
     alpha=st.floats(min_value=0.1, max_value=4.9),
     w=st.floats(min_value=0.01, max_value=0.3),
 )
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=hyp_examples(40), deadline=None)
 def test_scan_enclosure_contains_point_value(rs, s, alpha, w):
     f = get_functional("SCAN")
     env = {"rs": rs, "s": s, "alpha": alpha}
@@ -113,7 +115,7 @@ def test_scan_enclosure_contains_point_value(rs, s, alpha, w):
     s=st.floats(min_value=0.0, max_value=5.0),
     alpha=alpha_vals,
 )
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=hyp_examples(100), deadline=None)
 def test_fc_sign_equivalence(name, rs, s, alpha):
     """EC1's two formulations agree: eps_c <= 0 iff F_c >= 0."""
     f = get_functional(name)

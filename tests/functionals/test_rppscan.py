@@ -20,12 +20,11 @@ from repro.functionals.rppscan import (
     ETA_RPP,
     alpha_tilde,
     eps_c_rppscan,
-    eps_x_rppscan,
     f_alpha_c_rpp,
     f_alpha_x_rpp,
     fx_rppscan,
 )
-from repro.functionals.rscan import _f_poly, alpha_prime, fx_rscan
+from repro.functionals.rscan import _f_poly, fx_rscan
 from repro.functionals.scan import fx_scan, eps_c_scan
 from repro.functionals.pw92 import eps_c_pw92
 

@@ -8,7 +8,6 @@ import pytest
 from repro.expr.evaluator import evaluate
 from repro.functionals import get_functional
 from repro.functionals.rscan import (
-    ALPHA_R,
     F_ALPHA_POLY,
     alpha_prime,
     eps_c_rscan,

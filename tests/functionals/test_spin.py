@@ -10,7 +10,6 @@ Anchors:
   by the delta-complete solver over the (rs, zeta) box.
 """
 
-import math
 
 import numpy as np
 import pytest

@@ -19,7 +19,7 @@ from repro.pb.checker import PBChecker
 from repro.pb.grid import GridSpec
 from repro.verifier import ascii_map, encode, rasterize, verify_pair
 from repro.verifier.regions import Outcome
-from repro.verifier.verifier import Verifier, VerifierConfig
+from repro.verifier.verifier import VerifierConfig
 
 CONFIG = VerifierConfig(
     split_threshold=0.7, per_call_budget=250, global_step_budget=15_000

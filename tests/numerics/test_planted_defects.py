@@ -7,7 +7,6 @@ it quantitatively.  This is the measurement-calibration counterpart of
 the PZ81/SCAN case studies.
 """
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -18,6 +17,8 @@ from repro.numerics import check_continuity, check_hazards
 from repro.pysym import lift
 from repro.pysym.intrinsics import log
 from repro.solver.box import Box
+
+from tests.support import hyp_examples
 
 X = Var("x", nonneg=True)
 Y = Var("y", nonneg=True)
@@ -50,7 +51,7 @@ def _guarded_model(x):
 
 
 class TestPlantedJumps:
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=hyp_examples(40), deadline=None)
     @given(
         jump=st.floats(min_value=1e-6, max_value=10.0, allow_nan=False),
         cut=st.floats(min_value=0.5, max_value=3.5, allow_nan=False),
@@ -67,7 +68,7 @@ class TestPlantedJumps:
         worst = report.worst()
         assert worst.point["x"] == pytest.approx(cut, abs=1e-7)
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=hyp_examples(40), deadline=None)
     @given(
         kink=st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
         cut=st.floats(min_value=0.5, max_value=3.5, allow_nan=False),
@@ -109,7 +110,7 @@ class TestPlantedJumps:
 
 
 class TestPlantedHazards:
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=hyp_examples(30), deadline=None)
     @given(edge=st.floats(min_value=0.5, max_value=3.5, allow_nan=False))
     def test_log_edge_witnessed(self, edge):
         # log(x - edge): out of domain for x <= edge, inside the box
@@ -119,7 +120,7 @@ class TestPlantedHazards:
         assert verdict.status == "hazard"
         assert verdict.witness["x"] <= edge + 1e-6
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=hyp_examples(30), deadline=None)
     @given(margin=st.floats(min_value=0.01, max_value=5.0, allow_nan=False))
     def test_safe_margin_proven(self, margin):
         # log(x + margin) is safe on x >= 0 for any positive margin

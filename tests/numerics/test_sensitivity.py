@@ -1,8 +1,6 @@
 """Tests for the condition-number sensitivity analysis."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.expr import builder as b

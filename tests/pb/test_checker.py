@@ -135,3 +135,41 @@ class TestMetaGGA:
     def test_scan_ec5_satisfied(self):
         res = CHECKER.check(get_functional("SCAN"), EC5)
         assert not res.any_violation
+
+
+class TestSymbolicDerivativeMode:
+    """The tape-backed residual path (batched VM, exact derivatives)."""
+
+    SYMBOLIC = PBChecker(spec=GridSpec(n_rs=81, n_s=81, n_alpha=7),
+                         derivative_mode="symbolic")
+    NUMERIC = PBChecker(spec=GridSpec(n_rs=81, n_s=81, n_alpha=7))
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="derivative_mode"):
+            PBChecker(derivative_mode="autodiff")
+
+    def test_verdicts_agree_with_numeric_gradients(self):
+        for fname, cid, expect in [
+            ("PBE", "EC1", False),
+            ("PBE", "EC7", True),
+            ("LYP", "EC2", True),
+            ("SCAN", "EC2", False),
+        ]:
+            res = self.SYMBOLIC.check(get_functional(fname), get_condition(cid))
+            assert res.any_violation == expect, (fname, cid)
+
+    def test_no_boundary_trim_needed(self):
+        # symbolic derivatives have no one-sided stencil rows: the rs
+        # boundary rows carry real verdicts instead of "undefined"
+        res = self.SYMBOLIC.check(get_functional("PBE"), EC2)
+        assert not res.undefined[0].any()
+        assert not res.undefined[-1].any()
+        trimmed = self.NUMERIC.check(get_functional("PBE"), EC2)
+        assert trimmed.undefined[0].all()
+
+    def test_residuals_close_to_numeric_in_the_interior(self):
+        num = self.NUMERIC.check(get_functional("PBE"), EC1)
+        sym = self.SYMBOLIC.check(get_functional("PBE"), EC1)
+        # EC1 has no derivative: both paths evaluate -F_c, one through the
+        # compiled NumPy kernel, one through the batched tape VM
+        assert np.allclose(num.residual, sym.residual, rtol=1e-8, atol=1e-10)

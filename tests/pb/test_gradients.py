@@ -1,7 +1,6 @@
 """Tests for numeric gradients against exact derivatives."""
 
 import numpy as np
-import pytest
 
 from repro.expr.derivative import derivative
 from repro.functionals import get_functional

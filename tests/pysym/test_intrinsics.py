@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.expr.nodes import Expr, Func, Var
+from repro.expr.nodes import Expr, Var
 from repro.pysym import intrinsics as I
 
 X = Var("x")

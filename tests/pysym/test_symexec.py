@@ -1,14 +1,12 @@
 """Tests for the Python symbolic execution engine (XCEncoder front end)."""
 
-import math
 
 import pytest
 
-from repro.expr import builder as b
 from repro.expr.evaluator import evaluate
-from repro.expr.nodes import Const, Expr, Ite, Var
+from repro.expr.nodes import Const, Ite, Var
 from repro.pysym import SymExecError, lift
-from repro.pysym.intrinsics import atan, cbrt, exp, fabs, lambertw, log, sqrt
+from repro.pysym.intrinsics import exp, log, sqrt
 
 X = Var("x")
 Y = Var("y")
@@ -101,7 +99,7 @@ def uses_loop(a):
 
 
 def no_return(a):
-    t = a + 1.0
+    _t = a + 1.0
 
 
 class TestStraightLine:
@@ -246,7 +244,7 @@ class TestRejections:
 
     def test_string_constant_rejected(self):
         def bad(a):
-            t = "nope"
+            _t = "nope"
             return a
 
         with pytest.raises(SymExecError):

@@ -9,7 +9,6 @@ from repro.expr.nodes import Var
 from repro.solver.box import Box
 from repro.solver.constraint import Atom, Conjunction
 from repro.solver.contractor import HC4Contractor, enclosure, interval_eval
-from repro.solver.interval import make
 
 X = Var("x")
 Y = Var("y")

@@ -14,7 +14,6 @@ from __future__ import annotations
 import itertools
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.expr import builder as b
@@ -24,6 +23,8 @@ from repro.solver.box import Box
 from repro.solver.constraint import Atom, Conjunction
 from repro.solver.contractor import HC4Contractor
 from repro.solver.icp import Budget, ICPSolver, SolverStatus
+
+from tests.support import hyp_examples
 
 X = Var("hx")
 Y = Var("hy")
@@ -59,7 +60,7 @@ POINTS = sample_points()
 
 
 @given(atom=quadratic_atoms())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hyp_examples(60), deadline=None)
 def test_unsat_answers_have_no_sampled_solutions(atom):
     f = Conjunction.of(atom)
     res = ICPSolver(delta=1e-9).solve(f, DOMAIN, Budget(max_steps=4000))
@@ -71,7 +72,7 @@ def test_unsat_answers_have_no_sampled_solutions(atom):
 
 
 @given(atom=quadratic_atoms())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hyp_examples(60), deadline=None)
 def test_sampled_solution_implies_sat(atom):
     f = Conjunction.of(atom)
     # if a sampled point clearly satisfies the formula (with margin), the
@@ -85,7 +86,7 @@ def test_sampled_solution_implies_sat(atom):
 
 
 @given(atom=quadratic_atoms())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hyp_examples(60), deadline=None)
 def test_probed_models_are_exact(atom):
     f = Conjunction.of(atom)
     res = ICPSolver().solve(f, DOMAIN, Budget(max_steps=2000))
@@ -94,7 +95,7 @@ def test_probed_models_are_exact(atom):
 
 
 @given(atom=quadratic_atoms())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hyp_examples(60), deadline=None)
 def test_contraction_preserves_sampled_solutions(atom):
     f = Conjunction.of(atom)
     contractor = HC4Contractor(f, delta=0.0)
@@ -105,7 +106,7 @@ def test_contraction_preserves_sampled_solutions(atom):
 
 
 @given(atom=quadratic_atoms(), data=st.data())
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=hyp_examples(40), deadline=None)
 def test_search_order_does_not_change_verdict(atom, data):
     f = Conjunction.of(atom)
     r_bfs = ICPSolver(search="bfs").solve(f, DOMAIN, Budget(max_steps=4000))

@@ -5,7 +5,7 @@ from math import inf
 
 import pytest
 
-from repro.solver.interval import EMPTY, Interval, REALS, make, point
+from repro.solver.interval import EMPTY, REALS, make, point
 
 
 class TestConstruction:

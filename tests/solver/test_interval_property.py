@@ -13,7 +13,9 @@ import math
 
 from hypothesis import assume, given, settings, strategies as st
 
-from repro.solver.interval import Interval, make
+from repro.solver.interval import make
+
+from tests.support import hyp_examples
 
 bounds = st.floats(
     min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
@@ -32,7 +34,7 @@ def interval_and_member(draw):
 
 
 @given(interval_and_member(), interval_and_member())
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=hyp_examples(300), deadline=None)
 def test_add_sub_mul_containment(pair_a, pair_b):
     (A, a), (B, bb) = pair_a, pair_b
     assert (A + B).contains(a + bb)
@@ -41,7 +43,7 @@ def test_add_sub_mul_containment(pair_a, pair_b):
 
 
 @given(interval_and_member(), interval_and_member())
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=hyp_examples(200), deadline=None)
 def test_division_containment(pair_a, pair_b):
     (A, a), (B, bb) = pair_a, pair_b
     assume(bb != 0.0)
@@ -51,7 +53,7 @@ def test_division_containment(pair_a, pair_b):
 
 
 @given(interval_and_member())
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=hyp_examples(300), deadline=None)
 def test_unary_containment(pair):
     A, a = pair
     assert (-A).contains(-a)
@@ -65,7 +67,7 @@ def test_unary_containment(pair):
 
 
 @given(interval_and_member())
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=hyp_examples(300), deadline=None)
 def test_exp_log_containment(pair):
     A, a = pair
     if a < 700:
@@ -84,7 +86,7 @@ def _safe_pow(a: float, p: float) -> float | None:
 
 
 @given(interval_and_member(), st.sampled_from([-3, -2, -1, 2, 3, 4, 5]))
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=hyp_examples(300), deadline=None)
 def test_integer_power_containment(pair, n):
     A, a = pair
     if n < 0:
@@ -95,7 +97,7 @@ def test_integer_power_containment(pair, n):
 
 
 @given(interval_and_member(), st.sampled_from([0.5, 1.5, -0.5, 1 / 3, 2.5, -1.5]))
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=hyp_examples(300), deadline=None)
 def test_real_power_containment(pair, p):
     A, a = pair
     assume(a > 0.0)
@@ -105,7 +107,7 @@ def test_real_power_containment(pair, p):
 
 
 @given(interval_and_member())
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=hyp_examples(200), deadline=None)
 def test_lambertw_containment(pair):
     from scipy.special import lambertw
 
@@ -116,7 +118,7 @@ def test_lambertw_containment(pair):
 
 
 @given(interval_and_member(), interval_and_member())
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=hyp_examples(200), deadline=None)
 def test_intersect_hull_laws(pair_a, pair_b):
     (A, a), (B, _) = pair_a, pair_b
     inter = A.intersect(B)
@@ -129,7 +131,7 @@ def test_intersect_hull_laws(pair_a, pair_b):
 
 
 @given(interval_and_member())
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=hyp_examples(200), deadline=None)
 def test_mid_is_member(pair):
     A, _ = pair
     assert A.contains(A.mid())

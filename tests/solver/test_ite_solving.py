@@ -5,7 +5,6 @@ contractor must stay *sound* across undecided conditions (hull semantics)
 and *exact* once a box decides the branch.
 """
 
-import math
 
 import pytest
 

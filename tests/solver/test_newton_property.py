@@ -8,7 +8,6 @@ sample.
 
 import math
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.expr import builder as b
@@ -16,6 +15,8 @@ from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Var
 from repro.solver import Atom, Box, Conjunction
 from repro.solver.newton import NewtonContractor
+
+from tests.support import hyp_examples
 
 X = Var("x", nonneg=True)
 
@@ -31,7 +32,7 @@ def _cubic(c3, c2, c1, c0):
     )
 
 
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=hyp_examples(150), deadline=None)
 @given(c3=coeff, c2=coeff, c1=coeff, c0=coeff, data=st.data())
 def test_cubic_contraction_keeps_solutions(c3, c2, c1, c0, data):
     g = _cubic(c3, c2, c1, c0)
@@ -59,7 +60,7 @@ def test_cubic_contraction_keeps_solutions(c3, c2, c1, c0, data):
             )
 
 
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=hyp_examples(80), deadline=None)
 @given(a=coeff, c=coeff, data=st.data())
 def test_exp_constraint_contraction_sound(a, c, data):
     # g = exp(a*x) + c <= 0
@@ -83,7 +84,7 @@ def test_exp_constraint_contraction_sound(a, c, data):
             assert out["x"].lo - 1e-9 <= x <= out["x"].hi + 1e-9
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=hyp_examples(60), deadline=None)
 @given(c2=coeff, c1=coeff, c0=coeff)
 def test_empty_result_implies_truly_infeasible(c2, c1, c0):
     # if the contractor empties the box, a fine scan must find no solution

@@ -21,12 +21,7 @@ from repro.solver.box import Box
 from repro.solver.constraint import Atom, Conjunction
 from repro.solver.contractor import HC4Contractor, interval_eval
 from repro.solver.icp import Budget, ICPSolver
-from repro.solver.tape import (
-    CompiledConjunction,
-    Tape,
-    compile_expr,
-    tape_for,
-)
+from repro.solver.tape import CompiledConjunction, compile_expr, tape_for
 
 
 # ---------------------------------------------------------------------------

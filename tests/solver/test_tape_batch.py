@@ -1,0 +1,406 @@
+"""Differential tests: batched tape executors vs the per-box tape VM.
+
+The batched forward/backward passes are specified to produce, column for
+column, bit-for-bit the endpoints the per-box executors produce box for
+box -- including NaN/infinite endpoints, empty intervals (``lo > hi``),
+and zero-width batches.  Both the vectorised kernels and the narrow-batch
+scalar fallback (below ``repro.solver.tape._VECTOR_MIN`` columns) are
+exercised by running every corpus case at widths on both sides of the
+threshold.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.expr import builder as b
+from repro.solver.box import Box
+from repro.solver.constraint import Atom, Conjunction
+from repro.solver.contractor import (
+    BATCH_REFUTED,
+    BATCH_SAT,
+    BATCH_UNKNOWN,
+    HC4Contractor,
+)
+from repro.solver.icp import Budget, ICPSolver
+from repro.solver.interval import Interval
+from repro.solver.tape import _VECTOR_MIN, tape_for
+
+from .test_tape import assert_boxes_identical, random_box, random_expr
+
+#: one width per side of the vectorisation threshold, so every case runs
+#: through both the scalar fallback and the NumPy kernels
+WIDTHS = (3, _VECTOR_MIN + 5)
+
+
+def same_endpoint(a: float, b: float) -> bool:
+    return a == b or (math.isnan(a) and math.isnan(b))
+
+
+def columns_match(tape, boxes, lo_mat, hi_mat) -> None:
+    """Every column must equal a per-box forward_arrays run."""
+    los = [0.0] * tape.n_slots
+    his = [0.0] * tape.n_slots
+    for j, box in enumerate(boxes):
+        tape.forward_arrays(box, los, his)
+        for slot in range(tape.n_slots):
+            assert same_endpoint(los[slot], lo_mat[slot, j]), (j, slot)
+            assert same_endpoint(his[slot], hi_mat[slot, j]), (j, slot)
+
+
+# ---------------------------------------------------------------------------
+# forward batch parity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(20))
+@pytest.mark.parametrize("width", WIDTHS)
+def test_forward_batch_matches_forward_arrays(seed, width):
+    rng = random.Random(seed)
+    expr = random_expr(rng)
+    tape = tape_for(expr)
+    boxes = [random_box(rng) for _ in range(width)]
+    lo_mat, hi_mat = tape.load_batch(boxes)
+    tape.forward_batch(lo_mat, hi_mat)
+    columns_match(tape, boxes, lo_mat, hi_mat)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_forward_batch_with_nan_and_inf_endpoints(width):
+    rng = random.Random(99)
+    expr = random_expr(rng)
+    tape = tape_for(expr)
+    weird = [
+        Box({"x": Interval(0.0, math.inf), "y": Interval(-math.inf, math.inf),
+             "z": Interval(math.nan, math.nan)}),
+        Box({"x": Interval(math.inf, -math.inf), "y": Interval(-1.0, 1.0),
+             "z": Interval(0.0, 0.0)}),
+        Box({"x": Interval(1.0, math.nan), "y": Interval(math.inf, math.inf),
+             "z": Interval(-0.0, 0.0)}),
+    ]
+    boxes = (weird * -(-width // len(weird)))[:width]
+    lo_mat, hi_mat = tape.load_batch(boxes)
+    tape.forward_batch(lo_mat, hi_mat)
+    columns_match(tape, boxes, lo_mat, hi_mat)
+
+
+def test_forward_batch_empty_batch():
+    tape = tape_for(b.exp(b.var("x", nonneg=True)) + b.var("y"))
+    lo_mat, hi_mat = tape.load_batch([])
+    assert lo_mat.shape == (tape.n_slots, 0)
+    tape.forward_batch(lo_mat, hi_mat)  # must not raise
+    root_lo, root_hi = tape.enclosure_batch([])
+    assert root_lo.shape == (0,)
+    assert root_hi.shape == (0,)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_enclosure_batch_matches_enclosure(seed):
+    rng = random.Random(500 + seed)
+    expr = random_expr(rng)
+    tape = tape_for(expr)
+    boxes = [random_box(rng) for _ in range(11)]
+    root_lo, root_hi = tape.enclosure_batch(boxes)
+    for j, box in enumerate(boxes):
+        want = tape.enclosure(box)
+        if want.is_empty():
+            assert not root_lo[j] <= root_hi[j]
+        else:
+            assert (want.lo, want.hi) == (root_lo[j], root_hi[j])
+
+
+def test_load_batch_reports_unbound_variable():
+    tape = tape_for(b.var("x", nonneg=True) + b.var("y"))
+    with pytest.raises(KeyError, match="does not bind"):
+        tape.load_batch([Box({"x": (0.0, 1.0)})])
+
+
+# ---------------------------------------------------------------------------
+# backward batch parity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(20))
+@pytest.mark.parametrize("width", WIDTHS)
+def test_backward_batch_matches_backward_arrays(seed, width):
+    rng = random.Random(7000 + seed)
+    expr = random_expr(rng)
+    tape = tape_for(expr)
+    boxes = [random_box(rng) for _ in range(width)]
+    lo_mat, hi_mat = tape.load_batch(boxes)
+    tape.forward_batch(lo_mat, hi_mat)
+    # intersect the root with (-inf, delta] like a revise step would
+    delta = 1e-5
+    root = tape.root
+    np.copyto(hi_mat[root], delta, where=hi_mat[root] > delta)
+
+    ref_alive = []
+    ref_cols = []
+    los = [0.0] * tape.n_slots
+    his = [0.0] * tape.n_slots
+    for j, box in enumerate(boxes):
+        tape.forward_arrays(box, los, his)
+        if his[root] > delta:
+            his[root] = delta
+        ref_alive.append(tape.backward_arrays(los, his))
+        ref_cols.append((list(los), list(his)))
+
+    alive = tape.backward_batch(lo_mat, hi_mat)
+    for j in range(width):
+        assert bool(alive[j]) == ref_alive[j], j
+        if not ref_alive[j]:
+            continue  # per-box pass stops early; dead columns hold garbage
+        ref_los, ref_his = ref_cols[j]
+        for slot in range(tape.n_slots):
+            assert same_endpoint(ref_los[slot], lo_mat[slot, j]), (j, slot)
+            assert same_endpoint(ref_his[slot], hi_mat[slot, j]), (j, slot)
+
+
+# ---------------------------------------------------------------------------
+# batched contraction and classification parity
+# ---------------------------------------------------------------------------
+
+def random_formula(rng: random.Random) -> Conjunction:
+    return Conjunction.of(
+        *[Atom(random_expr(rng), rng.choice(["<=", "<"]))
+          for _ in range(rng.randint(1, 3))]
+    )
+
+
+@pytest.mark.parametrize("seed", range(25))
+@pytest.mark.parametrize("width", WIDTHS)
+def test_contract_batch_matches_contract(seed, width):
+    rng = random.Random(1000 + seed)
+    formula = random_formula(rng)
+    boxes = [random_box(rng) for _ in range(width)]
+    contractor = HC4Contractor(formula, delta=1e-5, backend="tape")
+    rounds = rng.choice([1, 2, 3])
+    got, allsat = contractor.contract_batch(boxes, rounds=rounds)
+    for j, box in enumerate(boxes):
+        want = contractor.contract(box, rounds=rounds)
+        assert_boxes_identical(got[j], want)
+        want_sat = (not want.is_empty()) and contractor.certainly_sat(want)
+        assert bool(allsat[j]) == want_sat, j
+
+
+def test_contract_batch_returns_original_object_when_unchanged():
+    x = b.var("x", nonneg=True)
+    formula = Conjunction.of(Atom(x + (-100.0), "<="))  # never prunes on [0, 1]
+    contractor = HC4Contractor(formula, delta=1e-5, backend="tape")
+    boxes = [Box({"x": (0.0, 1.0)}) for _ in range(3)]
+    got, allsat = contractor.contract_batch(boxes)
+    for j, box in enumerate(boxes):
+        assert got[j] is box
+        assert bool(allsat[j])
+
+
+def test_contract_batch_empty_input():
+    formula = Conjunction.of(Atom(b.var("x", nonneg=True), "<="))
+    contractor = HC4Contractor(formula, delta=1e-5, backend="tape")
+    got, allsat = contractor.contract_batch([])
+    assert got == []
+    assert allsat.shape == (0,)
+
+
+def test_contract_batch_passes_through_already_empty_boxes():
+    formula = Conjunction.of(Atom(b.var("x", nonneg=True), "<="))
+    contractor = HC4Contractor(formula, delta=1e-5, backend="tape")
+    empty = Box({"x": Interval(math.inf, -math.inf)})
+    full = Box({"x": (0.5, 1.0)})
+    before = contractor.stats.prunes_to_empty
+    got, allsat = contractor.contract_batch([empty, full])
+    # already-empty input: returned untouched (the solver prunes it
+    # upstream), not counted as a contraction prune
+    assert got[0] is empty
+    assert not allsat[0]
+    assert got[1].is_empty()  # x in [0.5, 1] refutes x <= delta
+    assert contractor.stats.prunes_to_empty == before + 1
+
+
+def test_contract_batch_requires_tape_backend():
+    formula = Conjunction.of(Atom(b.var("x", nonneg=True), "<="))
+    walk = HC4Contractor(formula, delta=1e-5, backend="walk")
+    with pytest.raises(ValueError, match="tape"):
+        walk.contract_batch([Box({"x": (0.0, 1.0)})])
+    with pytest.raises(ValueError, match="tape"):
+        walk.classify_batch([Box({"x": (0.0, 1.0)})])
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_classify_batch_matches_per_box_decisions(seed):
+    rng = random.Random(4000 + seed)
+    formula = random_formula(rng)
+    boxes = [random_box(rng) for _ in range(13)]
+    contractor = HC4Contractor(formula, delta=1e-5, backend="tape")
+    codes = contractor.classify_batch(boxes)
+    for j, box in enumerate(boxes):
+        code = int(codes[j])
+        contracted = contractor.contract(box, rounds=1)
+        if code == BATCH_SAT:
+            assert contracted is box
+            assert contractor.certainly_sat(box)
+        elif code == BATCH_REFUTED:
+            assert contracted.is_empty()
+        else:
+            assert code == BATCH_UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# frontier solver parity (the property the PR must preserve end to end)
+# ---------------------------------------------------------------------------
+
+def assert_results_identical(r1, r2) -> None:
+    assert r1.status == r2.status
+    assert r1.model == r2.model
+    assert r1.stats.boxes_processed == r2.stats.boxes_processed
+    assert r1.stats.boxes_pruned == r2.stats.boxes_pruned
+    assert r1.stats.boxes_split == r2.stats.boxes_split
+    assert r1.stats.probe_hits == r2.stats.probe_hits
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_frontier_solver_matches_tape_and_walk(seed):
+    rng = random.Random(3000 + seed)
+    formula = Conjunction.of(
+        *[Atom(random_expr(rng, depth=3), "<=") for _ in range(rng.randint(1, 2))]
+    )
+    box = random_box(rng)
+    budget = Budget(max_steps=250)
+    batch_size = rng.choice([1, 3, 64])
+    results = {}
+    for backend in ("batch", "tape", "walk"):
+        solver = ICPSolver(
+            delta=1e-5, precision=1e-2, backend=backend, batch_size=batch_size
+        )
+        results[backend] = solver.solve(formula, box, budget)
+    assert_results_identical(results["batch"], results["tape"])
+    assert_results_identical(results["batch"], results["walk"])
+    assert results["batch"].stats.batches > 0
+    assert results["tape"].stats.batches == 0
+
+
+@pytest.mark.parametrize("knob", ["dfs", "no-contraction", "newton"])
+def test_frontier_solver_knob_fallbacks_stay_identical(knob):
+    rng = random.Random(42)
+    formula = Conjunction.of(Atom(random_expr(rng, depth=3), "<="))
+    box = random_box(rng)
+    budget = Budget(max_steps=120)
+    kwargs = {}
+    if knob == "dfs":
+        kwargs["search"] = "dfs"
+    elif knob == "no-contraction":
+        kwargs["use_contraction"] = False
+    else:
+        kwargs["use_newton"] = True
+    results = {
+        backend: ICPSolver(
+            delta=1e-5, precision=1e-2, backend=backend, **kwargs
+        ).solve(formula, box, budget)
+        for backend in ("batch", "tape")
+    }
+    assert_results_identical(results["batch"], results["tape"])
+
+
+def test_frontier_timeout_mid_batch_matches_per_box():
+    rng = random.Random(11)
+    formula = Conjunction.of(Atom(random_expr(rng, depth=3), "<="))
+    box = random_box(rng)
+    for steps in (1, 2, 3, 7, 19):
+        budget = Budget(max_steps=steps)
+        r_batch = ICPSolver(precision=1e-3, backend="batch", batch_size=4).solve(
+            formula, box, budget
+        )
+        r_tape = ICPSolver(precision=1e-3, backend="tape").solve(formula, box, budget)
+        assert_results_identical(r_batch, r_tape)
+
+
+def test_solver_rejects_bad_batch_options():
+    with pytest.raises(ValueError, match="batch_size"):
+        ICPSolver(batch_size=0)
+    with pytest.raises(ValueError, match="backend"):
+        ICPSolver(backend="vectorized")
+
+
+def test_paper_functional_frontier_parity():
+    """PBE-class residual: the acceptance-criterion formula class."""
+    from repro.conditions import EC1
+    from repro.functionals import get_functional
+    from repro.verifier import encode
+
+    problem = encode(get_functional("PBE"), EC1)
+    box = Box.from_bounds({"rs": (1.0, 3.0), "s": (0.0, 2.0)})
+    budget = Budget(max_steps=300)
+    r_batch = ICPSolver(precision=1e-3, backend="batch").solve(
+        problem.negation, box, budget
+    )
+    r_tape = ICPSolver(precision=1e-3, backend="tape").solve(
+        problem.negation, box, budget
+    )
+    assert_results_identical(r_batch, r_tape)
+
+
+# ---------------------------------------------------------------------------
+# vectorised scalar grids (eval_point_batch)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(15))
+def test_eval_point_batch_tracks_eval_scalar(seed):
+    """Vectorised point semantics: NaN where the scalar path yields NaN
+    (up to overflow saturation), values equal up to libm/summation ulps."""
+    rng = random.Random(6000 + seed)
+    expr = random_expr(rng, depth=3)
+    tape = tape_for(expr)
+    pts = {
+        "x": np.array([rng.uniform(0.0, 3.0) for _ in range(40)]),
+        "y": np.array([rng.uniform(-3.0, 3.0) for _ in range(40)]),
+        "z": np.array([rng.uniform(0.0, 2.0) for _ in range(40)]),
+    }
+    got = tape.eval_point_batch(pts)
+    assert got.shape == (40,)
+    for j in range(40):
+        env = {name: float(arr[j]) for name, arr in pts.items()}
+        want = tape.eval_scalar(env)
+        if math.isfinite(want) and math.isfinite(got[j]):
+            assert got[j] == pytest.approx(want, rel=1e-9, abs=1e-12), j
+        else:
+            # scalar fsum raises (-> NaN) where the vector path saturates
+            # to inf and vice versa; both must at least agree on finiteness
+            assert not (math.isfinite(want) or math.isfinite(got[j])), j
+
+
+def test_eval_point_batch_poisons_domain_errors_in_untaken_branches():
+    """The scalar executor is eager: a domain error raises even when it
+    feeds an untaken ite branch.  The batch pass must match."""
+    x = b.var("x")
+    expr = b.ite(b.const(1.0).le(x), b.log(x + (-2.0)), x)
+    tape = tape_for(expr)
+    xs = np.array([0.5, 3.0])
+    got = tape.eval_point_batch({"x": xs})
+    for j, xv in enumerate(xs):
+        want = tape.eval_scalar({"x": float(xv)})
+        if math.isnan(want):
+            assert math.isnan(got[j]), (j, got[j])
+        else:
+            assert got[j] == pytest.approx(want, rel=1e-12)
+    # x=0.5 takes the orelse branch, but log(0.5 - 2) poisons the point
+    assert math.isnan(got[0])
+    assert math.isnan(tape.eval_scalar({"x": 0.5}))
+
+
+def test_eval_point_batch_preserves_mesh_shape():
+    x = b.var("x", nonneg=True)
+    tape = tape_for(b.log(x))
+    xs = np.linspace(-1.0, 4.0, 12).reshape(3, 4)
+    out = tape.eval_point_batch({"x": xs})
+    assert out.shape == (3, 4)
+    assert np.isnan(out[xs <= 0.0]).all()
+    ref = np.log(xs[xs > 0.0])
+    assert np.allclose(out[xs > 0.0], ref, rtol=1e-12)
+
+
+def test_eval_point_batch_constant_expression_broadcasts():
+    tape = tape_for(b.const(2.0) * b.const(3.0))
+    out = tape.eval_point_batch({})
+    assert float(out) == 6.0

@@ -1,0 +1,15 @@
+"""Shared helpers for the test suite (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import os
+
+
+def hyp_examples(n: int) -> int:
+    """Scale a hypothesis ``max_examples`` budget by ``REPRO_HYPOTHESIS_MULT``.
+
+    Tier-1 runs use the per-test calibrated budgets as-is; the nightly
+    workflow raises every budget uniformly (e.g. ``REPRO_HYPOTHESIS_MULT=25``)
+    without touching the relative weights of the suites.
+    """
+    return n * int(os.environ.get("REPRO_HYPOTHESIS_MULT", "1"))

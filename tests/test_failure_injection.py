@@ -16,7 +16,7 @@ from repro.expr.nodes import Var
 from repro.pb import GridSpec, PBChecker
 from repro.solver import Atom, Box, Budget, Conjunction, ICPSolver
 from repro.verifier.regions import Outcome
-from repro.verifier.verifier import Verifier, VerifierConfig
+from repro.verifier.verifier import VerifierConfig
 from repro.verifier.encoder import encode
 
 X = Var("x", nonneg=True)

@@ -1,6 +1,5 @@
 """Tests for the process-parallel verification drivers."""
 
-import pytest
 
 from repro.conditions import EC1
 from repro.functionals import get_functional

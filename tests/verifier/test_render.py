@@ -1,6 +1,5 @@
 """Tests for region-map rasterisation and ASCII rendering."""
 
-import numpy as np
 import pytest
 
 from repro.solver.box import Box

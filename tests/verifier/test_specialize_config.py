@@ -1,6 +1,5 @@
 """Unit tests for the specialize_boxes verifier option (Sec. VI-A knob)."""
 
-import pytest
 
 from repro import get_condition, get_functional
 from repro.verifier.encoder import encode

@@ -1,6 +1,5 @@
 """Tests for the Algorithm 1 driver."""
 
-import pytest
 
 from repro.conditions import EC1, EC7
 from repro.functionals import get_functional
