@@ -1,6 +1,13 @@
 """Evaluation harnesses: Table I, Table II, consistency metrics, export."""
 
-from .tables import PAPER_TABLE_ONE, TableOne, run_table_one
+from .tables import (
+    PAPER_TABLE_ONE,
+    TableOne,
+    applicable_pairs,
+    run_table_campaign,
+    run_table_one,
+    table_one_from_reports,
+)
 from .compare import (
     CONSISTENT,
     MISMATCH,
@@ -22,6 +29,7 @@ from .export import (
 
 __all__ = [
     "PAPER_TABLE_ONE", "TableOne", "run_table_one",
+    "applicable_pairs", "run_table_campaign", "table_one_from_reports",
     "CONSISTENT", "MISMATCH", "NO_COMPARISON", "NOT_INCONSISTENT",
     "PAPER_TABLE_TWO", "TableTwo", "classify_consistency",
     "pb_points_covered_fraction", "run_table_two",

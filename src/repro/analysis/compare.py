@@ -134,10 +134,23 @@ def run_table_two(
     conditions: tuple[Condition, ...] | None = None,
     reports: dict[tuple[str, str], VerificationReport] | None = None,
     verbose: bool = False,
+    *,
+    max_workers: int = 0,
+    store=None,
+    resume: bool = False,
+    interrupted: bool = False,
 ) -> TableTwo:
     """Run both approaches on every applicable pair and compare.
 
-    ``reports`` may be passed to reuse the Table I verification runs.
+    ``reports`` may be passed to reuse the Table I verification runs;
+    pairs missing from a partial dict are verified inline, unless
+    ``interrupted=True`` says the dict came from a campaign that was cut
+    short -- then the missing cells are left unscored instead of being
+    silently recomputed against the interrupt.  Alternatively
+    ``store``/``resume`` route the verification side through the campaign
+    engine and its persistent result store, so the expensive XCVerifier
+    half of Table II shares Table I's cached cells (the PB grid check is
+    cheap and always re-run).
     """
     from ..verifier.encoder import encode
 
@@ -147,19 +160,37 @@ def run_table_two(
     verifier_config = verifier_config or VerifierConfig()
     dilation = 2.0 * verifier_config.split_threshold
 
+    if reports is None and (store is not None or max_workers > 1):
+        from .tables import run_table_campaign
+
+        campaign = run_table_campaign(
+            verifier_config,
+            tuple(functionals),
+            tuple(conditions),
+            max_workers=max_workers,
+            store=store,
+            resume=resume,
+        )
+        reports = campaign.reports
+        interrupted = interrupted or campaign.interrupted
+
     table = TableTwo(functionals=tuple(functionals), conditions=tuple(conditions))
     for functional in functionals:
         for condition in conditions:
             if not condition.applies_to(functional):
                 continue
             key = (functional.name, condition.cid)
-            pb_result = checker.check(functional, condition)
             if reports is not None and key in reports:
                 report = reports[key]
+            elif interrupted:
+                continue  # interrupted campaign: leave the cell unscored
             else:
+                # no (or a partial caller-supplied) reports dict: verify
+                # the missing cell inline
                 report = Verifier(verifier_config).verify(
                     encode(functional, condition)
                 )
+            pb_result = checker.check(functional, condition)
             cell = classify_consistency(pb_result, report, dilation)
             table.cells[key] = cell
             table.pb_results[key] = pb_result

@@ -1,8 +1,10 @@
 """Table I harness: verification outcomes for every DFA-condition pair.
 
-Runs Algorithm 1 over the 31 applicable pairs and renders the paper's
-Table I (rows = local conditions, columns = DFAs, cells in
-{OK, OK*, CEX, ?, -}).
+Runs the campaign engine over the 31 applicable pairs and renders the
+paper's Table I (rows = local conditions, columns = DFAs, cells in
+{OK, OK*, CEX, ?, -}).  The campaign persists every completed cell to the
+result store as it finishes, so an interrupted Table I run resumes where
+it stopped and re-runs are cache hits for every unchanged cell.
 """
 
 from __future__ import annotations
@@ -10,12 +12,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..conditions.base import Condition
-from ..conditions.catalog import PAPER_CONDITIONS
+from ..conditions.catalog import PAPER_CONDITIONS, applicable_pairs
 from ..functionals.base import Functional
 from ..functionals.registry import paper_functionals
-from ..verifier.encoder import encode
+from ..verifier.campaign import CampaignResult, run_campaign
 from ..verifier.regions import SYMBOL_NOT_APPLICABLE, VerificationReport
-from ..verifier.verifier import Verifier, VerifierConfig
+from ..verifier.verifier import VerifierConfig
+
+__all__ = [
+    "PAPER_TABLE_ONE",
+    "TableOne",
+    "applicable_pairs",  # re-exported: the canonical list lives in the catalog
+    "print_cell",
+    "run_table_campaign",
+    "run_table_one",
+    "table_one_from_reports",
+]
 
 
 @dataclass
@@ -65,26 +77,88 @@ class TableOne:
         return "\n".join(lines)
 
 
+def print_cell(key: tuple[str, str], report, from_store: bool) -> None:
+    """Default per-cell progress printer (the ``on_cell`` of verbose runs)."""
+    origin = " [store]" if from_store else ""
+    print(f"{report.summary()}{origin}")
+
+
 def run_table_one(
     config: VerifierConfig | None = None,
     functionals: tuple[Functional, ...] | None = None,
     conditions: tuple[Condition, ...] | None = None,
     verbose: bool = False,
+    *,
+    max_workers: int = 0,
+    store=None,
+    resume: bool = False,
+    on_cell=None,
 ) -> TableOne:
-    """Run XCVerifier on every applicable pair and assemble Table I."""
-    functionals = functionals or paper_functionals()
-    conditions = conditions or PAPER_CONDITIONS
-    table = TableOne(functionals=tuple(functionals), conditions=tuple(conditions))
-    for functional in functionals:
-        for condition in conditions:
-            if not condition.applies_to(functional):
-                continue
-            verifier = Verifier(config)
-            problem = encode(functional, condition)
-            report = verifier.verify(problem)
-            table.reports[(functional.name, condition.cid)] = report
-            if verbose:
-                print(report.summary())
+    """Run the verification campaign and assemble Table I.
+
+    ``max_workers=0`` (default) runs in-process and sequentially --
+    bit-identical to driving :class:`Verifier` by hand per pair.  With a
+    ``store`` (path or :class:`~repro.verifier.store.CampaignStore`),
+    completed cells persist immediately; ``resume=True`` serves unchanged
+    cells from the store instead of recomputing them.  An interrupt
+    (SIGINT) yields a *partial* table -- cells finished before the
+    interrupt are present and already stored; use
+    :func:`run_table_campaign` when the caller needs the interrupted
+    flag.
+    """
+    functionals = tuple(functionals or paper_functionals())
+    conditions = tuple(conditions or PAPER_CONDITIONS)
+    table = TableOne(functionals=functionals, conditions=conditions)
+    result = run_table_campaign(
+        config,
+        functionals,
+        conditions,
+        verbose=verbose,
+        max_workers=max_workers,
+        store=store,
+        resume=resume,
+        on_cell=on_cell,
+    )
+    table.reports.update(result.reports)
+    return table
+
+
+def run_table_campaign(
+    config: VerifierConfig | None = None,
+    functionals: tuple[Functional, ...] | None = None,
+    conditions: tuple[Condition, ...] | None = None,
+    verbose: bool = False,
+    *,
+    max_workers: int = 0,
+    store=None,
+    resume: bool = False,
+    on_cell=None,
+) -> CampaignResult:
+    """The raw campaign behind Table I/II: reports for every applicable pair."""
+    if verbose and on_cell is None:
+        on_cell = print_cell
+
+    return run_campaign(
+        applicable_pairs(functionals, conditions),
+        config,
+        max_workers=max_workers,
+        store=store,
+        resume=resume,
+        on_cell=on_cell,
+    )
+
+
+def table_one_from_reports(
+    reports: dict[tuple[str, str], VerificationReport],
+    functionals: tuple[Functional, ...] | None = None,
+    conditions: tuple[Condition, ...] | None = None,
+) -> TableOne:
+    """Assemble Table I from already-computed (e.g. stored) reports."""
+    table = TableOne(
+        functionals=tuple(functionals or paper_functionals()),
+        conditions=tuple(conditions or PAPER_CONDITIONS),
+    )
+    table.reports.update(reports)
     return table
 
 

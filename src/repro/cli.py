@@ -10,11 +10,21 @@ writing Python:
 ``pb``                  the Pederson-Burke grid check on one pair
 ``compare``             PB vs XCVerifier consistency for one pair (Table II cell)
 ``table1`` / ``table2`` the paper's full tables (quick budgets by default)
+``campaign``            arbitrary pair sets on the work-stealing scheduler
 ``numerics``            Section VI-C analyses: continuity, hazards, sensitivity
 ======================  =====================================================
 
+``table1``, ``table2`` and ``campaign`` accept ``--store PATH`` (persist
+every completed cell immediately; ``.jsonl`` selects the append-only
+checkpoint format, anything else SQLite) and ``--resume`` (serve
+unchanged cells from the store).  An interrupt (SIGINT / Ctrl-C) exits
+with status 130 after printing the partial table; everything completed
+is already in the store, so re-running with ``--resume`` continues where
+the interrupted run stopped.
+
 Exit status: 0 on success, 1 for usage errors (unknown functional or
-condition, inapplicable pair), 2 for argparse-level errors.
+condition, inapplicable pair), 2 for argparse-level errors, 130 when
+interrupted.
 """
 
 from __future__ import annotations
@@ -103,11 +113,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", dest="markdown_path", default=None,
         help="write the matrix as GitHub Markdown",
     )
+    _add_campaign_args(p_t1)
 
     p_t2 = sub.add_parser("table2", help="reproduce Table II (PB consistency)")
     p_t2.add_argument("--budget", type=int, default=250)
     p_t2.add_argument("--global-budget", type=int, default=10_000)
     p_t2.add_argument("--points", type=int, default=201)
+    _add_campaign_args(p_t2)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run an arbitrary pair set on the work-stealing campaign engine",
+    )
+    p_camp.add_argument("--budget", type=int, default=250, help="ICP steps per solver call")
+    p_camp.add_argument(
+        "--global-budget", type=int, default=10_000, help="total ICP steps per pair"
+    )
+    p_camp.add_argument(
+        "--threshold", type=float, default=0.05, help="split threshold t of Algorithm 1"
+    )
+    p_camp.add_argument(
+        "--levels", type=int, default=0,
+        help="pre-split every pair's domain this many levels for fan-out",
+    )
+    p_camp.add_argument(
+        "--steal-depth", type=int, default=0,
+        help="spill splits above this depth back to the shared queue",
+    )
+    p_camp.add_argument(
+        "--order", choices=("dfs", "widest"), default="dfs",
+        help="work-queue discipline inside each unit",
+    )
+    p_camp.add_argument(
+        "--json", dest="json_path", default=None,
+        help="write all reports as one campaign JSON document",
+    )
+    _add_campaign_args(p_camp)
 
     p_num = sub.add_parser(
         "numerics", help="Section VI-C numerical-issues analyses"
@@ -134,6 +175,31 @@ def _add_pair_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-c", "--condition", required=True, help='e.g. "EC1"')
 
 
+def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--functionals", default=None,
+        help='comma-separated DFA subset, e.g. "PBE,LYP" (default: all paper DFAs)',
+    )
+    parser.add_argument(
+        "--conditions", default=None,
+        help='comma-separated condition subset, e.g. "EC1,EC6" (default: all)',
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool width (0 = in-process sequential)",
+    )
+    parser.add_argument(
+        "--store", dest="store_path", default=None,
+        help="persist completed cells here (*.jsonl = append-only checkpoints, "
+        "else SQLite); written incrementally, safe to interrupt",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="serve cells already in --store (matched by content hash) "
+        "instead of recomputing them",
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -141,6 +207,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except _UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # campaign commands normally absorb SIGINT themselves (completed
+        # cells are already persisted); this catches an interrupt that
+        # lands outside the engine, e.g. during rendering
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 class _UsageError(Exception):
@@ -260,15 +332,72 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _resolve_campaign_slice(args):
+    """Resolve the --functionals/--conditions subsets and --store/--resume."""
+    from .conditions import get_condition
+    from .conditions.catalog import PAPER_CONDITIONS
+    from .functionals import get_functional, paper_functionals
+
+    if args.resume and not args.store_path:
+        raise _UsageError("--resume requires --store")
+    try:
+        if args.functionals:
+            functionals = tuple(
+                get_functional(name.strip())
+                for name in args.functionals.split(",")
+                if name.strip()
+            )
+        else:
+            functionals = paper_functionals()
+        if args.conditions:
+            conditions = tuple(
+                get_condition(cid.strip())
+                for cid in args.conditions.split(",")
+                if cid.strip()
+            )
+        else:
+            conditions = PAPER_CONDITIONS
+    except KeyError as exc:
+        raise _UsageError(str(exc)) from None
+    if not functionals or not conditions:
+        raise _UsageError("empty --functionals/--conditions slice")
+    return functionals, conditions
+
+
+def _print_campaign_counts(result) -> None:
+    print(
+        f"campaign: {len(result.computed)} cells computed, "
+        f"{len(result.store_hits)} from store"
+        + (" [interrupted]" if result.interrupted else "")
+    )
+    if result.interrupted:
+        print(
+            "warning: interrupted before completion -- unfinished cells "
+            "render as '-' above; re-run with --store/--resume to continue",
+            file=sys.stderr,
+        )
+
+
 def _cmd_table1(args) -> int:
-    from .analysis import run_table_one
+    from .analysis import run_table_campaign, table_one_from_reports
     from .verifier import VerifierConfig
 
+    functionals, conditions = _resolve_campaign_slice(args)
     config = VerifierConfig(
         per_call_budget=args.budget, global_step_budget=args.global_budget
     )
-    table = run_table_one(config)
+    result = run_table_campaign(
+        config,
+        functionals,
+        conditions,
+        verbose=True,
+        max_workers=args.workers,
+        store=args.store_path,
+        resume=args.resume,
+    )
+    table = table_one_from_reports(result.reports, functionals, conditions)
     print(table.render())
+    _print_campaign_counts(result)
     if args.json_path:
         from .analysis.export import table_to_json, write_json
 
@@ -279,21 +408,70 @@ def _cmd_table1(args) -> int:
 
         write_json(args.markdown_path, table_to_markdown(table))
         print(f"wrote {args.markdown_path}")
-    return 0
+    return 130 if result.interrupted else 0
 
 
 def _cmd_table2(args) -> int:
-    from .analysis import run_table_two
+    from .analysis import run_table_campaign, run_table_two
     from .pb import GridSpec, PBChecker
     from .verifier import VerifierConfig
 
+    functionals, conditions = _resolve_campaign_slice(args)
     config = VerifierConfig(
         per_call_budget=args.budget, global_step_budget=args.global_budget
     )
+    result = run_table_campaign(
+        config,
+        functionals,
+        conditions,
+        max_workers=args.workers,
+        store=args.store_path,
+        resume=args.resume,
+    )
     checker = PBChecker(spec=GridSpec(n_rs=args.points, n_s=args.points))
-    table = run_table_two(config, checker)
+    table = run_table_two(
+        config, checker, functionals, conditions,
+        reports=result.reports, interrupted=result.interrupted,
+    )
     print(table.render())
-    return 0
+    _print_campaign_counts(result)
+    return 130 if result.interrupted else 0
+
+
+def _cmd_campaign(args) -> int:
+    from .analysis.tables import print_cell
+    from .conditions import applicable_pairs
+    from .verifier import VerifierConfig
+    from .verifier.campaign import run_campaign
+
+    functionals, conditions = _resolve_campaign_slice(args)
+    config = VerifierConfig(
+        split_threshold=args.threshold,
+        per_call_budget=args.budget,
+        global_step_budget=args.global_budget,
+        queue_order=args.order,
+    )
+    pairs = applicable_pairs(functionals, conditions)
+    if not pairs:
+        raise _UsageError("no applicable (functional, condition) pairs in the slice")
+
+    result = run_campaign(
+        pairs,
+        config,
+        max_workers=args.workers,
+        presplit_levels=args.levels,
+        steal_depth=args.steal_depth,
+        store=args.store_path,
+        resume=args.resume,
+        on_cell=print_cell,
+    )
+    _print_campaign_counts(result)
+    if args.json_path:
+        from .analysis.export import campaign_to_json, write_json
+
+        write_json(args.json_path, campaign_to_json(result.reports))
+        print(f"wrote {args.json_path}")
+    return 130 if result.interrupted else 0
 
 
 def _cmd_numerics(args) -> int:
@@ -350,6 +528,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
+    "campaign": _cmd_campaign,
     "numerics": _cmd_numerics,
 }
 

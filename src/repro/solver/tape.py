@@ -373,6 +373,17 @@ class Tape:
         self.instrs, self.n_slots, self.root, self.var_slots, self.const_slots = state
         self._build_runtime()
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the tape's persistent state.
+
+        Identical tapes -- same instructions, literal pool (bit-for-bit
+        floats), slot layout and root -- hash identically across processes
+        and interpreter runs, unlike ``id``-keyed identity or ``hash()``
+        (which is salted for strings).  This is the content-address the
+        campaign result store keys on.
+        """
+        return stable_digest(self.__getstate__())
+
     def _build_runtime(self) -> None:
         # resolve FUNC instructions to bound callables; map the binary
         # fast-path opcodes back to their n-ary form for the backward pass
@@ -1475,6 +1486,46 @@ def clear_tape_cache() -> None:
 
 
 # ---------------------------------------------------------------------------
+# stable content hashing (the campaign store's cache keys)
+# ---------------------------------------------------------------------------
+
+def _stable_encode(obj, out: list[str]) -> None:
+    """Append a canonical, type-tagged encoding of ``obj`` to ``out``.
+
+    Covers exactly the value shapes that occur in tape state and solver
+    configs: None, bools, ints, floats (hex -- bit-exact, round-trip
+    safe), strings, and nested tuples/lists.  Type tags keep e.g. the int
+    1, the float 1.0 and the string "1" from colliding.
+    """
+    if obj is None:
+        out.append("N;")
+    elif obj is True or obj is False:
+        out.append("b1;" if obj else "b0;")
+    elif isinstance(obj, int):
+        out.append(f"i{obj};")
+    elif isinstance(obj, float):
+        out.append(f"f{obj.hex()};")
+    elif isinstance(obj, str):
+        out.append(f"s{len(obj)}:{obj};")
+    elif isinstance(obj, (tuple, list)):
+        out.append("(")
+        for item in obj:
+            _stable_encode(item, out)
+        out.append(")")
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot stably encode {type(obj).__name__}")
+
+
+def stable_digest(obj) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``obj``."""
+    import hashlib
+
+    parts: list[str] = []
+    _stable_encode(obj, parts)
+    return hashlib.sha256("".join(parts).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
 # compiled formulas: picklable tape-level atoms and conjunctions
 # ---------------------------------------------------------------------------
 
@@ -1510,6 +1561,18 @@ class CompiledAtom:
         if math.isnan(value):
             return False
         return cond_holds(COND_CODE[self.op], value, tol)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the atom (tape + relation + derivatives)."""
+        deriv = (
+            None
+            if self.deriv_tapes is None
+            else [
+                (name, self.deriv_tapes[name].fingerprint())
+                for name in sorted(self.deriv_tapes)
+            ]
+        )
+        return stable_digest(("atom", self.tape.fingerprint(), self.op, deriv))
 
     def __getstate__(self):
         return (self.tape, self.op, self.deriv_tapes)
@@ -1552,6 +1615,12 @@ class CompiledConjunction:
 
     def __len__(self) -> int:
         return len(self.atoms)
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the atom fingerprints, in order."""
+        return stable_digest(
+            ("conjunction", [atom.fingerprint() for atom in self.atoms])
+        )
 
     def __getstate__(self):
         return self.atoms

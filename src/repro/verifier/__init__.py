@@ -1,5 +1,6 @@
-"""XCVerifier core: encoder, Algorithm 1 driver, regions, rendering."""
+"""XCVerifier core: encoder, Algorithm 1 driver, campaign engine, store."""
 
+from .campaign import CampaignResult, dedupe_pairs, run_campaign
 from .encoder import CompiledProblem, EncodedProblem, compile_problem, encode
 from .regions import (
     Outcome,
@@ -11,10 +12,19 @@ from .regions import (
     SYMBOL_UNKNOWN,
     SYMBOL_VERIFIED,
 )
+from .store import (
+    CampaignStore,
+    iter_reports,
+    open_store,
+    report_from_payload,
+    report_to_payload,
+)
 from .verifier import Verifier, VerifierConfig, verify_pair
 from .render import ascii_map, export_rows, rasterize
 
 __all__ = [
+    "CampaignResult", "CampaignStore", "dedupe_pairs", "run_campaign",
+    "iter_reports", "open_store", "report_from_payload", "report_to_payload",
     "CompiledProblem", "EncodedProblem", "compile_problem", "encode",
     "Outcome", "RegionRecord",
     "VerificationReport", "Verifier", "VerifierConfig", "verify_pair",

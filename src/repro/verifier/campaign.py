@@ -1,0 +1,545 @@
+"""Campaign engine: a work-stealing scheduler over one shared process pool.
+
+The paper's evaluation (Table I) is a *campaign*: an arbitrary set of
+(functional x condition x subdomain) verification tasks under finite
+budgets.  This module replaces the two disjoint static-partition drivers
+that used to run such workloads with one scheduler:
+
+* every cell's work is cut into **units** -- a subdomain box plus its own
+  slice of the global step budget -- and all units of all cells share a
+  single process pool.  Units are dispatched in small chunks and workers
+  *pull* the next chunk as they finish, so a cell that turns out to be
+  SCAN-sized no longer starves workers that were pre-assigned cheap
+  chunks (dynamic work-stealing, in contrast to pre-partitioned
+  ``pool.map`` fan-out);
+* splits discovered at runtime can be **re-enqueued**: with
+  ``steal_depth > 0`` a worker near the top of the tree solves only its
+  unit's root box and hands the split children back to the scheduler as
+  fresh units, so one pair's widening search tree spreads across the
+  whole pool instead of staying on the worker that found it;
+* finished cells are stitched back into the exact region tree the
+  sequential verifier would have produced (same records, indices, child
+  links and step counts -- the differential corpus in
+  ``tests/verifier/test_campaign.py`` pins this) and, when a
+  :mod:`store <repro.verifier.store>` is attached, persisted immediately
+  under a content-hash key.  A re-run with ``resume=True`` turns every
+  unchanged cell into a cache hit, which is what makes long campaigns
+  survivable: kill the process at any point and only in-flight cells are
+  recomputed.
+
+``verify_pairs_parallel`` and ``verify_domain_parallel`` in
+:mod:`repro.verifier.parallel` are thin wrappers over this engine.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable
+
+from ..conditions.catalog import get_condition
+from ..functionals.registry import get_functional
+from ..solver.box import Box
+from .encoder import CompiledProblem, EncodedProblem, compile_problem, encode
+from .regions import RegionRecord, VerificationReport
+from .store import CampaignStore, open_store
+from .verifier import Verifier, VerifierConfig
+
+__all__ = ["CampaignResult", "dedupe_pairs", "run_campaign"]
+
+
+# ---------------------------------------------------------------------------
+# task normalisation
+# ---------------------------------------------------------------------------
+
+def dedupe_pairs(pairs) -> list[tuple[tuple[str, str], object, object]]:
+    """Resolve and de-duplicate (functional, condition) pairs, in order.
+
+    Accepts functional/condition objects or their registry names.  Passing
+    the same pair twice is de-duplicated up front (the duplicate would
+    only recompute and overwrite an identical result); passing *distinct*
+    objects that collide on the same (name, cid) key is an error -- the
+    old drivers silently kept whichever finished last.
+    """
+    resolved: dict[tuple[str, str], tuple[object, object]] = {}
+    order: list[tuple[str, str]] = []
+    for functional, condition in pairs:
+        if isinstance(functional, str):
+            functional = get_functional(functional)
+        if isinstance(condition, str):
+            condition = get_condition(condition)
+        key = (functional.name, condition.cid)
+        if key in resolved:
+            prev_f, prev_c = resolved[key]
+            if prev_f is not functional or prev_c is not condition:
+                raise ValueError(
+                    f"conflicting duplicate pair {key}: two distinct "
+                    "functional/condition objects share the same key"
+                )
+            continue
+        resolved[key] = (functional, condition)
+        order.append(key)
+    return [(key, *resolved[key]) for key in order]
+
+
+# ---------------------------------------------------------------------------
+# work units
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Unit:
+    """One schedulable piece of a cell: a box plus its budget slice."""
+
+    uid: int
+    bounds: dict[str, tuple[float, float]] | None  # None = the cell's domain
+    depth: int
+    budget: int | None
+    mode: str  # "tree" = run the full subtree; "root" = solve one box, spill splits
+    children_uids: list[int] = field(default_factory=list)
+    record: RegionRecord | None = None          # root-mode result
+    report: VerificationReport | None = None    # tree-mode result
+    done: bool = False
+
+
+class _Cell:
+    """Bookkeeping for one (functional, condition) pair in the campaign."""
+
+    def __init__(self, key, domain, payload, content_key):
+        self.key = key
+        self.domain = domain            # the pair's full input box
+        self.payload = payload          # what worker processes receive
+        self.content_key = content_key  # store key (None without a store)
+        self.units: dict[int, _Unit] = {}
+        self.top_uids: list[int] = []
+        self.open_units = 0
+
+
+def _materialize(payload) -> EncodedProblem | CompiledProblem:
+    if isinstance(payload, tuple):
+        functional_name, condition_id = payload
+        return encode(get_functional(functional_name), get_condition(condition_id))
+    return payload
+
+
+def _campaign_worker(args):
+    """Run one chunk of units (same cell) in a worker process.
+
+    The payload is deserialized once per chunk and one solver is shared
+    by every unit, so the solver's contractor cache -- keyed on formula
+    identity, and every unit solves the *same* payload formula object --
+    stays warm across the whole chunk.  (Specialised Ite-folded formulas
+    are the exception: their interning table is deliberately cleared per
+    top-level verify, i.e. per unit, to bound memory on long campaigns,
+    trading one re-specialisation per subdomain.)  Tree-mode units run
+    the full iterative verifier on their box; root-mode units solve
+    exactly one box and return the split children for re-enqueueing.
+    """
+    payload, config, items = args
+    problem = _materialize(payload)
+    solver = config.make_solver()
+    out = []
+    for uid, bounds, depth, budget, mode in items:
+        unit_config = replace(config, global_step_budget=budget)
+        verifier = Verifier(unit_config, solver=solver)
+        box = Box.from_bounds(bounds) if bounds is not None else problem.domain
+        if mode == "root":
+            record, children = verifier.solve_root(problem, box, depth)
+            child_bounds = None
+            if children is not None:
+                child_bounds = [
+                    {name: (iv.lo, iv.hi) for name, iv in child.items()}
+                    for child in children
+                ]
+            out.append((uid, mode, (record, child_bounds)))
+        else:
+            report = verifier.verify(problem, domain=box, depth_offset=depth)
+            out.append((uid, mode, report))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# result object
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign run produced.
+
+    ``reports`` maps ``(functional_name, condition_id)`` to the stitched
+    report.  ``store_hits`` / ``computed`` record which cells were served
+    from the store versus solved this run; ``interrupted`` is True when
+    the run was cut short (SIGINT) -- completed cells are still present
+    (and persisted, when a store is attached).
+    """
+
+    reports: dict[tuple[str, str], VerificationReport] = field(default_factory=dict)
+    store_hits: list[tuple[str, str]] = field(default_factory=list)
+    computed: list[tuple[str, str]] = field(default_factory=list)
+    cell_keys: dict[tuple[str, str], str] = field(default_factory=dict)
+    interrupted: bool = False
+
+    def __getitem__(self, key: tuple[str, str]) -> VerificationReport:
+        return self.reports[key]
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __contains__(self, key) -> bool:
+        return key in self.reports
+
+    def items(self):
+        return self.reports.items()
+
+
+# ---------------------------------------------------------------------------
+# the scheduler
+# ---------------------------------------------------------------------------
+
+class _Scheduler:
+    def __init__(self, config, steal_depth, unit_chunk_size, store, on_cell, result):
+        self.config = config
+        self.steal_depth = steal_depth
+        self.unit_chunk_size = unit_chunk_size
+        self.store = store
+        self.on_cell = on_cell
+        self.result = result
+        self._next_uid = 0
+
+    # -- unit construction -------------------------------------------------
+    def _mode(self, depth: int) -> str:
+        return "root" if depth < self.steal_depth else "tree"
+
+    def _new_unit(self, cell: _Cell, bounds, depth, budget) -> _Unit:
+        unit = _Unit(
+            uid=self._next_uid,
+            bounds=bounds,
+            depth=depth,
+            budget=budget,
+            mode=self._mode(depth),
+        )
+        self._next_uid += 1
+        cell.units[unit.uid] = unit
+        cell.open_units += 1
+        return unit
+
+    def top_units(self, cell: _Cell, presplit_levels: int) -> list[_Unit]:
+        """Build a cell's initial units (the shared queue's seed).
+
+        ``presplit_levels`` forced splits produce ``2**(levels*dims)``
+        sibling units whose records have no parent, exactly like the old
+        ``verify_domain_parallel`` merge; the per-unit budget is the
+        global budget divided evenly.  With no pre-split the cell is one
+        unit holding the full domain and the full budget.
+        """
+        domain = cell.domain
+        if presplit_levels <= 0:
+            units = [self._new_unit(cell, None, 0, self.config.global_step_budget)]
+        else:
+            subdomains = [domain]
+            for _ in range(presplit_levels):
+                subdomains = [
+                    child for box in subdomains for child in box.split_all()
+                ]
+            if self.config.global_step_budget is not None:
+                per_budget = max(1, self.config.global_step_budget // len(subdomains))
+            else:
+                per_budget = None
+            units = [
+                self._new_unit(
+                    cell,
+                    {name: (iv.lo, iv.hi) for name, iv in box.items()},
+                    presplit_levels,
+                    per_budget,
+                )
+                for box in subdomains
+            ]
+        cell.top_uids = [u.uid for u in units]
+        return units
+
+    def chunk(self, cell: _Cell, units: list[_Unit]) -> list[tuple]:
+        """Pack units into dispatchable chunks of ``unit_chunk_size``."""
+        chunks = []
+        for i in range(0, len(units), self.unit_chunk_size):
+            group = units[i : i + self.unit_chunk_size]
+            items = [(u.uid, u.bounds, u.depth, u.budget, u.mode) for u in group]
+            chunks.append((cell, (cell.payload, self.config, items)))
+        return chunks
+
+    # -- result absorption -------------------------------------------------
+    def absorb(self, cell: _Cell, worker_out) -> list[tuple]:
+        """Record a chunk's results; return new chunks spilled splits need."""
+        new_chunks = []
+        for uid, mode, payload in worker_out:
+            unit = cell.units[uid]
+            unit.done = True
+            cell.open_units -= 1
+            if mode == "root":
+                record, child_bounds = payload
+                unit.record = record
+                if child_bounds:
+                    spent = record.solver_steps if record is not None else 0
+                    if unit.budget is None:
+                        child_budget = None
+                    else:
+                        child_budget = max(0, unit.budget - spent) // len(child_bounds)
+                    children = [
+                        self._new_unit(cell, bounds, unit.depth + 1, child_budget)
+                        for bounds in child_bounds
+                    ]
+                    unit.children_uids = [c.uid for c in children]
+                    new_chunks.extend(self.chunk(cell, children))
+            else:
+                unit.report = payload
+        if cell.open_units == 0:
+            self.finish_cell(cell)
+        return new_chunks
+
+    def finish_cell(self, cell: _Cell) -> None:
+        report = _stitch_cell(cell)
+        self.result.reports[cell.key] = report
+        self.result.computed.append(cell.key)
+        if self.store is not None and cell.content_key is not None:
+            self.store.put(cell.content_key, report)
+        if self.on_cell is not None:
+            self.on_cell(cell.key, report, False)
+
+
+def _stitch_cell(cell: _Cell) -> VerificationReport:
+    """Reassemble a cell's unit results into the sequential region tree.
+
+    Units are emitted in deterministic pre-order over the unit tree --
+    completion order never matters -- so the stitched report is
+    bit-identical to the equivalent in-process run: record indices,
+    depths, child links and step counts all line up.
+    """
+    records: list[RegionRecord] = []
+    totals = {"steps": 0, "elapsed": 0.0, "exhausted": False}
+
+    # iterative pre-order over the unit tree (a LIFO with children pushed
+    # reversed), mirroring the verifier's own queue discipline -- stitching
+    # must not reintroduce a recursion limit the engine removed
+    stack: list[tuple[int, RegionRecord | None]] = [
+        (uid, None) for uid in reversed(cell.top_uids)
+    ]
+    while stack:
+        uid, parent = stack.pop()
+        unit = cell.units[uid]
+        if unit.mode == "root":
+            rec = unit.record
+            if rec is None:
+                continue
+            stitched = RegionRecord(
+                index=len(records),
+                depth=rec.depth,
+                box=rec.box,
+                outcome=rec.outcome,
+                model=rec.model,
+                children=[],
+                solver_steps=rec.solver_steps,
+            )
+            records.append(stitched)
+            if parent is not None:
+                parent.children.append(stitched.index)
+            totals["steps"] += rec.solver_steps
+            if unit.budget is not None and rec.solver_steps >= unit.budget:
+                totals["exhausted"] = True
+            for child_uid in reversed(unit.children_uids):
+                stack.append((child_uid, stitched))
+            continue
+        report = unit.report
+        totals["steps"] += report.total_solver_steps
+        totals["elapsed"] = max(totals["elapsed"], report.elapsed_seconds)
+        totals["exhausted"] = totals["exhausted"] or report.budget_exhausted
+        if not report.records:
+            continue
+        offset = len(records)
+        if parent is not None:
+            parent.children.append(offset)  # this unit's subtree root
+        for r in report.records:
+            records.append(
+                RegionRecord(
+                    index=r.index + offset,
+                    depth=r.depth,
+                    box=r.box,
+                    outcome=r.outcome,
+                    model=r.model,
+                    children=[c + offset for c in r.children],
+                    solver_steps=r.solver_steps,
+                )
+            )
+
+    return VerificationReport(
+        functional_name=cell.key[0],
+        condition_id=cell.key[1],
+        domain=cell.domain,
+        records=records,
+        total_solver_steps=totals["steps"],
+        elapsed_seconds=totals["elapsed"],
+        budget_exhausted=totals["exhausted"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# the campaign driver
+# ---------------------------------------------------------------------------
+
+def run_campaign(
+    pairs: Iterable,
+    config: VerifierConfig | None = None,
+    *,
+    max_workers: int | None = None,
+    presplit_levels: int = 0,
+    steal_depth: int = 0,
+    unit_chunk_size: int = 1,
+    store: CampaignStore | str | os.PathLike | None = None,
+    resume: bool = True,
+    precompile: bool = True,
+    executor: ProcessPoolExecutor | None = None,
+    on_cell: Callable[[tuple[str, str], VerificationReport, bool], None] | None = None,
+) -> CampaignResult:
+    """Run a verification campaign over (functional, condition) pairs.
+
+    Parameters
+    ----------
+    pairs:
+        Iterable of ``(functional, condition)`` -- objects or registry
+        names.  Duplicates are de-duplicated; conflicting duplicates
+        raise (see :func:`dedupe_pairs`).
+    max_workers:
+        Process-pool width.  ``0`` or ``1`` runs in-process (fully
+        deterministic ordering, no pickling); ``None`` uses the CPU
+        count.
+    presplit_levels:
+        Force-split every cell's domain this many levels up front so one
+        pair fans out across the pool (``2**(levels*dims)`` units, global
+        budget divided evenly -- the old ``verify_domain_parallel``
+        semantics).
+    steal_depth:
+        Depth above which workers *spill* splits back to the shared
+        queue instead of descending locally: a unit at ``depth <
+        steal_depth`` solves only its root box and its children are
+        re-enqueued as independent units (budget: the unit's remainder,
+        divided evenly).  ``0`` disables spilling.
+    unit_chunk_size:
+        Units per dispatched job.  ``1`` maximises stealing granularity;
+        larger chunks amortise payload pickling for many tiny units.
+    store / resume:
+        A :class:`~repro.verifier.store.CampaignStore` (or a path --
+        opened, and closed again, by this call).  Completed cells are
+        persisted immediately under their content-hash key; with
+        ``resume=True`` cells whose key is already stored are returned
+        from the store without solving.  Note that even a store *hit*
+        pays the parent-side encode + tape-compile: the key must be
+        derived from the **current** tapes, or a code change (functional,
+        condition, simplifier, compiler) could serve stale results --
+        soundness of the content addressing is bought with that encode.
+    precompile:
+        Ship tape-compiled problems to workers (encode once, in the
+        parent).  With ``False`` -- or whenever
+        ``config.specialize_boxes`` forces expression-level residuals --
+        workers re-encode from registry names.
+    executor:
+        An existing pool to share across campaigns; the caller keeps
+        ownership.  Incompatible with in-process mode.
+
+    KeyboardInterrupt is caught: completed cells are kept (and already
+    persisted), ``result.interrupted`` is set, and in-flight work is
+    cancelled.
+    """
+    config = config or VerifierConfig()
+    cells_spec = dedupe_pairs(pairs)
+
+    owns_store = isinstance(store, (str, os.PathLike))
+    if owns_store:
+        store = open_store(store)
+
+    result = CampaignResult()
+    scheduler = _Scheduler(
+        config, steal_depth, max(1, unit_chunk_size), store, on_cell, result
+    )
+
+    try:
+        # -- resolve cells: hash, serve store hits, build payloads ------------
+        ship_names = config.specialize_boxes or not precompile
+        work_cells: list[_Cell] = []
+        for key, functional, condition in cells_spec:
+            content_key = None
+            compiled = None
+            if store is not None:
+                # hashing needs the compiled tapes; compile once and reuse
+                # the object as the worker payload below
+                compiled = compile_problem(encode(functional, condition))
+                # the scheduling-policy knobs that alter report *contents*
+                # (budget division across pre-split/spilled units) and the
+                # pair key ride along with the semantic config, so a key
+                # hit always implies a bit-identical report -- two registry
+                # entries that happen to encode to identical tapes also
+                # stay separate cells (their stored reports carry names)
+                content_key = compiled.content_hash(
+                    extra=(
+                        *config.semantic_key(),
+                        presplit_levels,
+                        steal_depth,
+                        *key,
+                    )
+                )
+                result.cell_keys[key] = content_key
+                if resume:
+                    stored = store.get(content_key)
+                    if stored is not None:
+                        result.reports[key] = stored
+                        result.store_hits.append(key)
+                        if on_cell is not None:
+                            on_cell(key, stored, True)
+                        continue
+            if ship_names:
+                # workers re-encode locally: the expensive symbolic encoding
+                # runs in parallel instead of serially in the parent
+                payload: object = key
+            else:
+                payload = compiled or compile_problem(encode(functional, condition))
+            work_cells.append(_Cell(key, functional.domain(), payload, content_key))
+
+        # -- seed the shared queue ------------------------------------------
+        chunks: deque = deque()
+        for cell in work_cells:
+            chunks.extend(scheduler.chunk(cell, scheduler.top_units(cell, presplit_levels)))
+
+        in_process = executor is None and (
+            (max_workers is not None and max_workers <= 1)
+            or (len(chunks) <= 1 and steal_depth == 0)
+        )
+        if in_process:
+            # same worker code path, no pool and no pickling
+            while chunks:
+                cell, args = chunks.popleft()
+                chunks.extend(scheduler.absorb(cell, _campaign_worker(args)))
+        else:
+            owns_executor = executor is None
+            if owns_executor:
+                executor = ProcessPoolExecutor(max_workers=max_workers)
+            try:
+                # submit everything: the pool's internal queue IS the shared
+                # work queue -- idle workers pull the next chunk as they
+                # finish, and spilled splits join the queue as they appear
+                futures = {
+                    executor.submit(_campaign_worker, args): cell
+                    for cell, args in chunks
+                }
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        cell = futures.pop(future)
+                        for new_cell, args in scheduler.absorb(cell, future.result()):
+                            futures[executor.submit(_campaign_worker, args)] = new_cell
+            finally:
+                if owns_executor:
+                    executor.shutdown(wait=False, cancel_futures=True)
+    except KeyboardInterrupt:
+        result.interrupted = True
+    finally:
+        if owns_store:
+            store.close()
+    return result

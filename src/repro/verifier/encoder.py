@@ -108,6 +108,39 @@ class CompiledProblem:
             return False
         return not cond_holds(COND_CODE[self.psi_op], gap)
 
+    def content_hash(self, domain: Box | None = None, extra: tuple = ()) -> str:
+        """Stable content hash of this problem over ``domain``.
+
+        The hash covers everything that determines verification outcomes:
+        the negation's compiled tapes bit-for-bit (instructions + literal
+        pool), the psi tapes and relation used for counterexample
+        validation, and the domain bounds.  ``extra`` lets callers fold in
+        additional outcome-relevant state -- the campaign store passes
+        :meth:`VerifierConfig.semantic_key` -- so a store written with one
+        configuration is never misread under another.
+
+        Identical (functional, condition) encodings hash identically
+        across processes and runs; any change to a functional's model
+        code, a condition's derivation, the simplifier, or the tape
+        compiler changes the tapes and therefore the key, turning stale
+        store entries into clean cache misses.
+        """
+        from ..solver.tape import stable_digest
+
+        domain = domain if domain is not None else self.domain
+        bounds = [(name, iv.lo, iv.hi) for name, iv in domain.items()]
+        return stable_digest(
+            (
+                "problem",
+                self.negation.fingerprint(),
+                self.psi_lhs.fingerprint(),
+                self.psi_rhs.fingerprint(),
+                self.psi_op,
+                bounds,
+                list(extra),
+            )
+        )
+
     def __getstate__(self):
         return tuple(getattr(self, name) for name in self.__slots__)
 

@@ -1,78 +1,35 @@
 """Process-parallel verification drivers.
 
-Two axes of parallelism, both embarrassingly parallel and implemented with
-``concurrent.futures`` (the standard fan-out idiom for CPU-bound Python,
-since the solver is pure Python and GIL-bound):
+Both drivers are now thin wrappers over the campaign engine
+(:mod:`repro.verifier.campaign`), which schedules every work unit through
+one shared process pool with dynamic work-stealing -- workers pull the
+next chunk from a shared queue as they finish, instead of being handed a
+static partition up front:
 
-* :func:`verify_pairs_parallel` -- one worker per DFA-condition pair
-  (Table I is 31 independent jobs);
-* :func:`verify_domain_parallel` -- split one pair's domain into top-level
-  subboxes and run Algorithm 1 on each in parallel, then merge the
-  records (the recursion of Algorithm 1 is trivially parallel below the
-  first split).
+* :func:`verify_pairs_parallel` -- one campaign cell per DFA-condition
+  pair (Table I is 31 independent jobs);
+* :func:`verify_domain_parallel` -- one pair with the domain pre-split
+  into ``2**(levels * dims)`` subdomain units that fan out across the
+  pool; the merged report is stitched back into the equivalent
+  sequential region tree.
 
 Expression DAGs are interned per process and deliberately never pickled.
-Jobs instead ship either a (functional name, condition id) pair that the
-worker re-encodes locally, or -- the fast path -- a
-:class:`~repro.verifier.encoder.CompiledProblem`: instruction tapes are
-flat picklable data, so the parent encodes/compiles *once* and workers
-skip symbolic encoding entirely.  ``verify_domain_parallel`` always ships
-tapes (it encodes in the parent anyway); ``verify_pairs_parallel`` makes it
-opt-in via ``precompile`` because parent-side encoding of many pairs is
-itself serial work.
-
-``verify_domain_parallel`` additionally *chunks* the subdomains: each job
-carries the payload once plus a whole list of boxes, so unpickling cost is
-per chunk (not per subdomain) and the worker-side solver -- the batched
-frontier ICP by default -- reuses its warm contractor caches across every
-box of the chunk.
+Cells ship either a (functional name, condition id) pair that the worker
+re-encodes locally, or -- the fast path -- tape-compiled problems:
+instruction tapes are flat picklable data, so the parent encodes/compiles
+*once* and workers skip symbolic encoding entirely.  Subdomain units are
+dispatched in chunks so the payload is unpickled once per chunk and the
+worker-side solver keeps its warm contractor caches across every box of
+the chunk.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import replace
 
-from ..conditions.catalog import get_condition
-from ..functionals.registry import get_functional
-from ..solver.box import Box
-from .encoder import CompiledProblem, compile_problem, encode
-from .regions import RegionRecord, VerificationReport
-from .verifier import Verifier, VerifierConfig
-
-
-def _verify_job(args) -> tuple[tuple[str, str], VerificationReport]:
-    key, reports = _verify_chunk((args[0], args[1], [args[2]]))
-    return key, reports[0]
-
-
-def _verify_chunk(args) -> tuple[tuple[str, str], list[VerificationReport]]:
-    """Verify a whole chunk of subdomains against one shipped problem.
-
-    The payload (tapes or a pair to re-encode) is deserialized *once* per
-    chunk, and one :class:`Verifier` -- hence one solver with its warm
-    per-formula contractor cache -- runs every box in the chunk, instead
-    of paying the unpickle + cache-rebuild cost per subdomain.
-    """
-    payload, config, bounds_list = args
-    if isinstance(payload, CompiledProblem):
-        problem = payload
-        key = (problem.functional_name, problem.condition_id)
-    else:
-        functional_name, condition_id = payload
-        functional = get_functional(functional_name)
-        condition = get_condition(condition_id)
-        problem = encode(functional, condition)
-        key = (functional_name, condition_id)
-    verifier = Verifier(config)
-    reports = [
-        verifier.verify(
-            problem, domain=Box.from_bounds(bounds) if bounds is not None else None
-        )
-        for bounds in bounds_list
-    ]
-    return key, reports
+from .campaign import run_campaign
+from .regions import VerificationReport
+from .verifier import VerifierConfig
 
 
 def verify_pairs_parallel(
@@ -87,27 +44,28 @@ def verify_pairs_parallel(
     pair up front and ships flat tapes to the workers; otherwise each
     worker re-encodes its own pair (parallelising the symbolic encoding,
     which pays off when encoding itself is the bottleneck, e.g. SCAN).
+
+    Passing the same pair twice is de-duplicated up front; two *distinct*
+    functional/condition objects colliding on one (name, cid) key raise
+    ``ValueError`` instead of silently overwriting each other's result.
     """
     config = config or VerifierConfig()
-    if precompile:
-        if config.specialize_boxes:
-            raise ValueError(
-                "precompile=True is incompatible with specialize_boxes: box "
-                "specialisation needs expression-level residuals in the worker"
-            )
-        jobs = [(compile_problem(encode(f, c)), config, None) for f, c in pairs]
-    else:
-        jobs = [((f.name, c.cid), config, None) for f, c in pairs]
-    results: dict[tuple[str, str], VerificationReport] = {}
-    if max_workers == 1 or len(jobs) == 1:
-        for job in jobs:
-            key, report = _verify_job(job)
-            results[key] = report
-        return results
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for key, report in pool.map(_verify_job, jobs):
-            results[key] = report
-    return results
+    if precompile and config.specialize_boxes:
+        raise ValueError(
+            "precompile=True is incompatible with specialize_boxes: box "
+            "specialisation needs expression-level residuals in the worker"
+        )
+    result = run_campaign(
+        pairs,
+        config,
+        max_workers=max_workers,
+        precompile=precompile,
+    )
+    if result.interrupted:
+        # the campaign engine absorbs SIGINT for resumability; this driver
+        # has no store, so a partial dict would just masquerade as complete
+        raise KeyboardInterrupt
+    return result.reports
 
 
 def verify_domain_parallel(
@@ -121,80 +79,29 @@ def verify_domain_parallel(
     """Run Algorithm 1 on one pair with the domain pre-split for fan-out.
 
     ``levels`` applications of the all-dimension split produce
-    ``2**(levels * dims)`` independent subdomains.  The merged report is
-    equivalent to a sequential run whose first ``levels`` recursion levels
-    were forced to split (the per-subdomain global budget is the full
+    ``2**(levels * dims)`` independent subdomain units.  The merged report
+    is equivalent to a sequential run whose first ``levels`` recursion
+    levels were forced to split (the per-unit global budget is the full
     budget divided by the number of subdomains, keeping total work
     comparable).
 
-    The pair is encoded *once* here and shipped to workers as compiled
-    tapes -- workers no longer re-run the symbolic encoder per subdomain
-    (unless ``config.specialize_boxes`` forces expression-level residuals).
-    Subdomains are shipped in *chunks* of ``chunk_size`` boxes per job
-    (default: spread evenly, four chunks per worker), so the payload is
-    pickled once per chunk and each worker's solver keeps its warm
-    contractor cache across the boxes of a chunk.
+    Units are dispatched in chunks of ``chunk_size`` (default: four
+    chunks per worker) through the campaign engine's shared queue, so a
+    worker that drew cheap subdomains pulls more work instead of idling
+    behind a static partition.
     """
     config = config or VerifierConfig()
-    problem = encode(functional, condition)
-    domain = problem.domain
-
-    subdomains = [domain]
-    for _ in range(levels):
-        subdomains = [child for box in subdomains for child in box.split_all()]
-
-    if config.global_step_budget is not None:
-        per_budget = max(1, config.global_step_budget // len(subdomains))
-        worker_config = replace(config, global_step_budget=per_budget)
-    else:
-        worker_config = config
-
-    if config.specialize_boxes:
-        payload: object = (functional.name, condition.cid)
-    else:
-        payload = compile_problem(problem)
-
-    all_bounds = [
-        {name: (iv.lo, iv.hi) for name, iv in box.items()} for box in subdomains
-    ]
+    n_units = 2 ** (levels * len(functional.variables))
     if chunk_size is None:
         workers = max_workers or os.cpu_count() or 1
-        chunk_size = max(1, -(-len(all_bounds) // (workers * 4)))
-    chunks = [
-        all_bounds[i : i + chunk_size] for i in range(0, len(all_bounds), chunk_size)
-    ]
-    jobs = [(payload, worker_config, chunk) for chunk in chunks]
-
-    reports: list[VerificationReport] = []
-    if max_workers == 1 or len(jobs) == 1:
-        for job in jobs:
-            reports.extend(_verify_chunk(job)[1])
-    else:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            for _, chunk_reports in pool.map(_verify_chunk, jobs):
-                reports.extend(chunk_reports)
-
-    merged = VerificationReport(
-        functional_name=functional.name,
-        condition_id=condition.cid,
-        domain=domain,
-        records=[],
+        chunk_size = max(1, -(-n_units // (workers * 4)))
+    result = run_campaign(
+        [(functional, condition)],
+        config,
+        max_workers=max_workers,
+        presplit_levels=levels,
+        unit_chunk_size=chunk_size,
     )
-    for report in reports:
-        offset = len(merged.records)
-        for record in report.records:
-            merged.records.append(
-                RegionRecord(
-                    index=record.index + offset,
-                    depth=record.depth + levels,
-                    box=record.box,
-                    outcome=record.outcome,
-                    model=record.model,
-                    children=[c + offset for c in record.children],
-                    solver_steps=record.solver_steps,
-                )
-            )
-        merged.total_solver_steps += report.total_solver_steps
-        merged.elapsed_seconds = max(merged.elapsed_seconds, report.elapsed_seconds)
-        merged.budget_exhausted = merged.budget_exhausted or report.budget_exhausted
-    return merged
+    if result.interrupted:
+        raise KeyboardInterrupt
+    return result.reports[(functional.name, condition.cid)]

@@ -69,6 +69,42 @@ class VerificationReport:
                 fractions[outcome] /= total
         return fractions
 
+    def max_depth(self) -> int:
+        """Deepest split level reached (-1 for an empty report)."""
+        return max((r.depth for r in self.records), default=-1)
+
+    def identical_to(self, other: "VerificationReport") -> bool:
+        """Bit-exact region-tree equality.
+
+        True iff both reports carry the same records in the same order --
+        boxes compared on exact endpoints, plus outcomes, models, child
+        links, per-record and total step counts, and the exhaustion flag.
+        This is the equivalence the campaign engine's stitching guarantees
+        against the sequential verifier; wall-clock (``elapsed_seconds``)
+        is deliberately excluded.  The differential test corpus asserts
+        field-by-field for readable failures; gates that only need the
+        verdict use this.
+        """
+        if (
+            len(self.records) != len(other.records)
+            or self.total_solver_steps != other.total_solver_steps
+            or self.budget_exhausted != other.budget_exhausted
+            or self.domain != other.domain
+        ):
+            return False
+        for a, b in zip(self.records, other.records):
+            if (
+                a.index != b.index
+                or a.depth != b.depth
+                or a.box != b.box
+                or a.outcome is not b.outcome
+                or a.model != b.model
+                or a.children != b.children
+                or a.solver_steps != b.solver_steps
+            ):
+                return False
+        return True
+
     def counterexamples(self) -> list[RegionRecord]:
         return [r for r in self.records if r.outcome is Outcome.COUNTEREXAMPLE]
 

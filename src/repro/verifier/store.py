@@ -1,0 +1,333 @@
+"""Persistent, resumable campaign result store.
+
+Verification campaigns are expensive (the paper's Table I is 31 jobs with
+a two-hour budget per cell) and historically fire-and-forget: a crash lost
+everything and a re-run recomputed everything.  This module gives the
+campaign engine durable cells:
+
+* every completed (functional, condition, subdomain) cell is written
+  **immediately**, so an interrupted campaign (SIGINT, OOM, pre-empted CI
+  runner) keeps everything it finished;
+* cells are keyed by a **content hash** of the compiled problem tapes,
+  the domain bounds and the semantically relevant verifier config
+  (:meth:`repro.verifier.encoder.CompiledProblem.content_hash` +
+  :meth:`repro.verifier.verifier.VerifierConfig.semantic_key`), so
+  ``--resume`` is sound: a changed functional, condition, simplifier or
+  budget changes the key and misses cleanly, while pure performance knobs
+  (solver backend, batch size) keep hitting;
+* reports round-trip **exactly** -- boxes, outcomes, models, child links
+  and step counts are restored bit-for-bit (floats survive the JSON
+  round-trip because Python serialises them via shortest-repr).
+
+Two interchangeable backends behind one interface, chosen by file suffix
+in :func:`open_store`:
+
+* SQLite (default) -- one ``results`` table, one committed transaction
+  per cell; concurrent readers are fine while a campaign writes;
+* JSONL (``*.jsonl``) -- an append-only checkpoint file, one JSON object
+  per line, flushed per cell.  Human-greppable, trivially diffable, and
+  crash-robust: a write cut short by a kill leaves a truncated last line,
+  which the loader skips.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Iterator
+
+from ..solver.box import Box
+from .regions import Outcome, RegionRecord, VerificationReport
+
+__all__ = [
+    "CampaignStore",
+    "JsonlStore",
+    "SqliteStore",
+    "iter_reports",
+    "open_store",
+    "report_to_payload",
+    "report_from_payload",
+]
+
+#: bump when the payload layout changes; mismatched stores refuse to load
+#: rather than silently misread old campaigns
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# exact report (de)serialisation
+# ---------------------------------------------------------------------------
+
+def _box_payload(box: Box) -> dict[str, list[float]]:
+    return {name: [iv.lo, iv.hi] for name, iv in box.items()}
+
+
+def _box_from_payload(payload: dict[str, list[float]]) -> Box:
+    return Box.from_bounds({name: (lo, hi) for name, (lo, hi) in payload.items()})
+
+
+def report_to_payload(report: VerificationReport) -> dict:
+    """Serialise a report to a JSON-safe dict, losslessly.
+
+    Floats go through Python's shortest-repr JSON encoding, which
+    round-trips every finite double exactly; ``json`` also round-trips
+    the infinities.  This is the storage format -- the human-facing
+    summaries live in :mod:`repro.analysis.export`.
+    """
+    return {
+        "v": SCHEMA_VERSION,
+        "functional": report.functional_name,
+        "condition": report.condition_id,
+        "domain": _box_payload(report.domain),
+        "total_solver_steps": report.total_solver_steps,
+        "elapsed_seconds": report.elapsed_seconds,
+        "budget_exhausted": report.budget_exhausted,
+        "records": [
+            {
+                "index": r.index,
+                "depth": r.depth,
+                "box": _box_payload(r.box),
+                "outcome": r.outcome.value,
+                "model": r.model,
+                "children": r.children,
+                "solver_steps": r.solver_steps,
+            }
+            for r in report.records
+        ],
+    }
+
+
+def report_from_payload(payload: dict) -> VerificationReport:
+    """Rebuild a report from :func:`report_to_payload` output, exactly."""
+    version = payload.get("v")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"store payload schema v{version} does not match v{SCHEMA_VERSION}"
+        )
+    records = [
+        RegionRecord(
+            index=r["index"],
+            depth=r["depth"],
+            box=_box_from_payload(r["box"]),
+            outcome=Outcome(r["outcome"]),
+            model=r["model"],
+            children=list(r["children"]),
+            solver_steps=r["solver_steps"],
+        )
+        for r in payload["records"]
+    ]
+    return VerificationReport(
+        functional_name=payload["functional"],
+        condition_id=payload["condition"],
+        domain=_box_from_payload(payload["domain"]),
+        records=records,
+        total_solver_steps=payload["total_solver_steps"],
+        elapsed_seconds=payload["elapsed_seconds"],
+        budget_exhausted=payload["budget_exhausted"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# store backends
+# ---------------------------------------------------------------------------
+
+class CampaignStore:
+    """Interface shared by the SQLite and JSONL backends.
+
+    A store maps content-hash keys to verification reports.  ``put`` is
+    durable on return (committed / flushed), which is the property the
+    resume machinery rests on.
+    """
+
+    path: str
+
+    def get(self, key: str) -> VerificationReport | None:
+        raise NotImplementedError
+
+    def put(self, key: str, report: VerificationReport) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> list[str]:
+        raise NotImplementedError
+
+    def created_at(self, key: str) -> float | None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SqliteStore(CampaignStore):
+    """SQLite-backed store: one committed transaction per completed cell."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " key TEXT PRIMARY KEY,"
+            " functional TEXT NOT NULL,"
+            " condition_id TEXT NOT NULL,"
+            " created_at REAL NOT NULL,"
+            " payload TEXT NOT NULL)"
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta (k TEXT PRIMARY KEY, v TEXT NOT NULL)"
+        )
+        row = self._conn.execute(
+            "SELECT v FROM meta WHERE k = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (k, v) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            self._conn.commit()
+        elif int(row[0]) != SCHEMA_VERSION:
+            self._conn.close()
+            raise ValueError(
+                f"store {self.path} has schema v{row[0]}, expected v{SCHEMA_VERSION}"
+            )
+
+    def get(self, key: str) -> VerificationReport | None:
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return report_from_payload(json.loads(row[0]))
+
+    def put(self, key: str, report: VerificationReport) -> None:
+        payload = json.dumps(report_to_payload(report), sort_keys=True)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results"
+            " (key, functional, condition_id, created_at, payload)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (key, report.functional_name, report.condition_id, time.time(), payload),
+        )
+        self._conn.commit()
+
+    def keys(self) -> list[str]:
+        return [
+            row[0]
+            for row in self._conn.execute(
+                "SELECT key FROM results ORDER BY created_at, key"
+            )
+        ]
+
+    def created_at(self, key: str) -> float | None:
+        row = self._conn.execute(
+            "SELECT created_at FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class JsonlStore(CampaignStore):
+    """Append-only JSONL checkpoint file: one cell per line, flushed per put.
+
+    Re-put keys append a new line; the latest line wins on load.  A line
+    cut short by a kill mid-write fails to parse and is skipped, so an
+    interrupted campaign's store is always loadable.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._entries: dict[str, dict] = {}
+        self._created: dict[str, float] = {}
+        needs_newline = False
+        if os.path.exists(self.path):
+            with open(self.path) as handle:
+                content = handle.read()
+            needs_newline = bool(content) and not content.endswith("\n")
+            for line in content.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail from an interrupted write
+                payload = entry["payload"]
+                if payload.get("v") != SCHEMA_VERSION:
+                    raise ValueError(
+                        f"store {self.path} contains schema "
+                        f"v{payload.get('v')}, expected v{SCHEMA_VERSION}"
+                    )
+                self._entries[entry["key"]] = payload
+                self._created[entry["key"]] = entry["created_at"]
+        self._handle = open(self.path, "a")
+        if needs_newline:
+            # seal a line truncated by a kill mid-write, so the next cell
+            # starts cleanly instead of merging into the corrupt tail
+            self._handle.write("\n")
+            self._handle.flush()
+
+    def get(self, key: str) -> VerificationReport | None:
+        payload = self._entries.get(key)
+        if payload is None:
+            return None
+        return report_from_payload(payload)
+
+    def put(self, key: str, report: VerificationReport) -> None:
+        payload = report_to_payload(report)
+        created = time.time()
+        line = json.dumps(
+            {
+                "key": key,
+                "functional": report.functional_name,
+                "condition": report.condition_id,
+                "created_at": created,
+                "payload": payload,
+            },
+            sort_keys=True,
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._entries[key] = payload
+        self._created[key] = created
+
+    def keys(self) -> list[str]:
+        return list(self._entries)
+
+    def created_at(self, key: str) -> float | None:
+        return self._created.get(key)
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def open_store(path: str) -> CampaignStore:
+    """Open (creating if needed) the store at ``path``.
+
+    ``*.jsonl`` selects the append-only JSONL backend; anything else gets
+    SQLite.
+    """
+    if str(path).endswith(".jsonl"):
+        return JsonlStore(path)
+    return SqliteStore(path)
+
+
+def iter_reports(store: CampaignStore) -> Iterator[tuple[str, VerificationReport]]:
+    """Yield every (key, report) in the store, in insertion order."""
+    for key in store.keys():
+        report = store.get(key)
+        if report is not None:
+            yield key, report

@@ -1,6 +1,7 @@
 """The VERIFIER driver: Algorithm 1 of the paper.
 
-Recursive domain splitting around the delta-complete solver:
+Iterative domain splitting around the delta-complete solver, driven by an
+explicit work queue (no Python recursion):
 
 * UNSAT on a box            -> the condition is *verified* there;
 * delta-SAT, model checks   -> a *counterexample* (still split, to isolate
@@ -15,13 +16,24 @@ optional *global* budget models the finite total compute of an evaluation
 campaign -- once it is exhausted, every remaining box is recorded as a
 timeout without solving, which is precisely what the all-``?`` SCAN column
 of Table I looks like.
+
+Queue entries carry the box, its depth and its width, so the processing
+order is a config knob: the default ``"dfs"`` order replays the recursive
+traversal of Algorithm 1 exactly (bit-identical region trees, budget
+consumption and indices -- ``tests/verifier/test_workqueue.py`` pins
+this), while ``"widest"`` is a priority order that spends the global
+budget on the widest unknown boxes first.  Results stream out through an
+optional per-record callback, which is how the campaign store checkpoints
+progress.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from ..expr.evaluator import evaluate
 from ..solver.box import Box
@@ -62,6 +74,37 @@ class VerifierConfig:
     #: the parallel drivers inherit them through the pickled config)
     solver_backend: str = "batch"
     batch_size: int = 256
+    #: work-queue discipline of the iterative driver.  ``"dfs"`` (default)
+    #: replays Algorithm 1's recursive pre-order exactly -- bit-identical
+    #: region trees and budget consumption.  ``"widest"`` is a priority
+    #: queue keyed on (box width, depth, insertion order): the widest --
+    #: i.e. least resolved -- boxes are solved first, so an exhausted
+    #: global budget degrades breadth-first instead of starving whole
+    #: subtrees.
+    queue_order: str = "dfs"
+
+    def semantic_key(self) -> tuple:
+        """The config fields that determine verification *outcomes*.
+
+        Used by the campaign store's content-hash keys: two configs with
+        the same semantic key produce bit-identical reports, so stored
+        cells stay valid across changes to the pure performance knobs
+        (``solver_backend`` and ``batch_size`` are proven bit-identical by
+        the solver's differential test corpus and are deliberately
+        excluded).
+        """
+        return (
+            self.split_threshold,
+            self.per_call_budget,
+            self.per_call_seconds,
+            self.global_step_budget,
+            self.delta,
+            self.precision,
+            self.split_on_counterexample,
+            self.split_on_timeout,
+            self.specialize_boxes,
+            self.queue_order,
+        )
 
     def make_solver(self) -> ICPSolver:
         return ICPSolver(
@@ -77,8 +120,64 @@ class VerifierConfig:
         )
 
 
+class _WorkQueue:
+    """Explicit scheduling queue replacing Algorithm 1's call stack.
+
+    Entries are ``(box, depth, parent record)``; every box additionally
+    carries its width as the scheduling priority.  ``"dfs"`` is a LIFO
+    that, with children pushed in reverse split order, replays the
+    recursive pre-order traversal exactly.  ``"widest"`` is a max-heap on
+    width (ties: shallowest first, then FIFO): the widest (least
+    resolved) unknown boxes are solved first.
+    """
+
+    __slots__ = ("order", "_stack", "_heap", "_seq")
+
+    def __init__(self, order: str):
+        if order not in ("dfs", "widest"):
+            raise ValueError(f"unknown queue_order {order!r} (use 'dfs' or 'widest')")
+        self.order = order
+        self._stack: list[tuple[Box, int, RegionRecord | None]] = []
+        self._heap: list[tuple[float, int, int, Box, RegionRecord | None]] = []
+        self._seq = 0
+
+    def push(self, box: Box, depth: int, parent: RegionRecord | None) -> None:
+        if self.order == "dfs":
+            self._stack.append((box, depth, parent))
+        else:
+            heapq.heappush(self._heap, (-box.max_width(), depth, self._seq, box, parent))
+            self._seq += 1
+
+    def push_children(
+        self, children: list[Box], depth: int, parent: RegionRecord
+    ) -> None:
+        if self.order == "dfs":
+            # reversed so the LIFO pops them in split order, exactly as the
+            # recursion descended
+            for child in reversed(children):
+                self._stack.append((child, depth, parent))
+        else:
+            for child in children:
+                self.push(child, depth, parent)
+
+    def pop(self) -> tuple[Box, int, RegionRecord | None]:
+        if self.order == "dfs":
+            return self._stack.pop()
+        _, depth, _, box, parent = heapq.heappop(self._heap)
+        return box, depth, parent
+
+    def __bool__(self) -> bool:
+        return bool(self._stack) or bool(self._heap)
+
+
+#: bound on the per-verifier specialised-formula interning table; one entry
+#: per observed Ite branch combination, so real formulas stay far below it,
+#: but a pathological campaign can no longer grow it without limit
+_SPECIALIZED_CACHE_MAX = 512
+
+
 class Verifier:
-    """Drives the solver over a recursively split domain (Algorithm 1)."""
+    """Drives the solver over an iteratively split domain (Algorithm 1)."""
 
     def __init__(self, config: VerifierConfig | None = None, solver: ICPSolver | None = None):
         self.config = config or VerifierConfig()
@@ -86,24 +185,29 @@ class Verifier:
         # interning table for specialised formulas: hash-consing makes equal
         # specialisations share residual objects, so keying on residual ids
         # dedupes them -- and keeps the solver's per-formula contractor
-        # cache effective (it is keyed on formula identity)
+        # cache effective (it is keyed on formula identity).  Cleared per
+        # top-level verify() and bounded, so long campaigns cannot grow it
+        # without limit.
         self._specialized_cache: dict[tuple, object] = {}
 
     def verify(
         self,
         problem: EncodedProblem | CompiledProblem,
         domain: Box | None = None,
+        *,
+        depth_offset: int = 0,
+        on_record: Callable[[RegionRecord], None] | None = None,
     ) -> VerificationReport:
-        """Run Algorithm 1 on one encoded (or tape-compiled) pair."""
-        if isinstance(problem, CompiledProblem):
-            functional_name, condition_id = problem.functional_name, problem.condition_id
-            if self.config.specialize_boxes:
-                raise ValueError(
-                    "specialize_boxes needs expression-level residuals; "
-                    "pass the EncodedProblem instead of a CompiledProblem"
-                )
-        else:
-            functional_name, condition_id = problem.functional.name, problem.condition.cid
+        """Run Algorithm 1 on one encoded (or tape-compiled) pair.
+
+        ``depth_offset`` shifts recorded depths, so a scheduler handing out
+        subdomains of a pre-split domain gets records whose depths match
+        the equivalent single-domain run.  ``on_record`` is called with
+        each :class:`RegionRecord` as soon as it is solved -- the result
+        *stream* consumed by campaign checkpointing; the records still
+        accumulate in the returned report.
+        """
+        functional_name, condition_id = self._problem_names(problem)
         domain = domain if domain is not None else problem.domain
         report = VerificationReport(
             functional_name=functional_name,
@@ -111,45 +215,85 @@ class Verifier:
             domain=domain,
             records=[],
         )
+        self._specialized_cache.clear()
         t_start = time.monotonic()
         self._steps_left = (
             self.config.global_step_budget
             if self.config.global_step_budget is not None
             else math.inf
         )
-        self._visit(problem, domain, depth=0, parent=None, report=report)
+
+        # -- the work-queue loop (Algorithm 1, de-recursed) -------------------
+        queue = _WorkQueue(self.config.queue_order)
+        queue.push(domain, depth_offset, None)
+        while queue:
+            box, depth, parent = queue.pop()
+            if box.max_width() < self.config.split_threshold:  # Alg. 1, lines 1-2
+                continue
+            record = self._solve_box(problem, box, depth, report)
+            if parent is not None:
+                parent.children.append(record.index)
+            if on_record is not None:
+                on_record(record)
+            if self._should_split(record.outcome):
+                # Alg. 1, lines 14-15
+                queue.push_children(box.split_all(), depth + 1, record)
+
         report.elapsed_seconds = time.monotonic() - t_start
         report.budget_exhausted = self._steps_left <= 0
         return report
 
-    # -- recursion ----------------------------------------------------------------
-    def _visit(
+    def solve_root(
         self,
-        problem: EncodedProblem,
+        problem: EncodedProblem | CompiledProblem,
         box: Box,
-        depth: int,
-        parent: RegionRecord | None,
-        report: VerificationReport,
-    ) -> None:
-        if box.max_width() < self.config.split_threshold:  # Alg. 1, lines 1-2
-            return
+        depth: int = 0,
+    ) -> tuple[RegionRecord | None, list[Box] | None]:
+        """Solve exactly one box and report whether it would split.
 
-        record = self._solve_box(problem, box, depth, report)
-        if parent is not None:
-            parent.children.append(record.index)
+        This is the campaign scheduler's *spill* primitive: instead of
+        descending locally, a worker solves the root of its work unit and
+        hands the split children back for re-enqueueing on the shared
+        queue.  Returns ``(record, children)``; ``record`` is None when the
+        box is below the split threshold (Algorithm 1 lines 1-2 -- nothing
+        to solve), ``children`` is None when the verdict is terminal.
+        """
+        self._problem_names(problem)  # validates specialize_boxes pairing
+        if box.max_width() < self.config.split_threshold:
+            return None, None
+        self._specialized_cache.clear()
+        self._steps_left = (
+            self.config.global_step_budget
+            if self.config.global_step_budget is not None
+            else math.inf
+        )
+        scratch = VerificationReport(
+            functional_name="", condition_id="", domain=box, records=[]
+        )
+        record = self._solve_box(problem, box, depth, scratch)
+        children = box.split_all() if self._should_split(record.outcome) else None
+        return record, children
 
-        if record.outcome is Outcome.VERIFIED:
-            return
-        if (
-            record.outcome is Outcome.COUNTEREXAMPLE
-            and not self.config.split_on_counterexample
-        ):
-            return
-        if record.outcome is Outcome.TIMEOUT and not self.config.split_on_timeout:
-            return
+    def _problem_names(
+        self, problem: EncodedProblem | CompiledProblem
+    ) -> tuple[str, str]:
+        if isinstance(problem, CompiledProblem):
+            if self.config.specialize_boxes:
+                raise ValueError(
+                    "specialize_boxes needs expression-level residuals; "
+                    "pass the EncodedProblem instead of a CompiledProblem"
+                )
+            return problem.functional_name, problem.condition_id
+        return problem.functional.name, problem.condition.cid
 
-        for child in box.split_all():  # Alg. 1, lines 14-15
-            self._visit(problem, child, depth + 1, record, report)
+    def _should_split(self, outcome: Outcome) -> bool:
+        if outcome is Outcome.VERIFIED:
+            return False
+        if outcome is Outcome.COUNTEREXAMPLE:
+            return self.config.split_on_counterexample
+        if outcome is Outcome.TIMEOUT:
+            return self.config.split_on_timeout
+        return True
 
     def _solve_box(
         self,
@@ -219,6 +363,10 @@ class Verifier:
         key = tuple((id(a.residual), a.op) for a in new_atoms)
         cached = self._specialized_cache.get(key)
         if cached is None:
+            if len(self._specialized_cache) >= _SPECIALIZED_CACHE_MAX:
+                # drop the oldest interned specialisation (dict insertion
+                # order); losing an entry only costs a re-intern later
+                self._specialized_cache.pop(next(iter(self._specialized_cache)))
             cached = Conjunction(atoms=tuple(new_atoms))
             self._specialized_cache[key] = cached
         return cached

@@ -128,4 +128,43 @@ class TestRunTableTwoSmall:
     def test_paper_reference_table_shape(self):
         assert set(PAPER_TABLE_TWO) == {"EC1", "EC2", "EC3", "EC6", "EC7", "EC4", "EC5"}
         assert PAPER_TABLE_TWO["EC7"]["PBE"] == "J"
+
+    def test_store_routes_verification_through_campaign(self, tmp_path):
+        # the library-level store/resume branch: the verifier half runs
+        # through the campaign engine and persists; a second call with the
+        # same store serves the cells as hits and yields the same table
+        store = tmp_path / "t2.sqlite"
+        functionals = (get_functional("LYP"), get_functional("VWN RPA"))
+        first = run_table_two(
+            verifier_config=FAST, checker=CHECKER,
+            functionals=functionals, conditions=(EC1,),
+            store=store, resume=True,
+        )
+        again = run_table_two(
+            verifier_config=FAST, checker=CHECKER,
+            functionals=functionals, conditions=(EC1,),
+            store=store, resume=True,
+        )
+        assert first.as_dict() == again.as_dict()
+        assert first.symbol(get_functional("LYP"), EC1) == CONSISTENT
+        for key, report in first.reports.items():
+            assert report.identical_to(again.reports[key]), key
+
+    def test_interrupted_partial_reports_skip_missing_cells(self):
+        # interrupted=True marks a partial campaign dict: missing cells are
+        # left unscored instead of being recomputed against the interrupt
+        reports = {
+            ("VWN RPA", "EC1"): report_with(
+                [({"rs": (1e-4, 5.0)}, Outcome.VERIFIED)],
+                domain=Box.from_bounds({"rs": (1e-4, 5.0)}),
+            )
+        }
+        table = run_table_two(
+            verifier_config=FAST, checker=CHECKER,
+            functionals=(get_functional("VWN RPA"), get_functional("LYP")),
+            conditions=(EC1,),
+            reports=reports, interrupted=True,
+        )
+        assert ("VWN RPA", "EC1") in table.cells
+        assert ("LYP", "EC1") not in table.cells
         assert PAPER_TABLE_TWO["EC1"]["SCAN"] == "?"

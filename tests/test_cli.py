@@ -138,6 +138,100 @@ class TestTables:
         out = capsys.readouterr().out
         assert "Table II" in out
 
+    def test_table1_slice_filters(self, capsys):
+        rc = main(
+            [
+                "table1", "--functionals", "LYP,VWN RPA", "--conditions", "EC1",
+                "--budget", "100", "--global-budget", "1500",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LYP" in out and "VWN RPA" in out
+        assert "campaign: 2 cells computed" in out
+
+    def test_table1_unknown_slice_rejected(self, capsys):
+        assert main(["table1", "--functionals", "NOPE"]) == 1
+        assert "unknown functional" in capsys.readouterr().err
+
+    def test_table1_store_resume_round_trip(self, capsys, tmp_path):
+        store = str(tmp_path / "t1.jsonl")
+        args = [
+            "table1", "--functionals", "LYP,Wigner", "--conditions", "EC1,EC2",
+            "--budget", "100", "--global-budget", "1500", "--store", store,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "4 cells computed, 0 from store" in first
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 cells computed, 4 from store" in second
+        # the rendered matrices agree cell for cell
+        assert first.split("Table I")[1].split("campaign:")[0] == \
+            second.split("Table I")[1].split("campaign:")[0]
+
+    def test_resume_requires_store(self, capsys):
+        assert main(["table1", "--resume"]) == 1
+        assert "--resume requires --store" in capsys.readouterr().err
+
+
+class TestCampaignCommand:
+    def test_campaign_runs_slice(self, capsys):
+        rc = main(
+            [
+                "campaign", "--functionals", "LYP,VWN RPA", "--conditions", "EC1",
+                "--budget", "100", "--global-budget", "1500",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LYP/EC1" in out and "VWN RPA/EC1" in out
+        assert "campaign: 2 cells computed" in out
+
+    def test_campaign_store_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "c.sqlite")
+        args = [
+            "campaign", "--functionals", "Wigner", "--conditions", "EC1,EC2",
+            "--budget", "100", "--global-budget", "1000", "--store", store,
+        ]
+        assert main(args) == 0
+        assert "2 cells computed, 0 from store" in capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cells computed, 2 from store" in out
+        assert "[store]" in out
+
+    def test_campaign_json_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "campaign.json"
+        rc = main(
+            [
+                "campaign", "--functionals", "Wigner", "--conditions", "EC1",
+                "--budget", "100", "--global-budget", "500",
+                "--json", str(path),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert "Wigner/EC1" in doc
+
+    def test_campaign_empty_slice_rejected(self, capsys):
+        # LYP has no exchange: EC5 applies to no functional in the slice
+        assert main(["campaign", "--functionals", "LYP", "--conditions", "EC5"]) == 1
+        assert "no applicable" in capsys.readouterr().err
+
+    def test_campaign_steal_depth_and_order(self, capsys):
+        rc = main(
+            [
+                "campaign", "--functionals", "LYP", "--conditions", "EC1",
+                "--budget", "100", "--global-budget", "1500",
+                "--steal-depth", "1", "--order", "widest",
+            ]
+        )
+        assert rc == 0
+        assert "LYP/EC1" in capsys.readouterr().out
+
 
 class TestNumerics:
     def test_continuity_on_pz81(self, capsys):

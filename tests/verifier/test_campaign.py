@@ -1,0 +1,216 @@
+"""Tests for the work-stealing campaign engine.
+
+The load-bearing property is *bit-identity with the sequential verifier*:
+however the scheduler cuts a cell into units -- pre-splits, runtime
+spills, pools of any width -- the stitched report must carry the same
+records, indices, depths, child links, models and step counts the plain
+in-process run produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions import EC1
+from repro.functionals import get_functional
+from repro.solver.box import Box
+from repro.verifier.campaign import dedupe_pairs, run_campaign
+from repro.verifier.encoder import encode
+from repro.verifier.verifier import Verifier, VerifierConfig
+
+FAST = VerifierConfig(split_threshold=0.7, per_call_budget=250, global_step_budget=8000)
+UNLIMITED = VerifierConfig(split_threshold=0.7, per_call_budget=250, global_step_budget=None)
+
+
+def assert_reports_identical(expected, actual):
+    assert len(expected.records) == len(actual.records)
+    for a, b in zip(expected.records, actual.records):
+        assert (a.index, a.depth, a.outcome, a.model, a.children, a.solver_steps) == (
+            b.index, b.depth, b.outcome, b.model, b.children, b.solver_steps
+        )
+        assert a.box == b.box
+    assert expected.total_solver_steps == actual.total_solver_steps
+    assert expected.budget_exhausted == actual.budget_exhausted
+
+
+def sequential(config, name, condition=EC1):
+    return Verifier(config).verify(encode(get_functional(name), condition))
+
+
+class TestInProcessEquivalence:
+    def test_cells_match_sequential_exactly(self):
+        result = run_campaign(
+            [("LYP", "EC1"), ("VWN RPA", "EC1"), ("PBE", "EC2")], FAST, max_workers=1
+        )
+        for (fname, cid), report in result.items():
+            from repro.conditions import get_condition
+
+            assert_reports_identical(
+                sequential(FAST, fname, get_condition(cid)), report
+            )
+        assert result.computed == [("LYP", "EC1"), ("VWN RPA", "EC1"), ("PBE", "EC2")]
+        assert not result.interrupted
+
+    def test_budget_exhaustion_matches_sequential(self):
+        tight = VerifierConfig(
+            split_threshold=0.15, per_call_budget=200, global_step_budget=300
+        )
+        result = run_campaign([("PBE", "EC1")], tight, max_workers=1)
+        report = result.reports[("PBE", "EC1")]
+        assert report.budget_exhausted
+        assert_reports_identical(sequential(tight, "PBE"), report)
+
+
+class TestStealDepth:
+    @pytest.mark.parametrize("steal_depth", [1, 2, 3])
+    def test_spilled_splits_stitch_back_identically(self, steal_depth):
+        oracle = sequential(UNLIMITED, "LYP")
+        result = run_campaign(
+            [("LYP", "EC1")], UNLIMITED, max_workers=1, steal_depth=steal_depth
+        )
+        assert_reports_identical(oracle, result.reports[("LYP", "EC1")])
+
+    def test_spill_with_pool_matches_too(self):
+        oracle = sequential(UNLIMITED, "LYP")
+        result = run_campaign(
+            [("LYP", "EC1")], UNLIMITED, max_workers=2, steal_depth=2
+        )
+        assert_reports_identical(oracle, result.reports[("LYP", "EC1")])
+
+    def test_terminal_root_spills_nothing(self):
+        # VWN RPA EC1 verifies at the root: steal_depth must not change that
+        oracle = sequential(FAST, "VWN RPA")
+        result = run_campaign([("VWN RPA", "EC1")], FAST, max_workers=1, steal_depth=3)
+        assert_reports_identical(oracle, result.reports[("VWN RPA", "EC1")])
+
+
+class TestPooledScheduling:
+    def test_pool_results_identical_to_in_process(self):
+        pairs = [("LYP", "EC1"), ("VWN RPA", "EC1"), ("Wigner", "EC1")]
+        seq = run_campaign(pairs, FAST, max_workers=1)
+        par = run_campaign(pairs, FAST, max_workers=2, steal_depth=1)
+        assert set(seq.reports) == set(par.reports)
+        for key in seq.reports:
+            assert_reports_identical(seq.reports[key], par.reports[key])
+
+    def test_shared_executor_is_not_shut_down(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            first = run_campaign([("LYP", "EC1")], FAST, executor=pool, steal_depth=1)
+            second = run_campaign([("Wigner", "EC1")], FAST, executor=pool)
+            # the pool survives both campaigns (owned by the caller)
+            assert pool.submit(int, 7).result() == 7
+        assert ("LYP", "EC1") in first.reports
+        assert ("Wigner", "EC1") in second.reports
+
+    def test_presplit_levels_match_domain_parallel_semantics(self):
+        functional, condition = get_functional("LYP"), EC1
+        from repro.verifier.parallel import verify_domain_parallel
+
+        merged = verify_domain_parallel(
+            functional, condition, FAST, levels=1, max_workers=1
+        )
+        result = run_campaign(
+            [(functional, condition)], FAST, max_workers=1, presplit_levels=1
+        )
+        assert_reports_identical(merged, result.reports[("LYP", "EC1")])
+        top = [r for r in result.reports[("LYP", "EC1")].records if r.depth == 1]
+        assert len(top) == 4  # 2-D domain, one forced split level
+
+
+class TestDedupe:
+    def test_identical_duplicates_are_deduped(self):
+        lyp = get_functional("LYP")
+        pairs = dedupe_pairs([(lyp, EC1), (lyp, EC1), ("LYP", "EC1")])
+        assert len(pairs) == 1
+        assert pairs[0][0] == ("LYP", "EC1")
+
+    def test_conflicting_duplicates_raise(self):
+        lyp = get_functional("LYP")
+
+        class FakeCondition:
+            cid = "EC1"
+
+        with pytest.raises(ValueError, match="conflicting duplicate"):
+            dedupe_pairs([(lyp, EC1), (lyp, FakeCondition())])
+
+    def test_campaign_runs_duplicate_pair_once(self):
+        result = run_campaign([("LYP", "EC1"), ("LYP", "EC1")], FAST, max_workers=1)
+        assert result.computed == [("LYP", "EC1")]
+        assert_reports_identical(sequential(FAST, "LYP"), result.reports[("LYP", "EC1")])
+
+
+class TestStoreIntegration:
+    def test_resume_serves_stored_cells(self, tmp_path):
+        store = tmp_path / "store.sqlite"
+        pairs = [("LYP", "EC1"), ("VWN RPA", "EC1")]
+        first = run_campaign(pairs, FAST, max_workers=1, store=store)
+        assert len(first.computed) == 2 and not first.store_hits
+        second = run_campaign(pairs, FAST, max_workers=1, store=store)
+        assert len(second.store_hits) == 2 and not second.computed
+        for key in first.reports:
+            assert_reports_identical(first.reports[key], second.reports[key])
+
+    def test_config_change_misses_cleanly(self, tmp_path):
+        store = tmp_path / "store.jsonl"
+        run_campaign([("LYP", "EC1")], FAST, max_workers=1, store=store)
+        other = VerifierConfig(
+            split_threshold=0.7, per_call_budget=99, global_step_budget=8000
+        )
+        rerun = run_campaign([("LYP", "EC1")], other, max_workers=1, store=store)
+        assert rerun.computed == [("LYP", "EC1")]
+
+    def test_performance_knobs_still_hit(self, tmp_path):
+        store = tmp_path / "store.sqlite"
+        run_campaign([("VWN RPA", "EC1")], FAST, max_workers=1, store=store)
+        import dataclasses
+
+        walk = dataclasses.replace(FAST, solver_backend="walk")
+        rerun = run_campaign([("VWN RPA", "EC1")], walk, max_workers=1, store=store)
+        assert rerun.store_hits == [("VWN RPA", "EC1")]
+
+    def test_resume_false_recomputes_but_stores(self, tmp_path):
+        store = tmp_path / "store.sqlite"
+        run_campaign([("Wigner", "EC1")], FAST, max_workers=1, store=store)
+        rerun = run_campaign(
+            [("Wigner", "EC1")], FAST, max_workers=1, store=store, resume=False
+        )
+        assert rerun.computed == [("Wigner", "EC1")]
+
+    def test_scheduling_policy_is_part_of_the_key(self, tmp_path):
+        # presplit/steal change how the global budget is divided across
+        # units -- report *contents* differ -- so a store written under one
+        # policy must miss under another (regression: the key once covered
+        # only the verifier config, serving pre-split reports to plain runs)
+        store = tmp_path / "store.sqlite"
+        run_campaign([("LYP", "EC1")], FAST, max_workers=1, store=store,
+                     presplit_levels=1)
+        plain = run_campaign([("LYP", "EC1")], FAST, max_workers=1, store=store)
+        assert plain.computed == [("LYP", "EC1")]  # miss, not a stale hit
+        assert_reports_identical(sequential(FAST, "LYP"), plain.reports[("LYP", "EC1")])
+
+    def test_subdomain_task_hashes_by_domain(self, tmp_path):
+        # same pair, different domain: separate cells in the store by key
+        from repro.verifier.encoder import compile_problem
+
+        problem = encode(get_functional("LYP"), EC1)
+        compiled = compile_problem(problem)
+        full = compiled.content_hash(extra=FAST.semantic_key())
+        sub = compiled.content_hash(
+            domain=Box.from_bounds({"rs": (1.0, 2.0), "s": (0.0, 1.0)}),
+            extra=FAST.semantic_key(),
+        )
+        assert full != sub
+
+
+class TestSpecializeBoxesPath:
+    def test_specialize_boxes_cells_ship_names(self):
+        config = VerifierConfig(
+            split_threshold=1.3, per_call_budget=150, global_step_budget=2500,
+            specialize_boxes=True,
+        )
+        result = run_campaign([("SCAN", "EC1")], config, max_workers=1)
+        report = result.reports[("SCAN", "EC1")]
+        oracle = Verifier(config).verify(encode(get_functional("SCAN"), EC1))
+        assert_reports_identical(oracle, report)

@@ -1,6 +1,8 @@
 """Tests for the process-parallel verification drivers."""
 
 
+import pytest
+
 from repro.conditions import EC1
 from repro.functionals import get_functional
 from repro.verifier.parallel import verify_domain_parallel, verify_pairs_parallel
@@ -42,6 +44,23 @@ class TestVerifyPairsParallel:
                 assert a.outcome == b.outcome
                 assert a.model == b.model
                 assert a.box == b.box
+
+    def test_duplicate_pair_deduped_not_overwritten(self):
+        # regression: the same pair passed twice used to be solved twice,
+        # the second result silently overwriting the first
+        lyp = get_functional("LYP")
+        results = verify_pairs_parallel([(lyp, EC1), (lyp, EC1)], FAST, max_workers=1)
+        assert list(results) == [("LYP", "EC1")]
+        assert results[("LYP", "EC1")].classification() == "CEX"
+
+    def test_conflicting_duplicate_pair_raises(self):
+        lyp = get_functional("LYP")
+
+        class FakeEC1:
+            cid = "EC1"
+
+        with pytest.raises(ValueError, match="conflicting duplicate"):
+            verify_pairs_parallel([(lyp, EC1), (lyp, FakeEC1())], FAST, max_workers=1)
 
 
 class TestVerifyDomainParallel:

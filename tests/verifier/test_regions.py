@@ -112,3 +112,41 @@ class TestReportHelpers:
         text = report.summary()
         assert "TEST/EC1" in text
         assert "OK" in text
+
+
+class TestIdentity:
+    def test_identical_to_self_and_copy(self):
+        records = [
+            rec(0, 0.0, 4.0, Outcome.TIMEOUT, children=[1]),
+            rec(1, 0.0, 2.0, Outcome.VERIFIED, depth=1),
+        ]
+        a = make_report(records)
+        b = make_report(list(records))
+        assert a.identical_to(a)
+        assert a.identical_to(b) and b.identical_to(a)
+
+    def test_identity_is_bit_exact(self):
+        base = [rec(0, 0.0, 4.0, Outcome.VERIFIED)]
+        a = make_report(base)
+        assert not a.identical_to(make_report([rec(0, 0.0, 4.0, Outcome.TIMEOUT)]))
+        # one ulp of difference in an endpoint breaks identity
+        import math
+        shifted = rec(0, 0.0, math.nextafter(4.0, 5.0), Outcome.VERIFIED)
+        assert not a.identical_to(make_report([shifted]))
+        longer = make_report(base + [rec(1, 0.0, 2.0, Outcome.VERIFIED, depth=1)])
+        assert not a.identical_to(longer)
+
+    def test_identity_tracks_totals_not_elapsed(self):
+        a = make_report([rec(0, 0.0, 4.0, Outcome.VERIFIED)])
+        b = make_report([rec(0, 0.0, 4.0, Outcome.VERIFIED)])
+        b.elapsed_seconds = 123.0
+        assert a.identical_to(b)  # wall-clock excluded
+        b.total_solver_steps = 5
+        assert not a.identical_to(b)
+
+    def test_max_depth(self):
+        assert make_report([]).max_depth() == -1
+        report = make_report(
+            [rec(0, 0.0, 4.0, Outcome.TIMEOUT), rec(1, 0.0, 2.0, Outcome.TIMEOUT, depth=3)]
+        )
+        assert report.max_depth() == 3

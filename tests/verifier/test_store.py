@@ -1,0 +1,195 @@
+"""Tests for the persistent campaign result store."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.conditions import EC1
+from repro.functionals import get_functional
+from repro.solver.box import Box
+from repro.verifier.encoder import compile_problem, encode
+from repro.verifier.regions import Outcome, RegionRecord, VerificationReport
+from repro.verifier.store import (
+    JsonlStore,
+    SqliteStore,
+    iter_reports,
+    open_store,
+    report_from_payload,
+    report_to_payload,
+)
+from repro.verifier.verifier import Verifier, VerifierConfig
+
+FAST = VerifierConfig(split_threshold=0.7, per_call_budget=250, global_step_budget=8000)
+
+
+def _sample_report() -> VerificationReport:
+    problem = encode(get_functional("LYP"), EC1)
+    return Verifier(FAST).verify(
+        problem, domain=Box.from_bounds({"rs": (1.0, 3.0), "s": (0.0, 4.0)})
+    )
+
+
+def _tricky_report() -> VerificationReport:
+    """Hand-built report exercising awkward floats and empty models."""
+    box = Box.from_bounds({"x": (-0.1, 1e-17), "y": (2.0 / 3.0, math.pi)})
+    records = [
+        RegionRecord(0, 0, box, Outcome.COUNTEREXAMPLE,
+                     model={"x": 5e-324, "y": 0.1 + 0.2}, children=[1], solver_steps=7),
+        RegionRecord(1, 1, box, Outcome.TIMEOUT, model=None, children=[], solver_steps=0),
+        RegionRecord(2, 1, box, Outcome.INCONCLUSIVE,
+                     model={"x": -0.0, "y": 1e308}, children=[], solver_steps=3),
+    ]
+    return VerificationReport(
+        functional_name="Toy", condition_id="T1", domain=box, records=records,
+        total_solver_steps=10, elapsed_seconds=0.25, budget_exhausted=True,
+    )
+
+
+def assert_roundtrip_exact(report: VerificationReport, restored: VerificationReport):
+    assert restored.functional_name == report.functional_name
+    assert restored.condition_id == report.condition_id
+    assert restored.domain == report.domain
+    assert restored.total_solver_steps == report.total_solver_steps
+    assert restored.elapsed_seconds == report.elapsed_seconds
+    assert restored.budget_exhausted == report.budget_exhausted
+    assert len(restored.records) == len(report.records)
+    for a, b in zip(report.records, restored.records):
+        assert a.index == b.index and a.depth == b.depth
+        assert a.box == b.box
+        assert a.outcome == b.outcome
+        assert a.model == b.model
+        assert a.children == b.children
+        assert a.solver_steps == b.solver_steps
+
+
+class TestPayloadRoundTrip:
+    def test_real_report_roundtrips_exactly(self):
+        report = _sample_report()
+        payload = json.loads(json.dumps(report_to_payload(report)))
+        assert_roundtrip_exact(report, report_from_payload(payload))
+
+    def test_awkward_floats_roundtrip_exactly(self):
+        report = _tricky_report()
+        payload = json.loads(json.dumps(report_to_payload(report)))
+        restored = report_from_payload(payload)
+        assert_roundtrip_exact(report, restored)
+        # -0.0 keeps its sign bit through the round trip
+        assert math.copysign(1.0, restored.records[2].model["x"]) == -1.0
+
+    def test_schema_version_mismatch_rejected(self):
+        payload = report_to_payload(_tricky_report())
+        payload["v"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            report_from_payload(payload)
+
+    def test_classification_survives(self):
+        report = _sample_report()
+        payload = report_to_payload(report)
+        assert report_from_payload(payload).classification() == report.classification()
+        assert report_from_payload(payload).area_fractions() == report.area_fractions()
+
+
+@pytest.mark.parametrize("suffix", [".sqlite", ".jsonl"])
+class TestStoreBackends:
+    def test_put_get_roundtrip(self, tmp_path, suffix):
+        report = _sample_report()
+        with open_store(tmp_path / f"store{suffix}") as store:
+            assert store.get("k1") is None
+            store.put("k1", report)
+            assert "k1" in store
+            assert_roundtrip_exact(report, store.get("k1"))
+
+    def test_persists_across_reopen(self, tmp_path, suffix):
+        path = tmp_path / f"store{suffix}"
+        report = _tricky_report()
+        with open_store(path) as store:
+            store.put("cell", report)
+        with open_store(path) as store:
+            assert store.keys() == ["cell"]
+            assert store.created_at("cell") is not None
+            assert_roundtrip_exact(report, store.get("cell"))
+
+    def test_overwrite_latest_wins(self, tmp_path, suffix):
+        path = tmp_path / f"store{suffix}"
+        first = _tricky_report()
+        second = _sample_report()
+        with open_store(path) as store:
+            store.put("cell", first)
+            store.put("cell", second)
+        with open_store(path) as store:
+            assert len(store) == 1
+            assert_roundtrip_exact(second, store.get("cell"))
+
+    def test_backend_selection(self, tmp_path, suffix):
+        store = open_store(tmp_path / f"store{suffix}")
+        expected = JsonlStore if suffix == ".jsonl" else SqliteStore
+        assert isinstance(store, expected)
+        store.close()
+
+    def test_iter_reports_walks_everything(self, tmp_path, suffix):
+        reports = {"a": _tricky_report(), "b": _sample_report()}
+        with open_store(tmp_path / f"store{suffix}") as store:
+            for key, report in reports.items():
+                store.put(key, report)
+            walked = dict(iter_reports(store))
+            assert sorted(walked) == ["a", "b"]
+            for key, restored in walked.items():
+                assert_roundtrip_exact(reports[key], restored)
+
+
+class TestJsonlCrashRobustness:
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with open_store(path) as store:
+            store.put("a", _tricky_report())
+            store.put("b", _sample_report())
+        # simulate a kill mid-write: append half a line
+        with open(path, "a") as handle:
+            handle.write('{"key": "c", "created_at": 1.0, "payl')
+        with open_store(path) as store:
+            assert sorted(store.keys()) == ["a", "b"]
+            assert store.get("c") is None
+            # and the store still accepts new cells afterwards
+            store.put("c", _tricky_report())
+        with open_store(path) as store:
+            assert sorted(store.keys()) == ["a", "b", "c"]
+
+
+class TestContentKeys:
+    def test_key_stability_and_sensitivity(self):
+        config = VerifierConfig()
+        problem = compile_problem(encode(get_functional("PBE"), EC1))
+        again = compile_problem(encode(get_functional("PBE"), EC1))
+        assert problem.content_hash(extra=config.semantic_key()) == again.content_hash(
+            extra=config.semantic_key()
+        )
+        # outcome-relevant config changes the key ...
+        changed = VerifierConfig(global_step_budget=123)
+        assert problem.content_hash(extra=changed.semantic_key()) != problem.content_hash(
+            extra=config.semantic_key()
+        )
+        # ... pure performance knobs do not
+        perf = VerifierConfig(solver_backend="walk", batch_size=7)
+        assert problem.content_hash(extra=perf.semantic_key()) == problem.content_hash(
+            extra=config.semantic_key()
+        )
+
+    def test_domain_in_key(self):
+        config = VerifierConfig()
+        problem = compile_problem(encode(get_functional("PBE"), EC1))
+        sub = Box.from_bounds({"rs": (1.0, 2.0), "s": (0.0, 1.0)})
+        assert problem.content_hash(domain=sub, extra=config.semantic_key()) != \
+            problem.content_hash(extra=config.semantic_key())
+
+    def test_different_pairs_different_keys(self):
+        config = VerifierConfig()
+        keys = {
+            name: compile_problem(encode(get_functional(name), EC1)).content_hash(
+                extra=config.semantic_key()
+            )
+            for name in ("PBE", "LYP", "VWN RPA")
+        }
+        assert len(set(keys.values())) == 3
