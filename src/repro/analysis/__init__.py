@@ -1,12 +1,14 @@
-"""Evaluation harnesses: Table I, Table II, consistency metrics, export."""
+"""Evaluation harnesses: Tables I-III, consistency metrics, export."""
 
 from .tables import (
     PAPER_TABLE_ONE,
     TableOne,
+    TableThree,
     applicable_pairs,
     run_table_campaign,
     run_table_one,
     table_one_from_reports,
+    table_three_from_cells,
 )
 from .compare import (
     CONSISTENT,
@@ -23,16 +25,18 @@ from .export import (
     campaign_to_json,
     report_to_csv,
     report_to_json,
+    table_three_to_json,
     table_to_json,
     table_to_markdown,
 )
 
 __all__ = [
-    "PAPER_TABLE_ONE", "TableOne", "run_table_one",
+    "PAPER_TABLE_ONE", "TableOne", "TableThree", "run_table_one",
     "applicable_pairs", "run_table_campaign", "table_one_from_reports",
+    "table_three_from_cells",
     "CONSISTENT", "MISMATCH", "NO_COMPARISON", "NOT_INCONSISTENT",
     "PAPER_TABLE_TWO", "TableTwo", "classify_consistency",
     "pb_points_covered_fraction", "run_table_two",
     "campaign_to_json", "report_to_csv", "report_to_json",
-    "table_to_json", "table_to_markdown",
+    "table_three_to_json", "table_to_json", "table_to_markdown",
 ]

@@ -123,6 +123,16 @@ def campaign_to_json(
     return json.dumps(payload, indent=indent, sort_keys=True)
 
 
+def table_three_to_json(table, indent: int | None = 2) -> str:
+    """Serialise a TableThree (the numerics campaign aggregation).
+
+    Rows are sorted, so two campaigns with bit-identical cells serialise
+    bit-identically regardless of completion order -- this is the
+    CI-diffed artifact of the numerics-smoke job.
+    """
+    return json.dumps(table.as_dict(), indent=indent, sort_keys=True)
+
+
 def write_json(path, text: str) -> None:
     with open(path, "w") as handle:
         handle.write(text if text.endswith("\n") else text + "\n")

@@ -1,10 +1,14 @@
-"""Table I harness: verification outcomes for every DFA-condition pair.
+"""Table harnesses: verification outcomes and the numerics sweep.
 
-Runs the campaign engine over the 31 applicable pairs and renders the
-paper's Table I (rows = local conditions, columns = DFAs, cells in
-{OK, OK*, CEX, ?, -}).  The campaign persists every completed cell to the
-result store as it finishes, so an interrupted Table I run resumes where
-it stopped and re-runs are cache hits for every unchanged cell.
+Table I runs the campaign engine over the 31 applicable pairs and renders
+the paper's matrix (rows = local conditions, columns = DFAs, cells in
+{OK, OK*, CEX, ?, -}).  Table III -- this reproduction's extension --
+aggregates the Section VI-C numerics campaign: per (functional,
+component) hazard/benign/safe counts under both reachability semantics,
+branch-boundary continuity, and peak input sensitivity.  Both campaigns
+persist every completed cell to the result store as it finishes, so an
+interrupted run resumes where it stopped and re-runs are cache hits for
+every unchanged cell.
 """
 
 from __future__ import annotations
@@ -22,11 +26,13 @@ from ..verifier.verifier import VerifierConfig
 __all__ = [
     "PAPER_TABLE_ONE",
     "TableOne",
+    "TableThree",
     "applicable_pairs",  # re-exported: the canonical list lives in the catalog
     "print_cell",
     "run_table_campaign",
     "run_table_one",
     "table_one_from_reports",
+    "table_three_from_cells",
 ]
 
 
@@ -160,6 +166,120 @@ def table_one_from_reports(
     )
     table.reports.update(reports)
     return table
+
+
+@dataclass
+class TableThree:
+    """Aggregated Section VI-C numerics campaign: one row per analysed
+    (functional, component) pair.
+
+    Built from the cell payloads of
+    :func:`repro.numerics.campaign.run_numerics_campaign` by
+    :func:`table_three_from_cells`.  ``as_dict`` is the canonical
+    (CI-diffable) form: rows are sorted, so the table is deterministic
+    regardless of the campaign's completion order, and two campaigns
+    whose cells are bit-identical render bit-identical tables.
+    """
+
+    cells: dict[tuple[str, str, str, str], dict] = field(default_factory=dict)
+
+    def pairs(self) -> list[tuple[str, str]]:
+        return sorted({(k[0], k[1]) for k in self.cells})
+
+    def _cell(self, functional: str, component: str, check: str, semantics: str):
+        return self.cells.get((functional, component, check, semantics))
+
+    def as_dict(self) -> dict:
+        out: dict = {}
+        for functional, component in self.pairs():
+            row: dict = {}
+            hazards = {}
+            for semantics in ("branch", "ieee"):
+                payload = self._cell(functional, component, "hazards", semantics)
+                if payload is not None:
+                    hazards[semantics] = {
+                        "counts": dict(payload["counts"]),
+                        "sites": len(payload["verdicts"]),
+                        "total": payload["is_total"],
+                    }
+            if hazards:
+                row["hazards"] = hazards
+            payload = self._cell(functional, component, "continuity", "-")
+            if payload is not None:
+                row["continuity"] = {
+                    "boundaries": len(payload["boundaries"]),
+                    "max_value_jump": payload["max_value_jump"],
+                    "max_slope_jump": payload["max_slope_jump"],
+                    "singular": payload["singular_count"],
+                    "continuous": payload["continuous"],
+                }
+            payload = self._cell(functional, component, "sensitivity", "-")
+            if payload is not None:
+                row["sensitivity"] = {
+                    "max_kappa": {
+                        var: stats["max"] for var, stats in payload["kappa"].items()
+                    }
+                }
+            out[f"{functional}/{component}"] = row
+        return out
+
+    @staticmethod
+    def _counts_text(entry) -> str:
+        if entry is None:
+            return "-"
+        counts = entry["counts"]
+        order = ("safe", "benign", "hazard", "inconclusive", "timeout")
+        short = {"safe": "s", "benign": "b", "hazard": "H", "inconclusive": "?",
+                 "timeout": "t"}
+        parts = [f"{short[k]}{counts[k]}" for k in order if counts.get(k)]
+        return " ".join(parts) if parts else "none"
+
+    def render(self) -> str:
+        """Plain-text rendering alongside Table I/II."""
+        lines = [
+            "Table III: Section VI-C numerics sweep "
+            "(s=safe b=benign H=hazard ?=inconclusive t=timeout)",
+        ]
+        header = (
+            f"{'pair':22s} {'hazards[branch]':>16s} {'hazards[ieee]':>16s} "
+            f"{'continuity':>22s} {'max kappa':>12s}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        rows = self.as_dict()
+        for functional, component in self.pairs():
+            row = rows[f"{functional}/{component}"]
+            hazards = row.get("hazards", {})
+            branch = self._counts_text(hazards.get("branch"))
+            ieee = self._counts_text(hazards.get("ieee"))
+            continuity = row.get("continuity")
+            if continuity is None:
+                cont_text = "-"
+            elif continuity["boundaries"] == 0:
+                cont_text = "analytic"
+            elif continuity["singular"]:
+                cont_text = f"SINGULAR x{continuity['singular']}"
+            elif continuity["continuous"]:
+                cont_text = f"C0 ({continuity['boundaries']} bnd)"
+            else:
+                cont_text = f"jump {continuity['max_value_jump']:.3g}"
+            sens = row.get("sensitivity")
+            if sens is None or not sens["max_kappa"]:
+                kappa_text = "-"
+            else:
+                kappa_text = f"{max(sens['max_kappa'].values()):.3g}"
+            lines.append(
+                f"{functional + '/' + component:22s} {branch:>16s} {ieee:>16s} "
+                f"{cont_text:>22s} {kappa_text:>12s}"
+            )
+        return "\n".join(lines)
+
+
+def table_three_from_cells(
+    cells: dict[tuple[str, str, str, str], dict]
+) -> TableThree:
+    """Assemble Table III from numerics campaign cells (or a store dump)."""
+    return TableThree(cells=dict(cells))
 
 
 #: the paper's published Table I, used by tests/benches as the reference shape

@@ -153,19 +153,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_num = sub.add_parser(
         "numerics", help="Section VI-C numerical-issues analyses"
     )
-    p_num.add_argument("-f", "--functional", required=True)
     p_num.add_argument(
-        "--check",
-        default="continuity,hazards",
-        help="comma-separated subset of {continuity, hazards, sensitivity}",
+        "-f", "--functional", default=None,
+        help="single-pair mode: analyse one DFA (incompatible with --all)",
     )
     p_num.add_argument(
-        "--component", default="fc", choices=("fc", "fx", "fxc"),
-        help="which enhancement factor to analyse",
+        "--check",
+        default=None,
+        help="comma-separated subset of {continuity, hazards, sensitivity} "
+        "(default: continuity,hazards for one pair; all three for a campaign)",
+    )
+    p_num.add_argument(
+        "--component", default=None, choices=("fc", "fx", "fxc"),
+        help="which enhancement factor to analyse (single-pair mode, "
+        "default fc; campaigns take --components)",
     )
     p_num.add_argument(
         "--ieee", action="store_true",
-        help="hazard reachability under np.where (both-branch) semantics",
+        help="hazard reachability under np.where (both-branch) semantics "
+        "(single-pair mode; campaigns always run both semantics)",
+    )
+    # campaign mode: sweep whole functional families on the shared
+    # work-stealing pool, persisting cells to the content-hash store
+    p_num.add_argument(
+        "--all", action="store_true",
+        help="campaign mode: sweep every registered functional "
+        "(narrow with --functionals)",
+    )
+    p_num.add_argument(
+        "--components", default=None,
+        help='comma-separated components for campaign mode, e.g. "fc,fx" '
+        "(default fc)",
+    )
+    p_num.add_argument(
+        "--json", dest="json_path", default=None,
+        help="write the Table III aggregation as JSON (campaign mode)",
+    )
+    p_num.add_argument(
+        "--functionals", default=None,
+        help='comma-separated DFA subset for campaign mode, e.g. "SCAN,rSCAN" '
+        "(implies campaign mode; default with --all: every registered DFA)",
+    )
+    p_num.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool width (0 = in-process sequential)",
+    )
+    p_num.add_argument(
+        "--store", dest="store_path", default=None,
+        help="persist completed analysis cells here (*.jsonl = append-only "
+        "checkpoints, else SQLite); written incrementally, safe to interrupt",
+    )
+    p_num.add_argument(
+        "--resume", action="store_true",
+        help="serve cells already in --store (matched by content hash) "
+        "instead of recomputing them",
     )
     return parser
 
@@ -475,6 +516,33 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_numerics(args) -> int:
+    if args.all or args.functionals:
+        if args.functional:
+            raise _UsageError("-f/--functional is incompatible with --all/--functionals")
+        if args.component:
+            raise _UsageError(
+                "--component is single-pair only; campaigns take --components "
+                '(e.g. --components fc,fx)'
+            )
+        return _cmd_numerics_campaign(args)
+    if not args.functional:
+        raise _UsageError("either -f/--functional or --all/--functionals is required")
+    # campaign-only flags error loudly instead of being silently ignored,
+    # symmetric with --component being rejected in campaign mode
+    campaign_only = [
+        ("--json", args.json_path),
+        ("--store", args.store_path),
+        ("--resume", args.resume or None),
+        ("--workers", args.workers or None),
+        ("--components", args.components),
+    ]
+    offending = [flag for flag, value in campaign_only if value is not None]
+    if offending:
+        raise _UsageError(
+            f"{', '.join(offending)}: campaign mode only "
+            "(add --all or --functionals)"
+        )
+
     from .functionals import get_functional
     from .numerics import check_continuity, check_hazards, sensitivity_map
 
@@ -482,14 +550,19 @@ def _cmd_numerics(args) -> int:
         functional = get_functional(args.functional)
     except KeyError as exc:
         raise _UsageError(str(exc)) from None
-    checks = {part.strip() for part in args.check.split(",") if part.strip()}
+    checks = {
+        part.strip()
+        for part in (args.check or "continuity,hazards").split(",")
+        if part.strip()
+    }
     unknown = checks - {"continuity", "hazards", "sensitivity"}
     if unknown:
         raise _UsageError(f"unknown checks: {sorted(unknown)}")
 
-    expr = getattr(functional, args.component)()
+    component = args.component or "fc"
+    expr = getattr(functional, component)()
     domain = functional.domain()
-    print(f"{functional.name}.{args.component} over {domain}")
+    print(f"{functional.name}.{component} over {domain}")
 
     if "continuity" in checks:
         report = check_continuity(expr, domain, n_base_points=16)
@@ -511,7 +584,7 @@ def _cmd_numerics(args) -> int:
 
     if "sensitivity" in checks:
         per_dim = 33 if functional.family == "MGGA" else 65
-        smap = sensitivity_map(functional, args.component, per_dim=per_dim)
+        smap = sensitivity_map(functional, component, per_dim=per_dim)
         print(f"sensitivity: {smap.summary()}")
         for var in sorted(smap.kappa):
             peak = smap.argmax(var)
@@ -519,6 +592,77 @@ def _cmd_numerics(args) -> int:
             print(f"  kappa_{var} peaks at {loc}")
 
     return 0
+
+
+def _cmd_numerics_campaign(args) -> int:
+    from .analysis import table_three_from_cells, table_three_to_json
+    from .analysis.export import write_json
+    from .functionals import all_functionals, get_functional
+    from .numerics import run_numerics_campaign
+    from .numerics.campaign import CHECKS, COMPONENTS, payload_summary
+
+    if args.resume and not args.store_path:
+        raise _UsageError("--resume requires --store")
+    try:
+        if args.functionals:
+            functionals = [
+                get_functional(name.strip())
+                for name in args.functionals.split(",")
+                if name.strip()
+            ]
+        else:
+            functionals = list(all_functionals())
+    except KeyError as exc:
+        raise _UsageError(str(exc)) from None
+    checks = tuple(
+        part.strip()
+        for part in (args.check or ",".join(CHECKS)).split(",")
+        if part.strip()
+    )
+    components = tuple(
+        part.strip()
+        for part in (args.components or "fc").split(",")
+        if part.strip()
+    )
+    if not functionals or not checks or not components:
+        raise _UsageError("empty --functionals/--check/--components slice")
+    unknown = set(checks) - set(CHECKS)
+    if unknown:
+        raise _UsageError(f"unknown checks: {sorted(unknown)}")
+    unknown = set(components) - set(COMPONENTS)
+    if unknown:
+        raise _UsageError(f"unknown components: {sorted(unknown)}")
+
+    def on_cell(key, payload, from_store):
+        origin = " [store]" if from_store else ""
+        print(f"{payload_summary(key, payload)}{origin}")
+
+    result = run_numerics_campaign(
+        functionals,
+        components=components,
+        checks=checks,
+        max_workers=args.workers,
+        store=args.store_path,
+        resume=args.resume,
+        on_cell=on_cell,
+    )
+    table = table_three_from_cells(result.cells)
+    print(table.render())
+    print(
+        f"numerics campaign: {len(result.computed)} cells computed, "
+        f"{len(result.store_hits)} from store"
+        + (" [interrupted]" if result.interrupted else "")
+    )
+    if result.interrupted:
+        print(
+            "warning: interrupted before completion -- missing cells are "
+            "absent above; re-run with --store/--resume to continue",
+            file=sys.stderr,
+        )
+    if args.json_path:
+        write_json(args.json_path, table_three_to_json(table))
+        print(f"wrote {args.json_path}")
+    return 130 if result.interrupted else 0
 
 
 _COMMANDS = {

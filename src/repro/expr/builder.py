@@ -384,9 +384,15 @@ def ite(cond: Rel, then, orelse) -> Expr:
     orelse = as_expr(orelse)
     if then is orelse:
         return then
-    # decide constant conditions immediately
+    # decide constant conditions immediately -- by direct operand
+    # comparison, like every runtime decider (Rel.compare): the rounded
+    # difference turns two same-sign infinite operands into NaN and would
+    # fold to the wrong branch.  NaN operands stay unfolded (the
+    # evaluators' partial/total semantics differ there).
     if isinstance(cond.lhs, Const) and isinstance(cond.rhs, Const):
-        return then if cond.holds(cond.lhs.value - cond.rhs.value) else orelse
+        lhs_v, rhs_v = cond.lhs.value, cond.rhs.value
+        if not (math.isnan(lhs_v) or math.isnan(rhs_v)):
+            return then if cond.compare(lhs_v, rhs_v) else orelse
     return Ite(cond, then, orelse)
 
 

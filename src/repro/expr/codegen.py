@@ -10,6 +10,33 @@ for free -- and ``exec`` the resulting function once.
 Generated kernels accept scalars or broadcastable ``ndarray`` inputs and
 evaluate with ``errstate(all='ignore')`` so out-of-domain points yield
 NaN/inf instead of raising, mirroring how grid checkers treat them.
+
+IEEE-kernel semantics
+---------------------
+The compiled kernel is *total*: every input produces an IEEE value.  Where
+the scalar evaluator (:func:`repro.expr.evaluator.evaluate`) raises
+``EvalError`` (NaN in non-strict mode), the kernel silently continues:
+
+* ``np.power`` with a negative base and fractional exponent yields NaN
+  (the scalar evaluator raises); zero to a negative power yields inf;
+  finite operands overflowing yield inf (the scalar evaluator raises
+  ``OverflowError``).  :mod:`repro.numerics.hazards` classifies a hazard
+  witness by exactly this rule: a kernel evaluation that comes back NaN
+  or inf is a ``hazard``, a finite kernel value is ``benign``.
+* ``Ite`` compiles to ``np.where``: **both** branches are evaluated and
+  the untaken branch's NaN/inf never leaks into the result -- but also
+  never short-circuits, which is the ``branch_aware=False`` reachability
+  semantics of the hazard analysis.
+* Ite guards compare their operands **directly** (``lhs op rhs``), never
+  via the rounded difference ``(lhs - rhs) op 0``: for finite doubles the
+  two agree (gradual underflow makes ``lhs - rhs == 0`` iff
+  ``lhs == rhs`` and rounding preserves the difference's sign), but when
+  both operands overflow to the same infinity the subtraction
+  manufactures ``inf - inf = NaN``, every ``op 0`` test fails, and the
+  gap encoding silently takes the else branch where the direct
+  comparison still orders the operands correctly.  A NaN guard *operand*
+  makes the comparison False (else branch) here, while the scalar
+  evaluator raises -- the one remaining, deliberate divergence.
 """
 
 from __future__ import annotations
@@ -75,7 +102,13 @@ def compile_numpy(
 
     for node in expr.walk():
         if isinstance(node, Const):
-            memo[id(node)] = repr(node.value)
+            # repr() of the non-finite floats ("inf", "nan") is not a
+            # defined name inside the kernel; spell them as float() calls
+            value = node.value
+            if value != value or value in (float("inf"), float("-inf")):
+                memo[id(node)] = f"float({str(value)!r})"
+            else:
+                memo[id(node)] = repr(value)
             continue
         if isinstance(node, Var):
             memo[id(node)] = node.name
@@ -94,9 +127,12 @@ def compile_numpy(
         elif isinstance(node, Func):
             rhs = _FUNC_TEMPLATES[node.name].format(memo[id(node.arg)])
         elif isinstance(node, Ite):
+            # direct operand comparison, NOT "(lhs - rhs) op 0": when both
+            # operands overflow to the same infinity the subtraction is NaN
+            # and every comparison against 0 is False (wrong branch)
             cond = (
-                f"(({memo[id(node.cond.lhs)]}) - ({memo[id(node.cond.rhs)]}))"
-                f" {_OP_STR[node.cond.op]} 0"
+                f"({memo[id(node.cond.lhs)]})"
+                f" {_OP_STR[node.cond.op]} ({memo[id(node.cond.rhs)]})"
             )
             rhs = f"np.where({cond}, {memo[id(node.then)]}, {memo[id(node.orelse)]})"
         else:  # pragma: no cover - defensive
@@ -106,11 +142,18 @@ def compile_numpy(
 
     result = memo[id(expr)]
     body = "\n".join(lines) if lines else "    pass"
+    # broadcast the result to the inputs' common shape *without*
+    # arithmetic: the old "+ 0.0*(x+y)" trick poisoned every output to
+    # NaN whenever the inputs summed past the overflow boundary
+    # (0.0 * inf), which is exactly the regime the hazard analysis
+    # evaluates kernels in
+    shapes = ["np.shape(_res)"] + [f"np.shape({n})" for n in names]
     source = (
         f"def _kernel({', '.join(names)}):\n"
         "  with np.errstate(all='ignore'):\n"
         f"{body}\n"
-        f"    return np.asarray({result}, dtype=float) + 0.0*({'+'.join(names) if names else '0'})\n"
+        f"    _res = np.asarray({result}, dtype=float)\n"
+        f"    return np.broadcast_to(_res, np.broadcast_shapes({', '.join(shapes)})).copy()\n"
     )
     namespace = {"np": np, "_lambertw_real": _lambertw_real, "_erf": _erf}
     exec(compile(source, f"<repro-kernel-{id(expr)}>", "exec"), namespace)

@@ -137,10 +137,14 @@ def _eval_node(node: Expr, memo: dict[int, float], env: dict[str, float]) -> flo
     if isinstance(node, Func):
         return _eval_func(node.name, memo[id(node.arg)])
     if isinstance(node, Ite):
-        gap = memo[id(node.cond.lhs)] - memo[id(node.cond.rhs)]
-        if math.isnan(gap):
+        # direct operand comparison (not the rounded difference): identical
+        # for finite operands, and still orders two same-sign infinities,
+        # where the gap would be NaN -- mirrors the tape VM and the compiled
+        # kernel (see repro.expr.codegen, "IEEE-kernel semantics")
+        lhs, rhs = memo[id(node.cond.lhs)], memo[id(node.cond.rhs)]
+        if math.isnan(lhs) or math.isnan(rhs):
             raise EvalError("NaN in ite condition")
-        taken = node.then if node.cond.holds(gap) else node.orelse
+        taken = node.then if node.cond.compare(lhs, rhs) else node.orelse
         return memo[id(taken)]
     raise TypeError(f"cannot evaluate {type(node).__name__}")  # pragma: no cover
 

@@ -386,6 +386,25 @@ class Rel:
             return value > -tol
         return abs(value) <= tol
 
+    def compare(self, lhs: float, rhs: float) -> bool:
+        """Check the atom by direct comparison of the operand values.
+
+        Agrees with ``holds(lhs - rhs)`` at ``tol=0`` for finite operands,
+        and unlike the rounded difference stays correct when both operands
+        are the same infinity (``inf - inf`` is NaN and fails every
+        comparison).  This is how Ite guards are decided everywhere
+        (tree/tape scalar evaluators and the compiled NumPy kernel).
+        """
+        if self.op == "<=":
+            return lhs <= rhs
+        if self.op == "<":
+            return lhs < rhs
+        if self.op == ">=":
+            return lhs >= rhs
+        if self.op == ">":
+            return lhs > rhs
+        return lhs == rhs
+
     def __repr__(self) -> str:  # pragma: no cover
         from .printer import to_str
         return f"({to_str(self.lhs)} {self.op} {to_str(self.rhs)})"

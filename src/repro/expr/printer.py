@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import math
+
 from .nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Var
 
 
 def _fmt_const(value: float) -> str:
-    if value == int(value) and abs(value) < 1e16:
+    # non-finite constants (constant folding can produce inf) have no
+    # integer form; int(inf)/int(nan) would raise here
+    if math.isfinite(value) and value == int(value) and abs(value) < 1e16:
         return str(int(value))
     return repr(value)
 

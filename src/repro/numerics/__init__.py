@@ -26,6 +26,12 @@ methods to DFT, the analysis of *numerical* issues in DFA implementations:
   maps where each functional amplifies input noise.
 """
 
+from .campaign import (
+    NumericsCampaignResult,
+    NumericsConfig,
+    run_numerics_campaign,
+    run_numerics_cell,
+)
 from .continuity import BranchBoundary, ContinuityFinding, ContinuityReport, check_continuity
 from .hazards import Hazard, HazardReport, HazardVerdict, check_hazards, collect_hazards
 from .sensitivity import SensitivityMap, condition_number, sensitivity_map
@@ -40,6 +46,10 @@ __all__ = [
     "HazardVerdict",
     "check_hazards",
     "collect_hazards",
+    "NumericsCampaignResult",
+    "NumericsConfig",
+    "run_numerics_campaign",
+    "run_numerics_cell",
     "SensitivityMap",
     "condition_number",
     "sensitivity_map",

@@ -220,10 +220,18 @@ def _interned_var(expr: Expr, var_name: str) -> Var:
 
     Vars carry a ``nonneg`` tag in their intern key, so the derivative must
     be taken with respect to the exact tagged object the functional used.
+    Should an expression ever hold *both* tag variants of one name, the
+    choice is made deterministically (nonneg first): ``free_vars`` is a
+    set, and campaign workers must pick the same Var -- and therefore
+    compute the same slope surfaces -- as the sequential path, in every
+    process.
     """
-    for v in expr.free_vars():
-        if v.name == var_name:
-            return v
+    candidates = sorted(
+        (v for v in expr.free_vars() if v.name == var_name),
+        key=lambda v: not v.nonneg,
+    )
+    if candidates:
+        return candidates[0]
     return Var(var_name)
 
 

@@ -30,7 +30,12 @@ Two reachability semantics are offered, matching the two evaluators in
   branches of every Ite are always evaluated, so guards are ignored.
   This is the semantics under which SCAN's ``exp(-c/(alpha-1))`` branch
   divides by zero at alpha = 1 -- the very hazard that forced the rSCAN
-  redesigns the paper cites.
+  redesigns the paper cites.  In this mode witness validation also
+  evaluates the operand under the kernel's *total* IEEE semantics
+  (see "IEEE-kernel semantics" in :mod:`repro.expr.codegen`): a kernel
+  NaN counts as out-of-domain, while an overflow-to-inf the scalar
+  evaluator would refuse to produce is judged against the site's actual
+  domain predicate.
 """
 
 from __future__ import annotations
@@ -109,9 +114,36 @@ class Hazard:
             return (operand.lt(_LAMBERTW_MIN),)
         raise AssertionError(self.kind)  # pragma: no cover
 
-    def violated_exactly_at(self, point: dict[str, float], zero_tol: float) -> bool:
-        """Exact floating-point check that the operand leaves its domain."""
-        value = evaluate(self.operand, point)
+    def violated_exactly_at(
+        self,
+        point: dict[str, float],
+        zero_tol: float,
+        *,
+        kernel_semantics: bool = False,
+    ) -> bool:
+        """Exact floating-point check that the operand leaves its domain.
+
+        With ``kernel_semantics`` the operand is evaluated under the
+        compiled-kernel (total IEEE) semantics documented in
+        :mod:`repro.expr.codegen` instead of the partial scalar evaluator:
+        an operand the scalar evaluator refuses to evaluate (e.g. an
+        ``exp`` overflow, raised as ``OverflowError`` and mapped to NaN)
+        may be a perfectly in-domain ``inf`` in the kernel, and the
+        ``branch_aware=False`` analysis asks about the kernel.  Kernel
+        NaN (e.g. ``np.power`` on a negative base with a fractional
+        exponent, which the kernel yields silently) still counts as
+        out-of-domain: NaN fails every in-domain predicate.
+        """
+        if kernel_semantics:
+            import numpy as np
+
+            arg_order = tuple(
+                sorted(self.operand.free_vars(), key=lambda v: v.name)
+            )
+            fn = compile_numpy(self.operand, arg_order)
+            value = float(fn(*[np.asarray(point[v.name], dtype=float) for v in arg_order]))
+        else:
+            value = evaluate(self.operand, point)
         if math.isnan(value):
             return True  # the operand itself already fails to evaluate
         if self.kind == "log-domain":
@@ -130,13 +162,20 @@ class Hazard:
         raise AssertionError(self.kind)  # pragma: no cover
 
     def guards_hold_at(self, point: dict[str, float]) -> bool:
+        # guards are decided by direct operand comparison (Rel.compare),
+        # matching every Ite decider: the evaluated gap would turn two
+        # operands saturating to the same infinity into NaN and reject a
+        # genuinely reachable witness
         for rel in self.guards:
-            gap = evaluate(rel.gap(), point)
-            if math.isnan(gap) or not rel.holds(gap):
+            lhs = evaluate(rel.lhs, point)
+            rhs = evaluate(rel.rhs, point)
+            if math.isnan(lhs) or math.isnan(rhs) or not rel.compare(lhs, rhs):
                 return False
         for rel in self.excluded:
-            gap = evaluate(rel.gap(), point)
-            if math.isnan(gap) or rel.holds(gap):  # excluded == must NOT hold
+            lhs = evaluate(rel.lhs, point)
+            rhs = evaluate(rel.rhs, point)
+            # excluded == must NOT hold
+            if math.isnan(lhs) or math.isnan(rhs) or rel.compare(lhs, rhs):
                 return False
         return True
 
@@ -297,8 +336,13 @@ def check_hazards(
             )
 
         if not free:
-            # constant operand: decide exactly without the solver
-            triggered = hazard.violated_exactly_at({}, zero_tol=delta)
+            # constant operand: decide exactly without the solver, under
+            # the same evaluation semantics as witness validation (a
+            # var-free subterm can still overflow the scalar evaluator
+            # while the kernel's inf is perfectly in-domain)
+            triggered = hazard.violated_exactly_at(
+                {}, zero_tol=delta, kernel_semantics=not branch_aware
+            )
             status = "hazard" if triggered else "safe"
             report.verdicts.append(HazardVerdict(hazard, status))
             continue
@@ -322,9 +366,9 @@ def check_hazards(
 
         witness = dict(domain.midpoint())
         witness.update(result.model or {})
-        valid = hazard.violated_exactly_at(witness, zero_tol=delta) and (
-            not branch_aware or hazard.guards_hold_at(witness)
-        )
+        valid = hazard.violated_exactly_at(
+            witness, zero_tol=delta, kernel_semantics=not branch_aware
+        ) and (not branch_aware or hazard.guards_hold_at(witness))
         if not valid:
             report.verdicts.append(
                 HazardVerdict(
@@ -345,6 +389,11 @@ def check_hazards(
 
         args = [np.asarray(witness[v.name], dtype=float) for v in arg_order]
         value = float(fn(*args))
+        # IEEE-kernel semantics (expr/codegen.py): the kernel is total, so
+        # a triggered site is benign exactly when the whole expression
+        # still comes out finite; a kernel NaN -- including np.power's
+        # silent NaN on a negative base with a fractional exponent -- and
+        # an inf both mean the hazard reaches the result
         status = "benign" if math.isfinite(value) else "hazard"
         report.verdicts.append(
             HazardVerdict(hazard, status, witness, result.stats.boxes_processed)

@@ -68,6 +68,24 @@ class SensitivityMap:
         finite = grid[np.isfinite(grid)]
         return float(np.quantile(finite, q)) if finite.size else float("nan")
 
+    def stats(self, var: str) -> dict[str, float]:
+        """``max``/``median``/``q99`` of the finite kappa cells, one pass.
+
+        Bit-identical to calling :meth:`max_kappa` and :meth:`quantile`
+        separately -- this is the campaign payload's summary, filtered
+        once instead of three times per variable.
+        """
+        grid = self.kappa[var]
+        finite = grid[np.isfinite(grid)]
+        if not finite.size:
+            nan = float("nan")
+            return {"max": nan, "median": nan, "q99": nan}
+        return {
+            "max": float(finite.max()),
+            "median": float(np.quantile(finite, 0.5)),
+            "q99": float(np.quantile(finite, 0.99)),
+        }
+
     def summary(self) -> str:
         parts = []
         for var in sorted(self.kappa):

@@ -349,22 +349,49 @@ def _lambertw_scalar(x: float) -> float:
     return float(special("lambertw")(x).real)
 
 
-def _trig_range(x: Interval, fn, offset: float) -> Interval:
-    """Exact-ish range of sin/cos over an interval.
+#: largest endpoint magnitude for which the float critical-point enumeration
+#: below is trusted.  The enumerated extremum locations ``c + k*pi`` carry a
+#: rounding error of a few ulps of ``k*pi``; at magnitude M that error is
+#: ~M * 2**-51, the resulting extremum-value error is ~(M * 2**-51)**2 / 2,
+#: and the one-ulp outward rounding of the endpoint values (2**-53 at 1.0)
+#: only absorbs it while M stays below ~2**25.  2**20 leaves a 2**10 safety
+#: factor; beyond it sin/cos fall back to the trivially sound [-1, 1].
+_TRIG_ENUM_MAX = 2.0**20
 
-    sin attains extrema at pi/2 + k*pi; cos at k*pi.  We enumerate critical
-    points inside the interval (falling back to [-1, 1] for wide inputs).
+
+def _trig_range(x: Interval, fn, offset: float) -> Interval:
+    """Sound, near-exact range of sin/cos over an interval.
+
+    sin attains extrema at pi/2 + k*pi; cos at k*pi.  We enumerate the
+    critical points inside the interval and append their *exact* extremum
+    values (+/-1 by parity of k -- evaluating ``fn`` at the float-rounded
+    critical point would lose the extremum to cancellation), falling back
+    to [-1, 1] for wide inputs and for endpoint magnitudes beyond
+    :data:`_TRIG_ENUM_MAX`, where ``pi/2 + k*pi`` is no longer
+    representable to within the outward rounding (for very large inputs,
+    not even to within a period) and the enumeration would *exclude* true
+    extrema -- an unsound enclosure, the one thing this module must never
+    produce.  The enumeration window is widened by one index on each side
+    plus a few-ulp slack so quotient rounding can only ever *add* a
+    critical point, never miss one that truly lies inside.
     """
     if x.is_empty():
         return EMPTY
     if x.hi - x.lo >= 2.0 * math.pi or x.lo == -inf or x.hi == inf:
         return Interval(-1.0, 1.0)
+    if max(abs(x.lo), abs(x.hi)) > _TRIG_ENUM_MAX:
+        return Interval(-1.0, 1.0)
     values = [fn(x.lo), fn(x.hi)]
     # critical points of sin: pi/2 + k pi; of cos: k pi = pi/2 + k pi - pi/2
-    k_lo = math.ceil((x.lo - (math.pi / 2 - offset)) / math.pi)
-    k_hi = math.floor((x.hi - (math.pi / 2 - offset)) / math.pi)
+    c = math.pi / 2 - offset
+    k_lo = math.ceil((x.lo - c) / math.pi) - 1
+    k_hi = math.floor((x.hi - c) / math.pi) + 1
+    slack = 8.0 * math.ulp(max(abs(x.lo), abs(x.hi)) + 2.0 * math.pi)
     for k in range(k_lo, k_hi + 1):
-        values.append(fn(math.pi / 2 - offset + k * math.pi))
+        crit = c + k * math.pi
+        if x.lo - slack <= crit <= x.hi + slack:
+            # sin(pi/2 + k pi) = cos(k pi) = (-1)**k, exactly
+            values.append(1.0 if k % 2 == 0 else -1.0)
     lo = max(-1.0, _down(min(values)))
     hi = min(1.0, _up(max(values)))
     return Interval(lo, hi)

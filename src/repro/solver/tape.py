@@ -143,19 +143,6 @@ _BATCH_FUNC_BAD = (
 )
 
 
-def _cond_holds_batch(code: int, gap: np.ndarray) -> np.ndarray:
-    """Vectorised ``cond_holds`` at ``tol=0`` (NaN gaps handled by callers)."""
-    if code == COND_LE:
-        return gap <= 0.0
-    if code == COND_LT:
-        return gap < 0.0
-    if code == COND_GE:
-        return gap >= 0.0
-    if code == COND_GT:
-        return gap > 0.0
-    return np.abs(gap) <= 0.0
-
-
 def decide_cond(code: int, gap: Interval) -> bool | None:
     """Decide ``gap op 0`` over an interval, or None if undecided.
 
@@ -193,6 +180,31 @@ def cond_holds(code: int, value: float, tol: float = 0.0) -> bool:
     if code == COND_GT:
         return value > -tol
     return abs(value) <= tol
+
+
+def cond_compare(code: int, lhs: float, rhs: float) -> bool:
+    """Decide an Ite guard by direct IEEE comparison of its operands.
+
+    Equivalent to ``cond_holds(code, lhs - rhs)`` for finite operands (the
+    rounded difference of two finite doubles is zero exactly when they are
+    equal -- subtraction is exact in the subnormal range -- and otherwise
+    keeps the exact difference's sign), but stays correct when both
+    operands overflow to the same infinity, where the subtraction
+    manufactures ``inf - inf = NaN`` and every ``gap op 0`` test is False.
+    Callers must reject NaN operands first (every comparison below would
+    be False, silently selecting the else branch).  The comparisons
+    broadcast, so ndarray operands vectorise through the same code --
+    there is deliberately only one decider to diverge from.
+    """
+    if code == COND_LE:
+        return lhs <= rhs
+    if code == COND_LT:
+        return lhs < rhs
+    if code == COND_GE:
+        return lhs >= rhs
+    if code == COND_GT:
+        return lhs > rhs
+    return lhs == rhs
 
 
 # ---------------------------------------------------------------------------
@@ -1112,10 +1124,10 @@ class Tape:
                 slots[out] = acc
             else:  # OP_ITE
                 lhs, rhs, then, orelse = a
-                gap = slots[lhs] - slots[rhs]
-                if math.isnan(gap):
+                lv, rv = slots[lhs], slots[rhs]
+                if math.isnan(lv) or math.isnan(rv):
                     raise EvalError("NaN in ite condition")
-                slots[out] = slots[then] if cond_holds(b, gap) else slots[orelse]
+                slots[out] = slots[then] if cond_compare(b, lv, rv) else slots[orelse]
         return slots[self.root]
 
     def eval_scalar(self, env: dict[str, float]) -> float:
@@ -1195,10 +1207,11 @@ class Tape:
                     slots[out] = acc
                 else:  # OP_ITE
                     lhs, rhs, then, orelse = a
-                    gap = np.asarray(slots[lhs] - slots[rhs], dtype=np.float64)
-                    err = err | np.isnan(gap)
+                    lv = np.asarray(slots[lhs], dtype=np.float64)
+                    rv = np.asarray(slots[rhs], dtype=np.float64)
+                    err = err | np.isnan(lv) | np.isnan(rv)
                     slots[out] = np.where(
-                        _cond_holds_batch(b, gap), slots[then], slots[orelse]
+                        cond_compare(b, lv, rv), slots[then], slots[orelse]
                     )
         result = np.asarray(slots[self.root], dtype=np.float64)
         if shape is not None and result.shape != shape:

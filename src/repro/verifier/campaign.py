@@ -47,7 +47,81 @@ from .regions import RegionRecord, VerificationReport
 from .store import CampaignStore, open_store
 from .verifier import Verifier, VerifierConfig
 
-__all__ = ["CampaignResult", "dedupe_pairs", "run_campaign"]
+__all__ = ["CampaignResult", "dedupe_pairs", "drive_chunks", "run_campaign"]
+
+
+# ---------------------------------------------------------------------------
+# the shared chunk-dispatch loop
+# ---------------------------------------------------------------------------
+
+def drive_chunks(
+    chunks: Iterable[tuple],
+    worker: Callable,
+    absorb: Callable,
+    *,
+    max_workers: int | None = None,
+    executor: ProcessPoolExecutor | None = None,
+    prefer_pool: bool = False,
+) -> None:
+    """Run ``(tag, args)`` chunks over one shared work-pulling pool.
+
+    This is the campaign engine's scheduling core, shared by the
+    verification campaign and the numerics campaign: every chunk of every
+    cell goes into a single queue, ``worker(args)`` runs in a worker
+    process (it must be a picklable module-level function), and
+    ``absorb(tag, out)`` runs in the parent as results land -- returning
+    an iterable of *new* chunks to enqueue (spilled splits), so workers
+    pull fresh work the moment they finish instead of being pre-assigned
+    static shards.
+
+    ``max_workers`` <= 1 (with no ``executor``) runs everything
+    in-process through the identical worker/absorb code path -- fully
+    deterministic, no pickling.  A single seed chunk also stays
+    in-process unless ``prefer_pool`` says spills are expected to fan it
+    out.  An ``executor`` passed in is shared, not owned: the caller
+    keeps its lifecycle, so several campaigns can run over one pool.
+
+    KeyboardInterrupt is *not* caught here -- callers decide what a
+    partial campaign means.  On the way out an owned pool is shut down
+    with its queue cancelled; on a shared pool this run's still-queued
+    chunks are cancelled (chunks already executing run to completion,
+    their results discarded).
+    """
+    queue: deque = deque(chunks)
+    in_process = executor is None and (
+        (max_workers is not None and max_workers <= 1)
+        or (len(queue) <= 1 and not prefer_pool)
+    )
+    if in_process:
+        # same worker code path, no pool and no pickling
+        while queue:
+            tag, args = queue.popleft()
+            queue.extend(absorb(tag, worker(args)))
+        return
+    owns_executor = executor is None
+    if owns_executor:
+        executor = ProcessPoolExecutor(max_workers=max_workers)
+    futures: dict = {}
+    try:
+        # submit everything: the pool's internal queue IS the shared work
+        # queue -- idle workers pull the next chunk as they finish, and
+        # spilled splits join the queue as they appear
+        futures = {executor.submit(worker, args): tag for tag, args in queue}
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                tag = futures.pop(future)
+                for new_tag, args in absorb(tag, future.result()):
+                    futures[executor.submit(worker, args)] = new_tag
+    finally:
+        if owns_executor:
+            executor.shutdown(wait=False, cancel_futures=True)
+        else:
+            # a shared pool outlives this campaign: drop our queued chunks
+            # so an abandoned run does not keep burning the caller's
+            # workers (chunks already running finish and are discarded)
+            for future in futures:
+                future.cancel()
 
 
 # ---------------------------------------------------------------------------
@@ -507,36 +581,16 @@ def run_campaign(
         for cell in work_cells:
             chunks.extend(scheduler.chunk(cell, scheduler.top_units(cell, presplit_levels)))
 
-        in_process = executor is None and (
-            (max_workers is not None and max_workers <= 1)
-            or (len(chunks) <= 1 and steal_depth == 0)
+        drive_chunks(
+            chunks,
+            _campaign_worker,
+            scheduler.absorb,
+            max_workers=max_workers,
+            executor=executor,
+            # a single seed chunk still goes to the pool when spilling is
+            # on: its runtime splits are what fan out across workers
+            prefer_pool=steal_depth > 0,
         )
-        if in_process:
-            # same worker code path, no pool and no pickling
-            while chunks:
-                cell, args = chunks.popleft()
-                chunks.extend(scheduler.absorb(cell, _campaign_worker(args)))
-        else:
-            owns_executor = executor is None
-            if owns_executor:
-                executor = ProcessPoolExecutor(max_workers=max_workers)
-            try:
-                # submit everything: the pool's internal queue IS the shared
-                # work queue -- idle workers pull the next chunk as they
-                # finish, and spilled splits join the queue as they appear
-                futures = {
-                    executor.submit(_campaign_worker, args): cell
-                    for cell, args in chunks
-                }
-                while futures:
-                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        cell = futures.pop(future)
-                        for new_cell, args in scheduler.absorb(cell, future.result()):
-                            futures[executor.submit(_campaign_worker, args)] = new_cell
-            finally:
-                if owns_executor:
-                    executor.shutdown(wait=False, cancel_futures=True)
     except KeyboardInterrupt:
         result.interrupted = True
     finally:

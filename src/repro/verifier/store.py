@@ -136,18 +136,46 @@ def report_from_payload(payload: dict) -> VerificationReport:
 class CampaignStore:
     """Interface shared by the SQLite and JSONL backends.
 
-    A store maps content-hash keys to verification reports.  ``put`` is
-    durable on return (committed / flushed), which is the property the
-    resume machinery rests on.
+    A store maps content-hash keys to JSON-safe *cell payloads*.  The
+    original (and still primary) cell kind is the verification report,
+    accessed through :meth:`get`/:meth:`put`; analysis campaigns (the
+    Section VI-C numerics sweep) persist their own payload kinds through
+    the generic :meth:`get_payload`/:meth:`put_payload`, distinguished by
+    a ``"kind"`` entry -- report payloads carry none, so old stores read
+    back unchanged and mixed stores are fine.  ``put``/``put_payload``
+    are durable on return (committed / flushed), which is the property
+    the resume machinery rests on.
     """
 
     path: str
 
-    def get(self, key: str) -> VerificationReport | None:
+    def get_payload(self, key: str) -> dict | None:
         raise NotImplementedError
 
-    def put(self, key: str, report: VerificationReport) -> None:
+    def put_payload(
+        self, key: str, payload: dict, *, functional: str = "", condition_id: str = ""
+    ) -> None:
         raise NotImplementedError
+
+    def get(self, key: str) -> VerificationReport | None:
+        """The verification report stored under ``key``, if any.
+
+        Payloads of other kinds (numerics cells) return None: a key can
+        only ever hold the cell kind it was content-hashed for, so this
+        is a kind filter, not a collision risk.
+        """
+        payload = self.get_payload(key)
+        if payload is None or "kind" in payload:
+            return None
+        return report_from_payload(payload)
+
+    def put(self, key: str, report: VerificationReport) -> None:
+        self.put_payload(
+            key,
+            report_to_payload(report),
+            functional=report.functional_name,
+            condition_id=report.condition_id,
+        )
 
     def keys(self) -> list[str]:
         raise NotImplementedError
@@ -203,21 +231,23 @@ class SqliteStore(CampaignStore):
                 f"store {self.path} has schema v{row[0]}, expected v{SCHEMA_VERSION}"
             )
 
-    def get(self, key: str) -> VerificationReport | None:
+    def get_payload(self, key: str) -> dict | None:
         row = self._conn.execute(
             "SELECT payload FROM results WHERE key = ?", (key,)
         ).fetchone()
         if row is None:
             return None
-        return report_from_payload(json.loads(row[0]))
+        return json.loads(row[0])
 
-    def put(self, key: str, report: VerificationReport) -> None:
-        payload = json.dumps(report_to_payload(report), sort_keys=True)
+    def put_payload(
+        self, key: str, payload: dict, *, functional: str = "", condition_id: str = ""
+    ) -> None:
         self._conn.execute(
             "INSERT OR REPLACE INTO results"
             " (key, functional, condition_id, created_at, payload)"
             " VALUES (?, ?, ?, ?, ?)",
-            (key, report.functional_name, report.condition_id, time.time(), payload),
+            (key, functional, condition_id, time.time(),
+             json.dumps(payload, sort_keys=True)),
         )
         self._conn.commit()
 
@@ -279,20 +309,18 @@ class JsonlStore(CampaignStore):
             self._handle.write("\n")
             self._handle.flush()
 
-    def get(self, key: str) -> VerificationReport | None:
-        payload = self._entries.get(key)
-        if payload is None:
-            return None
-        return report_from_payload(payload)
+    def get_payload(self, key: str) -> dict | None:
+        return self._entries.get(key)
 
-    def put(self, key: str, report: VerificationReport) -> None:
-        payload = report_to_payload(report)
+    def put_payload(
+        self, key: str, payload: dict, *, functional: str = "", condition_id: str = ""
+    ) -> None:
         created = time.time()
         line = json.dumps(
             {
                 "key": key,
-                "functional": report.functional_name,
-                "condition": report.condition_id,
+                "functional": functional,
+                "condition": condition_id,
                 "created_at": created,
                 "payload": payload,
             },

@@ -197,6 +197,24 @@ class TestIte:
         e = b.ite(X.le(0.0), Const(1.0), Const(2.0))
         assert isinstance(e, Ite)
 
+    def test_infinite_constant_condition_folds_by_direct_comparison(self):
+        # both guard operands fold to Const(inf): the old gap-based fold
+        # computed inf - inf = NaN and took the else branch; direct
+        # comparison (inf <= inf) folds to the then branch, matching every
+        # runtime Ite decider
+        lhs = b.mul(Const(1e200), Const(1e200))   # folds to Const(inf)
+        rhs = b.mul(Const(2e200), Const(1e200))   # folds to Const(inf)
+        e = b.ite(lhs.le(rhs), Const(1.0), Const(-1.0))
+        assert e is Const(1.0)
+        e = b.ite(lhs.lt(rhs), Const(1.0), Const(-1.0))  # inf < inf: else
+        assert e is Const(-1.0)
+
+    def test_nan_constant_condition_stays_unfolded(self):
+        nan_const = b.mul(b.mul(Const(1e200), Const(1e200)), Const(0.0))
+        if isinstance(nan_const, Const):  # inf * 0 folded to Const(nan)
+            e = b.ite(nan_const.le(Const(0.0)), Const(1.0), Const(-1.0))
+            assert isinstance(e, Ite)
+
     def test_minimum_maximum(self):
         lo = b.minimum(X, 3.0)
         hi = b.maximum(X, 3.0)

@@ -113,3 +113,85 @@ class TestAgreementWithScalarEval:
                 assert float(k(*args)) == pytest.approx(
                     evaluate(fc, env), rel=1e-10
                 ), f"{f.name} kernel mismatch at {env}"
+
+
+class TestIteOverflowSemantics:
+    """Ite guards compare operands directly, never via ``(lhs - rhs) op 0``.
+
+    Regression for an unsound lowering: when both guard operands overflow
+    to the same infinity, ``inf - inf`` is NaN, every comparison against 0
+    is False, and the gap encoding silently took the else branch -- while
+    the scalar evaluator (which now also compares operands directly) still
+    orders the two infinities correctly.
+    """
+
+    def _both_inf_expr(self):
+        # at x >= 1e109, 1e200*x and 2e200*x both overflow to +inf (plain
+        # float multiplication saturates in the scalar evaluator too); the
+        # guard 1e200*x <= 2e200*x is true for every positive x
+        return b.ite(
+            b.mul(1e200, X).le(b.mul(2e200, X)), b.const(1.0), b.const(-1.0)
+        )
+
+    def test_overflowed_guard_takes_true_branch(self):
+        k = compile_numpy(self._both_inf_expr())
+        out = k(np.array([1e200, 1e308, 3.0]))
+        np.testing.assert_array_equal(out, [1.0, 1.0, 1.0])
+
+    def test_overflowed_guard_matches_scalar_evaluator(self):
+        e = self._both_inf_expr()
+        k = compile_numpy(e)
+        for x in (1e200, 1e308, 0.5, 3.0):
+            assert float(k(x)) == evaluate(e, {"x": x}), x
+
+    def test_scalar_tree_and_tape_agree_on_inf_operands(self):
+        from repro.expr.evaluator import evaluate_tree
+
+        e = self._both_inf_expr()
+        for x in (1e200, 1e308):
+            assert evaluate(e, {"x": x}) == 1.0
+            assert evaluate_tree(e, {"x": x}) == 1.0
+
+    def test_strict_inequality_on_equal_infinities(self):
+        # inf < inf is False: the else branch, in kernel and scalar alike
+        e = b.ite(
+            b.mul(1e200, X).lt(b.mul(2e200, X)), b.const(1.0), b.const(-1.0)
+        )
+        k = compile_numpy(e)
+        assert float(k(1e200)) == -1.0
+        assert evaluate(e, {"x": 1e200}) == -1.0
+        # ...while at finite scale the guard is genuinely strict
+        assert float(k(3.0)) == 1.0
+        assert evaluate(e, {"x": 3.0}) == 1.0
+
+    def test_nan_guard_operand_is_documented_divergence(self):
+        # kernel: NaN comparison is False -> else branch (total semantics);
+        # scalar evaluator: EvalError -> NaN (partial semantics)
+        e = b.ite(b.log(X).le(b.const(0.0)), b.const(1.0), b.const(-1.0))
+        k = compile_numpy(e)
+        assert float(k(-1.0)) == -1.0  # log(-1) = NaN -> else branch
+        assert math.isnan(evaluate(e, {"x": -1.0}))
+
+    def test_nonfinite_constants_compile(self):
+        # constant folding can produce Const(inf); repr(inf) = "inf" is
+        # not a defined name inside the kernel (was: NameError)
+        e = b.mul(b.const(1e200), b.const(1e200))  # folds to Const(inf)
+        k = compile_numpy(e, arg_order=(X,))
+        assert float(k(1.0)) == math.inf
+        assert evaluate(e, {"x": 1.0}) == math.inf
+        # ...and the printer no longer chokes on them (was: OverflowError)
+        from repro.expr.nodes import Const
+
+        assert repr(Const(math.inf)) == "inf"
+        assert repr(Const(math.nan)) == "nan"
+
+    def test_power_nan_semantics_documented(self):
+        # np.power(negative, fractional) is a silent NaN in the kernel;
+        # the scalar evaluator raises (NaN in non-strict mode)
+        e = b.pow_(X, 0.5)
+        k = compile_numpy(e)
+        assert math.isnan(float(k(-2.0)))
+        assert math.isnan(evaluate(e, {"x": -2.0}))
+        with pytest.raises(Exception):
+            evaluate(e, {"x": -2.0}, strict=True)
+        assert "IEEE-kernel semantics" in __import__("repro.expr.codegen", fromlist=["x"]).__doc__

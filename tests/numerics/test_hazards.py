@@ -154,6 +154,32 @@ class TestVerdicts:
         log_site = [v for v in report.verdicts if v.hazard.kind == "log-domain"]
         assert log_site[0].status == "safe"
 
+    def test_guards_hold_with_overflowed_operands(self):
+        # both guard operands saturate to +inf at the witness: the old
+        # gap-based check evaluated lhs - rhs = NaN and rejected the
+        # genuinely reachable point; direct comparison (inf <= inf) holds
+        big = b.mul(1e200, X)
+        bigger = b.mul(2e200, X)
+        hazard = Hazard("log-domain", X, guards=(big.le(bigger),))
+        assert hazard.guards_hold_at({"x": 1e200})
+        # strict ordering of equal infinities does not hold
+        strict = Hazard("log-domain", X, guards=(big.lt(bigger),))
+        assert not strict.guards_hold_at({"x": 1e200})
+
+    def test_constant_overflow_operand_follows_semantics(self):
+        # log(1 + exp(800)): the operand is var-free and overflows the
+        # scalar evaluator (NaN -> out-of-domain -> hazard under
+        # branch-aware semantics), while the kernel evaluates it to
+        # inf > 0 -- in-domain, so the ieee analysis proves it safe
+        expr = b.add(b.log(b.add(1.0, b.exp(b.const(800.0)))), X)
+        domain = _box(x=(0.0, 1.0))
+        ieee = check_hazards(expr, domain, branch_aware=False)
+        log_ieee = [v for v in ieee.verdicts if v.hazard.kind == "log-domain"]
+        assert [v.status for v in log_ieee] == ["safe"]
+        aware = check_hazards(expr, domain, branch_aware=True)
+        log_aware = [v for v in aware.verdicts if v.hazard.kind == "log-domain"]
+        assert [v.status for v in log_aware] == ["hazard"]
+
     def test_constant_operand_decided_without_solver(self):
         b.log(b.as_expr(-1.0) + 0.0 * X)  # constant -1 operand folds away
         # builder folds constants; craft explicitly:

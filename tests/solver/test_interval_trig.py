@@ -1,0 +1,105 @@
+"""Soundness of the sin/cos interval enclosures, including extreme arguments.
+
+Regression suite for an unsoundness in ``Interval._trig_range``: the
+critical points ``pi/2 + k*pi`` were enumerated in floating point, so for
+large-magnitude endpoints the enumerated "extrema" drifted by far more
+than the outward rounding and the returned enclosure could *exclude* the
+true maximum -- an unsound interval, the one thing the solver's numeric
+core must never produce.  Large arguments now fall back to the trivially
+sound [-1, 1].
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.interval import EMPTY, Interval, make
+from tests.support import hyp_examples
+
+#: slack for comparing against libm's sin/cos (<= 1 ulp error) on top of
+#: the enclosure's own 1-ulp outward rounding
+TOL = 4e-16
+
+
+class TestLargeArgumentRegression:
+    def test_large_magnitude_witness_contained(self):
+        # pre-fix: the enumerated "critical point" for this interval was
+        # garbage and the enclosure was [-0.73, -0.31], excluding
+        # sin(4543939896666394.0) = -0.9679... by 0.23
+        iv = make(4543939896666393.0, 4543939896666395.0).sin()
+        assert iv.contains(math.sin(4543939896666394.0))
+
+    def test_large_magnitude_falls_back_to_unit(self):
+        iv = make(2.0**53, 2.0**53 + 4.0).sin()
+        assert (iv.lo, iv.hi) == (-1.0, 1.0)
+        iv = make(-(2.0**53) - 4.0, -(2.0**53)).cos()
+        assert (iv.lo, iv.hi) == (-1.0, 1.0)
+
+    def test_huge_point_interval_sound(self):
+        x = 1e300
+        iv = make(x, x).sin()
+        assert iv.contains(math.sin(x)) or (iv.lo, iv.hi) == (-1.0, 1.0)
+
+    def test_infinite_endpoints(self):
+        assert (make(0.0, math.inf).sin().lo, make(0.0, math.inf).sin().hi) == (-1.0, 1.0)
+        assert (make(-math.inf, 0.0).cos().lo, make(-math.inf, 0.0).cos().hi) == (-1.0, 1.0)
+
+
+class TestSmallArgumentTightness:
+    def test_monotone_piece_is_endpoint_tight(self):
+        iv = make(0.0, 1.0).sin()
+        assert iv.lo <= 0.0 <= iv.hi
+        assert abs(iv.hi - math.sin(1.0)) < 1e-15
+
+    def test_interior_maximum_is_exact(self):
+        assert make(0.0, 4.0).sin().hi == 1.0
+        assert make(-1.0, 1.0).cos().hi == 1.0
+        assert make(3.0, 3.5).cos().lo == -1.0
+
+    def test_empty_propagates(self):
+        assert EMPTY.sin().is_empty()
+        assert EMPTY.cos().is_empty()
+
+
+@st.composite
+def trig_intervals(draw):
+    """Intervals across extreme magnitude scales, widths within a period."""
+    exponent = draw(st.floats(min_value=-10.0, max_value=200.0))
+    sign = draw(st.sampled_from([-1.0, 1.0]))
+    base = sign * (2.0**exponent) * (1.0 + draw(st.floats(0.0, 1.0)))
+    width = draw(st.floats(min_value=0.0, max_value=7.0))
+    lo, hi = (base, base + width) if sign > 0 else (base - width, base)
+    offset = draw(st.floats(min_value=0.0, max_value=1.0))
+    sample = lo + offset * (hi - lo)
+    if not (lo <= sample <= hi):
+        sample = lo
+    return lo, hi, sample
+
+
+class TestEnclosureProperty:
+    @settings(max_examples=hyp_examples(300), deadline=None)
+    @given(trig_intervals())
+    def test_sin_enclosure_contains_sampled_points(self, case):
+        lo, hi, sample = case
+        iv = make(lo, hi).sin()
+        value = math.sin(sample)
+        assert iv.lo - TOL <= value <= iv.hi + TOL, (lo, hi, sample, value, iv)
+
+    @settings(max_examples=hyp_examples(300), deadline=None)
+    @given(trig_intervals())
+    def test_cos_enclosure_contains_sampled_points(self, case):
+        lo, hi, sample = case
+        iv = make(lo, hi).cos()
+        value = math.cos(sample)
+        assert iv.lo - TOL <= value <= iv.hi + TOL, (lo, hi, sample, value, iv)
+
+    @settings(max_examples=hyp_examples(200), deadline=None)
+    @given(trig_intervals())
+    def test_enclosure_within_unit_range(self, case):
+        lo, hi, _ = case
+        for iv in (make(lo, hi).sin(), make(lo, hi).cos()):
+            assert isinstance(iv, Interval)
+            assert -1.0 <= iv.lo <= iv.hi <= 1.0

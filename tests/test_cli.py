@@ -265,3 +265,66 @@ class TestNumerics:
 
     def test_unknown_functional(self, capsys):
         assert main(["numerics", "-f", "NOPE"]) == 1
+
+
+class TestNumericsCampaign:
+    SLICE = ["numerics", "--all", "--functionals", "LYP,Wigner"]
+
+    def test_campaign_renders_table_three(self, capsys):
+        rc = main(self.SLICE + ["--check", "hazards,continuity"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "LYP/fc" in out and "Wigner/fc" in out
+        assert "6 cells computed" in out  # 2 x (continuity + hazards x 2)
+
+    def test_functionals_flag_implies_campaign(self, capsys):
+        rc = main(["numerics", "--functionals", "Wigner", "--check", "hazards"])
+        assert rc == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_store_resume_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "cells.jsonl")
+        json_a = str(tmp_path / "a.json")
+        json_b = str(tmp_path / "b.json")
+        args = self.SLICE + ["--check", "hazards", "--store", store]
+        assert main(args + ["--json", json_a]) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume", "--json", json_b]) == 0
+        out = capsys.readouterr().out
+        assert "0 cells computed, 4 from store" in out
+        with open(json_a) as a, open(json_b) as b:
+            assert a.read() == b.read()
+
+    def test_single_pair_and_campaign_flags_conflict(self, capsys):
+        assert main(["numerics", "-f", "PBE", "--all"]) == 1
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_component_flag_rejected_in_campaign_mode(self, capsys):
+        assert main(self.SLICE + ["--component", "fx"]) == 1
+        assert "--components" in capsys.readouterr().err
+
+    def test_campaign_flags_rejected_in_single_pair_mode(self, tmp_path, capsys):
+        """Silently ignoring --json/--store/--resume/--workers would drop
+        the artifacts a scripted caller depends on."""
+        for extra in (
+            ["--json", str(tmp_path / "t.json")],
+            ["--store", str(tmp_path / "s.jsonl")],
+            ["--store", str(tmp_path / "s.jsonl"), "--resume"],
+            ["--workers", "2"],
+            ["--components", "fc,fx"],
+        ):
+            assert main(["numerics", "-f", "Wigner"] + extra) == 1, extra
+            assert "campaign mode" in capsys.readouterr().err
+
+    def test_functional_or_campaign_required(self, capsys):
+        assert main(["numerics"]) == 1
+        assert "required" in capsys.readouterr().err
+
+    def test_resume_requires_store(self, capsys):
+        assert main(self.SLICE + ["--resume"]) == 1
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_unknown_component_rejected(self, capsys):
+        assert main(self.SLICE + ["--components", "zz"]) == 1
+        assert "unknown components" in capsys.readouterr().err
