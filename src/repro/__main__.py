@@ -4,4 +4,7 @@ import sys
 
 from .cli import main
 
-sys.exit(main())
+# guarded so spawn-context multiprocessing workers (which re-import the
+# parent's __main__ under the name "__mp_main__") never re-run the CLI
+if __name__ == "__main__":
+    sys.exit(main())

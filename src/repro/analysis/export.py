@@ -33,6 +33,7 @@ __all__ = [
     "report_to_json",
     "report_to_csv",
     "campaign_to_json",
+    "job_result_to_json",
     "write_csv",
     "write_json",
 ]
@@ -131,6 +132,17 @@ def table_three_to_json(table, indent: int | None = 2) -> str:
     CI-diffed artifact of the numerics-smoke job.
     """
     return json.dumps(table.as_dict(), indent=indent, sort_keys=True)
+
+
+def job_result_to_json(result: dict, indent: int | None = 2) -> str:
+    """Serialise a service job result (cells + provenance), canonically.
+
+    Sorted keys make the document diffable: two jobs over the same slice
+    against the same store state serialise identically whatever order
+    their cells resolved in -- the service differential corpus and the
+    ``service-smoke`` CI job compare these bytes directly.
+    """
+    return json.dumps(result, indent=indent, sort_keys=True)
 
 
 def write_json(path, text: str) -> None:

@@ -12,11 +12,14 @@ writing Python:
 ``table1`` / ``table2`` the paper's full tables (quick budgets by default)
 ``campaign``            arbitrary pair sets on the work-stealing scheduler
 ``numerics``            Section VI-C analyses: continuity, hazards, sensitivity
+``serve``               the resident verification service (HTTP job server)
+``submit``              submit a job to a running service and await it
 ======================  =====================================================
 
 ``table1``, ``table2`` and ``campaign`` accept ``--store PATH`` (persist
 every completed cell immediately; ``.jsonl`` selects the append-only
-checkpoint format, anything else SQLite) and ``--resume`` (serve
+checkpoint format, ``.sqlite``/``.sqlite3``/``.db`` SQLite; other
+suffixes are rejected) and ``--resume`` (serve
 unchanged cells from the store).  An interrupt (SIGINT / Ctrl-C) exits
 with status 130 after printing the partial table; everything completed
 is already in the store, so re-running with ``--resume`` continues where
@@ -201,13 +204,81 @@ def build_parser() -> argparse.ArgumentParser:
     p_num.add_argument(
         "--store", dest="store_path", default=None,
         help="persist completed analysis cells here (*.jsonl = append-only "
-        "checkpoints, else SQLite); written incrementally, safe to interrupt",
+        "checkpoints, *.sqlite/*.db = SQLite); written incrementally, "
+        "safe to interrupt",
     )
     p_num.add_argument(
         "--resume", action="store_true",
         help="serve cells already in --store (matched by content hash) "
         "instead of recomputing them",
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident verification service (HTTP job server)",
+    )
+    p_serve.add_argument(
+        "--store", dest="store_path", required=True,
+        help="the service's result store (*.jsonl / *.sqlite); every "
+        "completed cell persists here and is served as a cache hit "
+        "forever after -- across restarts and by --resume CLI campaigns",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 = ephemeral; the bound port is printed on startup)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="shared process-pool width for cell solves "
+        "(0 = compute inline in the server process)",
+    )
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="submit a job to a running service and stream its progress",
+    )
+    p_sub.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="service base URL (repro serve prints it on startup)",
+    )
+    p_sub.add_argument(
+        "--json", dest="json_path", default=None,
+        help="write the rendered table/report JSON (identical format to "
+        "the direct table1/numerics commands)",
+    )
+    p_sub.add_argument(
+        "--raw-json", dest="raw_json_path", default=None,
+        help="write the raw service result payload (cells + provenance)",
+    )
+    p_sub.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    job_sub = p_sub.add_subparsers(dest="job_kind", required=True)
+
+    ps_verify = job_sub.add_parser("verify", help="one (functional, condition) pair")
+    _add_pair_args(ps_verify)
+    ps_verify.add_argument("--budget", type=int, default=400)
+    ps_verify.add_argument("--global-budget", type=int, default=50_000)
+    ps_verify.add_argument("--threshold", type=float, default=0.05)
+    ps_verify.add_argument("--delta", type=float, default=1e-5)
+
+    ps_t1 = job_sub.add_parser("table1", help="a Table I verification slice")
+    ps_t1.add_argument("--functionals", default=None,
+                       help='comma-separated DFA subset (default: paper DFAs)')
+    ps_t1.add_argument("--conditions", default=None,
+                       help='comma-separated condition subset (default: all)')
+    ps_t1.add_argument("--budget", type=int, default=250)
+    ps_t1.add_argument("--global-budget", type=int, default=10_000)
+
+    ps_num = job_sub.add_parser("numerics", help="a numerics analysis slice")
+    ps_num.add_argument("--functionals", default=None,
+                        help="comma-separated DFA subset (default: all registered)")
+    ps_num.add_argument("--components", default="fc",
+                        help='comma-separated components, e.g. "fc,fx"')
+    ps_num.add_argument("--check", default=None,
+                        help="comma-separated subset of "
+                        "{continuity, hazards, sensitivity} (default: all)")
     return parser
 
 
@@ -232,7 +303,7 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store", dest="store_path", default=None,
         help="persist completed cells here (*.jsonl = append-only checkpoints, "
-        "else SQLite); written incrementally, safe to interrupt",
+        "*.sqlite/*.db = SQLite); written incrementally, safe to interrupt",
     )
     parser.add_argument(
         "--resume", action="store_true",
@@ -373,6 +444,21 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _check_store_path(path) -> None:
+    """Reject unknown store suffixes up front with a usage error, before
+    any compute happens (open_store itself raises only when the store is
+    first opened, which for campaigns is after encoding starts)."""
+    if path is None:
+        return
+    from .verifier.store import STORE_SUFFIXES
+
+    if not any(str(path).endswith(suffix) for suffix in STORE_SUFFIXES):
+        supported = ", ".join(sorted(STORE_SUFFIXES))
+        raise _UsageError(
+            f"unknown store suffix for {str(path)!r}: expected one of {supported}"
+        )
+
+
 def _resolve_campaign_slice(args):
     """Resolve the --functionals/--conditions subsets and --store/--resume."""
     from .conditions import get_condition
@@ -381,6 +467,7 @@ def _resolve_campaign_slice(args):
 
     if args.resume and not args.store_path:
         raise _UsageError("--resume requires --store")
+    _check_store_path(args.store_path)
     try:
         if args.functionals:
             functionals = tuple(
@@ -524,6 +611,11 @@ def _cmd_numerics(args) -> int:
                 "--component is single-pair only; campaigns take --components "
                 '(e.g. --components fc,fx)'
             )
+        if args.ieee:
+            raise _UsageError(
+                "--ieee is single-pair only; campaigns always run hazard "
+                "cells under both reachability semantics"
+            )
         return _cmd_numerics_campaign(args)
     if not args.functional:
         raise _UsageError("either -f/--functional or --all/--functionals is required")
@@ -603,6 +695,7 @@ def _cmd_numerics_campaign(args) -> int:
 
     if args.resume and not args.store_path:
         raise _UsageError("--resume requires --store")
+    _check_store_path(args.store_path)
     try:
         if args.functionals:
             functionals = [
@@ -665,6 +758,184 @@ def _cmd_numerics_campaign(args) -> int:
     return 130 if result.interrupted else 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service.server import serve
+
+    try:
+        return asyncio.run(
+            serve(
+                args.store_path,
+                host=args.host,
+                port=args.port,
+                max_workers=args.workers,
+            )
+        )
+    except ValueError as exc:  # e.g. unknown store suffix
+        raise _UsageError(str(exc)) from None
+    except OSError as exc:  # port in use, bind refused
+        raise _UsageError(f"cannot bind {args.host}:{args.port}: {exc}") from None
+
+
+def _split_names(text: str | None) -> list[str] | None:
+    if text is None:
+        return None
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    if not names:
+        raise _UsageError("empty name list")
+    return names
+
+
+def _submit_spec(args) -> dict:
+    """The job payload for the service, mirroring the direct commands'
+    defaults so service-rendered artifacts diff clean against them."""
+    if args.job_kind == "verify":
+        return {
+            "kind": "verify",
+            "functional": args.functional,
+            "condition": args.condition,
+            "config": {
+                "per_call_budget": args.budget,
+                "global_step_budget": args.global_budget,
+                "split_threshold": args.threshold,
+                "delta": args.delta,
+            },
+        }
+    if args.job_kind == "table1":
+        spec: dict = {
+            "kind": "table1",
+            "config": {
+                "per_call_budget": args.budget,
+                "global_step_budget": args.global_budget,
+            },
+        }
+        if args.functionals:
+            spec["functionals"] = _split_names(args.functionals)
+        if args.conditions:
+            spec["conditions"] = _split_names(args.conditions)
+        return spec
+    spec = {"kind": "numerics"}
+    if args.functionals:
+        spec["functionals"] = _split_names(args.functionals)
+    if args.components:
+        spec["components"] = _split_names(args.components)
+    if args.check:
+        spec["checks"] = _split_names(args.check)
+    return spec
+
+
+def _render_submit_result(args, result: dict) -> None:
+    """Rebuild the direct command's artifact from service cell payloads."""
+    from .analysis.export import write_json
+
+    cells = result["cells"]
+    if args.job_kind == "verify":
+        from .verifier.store import report_from_payload
+
+        for entry in cells.values():
+            if "payload" in entry:
+                print(report_from_payload(entry["payload"]).summary())
+        return
+    if args.job_kind == "table1":
+        from .analysis import table_one_from_reports
+        from .analysis.export import table_to_json
+        from .conditions import get_condition
+        from .conditions.catalog import PAPER_CONDITIONS
+        from .functionals import get_functional, paper_functionals
+        from .verifier.store import report_from_payload
+
+        functionals = (
+            tuple(get_functional(n) for n in _split_names(args.functionals))
+            if args.functionals
+            else paper_functionals()
+        )
+        conditions = (
+            tuple(get_condition(c) for c in _split_names(args.conditions))
+            if args.conditions
+            else PAPER_CONDITIONS
+        )
+        reports = {}
+        for entry in cells.values():
+            if "payload" in entry:
+                report = report_from_payload(entry["payload"])
+                reports[(report.functional_name, report.condition_id)] = report
+        table = table_one_from_reports(reports, functionals, conditions)
+        print(table.render())
+        if args.json_path:
+            write_json(args.json_path, table_to_json(table))
+            print(f"wrote {args.json_path}")
+        return
+    # numerics
+    from .analysis import table_three_from_cells, table_three_to_json
+
+    payloads = {
+        tuple(address.split("/")): entry["payload"]
+        for address, entry in cells.items()
+        if "payload" in entry
+    }
+    table = table_three_from_cells(payloads)
+    print(table.render())
+    if args.json_path:
+        write_json(args.json_path, table_three_to_json(table))
+        print(f"wrote {args.json_path}")
+
+
+def _cmd_submit(args) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    if args.json_path and args.job_kind == "verify":
+        raise _UsageError("--json renders tables; verify jobs print summaries")
+
+    last_line = [None]
+
+    def on_progress(event: dict) -> None:
+        if args.quiet:
+            return
+        sources = event["sources"]
+        line = (
+            f"progress: {event['resolved']}/{event['cells']} cells "
+            f"(computed {sources['computed']}, cache {sources['cache']}, "
+            f"coalesced {sources['coalesced']})"
+        )
+        if line != last_line[0]:
+            print(line, flush=True)
+            last_line[0] = line
+
+    try:
+        client = ServiceClient(args.url)
+        result = client.run(_submit_spec(args), on_progress=on_progress)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    sources = result["sources"]
+    print(
+        f"service job {result['id']} {result['state']}: "
+        f"{sources['computed']} computed, {sources['cache']} from cache, "
+        f"{sources['coalesced']} coalesced"
+    )
+    if args.raw_json_path:
+        from .analysis.export import job_result_to_json, write_json
+
+        write_json(args.raw_json_path, job_result_to_json(result))
+        print(f"wrote {args.raw_json_path}")
+    if result["state"] == "failed":
+        for address, entry in result["cells"].items():
+            if "error" in entry:
+                print(f"error: cell {address}: {entry['error']}", file=sys.stderr)
+        return 1
+    _render_submit_result(args, result)
+    if result["state"] == "cancelled":
+        print(
+            "warning: server drained before completion -- completed cells "
+            "are durable in its store; resubmit to continue",
+            file=sys.stderr,
+        )
+        return 130
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "verify": _cmd_verify,
@@ -674,6 +945,8 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "campaign": _cmd_campaign,
     "numerics": _cmd_numerics,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

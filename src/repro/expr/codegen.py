@@ -36,7 +36,19 @@ the scalar evaluator (:func:`repro.expr.evaluator.evaluate`) raises
   gap encoding silently takes the else branch where the direct
   comparison still orders the operands correctly.  A NaN guard *operand*
   makes the comparison False (else branch) here, while the scalar
-  evaluator raises -- the one remaining, deliberate divergence.
+  evaluator raises -- a deliberate divergence.
+* ``Pow`` values (and hence guard *operands* containing ``Pow``) may
+  differ from the scalar evaluator by an ulp: small integer exponents
+  lower to multiplication chains and larger ones to ``np.power``, while
+  the scalar evaluator goes through libm ``pow`` -- three rounding
+  strategies that disagree in the last place (``0.3**4``:
+  ``(x*x)*(x*x)`` and ``math.pow`` round up, ``np.power`` rounds down;
+  per-element libm in the kernel would defeat vectorisation, exactly
+  why the batched tape executor runs Pow per column on Python floats).
+  Direct comparison is therefore bit-identical between kernel and scalar
+  only for operands built from add/mul/const/var; a guard whose operands
+  contain ``Pow`` can pick the other branch at an exact tie (witness:
+  ``ite(x**3*y < x**4, 1, -1)`` at ``x = y = 0.3``).
 """
 
 from __future__ import annotations

@@ -60,6 +60,7 @@ __all__ = [
     "COMPONENTS",
     "NumericsCampaignResult",
     "NumericsConfig",
+    "cell_condition_id",
     "cell_content_key",
     "component_applies",
     "continuity_payload",
@@ -360,6 +361,16 @@ def run_numerics_cell(
     return payload
 
 
+def cell_condition_id(key: CellKey) -> str:
+    """The store's ``condition_id`` metadata column for one analysis cell.
+
+    Both the campaign's absorb loop and the verification service file
+    cells under this same ``component:check:semantics`` label, so a store
+    written by either is browsable by the other.
+    """
+    return f"{key[1]}:{key[2]}:{key[3]}"
+
+
 def _numerics_worker(args) -> list[tuple[CellKey, dict]]:
     """Run one chunk of analysis cells in a worker process."""
     config, items = args
@@ -494,7 +505,7 @@ def run_numerics_campaign(
                         content_key,
                         payload,
                         functional=key[0],
-                        condition_id=f"{key[1]}:{key[2]}:{key[3]}",
+                        condition_id=cell_condition_id(key),
                     )
                 if on_cell is not None:
                     on_cell(key, payload, False)

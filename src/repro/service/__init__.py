@@ -1,0 +1,45 @@
+"""Verification-as-a-service: a resident job server over the campaign engine.
+
+One-shot CLI campaigns recompute (or at best re-open the store) on every
+invocation and cannot serve many concurrent clients.  This package turns
+the campaign machinery into a long-running daemon:
+
+* :mod:`jobs <repro.service.jobs>` -- job descriptors (verify-pair,
+  Table I/II slices, numerics cells) that lower to the existing campaign
+  cells, keyed by the same content hashes as the result store, with
+  explicit job states and progress snapshots;
+* :mod:`scheduler <repro.service.scheduler>` -- the asyncio front-end:
+  concurrent jobs interleave fairly at chunk granularity over ONE shared
+  process pool, identical in-flight requests coalesce onto a single
+  computation, and completed cells are served straight from the store
+  without scheduling;
+* :mod:`server <repro.service.server>` -- the stdlib-only HTTP/NDJSON
+  API (``POST /jobs``, ``GET /jobs/<id>``, streaming progress, result
+  fetch) with graceful SIGTERM drain;
+* :mod:`client <repro.service.client>` -- the matching stdlib client,
+  wired to the ``repro serve`` / ``repro submit`` CLI subcommands.
+
+Results fetched through the service are bit-identical to the direct
+:func:`~repro.verifier.campaign.run_campaign` /
+:func:`~repro.numerics.campaign.run_numerics_campaign` paths regardless
+of concurrency, coalescing or cache state -- pinned by the differential
+corpus in ``tests/service/``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import Job, JobSpec, JobState, spec_from_payload
+from .scheduler import VerificationScheduler
+from .server import ServiceServer, ThreadedService, serve
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobState",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ThreadedService",
+    "VerificationScheduler",
+    "serve",
+    "spec_from_payload",
+]

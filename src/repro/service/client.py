@@ -1,0 +1,148 @@
+"""Stdlib client for the verification service.
+
+``http.client`` only -- one connection per request, matching the
+server's ``Connection: close`` framing.  Connection-level failures
+(refused, reset, timeout) raise :class:`ServiceError` with a one-line
+message; ``repro submit`` maps that to a clean nonzero exit instead of a
+traceback.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import urllib.parse
+from typing import Callable, Iterator
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A request could not be completed (connection or server error)."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talks to one service base URL, e.g. ``http://127.0.0.1:8642``."""
+
+    def __init__(self, url: str, timeout: float = 600.0):
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("http", ""):
+            raise ServiceError(f"unsupported URL scheme {parsed.scheme!r} in {url!r}")
+        if not parsed.hostname:
+            raise ServiceError(f"no host in service URL {url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self.url = f"http://{self.host}:{self.port}"
+
+    # -- plumbing ----------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        conn = self._connect()
+        try:
+            body = None if payload is None else json.dumps(payload).encode()
+            headers = {"Content-Type": "application/json"} if body else {}
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.url}: {exc}"
+                ) from None
+            return self._decode(response.status, data, path)
+        finally:
+            conn.close()
+
+    def _decode(self, status: int, data: bytes, path: str) -> dict:
+        try:
+            payload = json.loads(data.decode() or "null")
+        except json.JSONDecodeError:
+            payload = {"error": data.decode(errors="replace")[:200]}
+        if status >= 400:
+            message = (
+                payload.get("error", f"HTTP {status}")
+                if isinstance(payload, dict)
+                else f"HTTP {status}"
+            )
+            raise ServiceError(f"{path}: {message}", status=status)
+        return payload
+
+    # -- API ---------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: dict) -> dict:
+        """Submit a job spec; returns the initial progress snapshot."""
+        return self._request("POST", "/jobs", spec)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream the job's NDJSON progress snapshots until terminal."""
+        conn = self._connect()
+        try:
+            try:
+                conn.request("GET", f"/jobs/{job_id}/events")
+                response = conn.getresponse()
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.url}: {exc}"
+                ) from None
+            if response.status >= 400:
+                self._decode(response.status, response.read(), f"/jobs/{job_id}/events")
+            while True:
+                try:
+                    line = response.readline()
+                except (ConnectionError, socket.timeout, OSError) as exc:
+                    raise ServiceError(
+                        f"progress stream from {self.url} broke: {exc}"
+                    ) from None
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    # a line cut short by a server kill mid-write: the
+                    # stream is over, callers re-poll or error cleanly
+                    raise ServiceError(
+                        f"progress stream from {self.url} ended mid-line"
+                    ) from None
+        finally:
+            conn.close()
+
+    def run(
+        self,
+        spec: dict,
+        on_progress: Callable[[dict], None] | None = None,
+    ) -> dict:
+        """Submit, follow the progress stream, fetch the final result."""
+        snapshot = self.submit(spec)
+        job_id = snapshot["id"]
+        last = snapshot
+        for event in self.events(job_id):
+            last = event
+            if on_progress is not None:
+                on_progress(event)
+        if last["state"] not in ("done", "failed", "cancelled"):
+            # stream ended early (server drain mid-stream): poll once
+            last = self.job(job_id)
+        result = self.result(job_id)
+        return result

@@ -1,0 +1,421 @@
+"""Job descriptors of the verification service.
+
+A *job* is what a client submits: one verify-pair, a Table I/II slice, or
+a numerics slice.  Jobs lower to the exact cells the campaign engine
+already schedules -- (functional x condition) verification cells and
+(functional x component x check x semantics) analysis cells -- keyed by
+the **same** content hashes the campaign store files results under
+(:func:`repro.verifier.campaign.pair_content_key`,
+:func:`repro.numerics.campaign.cell_content_key`).  Sharing the key
+derivation is what makes the service a cache over the store instead of a
+parallel universe: a cell computed by ``repro table1 --store`` is a
+service cache hit, and a cell computed by the service resumes a later
+CLI campaign.
+
+The spec wire format is a plain JSON object::
+
+    {"kind": "verify",  "functional": "PBE", "condition": "EC1",
+     "config": {"per_call_budget": 250, "global_step_budget": 10000}}
+    {"kind": "table1",  "functionals": ["LYP", "Wigner"],
+     "conditions": ["EC1", "EC6"], "config": {...}}
+    {"kind": "numerics", "functionals": ["SCAN"], "components": ["fc"],
+     "checks": ["hazards"], "config": {"delta": 1e-9}}
+
+``config`` entries override fields of
+:class:`~repro.verifier.verifier.VerifierConfig` (verify/table1) or
+:class:`~repro.numerics.campaign.NumericsConfig` (numerics); unknown
+keys, names and kinds raise :class:`ValueError` -- the server maps that
+to a 400, never a half-lowered job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field, fields, replace
+
+from ..conditions.catalog import PAPER_CONDITIONS, applicable_pairs, get_condition
+from ..functionals.registry import all_functionals, get_functional, paper_functionals
+from ..numerics.campaign import (
+    CHECKS,
+    NumericsConfig,
+    cell_content_key,
+    numerics_cells,
+)
+from ..verifier.campaign import pair_content_key
+from ..verifier.verifier import VerifierConfig
+
+__all__ = [
+    "CellTask",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "spec_from_payload",
+]
+
+
+class JobState:
+    """Explicit job lifecycle states (plain strings on the wire)."""
+
+    PENDING = "pending"      # accepted, no cell dispatched yet
+    RUNNING = "running"      # at least one cell computing or queued
+    DONE = "done"            # every cell resolved successfully
+    FAILED = "failed"        # some cell raised; partial results retained
+    CANCELLED = "cancelled"  # server drained before all cells resolved
+
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One schedulable cell of a job.
+
+    ``content_key`` is the store/coalescing identity: two tasks with the
+    same key -- across jobs, clients and server restarts -- are the same
+    computation and may share one result.  ``address`` is the
+    human-facing cell name: ``(functional, condition)`` for verify cells,
+    ``(functional, component, check, semantics)`` for numerics cells.
+    """
+
+    kind: str  # "verify" | "numerics"
+    address: tuple[str, ...]
+    content_key: str
+    config: VerifierConfig | NumericsConfig
+
+    @property
+    def label(self) -> str:
+        return "/".join(self.address)
+
+
+def _apply_config(base, overrides: dict, what: str):
+    """Override dataclass fields from a JSON dict, rejecting unknown keys."""
+    if not overrides:
+        return base
+    if not isinstance(overrides, dict):
+        raise ValueError(f"{what} config must be an object, got {overrides!r}")
+    known = {f.name for f in fields(base)}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise ValueError(f"unknown {what} config keys: {unknown}")
+    return replace(base, **overrides)
+
+
+def _name_list(payload: dict, key: str, default: list[str] | None) -> list[str] | None:
+    value = payload.get(key, None)
+    if value is None:
+        return default
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(v, str) for v in value
+    ):
+        raise ValueError(f"{key} must be a list of names, got {value!r}")
+    return list(value)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated, registry-resolved job description.
+
+    Construction goes through :func:`spec_from_payload`; by the time a
+    spec exists every name resolved, every config key was recognised and
+    the cell list is non-empty, so lowering cannot fail downstream.
+    ``payload`` is the canonical wire form (echoed back to clients).
+    """
+
+    kind: str  # "verify" | "table1" | "numerics"
+    payload: dict
+    pairs: tuple[tuple[str, str], ...] = ()
+    vconfig: VerifierConfig | None = None
+    cells: tuple[tuple[str, str, str, str], ...] = ()
+    nconfig: NumericsConfig | None = None
+
+    def cell_tasks(self, key_cache: dict | None = None) -> list[CellTask]:
+        """Lower the spec to content-hash-keyed cells.
+
+        Key derivation needs the compiled tapes, which is the expensive
+        part of serving a warm request; ``key_cache`` (owned by the
+        scheduler, keyed on the cell address plus its semantic config)
+        amortises it across the server's lifetime.  That is sound in a
+        resident process: the tapes are pure functions of registry code,
+        which cannot change under a running interpreter.
+        """
+        tasks: list[CellTask] = []
+        if self.kind in ("verify", "table1"):
+            for fname, cid in self.pairs:
+                cache_key = ("verify", fname, cid, self.vconfig.semantic_key())
+                content_key = None if key_cache is None else key_cache.get(cache_key)
+                if content_key is None:
+                    content_key = pair_content_key(fname, cid, self.vconfig)
+                    if key_cache is not None:
+                        key_cache[cache_key] = content_key
+                tasks.append(
+                    CellTask("verify", (fname, cid), content_key, self.vconfig)
+                )
+        else:
+            for cell in self.cells:
+                fname, component, check, semantics = cell
+                cache_key = ("numerics", *cell, self.nconfig.semantic_key(check))
+                content_key = None if key_cache is None else key_cache.get(cache_key)
+                if content_key is None:
+                    content_key = cell_content_key(
+                        get_functional(fname), component, check, semantics,
+                        self.nconfig,
+                    )
+                    if key_cache is not None:
+                        key_cache[cache_key] = content_key
+                tasks.append(CellTask("numerics", cell, content_key, self.nconfig))
+        return tasks
+
+
+def spec_from_payload(payload: dict) -> JobSpec:
+    """Validate and resolve a client job payload into a :class:`JobSpec`.
+
+    Raises :class:`ValueError` with a one-line message on any problem:
+    unknown kind, unknown functional/condition/component/check name,
+    inapplicable verify pair, unknown config key, or an empty slice.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"job spec must be a JSON object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind not in ("verify", "table1", "numerics"):
+        raise ValueError(
+            f"unknown job kind {kind!r} (expected verify, table1 or numerics)"
+        )
+
+    try:
+        if kind == "verify":
+            vconfig = _apply_config(
+                VerifierConfig(), payload.get("config"), "verifier"
+            )
+            fname, cid = payload.get("functional"), payload.get("condition")
+            if not fname or not cid:
+                raise ValueError("verify jobs need 'functional' and 'condition'")
+            functional = get_functional(fname)
+            condition = get_condition(cid)
+            if not condition.applies_to(functional):
+                raise ValueError(
+                    f"{condition.cid} does not apply to {functional.name}"
+                )
+            return JobSpec(
+                kind=kind,
+                payload=_canonical(payload),
+                pairs=((functional.name, condition.cid),),
+                vconfig=vconfig,
+            )
+
+        if kind == "table1":
+            vconfig = _apply_config(
+                VerifierConfig(), payload.get("config"), "verifier"
+            )
+            names = _name_list(payload, "functionals", None)
+            cids = _name_list(payload, "conditions", None)
+            functionals = (
+                tuple(get_functional(n) for n in names)
+                if names is not None
+                else paper_functionals()
+            )
+            conditions = (
+                tuple(get_condition(c) for c in cids)
+                if cids is not None
+                else PAPER_CONDITIONS
+            )
+            # dict.fromkeys dedupes while preserving order: a duplicate
+            # name in the slice must not produce two cells with one
+            # address, or the job could never resolve all its cells
+            # (the direct path dedupes too, via dedupe_pairs)
+            pairs = tuple(dict.fromkeys(
+                (f.name, c.cid) for f, c in applicable_pairs(functionals, conditions)
+            ))
+            if not pairs:
+                raise ValueError("empty table1 slice: no applicable pairs")
+            return JobSpec(
+                kind=kind, payload=_canonical(payload), pairs=pairs, vconfig=vconfig
+            )
+
+        # kind == "numerics"
+        nconfig = _apply_config(
+            NumericsConfig(), payload.get("config"), "numerics"
+        )
+        names = _name_list(payload, "functionals", None)
+        functionals = (
+            [get_functional(n) for n in names]
+            if names is not None
+            else list(all_functionals())
+        )
+        components = tuple(dict.fromkeys(_name_list(payload, "components", ["fc"])))
+        checks = tuple(dict.fromkeys(_name_list(payload, "checks", list(CHECKS))))
+        # dedupe duplicate functional names for the same reason as table1
+        # pairs: one cell per address, or the job never terminates
+        cells = tuple(dict.fromkeys(numerics_cells(functionals, components, checks)))
+        if not cells:
+            raise ValueError("empty numerics slice: no applicable cells")
+        return JobSpec(
+            kind=kind, payload=_canonical(payload), cells=cells, nconfig=nconfig
+        )
+    except KeyError as exc:  # registry lookups raise KeyError with a message
+        raise ValueError(str(exc).strip('"')) from None
+
+
+def _canonical(payload: dict) -> dict:
+    """The spec as echoed back to clients (shallow copy, JSON-safe)."""
+    return {k: v for k, v in payload.items()}
+
+
+# ---------------------------------------------------------------------------
+# the job object
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Job:
+    """One submitted job: cells, per-cell provenance, progress snapshots.
+
+    Mutated only from the scheduler's event-loop thread, so readers on
+    that loop (the HTTP handlers) always see a consistent snapshot.
+    ``version`` bumps on every change; :meth:`wait_change` is what the
+    NDJSON progress stream blocks on.
+    """
+
+    id: str
+    spec: JobSpec
+    cells: list[CellTask]
+    state: str = JobState.PENDING
+    created_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+    payloads: dict[tuple[str, ...], dict] = field(default_factory=dict)
+    #: per-cell provenance: "computed" | "cache" | "coalesced"
+    sources: dict[tuple[str, ...], str] = field(default_factory=dict)
+    errors: dict[tuple[str, ...], str] = field(default_factory=dict)
+    cancelled_cells: list[tuple[str, ...]] = field(default_factory=list)
+    version: int = 0
+    _event: asyncio.Event | None = field(default=None, repr=False)
+
+    # -- mutation (event-loop thread only) ---------------------------------
+    def touch(self) -> None:
+        self.version += 1
+        if self._event is not None:
+            event, self._event = self._event, asyncio.Event()
+            event.set()
+
+    def complete_cell(self, cell: CellTask, payload: dict, source: str) -> None:
+        self.payloads[cell.address] = payload
+        self.sources[cell.address] = source
+        self._maybe_finish()
+        self.touch()
+
+    def fail_cell(self, cell: CellTask, error: str) -> None:
+        self.errors[cell.address] = error
+        self._maybe_finish()
+        self.touch()
+
+    def cancel_cell(self, cell: CellTask) -> None:
+        self.cancelled_cells.append(cell.address)
+        self._maybe_finish()
+        self.touch()
+
+    def _maybe_finish(self) -> None:
+        if self.resolved < len(self.cells):
+            self.state = JobState.RUNNING
+            return
+        if self.errors:
+            self.state = JobState.FAILED
+        elif self.cancelled_cells:
+            self.state = JobState.CANCELLED
+        else:
+            self.state = JobState.DONE
+        self.finished_at = time.time()
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def resolved(self) -> int:
+        return len(self.payloads) + len(self.errors) + len(self.cancelled_cells)
+
+    @property
+    def done(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def source_counts(self) -> dict[str, int]:
+        counts = {"computed": 0, "cache": 0, "coalesced": 0}
+        for source in self.sources.values():
+            counts[source] += 1
+        return counts
+
+    def progress(self) -> dict:
+        """JSON-safe progress snapshot (one NDJSON stream line)."""
+        return {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "state": self.state,
+            "version": self.version,
+            "cells": len(self.cells),
+            "resolved": self.resolved,
+            "sources": self.source_counts(),
+            "failed": len(self.errors),
+            "cancelled": len(self.cancelled_cells),
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+        }
+
+    def result_payload(self) -> dict:
+        """The full job result: every resolved cell's payload + provenance.
+
+        Cell payloads are exactly what the campaign paths produce
+        (:func:`~repro.verifier.store.report_to_payload` dicts for verify
+        cells, the numerics payload dicts for analysis cells), so a
+        client can rebuild reports/tables bit-identically.
+        """
+        cells = {}
+        for cell in self.cells:
+            address = cell.label
+            if cell.address in self.payloads:
+                cells[address] = {
+                    "source": self.sources[cell.address],
+                    "payload": self.payloads[cell.address],
+                }
+            elif cell.address in self.errors:
+                cells[address] = {"error": self.errors[cell.address]}
+            elif cell.address in self.cancelled_cells:
+                cells[address] = {"cancelled": True}
+        return {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "state": self.state,
+            "spec": self.spec.payload,
+            "sources": self.source_counts(),
+            "cells": cells,
+        }
+
+    async def wait_change(self, seen_version: int) -> None:
+        """Block until ``version`` moves past ``seen_version``.
+
+        Uses an event-chain: each :meth:`touch` replaces the event after
+        setting it, so every waiter wakes exactly once per change and
+        re-checks.  Terminal jobs never change again; callers check
+        :attr:`done` after waking.
+        """
+        while self.version == seen_version and not self.done:
+            if self._event is None:
+                self._event = asyncio.Event()
+            await self._event.wait()
+
+
+def attach_future(
+    job: Job,
+    cell: CellTask,
+    future: "asyncio.Future[dict]",
+    source: str,
+) -> None:
+    """Deliver a shared cell future's outcome into ``job`` when it lands.
+
+    ``source`` records provenance from this job's point of view: the job
+    that scheduled the computation sees ``"computed"``, jobs that
+    coalesced onto it see ``"coalesced"``.
+    """
+
+    def _on_done(fut: "asyncio.Future[dict]") -> None:
+        if fut.cancelled():
+            job.cancel_cell(cell)
+        elif fut.exception() is not None:
+            job.fail_cell(cell, f"{type(fut.exception()).__name__}: {fut.exception()}")
+        else:
+            job.complete_cell(cell, fut.result(), source)
+
+    future.add_done_callback(_on_done)

@@ -1,0 +1,365 @@
+"""The verification service's HTTP front door (stdlib only).
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` -- no
+framework, no dependency beyond the standard library, one connection per
+request.  The API:
+
+====================================  =====================================
+``GET  /healthz``                     liveness + store path + job counts
+``POST /jobs``                        submit a job spec (JSON body);
+                                      responds with the job snapshot
+``GET  /jobs``                        all job snapshots
+``GET  /jobs/<id>``                   one job's progress snapshot
+``GET  /jobs/<id>/events``            NDJSON stream: a snapshot per
+                                      progress change, ending when the
+                                      job reaches a terminal state
+``GET  /jobs/<id>/result``            the full result payload (409 until
+                                      the job is terminal)
+====================================  =====================================
+
+Errors are JSON ``{"error": ...}`` with 400 (bad spec), 404 (unknown
+job/route), 409 (result before completion) or 503 (submission during
+drain).
+
+**Graceful drain.**  SIGTERM/SIGINT drain the scheduler first -- new
+submissions get 503, executing cells finish (each commits to the store
+before its job sees the result), queued cells cancel, every job reaches
+a terminal state so progress streams end -- and only then close the
+listener and the store.  The ordering matters: streaming clients still
+hold connections the listener must answer (their final result fetch),
+and on Python >= 3.12.1 ``Server.wait_closed`` blocks on active
+connections, so closing the listener before the jobs terminate would
+deadlock the drain behind its own event streams.  Nothing in flight is
+lost beyond the cells that never started: a restarted server on the
+same store serves every completed cell as a cache hit, so clients
+simply resubmit (``tests/integration/test_service_resume.py`` pins
+this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+
+from ..verifier.store import open_store
+from .jobs import Job
+from .scheduler import SchedulerDraining, VerificationScheduler
+
+__all__ = ["ServiceServer", "ThreadedService", "serve"]
+
+_MAX_BODY = 8 * 1024 * 1024  # job specs are small; reject anything absurd
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceServer:
+    """The asyncio HTTP listener bound to one scheduler."""
+
+    def __init__(
+        self,
+        scheduler: VerificationScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port  # 0 = ephemeral; updated to the bound port on start
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request plumbing --------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                await self._route(method, path, body, writer)
+            except _HttpError as exc:
+                await self._send_json(
+                    writer, exc.status, {"error": str(exc)}
+                )
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass  # client went away mid-request/mid-stream
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader) -> tuple[str, str, bytes]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            # request head beyond the stream's 64 KiB limit: answer with
+            # a 400 instead of killing the handler task responselessly
+            raise _HttpError(400, "request head too large") from None
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(
+                400, f"malformed Content-Length {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise _HttpError(400, f"negative Content-Length {length}")
+        if length > _MAX_BODY:
+            raise _HttpError(400, f"request body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _send_json(self, writer, status: int, payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        await self._send_raw(writer, status, "application/json", body)
+
+    async def _send_raw(self, writer, status: int, ctype: str, body: bytes) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  409: "Conflict", 503: "Service Unavailable"}.get(status, "OK")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n".encode() + body
+        )
+        await writer.drain()
+
+    # -- routes ------------------------------------------------------------
+    async def _route(self, method: str, path: str, body: bytes, writer) -> None:
+        if method == "GET" and path == "/healthz":
+            jobs = self.scheduler.jobs()
+            await self._send_json(writer, 200, {
+                "status": "ok",
+                "store": self.scheduler._store.path,
+                "jobs": len(jobs),
+                "active": sum(1 for j in jobs if not j.done),
+            })
+            return
+        if method == "POST" and path == "/jobs":
+            try:
+                spec = json.loads(body.decode() or "null")
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise _HttpError(400, f"body is not valid JSON: {exc}") from None
+            try:
+                job = await self.scheduler.submit(spec)
+            except ValueError as exc:
+                raise _HttpError(400, str(exc)) from None
+            except SchedulerDraining as exc:
+                raise _HttpError(503, str(exc)) from None
+            await self._send_json(writer, 200, job.progress())
+            return
+        if method == "GET" and path == "/jobs":
+            await self._send_json(
+                writer, 200, {"jobs": [j.progress() for j in self.scheduler.jobs()]}
+            )
+            return
+        if method == "GET" and path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            job = self.scheduler.job(job_id)
+            if job is None:
+                raise _HttpError(404, f"unknown job {job_id!r}")
+            if tail == "":
+                await self._send_json(writer, 200, job.progress())
+                return
+            if tail == "result":
+                if not job.done:
+                    raise _HttpError(
+                        409, f"job {job_id} is {job.state}; result not ready"
+                    )
+                await self._send_json(writer, 200, job.result_payload())
+                return
+            if tail == "events":
+                await self._stream_events(writer, job)
+                return
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    async def _stream_events(self, writer, job: Job) -> None:
+        """NDJSON progress stream: one snapshot per change, then EOF.
+
+        The response is unframed (``Connection: close`` delimits it);
+        each line is flushed as it is produced so clients render progress
+        live.
+        """
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        while True:
+            snapshot = job.progress()
+            writer.write((json.dumps(snapshot, sort_keys=True) + "\n").encode())
+            await writer.drain()
+            if job.done:
+                return
+            await job.wait_change(snapshot["version"])
+
+
+async def serve(
+    store_path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_workers: int | None = 1,
+    ready: "asyncio.Event | None" = None,
+    stop: "asyncio.Event | None" = None,
+    server_box: list | None = None,
+) -> int:
+    """Run the service until SIGTERM/SIGINT, then drain gracefully.
+
+    Opens (or resumes) the store at ``store_path``, starts the scheduler
+    over one shared process pool (``max_workers=0`` computes inline) and
+    serves until ``stop`` is set -- by a signal handler when running on a
+    main thread, or programmatically (:class:`ThreadedService`).  On the
+    way out: the listener closes first (no new jobs), executing cells
+    finish and commit, queued cells cancel, the store closes last.
+    """
+    store = open_store(store_path)
+    scheduler = VerificationScheduler(store, max_workers=max_workers)
+    await scheduler.start()
+    server = ServiceServer(scheduler, host, port)
+    await server.start()
+    if server_box is not None:
+        server_box.append(server)
+
+    stop = stop or asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signame in ("SIGTERM", "SIGINT"):
+        try:
+            signum = getattr(signal, signame)
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or platform without signal support
+    print(
+        f"repro service listening on http://{server.host}:{server.port} "
+        f"(store: {store.path}, workers: {max_workers})",
+        flush=True,
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        await stop.wait()
+        print("repro service draining ...", file=sys.stderr, flush=True)
+        # Drain the scheduler FIRST, listener last.  The scheduler's
+        # draining flag already 503s new submissions, so keeping the
+        # listener up costs nothing -- while closing it first would be
+        # actively wrong twice over: (a) on Python >= 3.12.1
+        # Server.wait_closed blocks until every active connection
+        # finishes, and an open /events stream only finishes once drain
+        # cancels its job, a deadlock that quietly computes the whole
+        # remaining queue instead of cancelling it; (b) a streaming
+        # client that just saw its job go terminal still needs one more
+        # connection to fetch the partial result -- closed listener,
+        # connection refused, and the durable partial result is stranded.
+        await scheduler.drain()
+        await server.stop()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        store.close()
+    print("repro service stopped", file=sys.stderr, flush=True)
+    return 0
+
+
+class ThreadedService:
+    """Run the whole service on a background thread (tests, benchmarks,
+    embedding into an existing process).
+
+    The service's asyncio loop lives on the thread; :meth:`start` blocks
+    until the listener is bound and returns the base URL, :meth:`stop`
+    triggers the same graceful drain as SIGTERM and joins the thread.
+    """
+
+    def __init__(self, store_path, *, max_workers: int | None = 0,
+                 host: str = "127.0.0.1", port: int = 0):
+        self._store_path = store_path
+        self._max_workers = max_workers
+        self._host = host
+        self._port = port
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._server_box: list = []
+        self.url: str | None = None
+
+    def _main(self) -> None:
+        async def body():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            ready = asyncio.Event()
+
+            async def announce():
+                await ready.wait()
+                server = self._server_box[0]
+                self.url = f"http://{server.host}:{server.port}"
+                self._ready.set()
+
+            announcer = asyncio.create_task(announce())
+            try:
+                await serve(
+                    self._store_path,
+                    host=self._host,
+                    port=self._port,
+                    max_workers=self._max_workers,
+                    ready=ready,
+                    stop=self._stop,
+                    server_box=self._server_box,
+                )
+            finally:
+                announcer.cancel()
+                self._ready.set()  # unblock start() even on startup failure
+
+        asyncio.run(body())
+
+    def start(self) -> str:
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self.url is None:
+            self._thread.join(timeout=5)
+            raise RuntimeError(f"service failed to start on {self._store_path}")
+        return self.url
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed (startup failure path)
+        if self._thread is not None:
+            self._thread.join(timeout=120)
+
+    def __enter__(self) -> "ThreadedService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

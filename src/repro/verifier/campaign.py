@@ -47,7 +47,54 @@ from .regions import RegionRecord, VerificationReport
 from .store import CampaignStore, open_store
 from .verifier import Verifier, VerifierConfig
 
-__all__ = ["CampaignResult", "dedupe_pairs", "drive_chunks", "run_campaign"]
+__all__ = [
+    "CampaignResult",
+    "dedupe_pairs",
+    "drive_chunks",
+    "pair_content_key",
+    "run_campaign",
+]
+
+
+def pair_content_key(
+    functional,
+    condition,
+    config: VerifierConfig,
+    *,
+    presplit_levels: int = 0,
+    steal_depth: int = 0,
+    compiled: CompiledProblem | None = None,
+) -> str:
+    """Store key of one (functional, condition) campaign cell.
+
+    This is the key :func:`run_campaign` files completed cells under, and
+    the key the verification service coalesces concurrent requests on --
+    both must derive it identically or the service would recompute cells
+    the campaign already stored (or worse, serve one request's cell to a
+    semantically different one).  It covers the compiled tapes
+    bit-for-bit, the semantic verifier config, the scheduling knobs that
+    alter report *contents* (budget division across pre-split/spilled
+    units) and the pair's registry key, so two registry entries that
+    happen to encode to identical tapes stay separate cells.
+
+    ``compiled`` lets callers that already paid the encode + tape-compile
+    (the service's key cache, the campaign's payload build) reuse it.
+    """
+    if isinstance(functional, str):
+        functional = get_functional(functional)
+    if isinstance(condition, str):
+        condition = get_condition(condition)
+    if compiled is None:
+        compiled = compile_problem(encode(functional, condition))
+    return compiled.content_hash(
+        extra=(
+            *config.semantic_key(),
+            presplit_levels,
+            steal_depth,
+            functional.name,
+            condition.cid,
+        )
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -543,21 +590,16 @@ def run_campaign(
             compiled = None
             if store is not None:
                 # hashing needs the compiled tapes; compile once and reuse
-                # the object as the worker payload below
+                # the object as the worker payload below.  a key hit always
+                # implies a bit-identical report (see pair_content_key)
                 compiled = compile_problem(encode(functional, condition))
-                # the scheduling-policy knobs that alter report *contents*
-                # (budget division across pre-split/spilled units) and the
-                # pair key ride along with the semantic config, so a key
-                # hit always implies a bit-identical report -- two registry
-                # entries that happen to encode to identical tapes also
-                # stay separate cells (their stored reports carry names)
-                content_key = compiled.content_hash(
-                    extra=(
-                        *config.semantic_key(),
-                        presplit_levels,
-                        steal_depth,
-                        *key,
-                    )
+                content_key = pair_content_key(
+                    functional,
+                    condition,
+                    config,
+                    presplit_levels=presplit_levels,
+                    steal_depth=steal_depth,
+                    compiled=compiled,
                 )
                 result.cell_keys[key] = content_key
                 if resume:

@@ -22,8 +22,9 @@ campaign engine durable cells:
 Two interchangeable backends behind one interface, chosen by file suffix
 in :func:`open_store`:
 
-* SQLite (default) -- one ``results`` table, one committed transaction
-  per cell; concurrent readers are fine while a campaign writes;
+* SQLite (``*.sqlite`` / ``*.sqlite3`` / ``*.db``) -- one ``results``
+  table, one committed transaction per cell; WAL mode plus a busy
+  timeout keep concurrent readers working while a campaign writes;
 * JSONL (``*.jsonl``) -- an append-only checkpoint file, one JSON object
   per line, flushed per cell.  Human-greppable, trivially diffable, and
   crash-robust: a write cut short by a kill leaves a truncated last line,
@@ -35,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 import time
 from typing import Iterator
 
@@ -44,6 +46,7 @@ from .regions import Outcome, RegionRecord, VerificationReport
 __all__ = [
     "CampaignStore",
     "JsonlStore",
+    "STORE_SUFFIXES",
     "SqliteStore",
     "iter_reports",
     "open_store",
@@ -200,11 +203,38 @@ class CampaignStore:
 
 
 class SqliteStore(CampaignStore):
-    """SQLite-backed store: one committed transaction per completed cell."""
+    """SQLite-backed store: one committed transaction per completed cell.
+
+    Opened in WAL mode with a busy timeout, so a reader iterating reports
+    while a campaign (or the verification service) commits cells blocks
+    briefly instead of failing with "database is locked", and concurrent
+    readers proceed against the last committed snapshot.  One store
+    object may be shared across threads (the service's job threads all
+    write through one store): the connection is opened with
+    ``check_same_thread=False`` and every statement runs under an
+    internal lock.
+    """
+
+    #: how long a writer waits on a locked database before giving up
+    BUSY_TIMEOUT_SECONDS = 30.0
 
     def __init__(self, path: str):
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            self.path,
+            timeout=self.BUSY_TIMEOUT_SECONDS,
+            check_same_thread=False,
+        )
+        # WAL lets readers run against the last committed snapshot while
+        # a writer commits; the busy timeout covers the residual
+        # checkpoint/exclusive windows.  On filesystems that refuse WAL
+        # the pragma is a no-op and the busy timeout alone still protects
+        # readers.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(
+            f"PRAGMA busy_timeout={int(self.BUSY_TIMEOUT_SECONDS * 1000)}"
+        )
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS results ("
             " key TEXT PRIMARY KEY,"
@@ -232,9 +262,10 @@ class SqliteStore(CampaignStore):
             )
 
     def get_payload(self, key: str) -> dict | None:
-        row = self._conn.execute(
-            "SELECT payload FROM results WHERE key = ?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE key = ?", (key,)
+            ).fetchone()
         if row is None:
             return None
         return json.loads(row[0])
@@ -242,31 +273,35 @@ class SqliteStore(CampaignStore):
     def put_payload(
         self, key: str, payload: dict, *, functional: str = "", condition_id: str = ""
     ) -> None:
-        self._conn.execute(
-            "INSERT OR REPLACE INTO results"
-            " (key, functional, condition_id, created_at, payload)"
-            " VALUES (?, ?, ?, ?, ?)",
-            (key, functional, condition_id, time.time(),
-             json.dumps(payload, sort_keys=True)),
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results"
+                " (key, functional, condition_id, created_at, payload)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (key, functional, condition_id, time.time(),
+                 json.dumps(payload, sort_keys=True)),
+            )
+            self._conn.commit()
 
     def keys(self) -> list[str]:
-        return [
-            row[0]
-            for row in self._conn.execute(
-                "SELECT key FROM results ORDER BY created_at, key"
-            )
-        ]
+        with self._lock:
+            return [
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT key FROM results ORDER BY created_at, key"
+                )
+            ]
 
     def created_at(self, key: str) -> float | None:
-        row = self._conn.execute(
-            "SELECT created_at FROM results WHERE key = ?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT created_at FROM results WHERE key = ?", (key,)
+            ).fetchone()
         return None if row is None else row[0]
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
 
 class JsonlStore(CampaignStore):
@@ -279,6 +314,7 @@ class JsonlStore(CampaignStore):
 
     def __init__(self, path: str):
         self.path = str(path)
+        self._lock = threading.Lock()  # one writer at a time across threads
         self._entries: dict[str, dict] = {}
         self._created: dict[str, float] = {}
         needs_newline = False
@@ -326,11 +362,12 @@ class JsonlStore(CampaignStore):
             },
             sort_keys=True,
         )
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-        self._entries[key] = payload
-        self._created[key] = created
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._entries[key] = payload
+            self._created[key] = created
 
     def keys(self) -> list[str]:
         return list(self._entries)
@@ -342,15 +379,33 @@ class JsonlStore(CampaignStore):
         self._handle.close()
 
 
+#: recognised store file suffixes and the backends they select
+STORE_SUFFIXES: dict[str, type] = {
+    ".jsonl": JsonlStore,
+    ".sqlite": SqliteStore,
+    ".sqlite3": SqliteStore,
+    ".db": SqliteStore,
+}
+
+
 def open_store(path: str) -> CampaignStore:
     """Open (creating if needed) the store at ``path``.
 
-    ``*.jsonl`` selects the append-only JSONL backend; anything else gets
-    SQLite.
+    The backend is selected by file suffix: ``.jsonl`` is the append-only
+    JSONL checkpoint format; ``.sqlite`` / ``.sqlite3`` / ``.db`` select
+    SQLite.  Any other suffix (``.db.tmp``, an extensionless path, a
+    typo) raises :class:`ValueError` naming the supported suffixes --
+    silently defaulting a backend for e.g. a temp-file rename pattern
+    would create a store the next run cannot identify.
     """
-    if str(path).endswith(".jsonl"):
-        return JsonlStore(path)
-    return SqliteStore(path)
+    text = str(path)
+    for suffix, backend in STORE_SUFFIXES.items():
+        if text.endswith(suffix):
+            return backend(path)
+    supported = ", ".join(sorted(STORE_SUFFIXES))
+    raise ValueError(
+        f"unknown store suffix for {text!r}: expected one of {supported}"
+    )
 
 
 def iter_reports(store: CampaignStore) -> Iterator[tuple[str, VerificationReport]]:

@@ -1,0 +1,123 @@
+"""Integration: SIGTERM'd service drains gracefully and resumes losslessly.
+
+The service acceptance criterion, end to end with real processes and a
+real signal: a server killed mid-job exits cleanly with every completed
+cell durable; a restarted server on the same store serves those cells as
+cache hits, and the final client-rendered Table I is byte-identical to a
+direct (service-free) run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+SLICE = [
+    "--functionals", "LYP,VWN RPA,Wigner",
+    "--conditions", "EC1,EC6",
+    "--budget", "100",
+    "--global-budget", "2000",
+]
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _repro(args, **kwargs):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env=_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, **kwargs,
+    )
+
+
+def _start_server(store_path):
+    server = _repro(["serve", "--store", str(store_path), "--port", "0",
+                     "--workers", "0"])
+    line = server.stdout.readline()
+    match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+    assert match, f"no listening line from the server: {line!r}"
+    return server, match.group(1)
+
+
+def _line_count(path) -> int:
+    if not os.path.exists(path):
+        return 0
+    with open(path) as handle:
+        return sum(1 for _ in handle)
+
+
+def test_sigterm_drain_then_restart_resumes(tmp_path):
+    store = tmp_path / "service.jsonl"
+    direct_json = tmp_path / "direct.json"
+    served_json = tmp_path / "served.json"
+
+    # 0. the reference artifact from the direct, service-free path
+    direct = subprocess.run(
+        [sys.executable, "-m", "repro", "table1", *SLICE,
+         "--json", str(direct_json)],
+        env=_env(), capture_output=True, text=True, timeout=600,
+    )
+    assert direct.returncode == 0, direct.stderr
+
+    # 1. start the server, submit the 6-cell slice, SIGTERM once >= 1
+    #    cell is durable
+    server, url = _start_server(store)
+    try:
+        client = _repro(["submit", "--url", url, "table1", *SLICE])
+        deadline = time.time() + 300
+        while time.time() < deadline and _line_count(store) < 1:
+            time.sleep(0.1)
+        assert _line_count(store) >= 1, "no cell became durable in time"
+        server.send_signal(signal.SIGTERM)
+        out, err = server.communicate(timeout=120)
+        assert server.returncode == 0, f"drain was not graceful: {err}"
+        assert "draining" in err
+        client_out, client_err = client.communicate(timeout=120)
+    finally:
+        for proc in (server, client):
+            if proc.poll() is None:
+                proc.kill()
+    stored_before_restart = _line_count(store)
+    assert stored_before_restart >= 1
+
+    # the client either finished before the drain (0) or saw the job
+    # cancelled / the connection drop (nonzero) -- never a traceback
+    assert "Traceback" not in client_err, client_err
+
+    # 2. restart on the same store; the resubmitted job serves everything
+    #    already computed from cache and completes the rest
+    server, url = _start_server(store)
+    try:
+        resub = subprocess.run(
+            [sys.executable, "-m", "repro", "submit", "--url", url,
+             "--json", str(served_json), "table1", *SLICE],
+            env=_env(), capture_output=True, text=True, timeout=600,
+        )
+        assert resub.returncode == 0, resub.stderr
+        match = re.search(r"(\d+) computed, (\d+) from cache", resub.stdout)
+        assert match, resub.stdout
+        computed, cached = int(match.group(1)), int(match.group(2))
+        assert cached >= stored_before_restart
+        assert computed + cached == 6
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.communicate(timeout=120)
+        finally:
+            if server.poll() is None:
+                server.kill()
+
+    # 3. the service-rendered Table I is byte-identical to the direct run
+    with open(direct_json) as a, open(served_json) as b:
+        assert json.load(a) == json.load(b)
+    assert direct_json.read_bytes() == served_json.read_bytes()

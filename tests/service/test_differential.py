@@ -1,0 +1,257 @@
+"""THE service acceptance corpus: byte-identity to the direct campaign paths.
+
+Hammers a real server over localhost with duplicate and overlapping jobs
+and requires every payload it serves -- under concurrency, coalescing,
+warm cache, restarts and store sharing with CLI campaigns -- to be
+byte-identical to what :func:`repro.verifier.campaign.run_campaign` /
+:func:`repro.numerics.campaign.run_numerics_campaign` produce directly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.numerics.campaign import NumericsConfig, run_numerics_campaign
+from repro.service.client import ServiceClient
+from repro.service.server import ThreadedService
+from repro.verifier.campaign import run_campaign
+from repro.verifier.store import report_to_payload
+from repro.verifier.verifier import VerifierConfig
+
+CONFIG = {"per_call_budget": 100, "global_step_budget": 800}
+PAIRS = [("LYP", "EC1"), ("LYP", "EC6"), ("Wigner", "EC1"), ("Wigner", "EC6")]
+TABLE1_SPEC = {
+    "kind": "table1",
+    "functionals": ["LYP", "Wigner"],
+    "conditions": ["EC1", "EC6"],
+    "config": CONFIG,
+}
+
+NUM_CONFIG = {"n_base_points": 4, "bisection_steps": 12, "hazard_budget": 400}
+NUMERICS_SPEC = {
+    "kind": "numerics",
+    "functionals": ["Wigner", "PZ81"],
+    "checks": ["continuity", "hazards"],
+    "config": NUM_CONFIG,
+}
+
+
+def dumps(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def canon(payload: dict) -> str:
+    """Canonical bytes of a verify payload, wall-clock excluded.
+
+    ``elapsed_seconds`` is the one non-deterministic report field and is
+    deliberately outside bit-exact equality everywhere in this repo
+    (:meth:`VerificationReport.identical_to`); everything else -- boxes,
+    outcomes, models, child links, step counts -- must match exactly.
+    """
+    return dumps({k: v for k, v in payload.items() if k != "elapsed_seconds"})
+
+
+@pytest.fixture(scope="module")
+def verify_reference():
+    """Direct-path payloads, the bytes the service must reproduce."""
+    result = run_campaign(PAIRS, VerifierConfig(**CONFIG), max_workers=0)
+    return {
+        f"{fname}/{cid}": canon(report_to_payload(report))
+        for (fname, cid), report in result.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def numerics_reference():
+    result = run_numerics_campaign(
+        ["Wigner", "PZ81"],
+        checks=("continuity", "hazards"),
+        config=NumericsConfig(**NUM_CONFIG),
+        max_workers=0,
+    )
+    return {"/".join(key): dumps(payload) for key, payload in result.items()}
+
+
+def payload_bytes(result: dict) -> dict:
+    return {
+        address: dumps(entry["payload"])
+        for address, entry in result["cells"].items()
+        if "payload" in entry
+    }
+
+
+class TestVerifyDifferential:
+    def test_hammer_with_duplicates_and_overlaps(self, tmp_path, verify_reference):
+        """Concurrent duplicate + overlapping jobs; every payload byte-equal
+        to the direct path; every distinct cell computed at most once."""
+        overlap_spec = {
+            "kind": "verify", "functional": "Wigner", "condition": "EC1",
+            "config": CONFIG,
+        }
+        with ThreadedService(tmp_path / "svc.jsonl", max_workers=0) as svc:
+            results: dict = {}
+
+            def submit(tag, spec):
+                results[tag] = ServiceClient(svc.url, timeout=300).run(spec)
+
+            threads = [
+                threading.Thread(target=submit, args=(f"t{i}", TABLE1_SPEC))
+                for i in range(3)
+            ] + [
+                threading.Thread(target=submit, args=(f"v{i}", overlap_spec))
+                for i in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            assert not any(t.is_alive() for t in threads), "client hung"
+
+        assert len(results) == 5
+        computed_total = 0
+        for tag, result in results.items():
+            assert result["state"] == "done", (tag, result["sources"])
+            for address, entry in result["cells"].items():
+                assert canon(entry["payload"]) == verify_reference[address], (
+                    f"{tag} served a payload differing from the direct "
+                    f"campaign path at {address}"
+                )
+            computed_total += result["sources"]["computed"]
+        # single-flight: 4 distinct cells across all five jobs, each
+        # computed exactly once, everything else coalesced or cached
+        assert computed_total == len(PAIRS)
+        # coalesced/cached jobs share the one computation's payload to the
+        # byte -- wall-clock included, because it IS the same result
+        table1_results = [results[f"t{i}"] for i in range(3)]
+        raw = [payload_bytes(result) for result in table1_results]
+        assert raw[0] == raw[1] == raw[2]
+
+    def test_warm_cache_across_restart(self, tmp_path, verify_reference):
+        store = tmp_path / "svc.jsonl"
+        with ThreadedService(store, max_workers=0) as svc:
+            first = ServiceClient(svc.url, timeout=300).run(TABLE1_SPEC)
+        assert first["sources"]["computed"] == 4
+        # a fresh server process state, same store: everything is a hit
+        with ThreadedService(store, max_workers=0) as svc:
+            second = ServiceClient(svc.url, timeout=300).run(TABLE1_SPEC)
+        assert second["sources"] == {"computed": 0, "cache": 4, "coalesced": 0}
+        # store hits are the first run's bytes, wall-clock included
+        assert payload_bytes(second) == payload_bytes(first)
+        for address, entry in second["cells"].items():
+            assert canon(entry["payload"]) == verify_reference[address]
+
+    def test_store_shared_with_cli_campaign(self, tmp_path, verify_reference):
+        """Cells computed by a --store CLI campaign are service cache hits
+        (same content keys), and vice versa."""
+        store = tmp_path / "shared.jsonl"
+        run_campaign(PAIRS[:2], VerifierConfig(**CONFIG), max_workers=0,
+                     store=store)
+        with ThreadedService(store, max_workers=0) as svc:
+            result = ServiceClient(svc.url, timeout=300).run(TABLE1_SPEC)
+        assert result["sources"]["cache"] == 2
+        assert result["sources"]["computed"] == 2
+        for address, entry in result["cells"].items():
+            assert canon(entry["payload"]) == verify_reference[address]
+        # and the service-computed cells now resume a direct campaign
+        resumed = run_campaign(PAIRS, VerifierConfig(**CONFIG), max_workers=0,
+                               store=store, resume=True)
+        assert sorted(resumed.store_hits) == sorted(PAIRS)
+
+
+class TestNumericsDifferential:
+    def test_duplicate_numerics_jobs(self, tmp_path, numerics_reference):
+        with ThreadedService(tmp_path / "svc.jsonl", max_workers=0) as svc:
+            results: dict = {}
+
+            def submit(tag):
+                results[tag] = ServiceClient(svc.url, timeout=300).run(
+                    NUMERICS_SPEC)
+
+            threads = [
+                threading.Thread(target=submit, args=(f"n{i}",))
+                for i in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            assert not any(t.is_alive() for t in threads), "client hung"
+
+        cells = set(numerics_reference)
+        computed_total = 0
+        for tag, result in results.items():
+            assert result["state"] == "done"
+            got = payload_bytes(result)
+            assert set(got) == cells
+            for address, payload in got.items():
+                assert payload == numerics_reference[address], (
+                    f"{tag}: {address} differs from run_numerics_campaign"
+                )
+            computed_total += result["sources"]["computed"]
+        assert computed_total == len(cells)
+
+    def test_store_shared_with_numerics_campaign(self, tmp_path,
+                                                 numerics_reference):
+        store = tmp_path / "shared.jsonl"
+        run_numerics_campaign(
+            ["Wigner"], checks=("continuity",),
+            config=NumericsConfig(**NUM_CONFIG), max_workers=0, store=store,
+        )
+        with ThreadedService(store, max_workers=0) as svc:
+            result = ServiceClient(svc.url, timeout=300).run(NUMERICS_SPEC)
+        assert result["sources"]["cache"] == 1  # the Wigner continuity cell
+        for address, got in payload_bytes(result).items():
+            assert got == numerics_reference[address]
+        # service-computed cells serve a later --resume campaign
+        resumed = run_numerics_campaign(
+            ["Wigner", "PZ81"], checks=("continuity", "hazards"),
+            config=NumericsConfig(**NUM_CONFIG), max_workers=0,
+            store=store, resume=True,
+        )
+        assert len(resumed.store_hits) == len(numerics_reference)
+        assert not resumed.computed
+
+
+class TestCliArtifacts:
+    def test_submit_table1_json_identical_to_direct(self, tmp_path, capsys):
+        """`repro submit table1 --json` == `repro table1 --json`, byte for
+        byte -- the CI service-smoke diff, in-process."""
+        from repro.cli import main
+
+        direct_json = tmp_path / "direct.json"
+        served_json = tmp_path / "served.json"
+        slice_args = [
+            "--functionals", "LYP,Wigner", "--conditions", "EC1,EC6",
+            "--budget", "100", "--global-budget", "800",
+        ]
+        assert main(["table1", *slice_args, "--json", str(direct_json)]) == 0
+        with ThreadedService(tmp_path / "svc.jsonl", max_workers=0) as svc:
+            rc = main([
+                "submit", "--url", svc.url, "--json", str(served_json),
+                "table1", *slice_args,
+            ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "Table I" in out
+        assert served_json.read_bytes() == direct_json.read_bytes()
+
+    def test_submit_numerics_json_identical_to_direct(self, tmp_path, capsys):
+        from repro.cli import main
+
+        direct_json = tmp_path / "direct3.json"
+        served_json = tmp_path / "served3.json"
+        slice_args = ["--functionals", "Wigner", "--check", "continuity"]
+        assert main([
+            "numerics", "--all", *slice_args, "--json", str(direct_json),
+        ]) == 0
+        with ThreadedService(tmp_path / "svc.jsonl", max_workers=0) as svc:
+            rc = main([
+                "submit", "--url", svc.url, "--json", str(served_json),
+                "numerics", *slice_args,
+            ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert served_json.read_bytes() == direct_json.read_bytes()

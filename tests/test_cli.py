@@ -328,3 +328,96 @@ class TestNumericsCampaign:
     def test_unknown_component_rejected(self, capsys):
         assert main(self.SLICE + ["--components", "zz"]) == 1
         assert "unknown components" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """Process-level contract: clean one-line errors, never tracebacks.
+
+    Scripted callers (CI, the service smoke) branch on these exit codes:
+    2 = argparse usage error, 1 = runtime usage/connection error,
+    0 = success.
+    """
+
+    @staticmethod
+    def _run_module(args):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = (
+            os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+
+    def test_no_subcommand_exits_2_with_usage(self):
+        proc = self._run_module([])
+        assert proc.returncode == 2
+        assert "usage:" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_no_subcommand_in_process(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_submit_against_dead_server_exits_1(self):
+        # grab a port nothing listens on
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        proc = self._run_module([
+            "submit", "--url", f"http://127.0.0.1:{port}",
+            "verify", "-f", "Wigner", "-c", "EC1",
+        ])
+        assert proc.returncode == 1
+        assert "error: cannot reach service" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_submit_against_dead_server_in_process(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        rc = main([
+            "submit", "--url", f"http://127.0.0.1:{port}",
+            "table1", "--functionals", "Wigner", "--conditions", "EC1",
+        ])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "cannot reach service" in err
+
+    def test_submit_requires_job_kind(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["submit"])
+        assert exc.value.code == 2
+
+    def test_unknown_store_suffix_is_usage_error(self, tmp_path, capsys):
+        for args in (
+            ["table1", "--store", str(tmp_path / "s.tmp")],
+            ["campaign", "--store", str(tmp_path / "s")],
+            ["numerics", "--all", "--store", str(tmp_path / "s.db.tmp")],
+        ):
+            assert main(args) == 1, args
+            err = capsys.readouterr().err
+            assert "unknown store suffix" in err
+            assert ".jsonl" in err and ".sqlite" in err
+
+    def test_serve_unknown_store_suffix_is_usage_error(self, tmp_path, capsys):
+        assert main(["serve", "--store", str(tmp_path / "s.tmp"),
+                     "--port", "0"]) == 1
+        assert "unknown store suffix" in capsys.readouterr().err
+
+    def test_numerics_ieee_rejected_in_campaign_mode(self, capsys):
+        assert main(["numerics", "--all", "--ieee"]) == 1
+        assert "single-pair only" in capsys.readouterr().err

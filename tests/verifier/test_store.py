@@ -193,3 +193,111 @@ class TestContentKeys:
             for name in ("PBE", "LYP", "VWN RPA")
         }
         assert len(set(keys.values())) == 3
+
+
+class TestOpenStoreSuffixes:
+    def test_known_suffixes_select_backends(self, tmp_path):
+        from repro.verifier.store import STORE_SUFFIXES
+
+        for suffix, backend in STORE_SUFFIXES.items():
+            store = open_store(tmp_path / f"s{suffix}")
+            assert isinstance(store, backend), suffix
+            store.close()
+
+    @pytest.mark.parametrize("name", ["store.db.tmp", "store", "store.json",
+                                      "store.sqlite.bak"])
+    def test_unknown_suffix_raises_naming_supported(self, tmp_path, name):
+        with pytest.raises(ValueError) as exc:
+            open_store(tmp_path / name)
+        message = str(exc.value)
+        assert "unknown store suffix" in message
+        for suffix in (".jsonl", ".sqlite", ".sqlite3", ".db"):
+            assert suffix in message
+        # nothing was created on disk for the rejected path
+        assert not (tmp_path / name).exists()
+
+
+class TestConcurrentAccess:
+    """Satellite: WAL + busy timeout keep readers alive during commits.
+
+    Before the hardening a second connection reading while a writer
+    committed could fail with "database is locked"; WAL gives readers the
+    last committed snapshot and the busy timeout absorbs checkpoints.
+    """
+
+    def test_sqlite_reader_during_writer_commits(self, tmp_path):
+        import threading
+
+        path = tmp_path / "store.sqlite"
+        report = _tricky_report()
+        writer = open_store(path)
+        writer.put("seed", report)
+        reader = open_store(path)  # separate connection, same file
+
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def write_loop():
+            try:
+                for i in range(60):
+                    writer.put(f"cell-{i}", report)
+            except BaseException as exc:
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def read_loop():
+            try:
+                while not stop.is_set():
+                    for _key, restored in iter_reports(reader):
+                        assert restored.condition_id == report.condition_id
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write_loop),
+                   threading.Thread(target=read_loop)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, f"concurrent access failed: {errors!r}"
+        writer.close()
+        # after the dust settles the reader sees every committed cell
+        assert len(reader.keys()) == 61
+        reader.close()
+
+    @pytest.mark.parametrize("suffix", [".sqlite", ".jsonl"])
+    def test_one_store_shared_across_threads(self, tmp_path, suffix):
+        """The service's job threads all write through one store object."""
+        import threading
+
+        report = _tricky_report()
+        with open_store(tmp_path / f"store{suffix}") as store:
+            errors: list[BaseException] = []
+
+            def hammer(worker: int):
+                try:
+                    for i in range(20):
+                        store.put(f"w{worker}-c{i}", report)
+                        assert store.get(f"w{worker}-c{i}") is not None
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer, args=(w,))
+                       for w in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors, f"shared-store access failed: {errors!r}"
+            assert len(store.keys()) == 80
+
+    def test_wal_mode_enabled(self, tmp_path):
+        store = open_store(tmp_path / "store.sqlite")
+        try:
+            (mode,) = store._conn.execute("PRAGMA journal_mode").fetchone()
+            assert mode.lower() == "wal"
+            (busy,) = store._conn.execute("PRAGMA busy_timeout").fetchone()
+            assert busy >= 1000
+        finally:
+            store.close()
