@@ -278,6 +278,331 @@ def test_campaign_work_stealing_correctness_any_cpu():
         assert report.identical_to(stealing.reports[key]), key
 
 
+def _split_domain(domain, width):
+    boxes = [domain]
+    while len(boxes) < width:
+        boxes = [half for box in boxes for half in box.split()]
+    return boxes[:width]
+
+
+def _assert_batches_identical(got, want):
+    boxes_g, sat_g = got
+    boxes_w, sat_w = want
+    assert np.array_equal(sat_g, sat_w)
+    for x, y in zip(boxes_g, boxes_w):
+        assert x.is_empty() == y.is_empty()
+        if not x.is_empty():
+            for name in x.names:
+                assert x[name].lo == y[name].lo and x[name].hi == y[name].hi
+
+
+def test_pow_func_batch_kernel_speedup_over_seed_backend():
+    """Tentpole gate: the whole-batch Pow/Func kernels plus tape fusion
+    must contract PBE EC1 batches >= 2x faster than the pre-kernel batch
+    backend across frontier widths, bit-identically.
+
+    The baseline reconstructs the seed configuration exactly: per-column
+    Pow/Func loops (``legacy`` kernel mode, including the original
+    stack-and-reduce endpoint multiply), no fusion pass (which also
+    disables the cross-atom ``MultiTape``), and the pre-kernel
+    ``vector_min = 48`` crossover.  PBE EC1 is the Pow/Func-heavy pair:
+    its residual tapes are dominated by integer-power chains, real
+    powers and exp/log rows.
+
+    The gate sums times over a width sweep rather than timing one width:
+    the per-width ratio depends on alive-set geometry (how many columns
+    survive to the backward pass at that split depth), so any single
+    width inherits whichever geometry is least favourable plus its
+    jitter, while the summed ratio is what a frontier actually pays.
+    Whole passes alternate between the two configurations so a transient
+    slowdown (GC, a neighbouring test's subprocess) cannot land entirely
+    on one side of the ratio.
+    """
+    from repro.solver.tape import (
+        clear_tape_cache, set_batch_kernel_mode, set_tape_fusion,
+    )
+
+    problem = encode(get_functional("PBE"), EC1)
+    widths = (256, 512, 1024)
+    batches = {w: _split_domain(problem.domain, w) for w in widths}
+
+    def sweep(seed_mode, repeats=3):
+        clear_tape_cache()  # tapes must be rebuilt under the active flags
+        if seed_mode:
+            set_tape_fusion(False)
+            set_batch_kernel_mode("legacy")
+            contractor = HC4Contractor(problem.negation, delta=1e-5, vector_min=48)
+        else:
+            contractor = HC4Contractor(problem.negation, delta=1e-5)
+        times = {}
+        outs = {}
+        try:
+            for w, boxes in batches.items():
+                outs[w] = contractor.contract_batch(boxes)  # warm
+                best = float("inf")
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    contractor.contract_batch(boxes)
+                    best = min(best, time.perf_counter() - t0)
+                times[w] = best
+        finally:
+            set_tape_fusion(True)
+            set_batch_kernel_mode("vector")
+        return times, outs
+
+    t_kernel, out_kernel = sweep(seed_mode=False)
+    t_seed, out_seed = sweep(seed_mode=True)
+    for _ in range(2):
+        for w, t in sweep(seed_mode=False)[0].items():
+            t_kernel[w] = min(t_kernel[w], t)
+        for w, t in sweep(seed_mode=True)[0].items():
+            t_seed[w] = min(t_seed[w], t)
+    for w in widths:
+        _assert_batches_identical(out_kernel[w], out_seed[w])
+
+    total_seed = sum(t_seed.values())
+    total_kernel = sum(t_kernel.values())
+    ratio = total_seed / total_kernel
+    per_width = ", ".join(f"{w}: {t_seed[w] / t_kernel[w]:.2f}x" for w in widths)
+    print(f"\npow/func batch kernels: seed backend {total_seed*1e3:.2f} ms, "
+          f"kernels {total_kernel*1e3:.2f} ms, speedup {ratio:.2f}x "
+          f"({per_width})")
+    record_bench(
+        "pow_func_kernels",
+        seed_ms=total_seed * 1e3,
+        kernel_ms=total_kernel * 1e3,
+        speedup=ratio,
+        **{f"speedup_w{w}": t_seed[w] / t_kernel[w] for w in widths},
+    )
+    assert ratio >= 2.0, (
+        f"batch kernels only {ratio:.2f}x faster than the seed batch backend"
+    )
+
+
+def test_pow_func_frontier_speedup_over_seed_backend():
+    """Regression bench: the same seed-vs-kernels comparison on a full
+    frontier solve (contract + probe + split), where splitting and point
+    probes dilute the kernel win; gated looser, recorded for trend."""
+    from repro.solver.tape import (
+        clear_tape_cache, set_batch_kernel_mode, set_tape_fusion,
+    )
+
+    problem = encode(get_functional("PBE"), EC1)
+    budget = Budget(max_steps=1200)
+
+    def best_of(seed_mode, repeats=3):
+        clear_tape_cache()
+        if seed_mode:
+            set_tape_fusion(False)
+            set_batch_kernel_mode("legacy")
+            solver = ICPSolver(
+                delta=1e-5, precision=1e-3, backend="batch", vector_min=48
+            )
+        else:
+            solver = ICPSolver(delta=1e-5, precision=1e-3, backend="batch")
+        try:
+            result = solver.solve(problem.negation, problem.domain, budget)
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                solver.solve(problem.negation, problem.domain, budget)
+                best = min(best, time.perf_counter() - t0)
+        finally:
+            set_tape_fusion(True)
+            set_batch_kernel_mode("vector")
+        return best, result
+
+    t_kernel, r_kernel = best_of(seed_mode=False)
+    t_seed, r_seed = best_of(seed_mode=True)
+    # one more alternation evens out one-sided scheduling jitter
+    t_kernel = min(t_kernel, best_of(seed_mode=False)[0])
+    t_seed = min(t_seed, best_of(seed_mode=True)[0])
+    assert r_kernel.status == r_seed.status
+    assert r_kernel.model == r_seed.model
+    assert r_kernel.stats.boxes_processed == r_seed.stats.boxes_processed
+
+    ratio = t_seed / t_kernel
+    print(f"\npow/func frontier: seed backend {t_seed*1e3:.1f} ms, "
+          f"kernels {t_kernel*1e3:.1f} ms, speedup {ratio:.2f}x")
+    record_bench(
+        "pow_func_frontier",
+        seed_ms=t_seed * 1e3,
+        kernel_ms=t_kernel * 1e3,
+        speedup=ratio,
+    )
+    assert ratio >= 1.3, (
+        f"frontier solve only {ratio:.2f}x faster than the seed batch backend"
+    )
+
+
+def test_per_op_kernel_timings():
+    """Publish per-op forward/backward kernel timings (vector vs the
+    per-column Interval loops) into the perf artifact.
+
+    No speedup gate per op -- narrow rows legitimately favour the scalar
+    loops -- but each vector kernel must stay bit-identical to its
+    per-column counterpart, and at frontier width (256) the vector side
+    must not regress past the scalar loop.
+    """
+    from repro.solver import kernels
+    from repro.solver.interval import Interval
+
+    width = 256
+    rng = np.random.default_rng(7)
+    lo = np.abs(rng.normal(1.0, 0.7, width)) + 1e-3
+    hi = lo + np.abs(rng.normal(0.5, 0.3, width))
+
+    def per_column(method, *args):
+        def run():
+            out_lo = np.empty(width)
+            out_hi = np.empty(width)
+            for j in range(width):
+                iv = method(Interval(lo[j], hi[j]), *args)
+                out_lo[j] = iv.lo
+                out_hi[j] = iv.hi
+            return out_lo, out_hi
+        return run
+
+    cases = {
+        "pow_int3": (lambda: kernels.fwd_pow_int(lo, hi, 3),
+                     per_column(Interval.pow_int, 3)),
+        "pow_real": (lambda: kernels.fwd_pow_real(lo, hi, 1.5),
+                     per_column(Interval.pow_real, 1.5)),
+        "exp": (lambda: kernels.FWD_FUNC["exp"](lo, hi),
+                per_column(Interval.exp)),
+        "log": (lambda: kernels.FWD_FUNC["log"](lo, hi),
+                per_column(Interval.log)),
+    }
+
+    def best_us(fn, repeats=5, iters=20):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                fn()
+            best = min(best, (time.perf_counter() - t0) / iters)
+        return best * 1e6
+
+    values = {}
+    for name, (vector_fn, scalar_fn) in cases.items():
+        v_lo, v_hi = vector_fn()
+        s_lo, s_hi = scalar_fn()
+        assert np.array_equal(v_lo, s_lo) and np.array_equal(v_hi, s_hi), name
+        t_vector = best_us(vector_fn)
+        t_scalar = best_us(scalar_fn)
+        values[f"{name}_vector_us"] = t_vector
+        values[f"{name}_scalar_us"] = t_scalar
+        print(f"\n{name}: vector {t_vector:.1f} us, per-column {t_scalar:.1f} us "
+              f"({t_scalar / t_vector:.1f}x) at width {width}")
+        assert t_vector < t_scalar, (
+            f"{name} vector kernel slower than the per-column loop at width {width}"
+        )
+
+    # backward pass at op granularity: a Pow/Func-heavy tape end to end,
+    # vector (vector_min=0) vs forced per-column (vector_min > width)
+    from repro.solver.tape import clear_tape_cache, tape_for
+
+    clear_tape_cache()
+    problem = encode(get_functional("PBE"), EC1)
+    tape = tape_for(problem.negation.atoms[0].residual)
+    boxes = _split_domain(problem.domain, width)
+    lo_mat, hi_mat = tape.load_batch(boxes)
+    tape.forward_batch(lo_mat, hi_mat, 0)
+    root = tape.root
+
+    def backward(vector_min):
+        def run():
+            blo, bhi = lo_mat.copy(), hi_mat.copy()
+            np.copyto(bhi[root], 1e-5, where=bhi[root] > 1e-5)
+            tape.backward_batch(blo, bhi, vector_min)
+        return run
+
+    values["backward_vector_us"] = best_us(backward(0), iters=5)
+    values["backward_scalar_us"] = best_us(backward(width + 1), iters=5)
+    print(f"backward pass: vector {values['backward_vector_us']:.1f} us, "
+          f"per-column {values['backward_scalar_us']:.1f} us at width {width}")
+    record_bench("kernel_ops", width=width, **values)
+
+
+def test_tape_fusion_and_multitape_timings():
+    """Publish fused-vs-unfused forward timings and the cross-atom
+    MultiTape's win over per-tape classification; fusion must never lose
+    (it only removes instructions).
+
+    The conjunction is a PBE EC1 residual next to its rs-derivative --
+    the gradient-condition shape where atoms share the whole F_c
+    subgraph, which is what the MultiTape's cross-atom interning is for.
+    """
+    from repro.solver.tape import (
+        MultiTape, clear_tape_cache, set_tape_fusion, tape_for,
+    )
+
+    problem = encode(get_functional("PBE"), EC1)
+    residual = problem.negation.atoms[0].residual
+    exprs = [residual, derivative(residual, RS)]
+    boxes = _split_domain(problem.domain, 256)
+
+    def build_tapes(fused):
+        clear_tape_cache()
+        set_tape_fusion(fused)
+        try:
+            return [tape_for(e) for e in exprs]
+        finally:
+            set_tape_fusion(True)
+
+    def forward_us(tapes, repeats=5, iters=10):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                for tape in tapes:
+                    lo_mat, hi_mat = tape.load_batch(boxes)
+                    tape.forward_batch(lo_mat, hi_mat, 0)
+            best = min(best, (time.perf_counter() - t0) / iters)
+        return best * 1e6
+
+    fused = build_tapes(fused=True)
+    unfused = build_tapes(fused=False)
+    multi = MultiTape.from_tapes(fused)
+
+    def multi_forward(m=multi):
+        lo_mat, hi_mat = m.load_batch(boxes)
+        m.forward_batch(lo_mat, hi_mat, 0)
+
+    def multi_us(repeats=5, iters=10):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                multi_forward()
+            best = min(best, (time.perf_counter() - t0) / iters)
+        return best * 1e6
+
+    # alternate passes: the three variants see the same load transients
+    t_fused = t_unfused = t_multi = float("inf")
+    for _ in range(3):
+        t_fused = min(t_fused, forward_us(fused))
+        t_unfused = min(t_unfused, forward_us(unfused))
+        t_multi = min(t_multi, multi_us())
+
+    print(f"\nPBE EC1 residual+derivative forward x{len(fused)} atoms at "
+          f"width 256: unfused {t_unfused:.0f} us, fused {t_fused:.0f} us, "
+          f"multitape {t_multi:.0f} us")
+    record_bench(
+        "tape_fusion",
+        unfused_us=t_unfused,
+        fused_us=t_fused,
+        multitape_us=t_multi,
+        atoms=len(fused),
+        multitape_instrs=len(multi._fwd),
+        pertape_instrs=sum(len(t._fwd) for t in fused),
+    )
+    # fusion strictly removes instructions; allow measurement jitter only
+    assert t_fused <= t_unfused * 1.10
+    # the shared forward must beat running each atom tape separately
+    assert t_multi <= t_fused * 1.05
+
+
 def test_scan_contraction_cost(benchmark):
     """SCAN formulas are the most expensive to contract (paper Sec. VI-A)."""
     problem = encode(get_functional("SCAN"), EC1)

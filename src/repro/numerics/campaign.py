@@ -48,6 +48,7 @@ from typing import Callable, Iterable
 from ..functionals.base import Functional
 from ..functionals.registry import all_functionals, get_functional
 from ..solver.icp import Budget, ICPSolver
+from ..solver.interval import KERNEL_SEMANTICS_VERSION
 from ..solver.tape import stable_digest, tape_for
 from ..verifier.campaign import drive_chunks
 from ..verifier.store import SCHEMA_VERSION, CampaignStore, open_store
@@ -199,6 +200,10 @@ def cell_content_key(
     return stable_digest(
         (
             "numerics-cell",
+            # interval-kernel semantics version: sound rounding changes
+            # (e.g. pow mult-chains) miss cleanly instead of serving
+            # payloads computed under the old endpoint arithmetic
+            KERNEL_SEMANTICS_VERSION,
             tape_for(expr).fingerprint(),
             bounds,
             functional.name,

@@ -41,7 +41,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 
 from ..numerics.campaign import _numerics_worker, cell_condition_id
-from ..verifier.campaign import run_campaign
+from ..verifier.campaign import _campaign_worker_warm, run_campaign
 from ..verifier.store import CampaignStore, report_to_payload
 from .jobs import CellTask, Job, JobState, attach_future, spec_from_payload
 
@@ -134,13 +134,19 @@ class VerificationScheduler:
             # lazy on-demand spawning (an idle worker suppresses new
             # forks, a busy one does not), and the gather does not return
             # until every worker process is up; the pool never forks
-            # again for the server's lifetime.
+            # again for the server's lifetime.  The warm task also pulls
+            # in the campaign worker's module graph (encoder, solver,
+            # registries), so a worker's first real chunk only pays the
+            # per-problem compile, not the imports.
             width = self._max_workers or os.cpu_count() or 1
             self._pool = ProcessPoolExecutor(
                 max_workers=width,
                 mp_context=_pool_context(),
             )
-            warms = [self._pool.submit(time.sleep, 0.1) for _ in range(width)]
+            warms = [
+                self._pool.submit(_campaign_worker_warm, 0.1)
+                for _ in range(width)
+            ]
             await asyncio.gather(*(asyncio.wrap_future(f) for f in warms))
         self._dispatcher = asyncio.create_task(self._dispatch())
 

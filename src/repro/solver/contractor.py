@@ -37,9 +37,11 @@ from ..expr.nodes import Add, Const, Expr, Func, Ite, Mul, Pow, Var
 from .box import Box
 from .constraint import Atom, Conjunction
 from .interval import EMPTY, Interval, make, point
+from . import tape as _tape_mod
 from .tape import (
     COND_CODE,
     CompiledConjunction,
+    MultiTape,
     Tape,
     atanh_interval as _atanh_interval,
     decide_cond,
@@ -302,6 +304,7 @@ class HC4Contractor:
         formula: Conjunction | CompiledConjunction,
         delta: float = 1e-5,
         backend: str = "tape",
+        vector_min: int | None = None,
     ):
         if delta < 0.0:
             raise ValueError("delta must be non-negative")
@@ -312,7 +315,9 @@ class HC4Contractor:
         self.formula = formula
         self.delta = delta
         self.backend = backend
+        self.vector_min = vector_min
         self.stats = ContractionStats()
+        self._multi: MultiTape | bool | None = None
         if backend == "walk":
             # tree-walk oracle: contraction/certainly_sat never touch tapes,
             # so a tape-VM bug in the interval executors cannot leak into
@@ -333,6 +338,21 @@ class HC4Contractor:
         # preallocated per-slot lo/hi endpoint arrays, one pair per atom
         self._los: list[list[float]] = [[0.0] * t.n_slots for t in self._tapes]
         self._his: list[list[float]] = [[0.0] * t.n_slots for t in self._tapes]
+
+    def _multi_tape(self) -> MultiTape | None:
+        """Lazily-built fused forward program over all atom tapes.
+
+        Only worth building (and only used) when there is more than one
+        atom and tape fusion is enabled; built per contractor instance on
+        first batch use and reused for every later batch.  Forward-only:
+        the backward revise stays per-tape.
+        """
+        if self._multi is None:
+            if len(self._tapes) > 1 and _tape_mod._FUSION_ON:
+                self._multi = MultiTape.from_tapes(self._tapes)
+            else:
+                self._multi = False
+        return self._multi or None
 
     def contract(self, box: Box, rounds: int = 2) -> Box:
         """Iterate HC4-revise over all atoms up to ``rounds`` fixpoint rounds."""
@@ -447,8 +467,20 @@ class HC4Contractor:
         delta = self.delta
         all_sat = np.ones(n_boxes, dtype=bool)
         refuted = np.zeros(n_boxes, dtype=bool)
-        for tape in self._tapes:
-            root_lo, root_hi = tape.enclosure_batch(boxes)
+        multi = self._multi_tape()
+        if multi is not None:
+            # one fused forward pass computes every atom's root at once;
+            # shared subtapes across atoms execute a single time
+            lo_mat, hi_mat = multi.load_batch(boxes)
+            multi.forward_batch(lo_mat, hi_mat, self.vector_min)
+            root_rows = [(lo_mat[r], hi_mat[r]) for r in multi.roots]
+        else:
+            root_rows = []
+            for tape in self._tapes:
+                lo_mat, hi_mat = tape.load_batch(boxes)
+                tape.forward_batch(lo_mat, hi_mat, self.vector_min)
+                root_rows.append((lo_mat[tape.root].copy(), hi_mat[tape.root].copy()))
+        for root_lo, root_hi in root_rows:
             nonempty = root_lo <= root_hi
             # refute: empty root, or no overlap with (-inf, delta];
             # sat: whole enclosure inside the allowed set
@@ -510,20 +542,35 @@ class HC4Contractor:
             if not active.any():
                 break
 
-        # one batched forward per atom over the final boxes decides
-        # certainly_sat for the whole batch
+        # one batched forward (fused across atoms when possible) over the
+        # final boxes decides certainly_sat for the whole batch
         allsat = alive.copy()
-        for tape in self._tapes:
+        multi = self._multi_tape()
+        if multi is not None:
             cols = np.nonzero(allsat)[0]
-            if cols.size == 0:
-                break
-            sub_lo = {name: arr[cols] for name, arr in var_lo.items()}
-            sub_hi = {name: arr[cols] for name, arr in var_hi.items()}
-            lo_mat, hi_mat = tape.load_batch_arrays(sub_lo, sub_hi, cols.size)
-            tape.forward_batch(lo_mat, hi_mat)
-            root_lo = lo_mat[tape.root]
-            root_hi = hi_mat[tape.root]
-            allsat[cols] &= (root_lo <= root_hi) & (root_hi <= self.delta)
+            if cols.size:
+                sub_lo = {name: arr[cols] for name, arr in var_lo.items()}
+                sub_hi = {name: arr[cols] for name, arr in var_hi.items()}
+                lo_mat, hi_mat = multi.load_batch_arrays(sub_lo, sub_hi, cols.size)
+                multi.forward_batch(lo_mat, hi_mat, self.vector_min)
+                sat = np.ones(cols.size, dtype=bool)
+                for r in multi.roots:
+                    root_lo = lo_mat[r]
+                    root_hi = hi_mat[r]
+                    sat &= (root_lo <= root_hi) & (root_hi <= self.delta)
+                allsat[cols] &= sat
+        else:
+            for tape in self._tapes:
+                cols = np.nonzero(allsat)[0]
+                if cols.size == 0:
+                    break
+                sub_lo = {name: arr[cols] for name, arr in var_lo.items()}
+                sub_hi = {name: arr[cols] for name, arr in var_hi.items()}
+                lo_mat, hi_mat = tape.load_batch_arrays(sub_lo, sub_hi, cols.size)
+                tape.forward_batch(lo_mat, hi_mat, self.vector_min)
+                root_lo = lo_mat[tape.root]
+                root_hi = hi_mat[tape.root]
+                allsat[cols] &= (root_lo <= root_hi) & (root_hi <= self.delta)
 
         out: list[Box] = []
         for j, box in enumerate(boxes):
@@ -560,7 +607,7 @@ class HC4Contractor:
         sub_lo = {name: arr[cols] for name, arr in var_lo.items()}
         sub_hi = {name: arr[cols] for name, arr in var_hi.items()}
         lo_mat, hi_mat = tape.load_batch_arrays(sub_lo, sub_hi, cols.size)
-        tape.forward_batch(lo_mat, hi_mat)
+        tape.forward_batch(lo_mat, hi_mat, self.vector_min)
         root = tape.root
         root_lo = lo_mat[root]
         root_hi = hi_mat[root]
@@ -579,7 +626,7 @@ class HC4Contractor:
         blo = lo_mat[:, sub]
         bhi = hi_mat[:, sub]
         bhi[root] = delta  # intersect root with the allowed set
-        ok = tape.backward_batch(blo, bhi)
+        ok = tape.backward_batch(blo, bhi, self.vector_min)
         bcols = cols[sub]
         narrowed_lo = {}
         narrowed_hi = {}

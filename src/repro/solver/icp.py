@@ -155,6 +155,11 @@ class ICPSolver:
     batch_size:
         Upper bound on the number of boxes per frontier batch (only used
         by ``backend="batch"``).
+    vector_min:
+        Minimum batch width before the batched executors switch from the
+        per-column scalar path to the vector kernels; ``None`` uses the
+        module default (``REPRO_VECTOR_MIN``).  A pure performance knob:
+        both paths are bit-identical.
     """
 
     def __init__(
@@ -168,6 +173,7 @@ class ICPSolver:
         search: str = "bfs",
         backend: str = "batch",
         batch_size: int = 256,
+        vector_min: int | None = None,
     ):
         if precision <= 0.0:
             raise ValueError("precision must be positive")
@@ -186,6 +192,7 @@ class ICPSolver:
         self.search = search
         self.backend = backend
         self.batch_size = batch_size
+        self.vector_min = vector_min
         # contractors are pure functions of the formula; reuse across the
         # many solver calls Algorithm 1 makes for the same condition.
         # Keyed on the formula itself (holding a strong reference), NOT on
@@ -198,7 +205,12 @@ class ICPSolver:
         contractor = self._contractors.get(formula)
         if contractor is None:
             executor = "walk" if self.backend == "walk" else "tape"
-            contractor = HC4Contractor(formula, delta=self.delta, backend=executor)
+            contractor = HC4Contractor(
+                formula,
+                delta=self.delta,
+                backend=executor,
+                vector_min=self.vector_min,
+            )
             self._contractors[formula] = contractor
         return contractor
 

@@ -29,6 +29,24 @@ __all__ = [
     "Interval", "EMPTY", "REALS", "make", "point",
 ]
 
+#: version stamp of the *interval kernel semantics*.  Folded into
+#: content hashes (campaign pair keys, numerics cell keys) so that a
+#: change to how enclosures are computed -- not merely how fast -- turns
+#: stale store entries into cache misses instead of silently reusing
+#: results produced under different rounding.  v2: ``pow_int`` switched
+#: from one libm ``pow`` call per endpoint to directed-rounding
+#: multiplication chains for |n| <= :data:`_POW_CHAIN_MAX`.
+KERNEL_SEMANTICS_VERSION = 2
+
+#: largest |n| lowered to a directed-rounding binary-exponentiation
+#: multiplication chain.  IEEE multiplication is exactly rounded, so the
+#: scalar chain and its NumPy whole-row counterpart agree bit for bit --
+#: which libm ``pow`` (whose last-ulp behaviour differs between CPython's
+#: libm and NumPy's SIMD loops) cannot offer.  Beyond this the chain's
+#: accumulated one-ulp-per-step widening stops being worth it and both
+#: executors fall back to the libm path.
+_POW_CHAIN_MAX = 32
+
 
 def _down(x: float) -> float:
     if x == -inf or isnan(x):
@@ -165,14 +183,28 @@ class Interval:
             return Interval(1.0, 1.0)
         if n < 0:
             return self.pow_int(-n).inverse()
-        lo_p = _pow_scalar(self.lo, n)
-        hi_p = _pow_scalar(self.hi, n)
+        lo, hi = self.lo, self.hi
+        if n <= _POW_CHAIN_MAX:
+            # directed-rounding multiplication chain on the magnitude of
+            # each endpoint; signs/case split by parity as below
+            if n % 2 == 1:
+                return Interval(
+                    _chain_down(lo, n) if lo >= 0.0 else -_chain_up(-lo, n),
+                    _chain_up(hi, n) if hi >= 0.0 else -_chain_down(-hi, n),
+                )
+            if lo >= 0.0:
+                return Interval(_chain_down(lo, n), _chain_up(hi, n))
+            if hi <= 0.0:
+                return Interval(_chain_down(-hi, n), _chain_up(-lo, n))
+            return Interval(0.0, _chain_up(max(-lo, hi), n))
+        lo_p = _pow_scalar(lo, n)
+        hi_p = _pow_scalar(hi, n)
         if n % 2 == 1:
             return Interval(_down(lo_p), _up(hi_p))
         # even power
-        if self.lo >= 0.0:
+        if lo >= 0.0:
             return Interval(_down(lo_p), _up(hi_p))
-        if self.hi <= 0.0:
+        if hi <= 0.0:
             return Interval(_down(hi_p), _up(lo_p))
         return Interval(0.0, _up(max(lo_p, hi_p)))
 
@@ -322,6 +354,43 @@ def _pow_scalar(x: float, p: float) -> float:
     except ValueError:
         # negative base, fractional exponent; callers guard against this
         return math.nan
+
+
+def _chain_down(x: float, n: int) -> float:
+    """Lower bound of ``x**n`` for x >= 0, n >= 1: binary exponentiation
+    with every intermediate product rounded one ulp toward -inf.
+
+    All true intermediates are non-negative, so down-rounding each one
+    keeps a running lower bound; the only negative value that can appear
+    is ``nextafter(0.0, -inf)`` after a product underflows, whose further
+    products have magnitude below the smallest subnormal and collapse
+    right back -- the final result never exceeds the true power.  The
+    loop structure is mirrored verbatim by the array kernels in
+    :mod:`repro.solver.kernels`; IEEE multiplication and ``nextafter``
+    are deterministic, so scalar and batch agree bit for bit.
+    """
+    acc = None
+    base = x
+    while True:
+        if n & 1:
+            acc = base if acc is None else _down(acc * base)
+        n >>= 1
+        if not n:
+            return acc
+        base = _down(base * base)
+
+
+def _chain_up(x: float, n: int) -> float:
+    """Upper bound of ``x**n`` for x >= 0, n >= 1 (see :func:`_chain_down`)."""
+    acc = None
+    base = x
+    while True:
+        if n & 1:
+            acc = base if acc is None else _up(acc * base)
+        n >>= 1
+        if not n:
+            return acc
+        base = _up(base * base)
 
 
 def _exp_scalar(x: float) -> float:

@@ -34,6 +34,7 @@ that used to run such workloads with one scheduler:
 from __future__ import annotations
 
 import os
+import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
@@ -235,6 +236,7 @@ class _Cell:
         self.units: dict[int, _Unit] = {}
         self.top_uids: list[int] = []
         self.open_units = 0
+        self.compile_seconds = 0.0      # summed worker-side compile time
 
 
 def _materialize(payload) -> EncodedProblem | CompiledProblem:
@@ -244,22 +246,92 @@ def _materialize(payload) -> EncodedProblem | CompiledProblem:
     return payload
 
 
+#: per-worker persistent compile cache: (problem identity, solver-relevant
+#: config) -> (problem, solver).  Workers are long-lived across chunks, so
+#: without this every chunk of the same cell re-materialises the problem
+#: (name payloads re-run the whole symbolic encode) and rebuilds a fresh
+#: solver whose contractor cache -- keyed on formula *identity* -- starts
+#: cold, re-walking every atom into tapes.  Content addressing makes the
+#: reuse sound: name payloads key on the registry pair, compiled payloads
+#: on the tapes' stable content hash (two unpickled copies of the same
+#: problem hash identically), and the solver key pins every config field
+#: :meth:`VerifierConfig.make_solver` consumes.
+_WORKER_CACHE: dict = {}
+_WORKER_CACHE_MAX = 64
+
+
+def _worker_compile(payload, config):
+    """Materialise (problem, solver) through the per-worker cache.
+
+    Returns ``(problem, solver, compile_seconds)``; a warm hit reuses the
+    resident pair and reports ~zero compile time.
+    """
+    if isinstance(payload, tuple):
+        problem_key: object = payload
+    else:
+        problem_key = payload.content_hash()
+    key = (
+        problem_key,
+        config.delta,
+        config.precision,
+        config.solver_backend,
+        config.batch_size,
+        config.vector_min,
+    )
+    hit = _WORKER_CACHE.pop(key, None)
+    if hit is not None:
+        _WORKER_CACHE[key] = hit  # LRU refresh
+        problem, solver = hit
+        if solver is None:
+            solver = config.make_solver()
+        return problem, solver, 0.0
+    start = time.perf_counter()
+    problem = _materialize(payload)
+    solver = config.make_solver()
+    elapsed = time.perf_counter() - start
+    if len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
+        _WORKER_CACHE.pop(next(iter(_WORKER_CACHE)))
+    # a specialising config mints fresh per-box formulas every verify, and
+    # the solver's contractor cache is keyed on formula identity -- keeping
+    # that solver resident would grow it without bound, so only the
+    # materialised problem is cached and the solver stays per-chunk
+    _WORKER_CACHE[key] = (problem, None if config.specialize_boxes else solver)
+    return problem, solver, elapsed
+
+
+def _campaign_worker_warm(hold_seconds: float = 0.0):
+    """Pool warm-up task: import the worker's module graph eagerly.
+
+    Submitted once per worker at pool start (the service pool, see
+    ``service/scheduler.py``), so a worker's first real chunk pays
+    neither module imports nor lazy registry loads.  ``hold_seconds``
+    keeps the task resident long enough that every pool worker forks and
+    runs its own copy -- an executor hands queued tasks to already-idle
+    workers instead of spawning new ones.
+    """
+    get_functional  # the imports at module top are the actual warm-up
+    if hold_seconds > 0.0:
+        time.sleep(hold_seconds)
+    return os.getpid()
+
+
 def _campaign_worker(args):
     """Run one chunk of units (same cell) in a worker process.
 
-    The payload is deserialized once per chunk and one solver is shared
-    by every unit, so the solver's contractor cache -- keyed on formula
-    identity, and every unit solves the *same* payload formula object --
-    stays warm across the whole chunk.  (Specialised Ite-folded formulas
-    are the exception: their interning table is deliberately cleared per
-    top-level verify, i.e. per unit, to bound memory on long campaigns,
-    trading one re-specialisation per subdomain.)  Tree-mode units run
-    the full iterative verifier on their box; root-mode units solve
-    exactly one box and return the split children for re-enqueueing.
+    The payload is materialised through the persistent per-worker compile
+    cache (:data:`_WORKER_CACHE`) and one solver is shared by every unit,
+    so the solver's contractor cache -- keyed on formula identity, and
+    every unit solves the *same* resident problem object -- stays warm
+    across the whole chunk *and across chunks of the same cell*.
+    (Specialised Ite-folded formulas are the exception: their interning
+    table is deliberately cleared per top-level verify, i.e. per unit, to
+    bound memory on long campaigns, trading one re-specialisation per
+    subdomain.)  Tree-mode units run the full iterative verifier on their
+    box; root-mode units solve exactly one box and return the split
+    children for re-enqueueing.  Returns ``(compile_seconds, results)``.
     """
     payload, config, items = args
-    problem = _materialize(payload)
-    solver = config.make_solver()
+    problem, solver, compile_seconds = _worker_compile(payload, config)
     out = []
     for uid, bounds, depth, budget, mode in items:
         unit_config = replace(config, global_step_budget=budget)
@@ -277,7 +349,7 @@ def _campaign_worker(args):
         else:
             report = verifier.verify(problem, domain=box, depth_offset=depth)
             out.append((uid, mode, report))
-    return out
+    return compile_seconds, out
 
 
 # ---------------------------------------------------------------------------
@@ -392,7 +464,9 @@ class _Scheduler:
     def absorb(self, cell: _Cell, worker_out) -> list[tuple]:
         """Record a chunk's results; return new chunks spilled splits need."""
         new_chunks = []
-        for uid, mode, payload in worker_out:
+        compile_seconds, unit_results = worker_out
+        cell.compile_seconds += compile_seconds
+        for uid, mode, payload in unit_results:
             unit = cell.units[uid]
             unit.done = True
             cell.open_units -= 1
@@ -498,6 +572,7 @@ def _stitch_cell(cell: _Cell) -> VerificationReport:
         records=records,
         total_solver_steps=totals["steps"],
         elapsed_seconds=totals["elapsed"],
+        compile_seconds=cell.compile_seconds,
         budget_exhausted=totals["exhausted"],
     )
 

@@ -125,6 +125,7 @@ class CompiledProblem:
         compiler changes the tapes and therefore the key, turning stale
         store entries into clean cache misses.
         """
+        from ..solver.interval import KERNEL_SEMANTICS_VERSION
         from ..solver.tape import stable_digest
 
         domain = domain if domain is not None else self.domain
@@ -132,6 +133,10 @@ class CompiledProblem:
         return stable_digest(
             (
                 "problem",
+                # version-stamps the interval kernel semantics: a sound
+                # change to endpoint rounding (e.g. the pow mult-chain
+                # tightening) invalidates stored cells as clean misses
+                KERNEL_SEMANTICS_VERSION,
                 self.negation.fingerprint(),
                 self.psi_lhs.fingerprint(),
                 self.psi_rhs.fingerprint(),

@@ -56,6 +56,11 @@ class VerificationReport:
     total_solver_steps: int = 0
     elapsed_seconds: float = 0.0
     budget_exhausted: bool = False
+    #: wall-clock spent materialising + compiling the problem in workers
+    #: (feeds the campaign cost model); ~0.0 when the per-worker compile
+    #: cache was warm.  A timing, not an outcome: excluded from
+    #: :meth:`identical_to` like ``elapsed_seconds``.
+    compile_seconds: float = 0.0
 
     # -- aggregation -------------------------------------------------------------
     def area_fractions(self) -> dict[Outcome, float]:
@@ -80,8 +85,8 @@ class VerificationReport:
         boxes compared on exact endpoints, plus outcomes, models, child
         links, per-record and total step counts, and the exhaustion flag.
         This is the equivalence the campaign engine's stitching guarantees
-        against the sequential verifier; wall-clock (``elapsed_seconds``)
-        is deliberately excluded.  The differential test corpus asserts
+        against the sequential verifier; wall-clock (``elapsed_seconds``,
+        ``compile_seconds``) is deliberately excluded.  The differential test corpus asserts
         field-by-field for readable failures; gates that only need the
         verdict use this.
         """

@@ -86,6 +86,7 @@ def report_to_payload(report: VerificationReport) -> dict:
         "domain": _box_payload(report.domain),
         "total_solver_steps": report.total_solver_steps,
         "elapsed_seconds": report.elapsed_seconds,
+        "compile_seconds": report.compile_seconds,
         "budget_exhausted": report.budget_exhausted,
         "records": [
             {
@@ -128,6 +129,9 @@ def report_from_payload(payload: dict) -> VerificationReport:
         records=records,
         total_solver_steps=payload["total_solver_steps"],
         elapsed_seconds=payload["elapsed_seconds"],
+        # absent in pre-compile-cache payloads: a timing, not an outcome,
+        # so old stores stay readable without a schema bump
+        compile_seconds=payload.get("compile_seconds", 0.0),
         budget_exhausted=payload["budget_exhausted"],
     )
 

@@ -74,6 +74,11 @@ class VerifierConfig:
     #: the parallel drivers inherit them through the pickled config)
     solver_backend: str = "batch"
     batch_size: int = 256
+    #: minimum frontier width before the batched executors use the vector
+    #: kernels (None = module default / ``REPRO_VECTOR_MIN``); like
+    #: ``batch_size`` it is a bit-identical perf knob, excluded from
+    #: :meth:`semantic_key`
+    vector_min: int | None = None
     #: work-queue discipline of the iterative driver.  ``"dfs"`` (default)
     #: replays Algorithm 1's recursive pre-order exactly -- bit-identical
     #: region trees and budget consumption.  ``"widest"`` is a priority
@@ -89,9 +94,9 @@ class VerifierConfig:
         Used by the campaign store's content-hash keys: two configs with
         the same semantic key produce bit-identical reports, so stored
         cells stay valid across changes to the pure performance knobs
-        (``solver_backend`` and ``batch_size`` are proven bit-identical by
-        the solver's differential test corpus and are deliberately
-        excluded).
+        (``solver_backend``, ``batch_size`` and ``vector_min`` are proven
+        bit-identical by the solver's differential test corpus and are
+        deliberately excluded).
         """
         return (
             self.split_threshold,
@@ -112,6 +117,7 @@ class VerifierConfig:
             precision=self.precision,
             backend=self.solver_backend,
             batch_size=self.batch_size,
+            vector_min=self.vector_min,
         )
 
     def make_budget(self) -> Budget:

@@ -46,12 +46,19 @@ def dumps(payload) -> str:
 def canon(payload: dict) -> str:
     """Canonical bytes of a verify payload, wall-clock excluded.
 
-    ``elapsed_seconds`` is the one non-deterministic report field and is
-    deliberately outside bit-exact equality everywhere in this repo
-    (:meth:`VerificationReport.identical_to`); everything else -- boxes,
-    outcomes, models, child links, step counts -- must match exactly.
+    ``elapsed_seconds`` and ``compile_seconds`` are the non-deterministic
+    timing fields and are deliberately outside bit-exact equality
+    everywhere in this repo (:meth:`VerificationReport.identical_to`);
+    everything else -- boxes, outcomes, models, child links, step counts
+    -- must match exactly.
     """
-    return dumps({k: v for k, v in payload.items() if k != "elapsed_seconds"})
+    return dumps(
+        {
+            k: v
+            for k, v in payload.items()
+            if k not in ("elapsed_seconds", "compile_seconds")
+        }
+    )
 
 
 @pytest.fixture(scope="module")

@@ -316,6 +316,22 @@ def test_frontier_timeout_mid_batch_matches_per_box():
         assert_results_identical(r_batch, r_tape)
 
 
+def test_frontier_solver_vector_min_override_identical():
+    """vector_min only moves the kernel/scalar crossover, never results."""
+    rng = random.Random(77)
+    formula = Conjunction.of(Atom(random_expr(rng, depth=3), "<="))
+    box = random_box(rng)
+    budget = Budget(max_steps=200)
+    results = [
+        ICPSolver(
+            precision=1e-3, backend="batch", batch_size=8, vector_min=vm
+        ).solve(formula, box, budget)
+        for vm in (0, 4, 10**9, None)
+    ]
+    for other in results[1:]:
+        assert_results_identical(results[0], other)
+
+
 def test_solver_rejects_bad_batch_options():
     with pytest.raises(ValueError, match="batch_size"):
         ICPSolver(batch_size=0)

@@ -204,6 +204,66 @@ class TestStoreIntegration:
         assert full != sub
 
 
+class TestWorkerCompileCache:
+    """The persistent per-worker compile cache and its timing telemetry."""
+
+    def test_warm_cache_cells_report_zero_compile_time(self):
+        from repro.verifier.campaign import _WORKER_CACHE
+
+        _WORKER_CACHE.clear()
+        cold = run_campaign([("LYP", "EC1")], FAST, max_workers=1)
+        warm = run_campaign([("LYP", "EC1")], FAST, max_workers=1)
+        cold_report = cold.reports[("LYP", "EC1")]
+        warm_report = warm.reports[("LYP", "EC1")]
+        # cold: the worker paid materialise + solver build; warm: the
+        # resident (problem, solver) pair is reused, compile time ~0
+        assert cold_report.compile_seconds > 0.0
+        assert warm_report.compile_seconds == 0.0
+        # the cache is a pure perf layer: reports stay bit-identical
+        assert_reports_identical(cold_report, warm_report)
+        assert warm_report.identical_to(cold_report)
+
+    def test_cache_is_keyed_on_solver_relevant_config(self):
+        import dataclasses
+
+        from repro.verifier.campaign import _WORKER_CACHE
+
+        _WORKER_CACHE.clear()
+        run_campaign([("LYP", "EC1")], FAST, max_workers=1)
+        other = dataclasses.replace(FAST, delta=2e-5)
+        redo = run_campaign([("LYP", "EC1")], other, max_workers=1)
+        # a semantically different config must not reuse the resident
+        # solver: it recompiles (and reports the time it took)
+        assert redo.reports[("LYP", "EC1")].compile_seconds > 0.0
+
+    def test_compile_seconds_round_trips_through_store(self, tmp_path):
+        from repro.verifier.campaign import _WORKER_CACHE
+        from repro.verifier.store import report_from_payload, report_to_payload
+
+        _WORKER_CACHE.clear()
+        result = run_campaign([("Wigner", "EC1")], FAST, max_workers=1)
+        report = result.reports[("Wigner", "EC1")]
+        assert report.compile_seconds > 0.0
+        restored = report_from_payload(report_to_payload(report))
+        assert restored.compile_seconds == report.compile_seconds
+        # pre-compile-cache payloads (no field) default to 0.0
+        payload = report_to_payload(report)
+        del payload["compile_seconds"]
+        assert report_from_payload(payload).compile_seconds == 0.0
+
+    def test_vector_min_is_excluded_from_semantic_key(self, tmp_path):
+        import dataclasses
+
+        store = tmp_path / "store.sqlite"
+        run_campaign([("LYP", "EC1")], FAST, max_workers=1, store=store)
+        tuned = dataclasses.replace(FAST, vector_min=2)
+        rerun = run_campaign([("LYP", "EC1")], tuned, max_workers=1, store=store)
+        # vector_min is a bit-identical perf knob like batch_size: stored
+        # cells keep hitting
+        assert rerun.store_hits == [("LYP", "EC1")]
+        assert tuned.semantic_key() == FAST.semantic_key()
+
+
 class TestSpecializeBoxesPath:
     def test_specialize_boxes_cells_ship_names(self):
         config = VerifierConfig(
