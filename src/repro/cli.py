@@ -233,6 +233,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared process-pool width for cell solves "
         "(0 = compute inline in the server process)",
     )
+    p_serve.add_argument(
+        "--tokens-file", dest="tokens_file", default=None,
+        help="bearer-token table, one 'client_id:token' per line "
+        "('#' comments); default: the REPRO_SERVICE_TOKENS env var "
+        "(comma-separated entries), else anonymous mode",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=0.0,
+        help="per-client submission rate limit in jobs/second "
+        "(token bucket; 0 = unlimited)",
+    )
+    p_serve.add_argument(
+        "--burst", type=int, default=None,
+        help="token-bucket burst size (default: one second's worth of --rate)",
+    )
+    p_serve.add_argument(
+        "--high-water", dest="high_water", type=int, default=0,
+        help="queued-cell admission threshold: at this queue depth new "
+        "submissions answer 503 + Retry-After (0 = never shed)",
+    )
+    p_serve.add_argument(
+        "--audit-log", dest="audit_path", default=None,
+        help="append-only JSONL audit log of submissions and auth "
+        "failures (default: no audit log)",
+    )
 
     p_sub = sub.add_parser(
         "submit",
@@ -241,6 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument(
         "--url", default="http://127.0.0.1:8642",
         help="service base URL (repro serve prints it on startup)",
+    )
+    p_sub.add_argument(
+        "--token", default=None,
+        help="bearer token for authed servers "
+        "(default: the REPRO_SERVICE_TOKEN env var)",
+    )
+    p_sub.add_argument(
+        "--retries", type=int, default=5,
+        help="extra submission attempts on 429/503, honouring Retry-After "
+        "with bounded exponential backoff (0 = fail immediately)",
     )
     p_sub.add_argument(
         "--json", dest="json_path", default=None,
@@ -770,9 +805,16 @@ def _cmd_serve(args) -> int:
                 host=args.host,
                 port=args.port,
                 max_workers=args.workers,
+                tokens_file=args.tokens_file,
+                rate=args.rate,
+                burst=args.burst,
+                high_water=args.high_water,
+                audit_path=args.audit_path,
             )
         )
-    except ValueError as exc:  # e.g. unknown store suffix
+    except ValueError as exc:  # e.g. unknown store suffix, bad tokens file
+        raise _UsageError(str(exc)) from None
+    except FileNotFoundError as exc:  # missing tokens file
         raise _UsageError(str(exc)) from None
     except OSError as exc:  # port in use, bind refused
         raise _UsageError(f"cannot bind {args.host}:{args.port}: {exc}") from None
@@ -902,9 +944,16 @@ def _cmd_submit(args) -> int:
             print(line, flush=True)
             last_line[0] = line
 
+    import os
+
+    token = args.token or os.environ.get("REPRO_SERVICE_TOKEN")
     try:
-        client = ServiceClient(args.url)
-        result = client.run(_submit_spec(args), on_progress=on_progress)
+        client = ServiceClient(args.url, token=token)
+        result = client.run(
+            _submit_spec(args),
+            on_progress=on_progress,
+            submit_retries=max(0, args.retries),
+        )
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

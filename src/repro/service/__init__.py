@@ -14,9 +14,18 @@ the campaign machinery into a long-running daemon:
   computation, and completed cells are served straight from the store
   without scheduling;
 * :mod:`server <repro.service.server>` -- the stdlib-only HTTP/NDJSON
-  API (``POST /jobs``, ``GET /jobs/<id>``, streaming progress, result
-  fetch) with graceful SIGTERM drain;
-* :mod:`client <repro.service.client>` -- the matching stdlib client,
+  API, versioned under ``/v1`` (``POST /v1/jobs``, ``GET /v1/jobs/<id>``,
+  streaming progress, result fetch, ``GET /v1/metrics``) with keep-alive
+  connections, a uniform error envelope and graceful SIGTERM drain;
+* the production-hardening middleware: :mod:`auth <repro.service.auth>`
+  (bearer tokens, constant-time compare, anonymous mode),
+  :mod:`rate_limit <repro.service.rate_limit>` (per-client token
+  buckets + queue-depth admission control),
+  :mod:`metrics <repro.service.metrics>` (counters, gauges, log-spaced
+  latency histograms) and :mod:`audit <repro.service.audit>` (append-only
+  JSONL submission log);
+* :mod:`client <repro.service.client>` -- the matching stdlib client
+  (keep-alive, typed error hierarchy, Retry-After-honouring backoff),
   wired to the ``repro serve`` / ``repro submit`` CLI subcommands.
 
 Results fetched through the service are bit-identical to the direct
@@ -26,20 +35,44 @@ of concurrency, coalescing or cache state -- pinned by the differential
 corpus in ``tests/service/``.
 """
 
-from .client import ServiceClient, ServiceError
+from .audit import AuditLog, read_audit_log
+from .auth import Authenticator, resolve_tokens
+from .client import (
+    AuthError,
+    JobNotFound,
+    NotReady,
+    Overloaded,
+    RateLimited,
+    ServiceClient,
+    ServiceError,
+)
 from .jobs import Job, JobSpec, JobState, spec_from_payload
+from .metrics import ServiceMetrics
+from .rate_limit import AdmissionController, RateLimiter
 from .scheduler import VerificationScheduler
 from .server import ServiceServer, ThreadedService, serve
 
 __all__ = [
+    "AdmissionController",
+    "AuditLog",
+    "AuthError",
+    "Authenticator",
     "Job",
+    "JobNotFound",
     "JobSpec",
     "JobState",
+    "NotReady",
+    "Overloaded",
+    "RateLimited",
+    "RateLimiter",
     "ServiceClient",
     "ServiceError",
+    "ServiceMetrics",
     "ServiceServer",
     "ThreadedService",
     "VerificationScheduler",
+    "read_audit_log",
+    "resolve_tokens",
     "serve",
     "spec_from_payload",
 ]

@@ -1,0 +1,120 @@
+"""Append-only JSONL audit log of service submissions and auth denials.
+
+Mirrors tritium-sc's ``audit_middleware`` shape with the same durability
+contract as the campaign store's JSONL backend: one JSON object per
+line, flushed per write, and a line cut short by SIGTERM/kill mid-write
+is tolerated -- the reader skips the truncated tail, and reopening the
+log first seals it with a newline so the next entry starts clean.
+
+What gets logged (one entry per *decision*, never per poll):
+
+* every ``POST /v1/jobs`` outcome: client id, job kind, the job id and
+  truncated content-key digests when accepted, the machine-readable
+  rejection code when not;
+* every authentication failure, on any route.
+
+Entries carry wall-clock ``ts`` and are JSON-safe; nothing secret is
+written (tokens never appear, only client ids).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = ["AuditLog", "read_audit_log"]
+
+#: content keys are sha256 hex; this prefix is plenty to join against
+#: the store while keeping accepted-job entries one line
+DIGEST_CHARS = 12
+#: cap per-entry digests so a huge numerics job cannot bloat the log
+MAX_KEYS_LOGGED = 32
+
+
+def read_audit_log(path) -> list[dict]:
+    """Parse an audit log, skipping a tail truncated by a kill mid-write."""
+    entries: list[dict] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path) as handle:
+        for line in handle.read().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # truncated tail from an interrupted write
+    return entries
+
+
+class AuditLog:
+    """One append-only JSONL file; writes are locked and flushed."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        needs_newline = False
+        if os.path.exists(self.path):
+            with open(self.path) as handle:
+                content = handle.read()
+            needs_newline = bool(content) and not content.endswith("\n")
+        self._handle = open(self.path, "a")
+        if needs_newline:
+            # seal a line truncated by a kill mid-write so the next
+            # entry does not merge into the corrupt tail
+            self._handle.write("\n")
+            self._handle.flush()
+
+    def _write(self, entry: dict) -> None:
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    # -- the two event shapes ---------------------------------------------
+    def submission(
+        self,
+        client: str,
+        kind: str,
+        decision: str,
+        *,
+        job_id: str | None = None,
+        cells: int | None = None,
+        content_keys=(),
+    ) -> None:
+        """One ``POST /jobs`` decision: ``accepted`` or ``rejected:<code>``."""
+        entry: dict = {
+            "ts": time.time(),
+            "event": "submit",
+            "client": client,
+            "kind": kind,
+            "decision": decision,
+        }
+        if job_id is not None:
+            entry["job_id"] = job_id
+        if cells is not None:
+            entry["cells"] = cells
+        if content_keys:
+            digests = [key[:DIGEST_CHARS] for key in content_keys]
+            entry["keys"] = digests[:MAX_KEYS_LOGGED]
+            if len(digests) > MAX_KEYS_LOGGED:
+                entry["keys_truncated"] = len(digests) - MAX_KEYS_LOGGED
+        self._write(entry)
+
+    def auth_failure(self, code: str, path: str) -> None:
+        self._write(
+            {
+                "ts": time.time(),
+                "event": "auth",
+                "client": "-",
+                "decision": f"rejected:{code}",
+                "path": path,
+            }
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.close()

@@ -1,10 +1,34 @@
-"""Stdlib client for the verification service.
+"""Stdlib client for the verification service (``/v1`` API).
 
-``http.client`` only -- one connection per request, matching the
-server's ``Connection: close`` framing.  Connection-level failures
-(refused, reset, timeout) raise :class:`ServiceError` with a one-line
-message; ``repro submit`` maps that to a clean nonzero exit instead of a
-traceback.
+``http.client`` only.  The client keeps ONE keep-alive connection and
+reuses it across requests -- the load generator measures the server,
+not TCP setup -- reconnecting transparently when the pooled connection
+went stale (server restarted, keep-alive idle timeout fired).  The
+reconnect-and-retry happens only when the failure proves no response
+was started; submissions are content-keyed and idempotent server-side,
+so the one retry can never double-compute.
+
+Errors are a typed hierarchy under :class:`ServiceError`, decoded from
+the server's uniform error envelope
+``{"error": {"code", "message", "retry_after"}}``:
+
+=========================  ============================================
+:class:`AuthError`         401 -- missing or invalid bearer token
+:class:`RateLimited`       429 -- over the per-client rate, carries
+                           ``retry_after`` seconds
+:class:`Overloaded`        503 -- queue past the high-water mark or the
+                           server is draining; carries ``retry_after``
+:class:`JobNotFound`       404 with code ``job_not_found``
+:class:`NotReady`          409 -- result fetched before terminal state
+=========================  ============================================
+
+Anything else (connection refused, route 404, 400 bad spec) raises the
+base :class:`ServiceError` with a one-line message; ``repro submit``
+maps that to a clean nonzero exit instead of a traceback.
+
+:meth:`ServiceClient.submit_with_retry` honours ``Retry-After`` with
+bounded exponential backoff, which is what makes 503-then-retry
+converge under backpressure (the load benchmark pins that).
 """
 
 from __future__ import annotations
@@ -12,24 +36,81 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 import urllib.parse
 from typing import Callable, Iterator
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = [
+    "AuthError",
+    "JobNotFound",
+    "NotReady",
+    "Overloaded",
+    "RateLimited",
+    "ServiceClient",
+    "ServiceError",
+]
 
 
 class ServiceError(RuntimeError):
     """A request could not be completed (connection or server error)."""
 
-    def __init__(self, message: str, status: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        code: str | None = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.code = code
+
+
+class AuthError(ServiceError):
+    """The server rejected the request's credentials (401)."""
+
+
+class _Retryable(ServiceError):
+    def __init__(self, message, status=None, code=None, retry_after=None):
+        super().__init__(message, status=status, code=code)
+        self.retry_after = retry_after
+
+
+class RateLimited(_Retryable):
+    """The per-client token bucket is dry (429); retry after a delay."""
+
+
+class Overloaded(_Retryable):
+    """The queue is past the high-water mark or the server drains (503)."""
+
+
+class JobNotFound(ServiceError):
+    """The job id is unknown (expired from retention, or never existed)."""
+
+
+class NotReady(ServiceError):
+    """The result was fetched before the job reached a terminal state."""
+
+
+#: stale-connection failures that prove no response was started, so a
+#: single transparent reconnect+retry of the request is safe
+_STALE = (
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    http.client.ResponseNotReady,
+    ConnectionResetError,
+    BrokenPipeError,
+)
 
 
 class ServiceClient:
-    """Talks to one service base URL, e.g. ``http://127.0.0.1:8642``."""
+    """Talks to one service base URL, e.g. ``http://127.0.0.1:8642``.
 
-    def __init__(self, url: str, timeout: float = 600.0):
+    ``token`` (optional) is sent as ``Authorization: Bearer <token>``
+    on every request; servers in anonymous mode ignore it.
+    """
+
+    def __init__(self, url: str, timeout: float = 600.0,
+                 token: str | None = None):
         parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
         if parsed.scheme not in ("http", ""):
             raise ServiceError(f"unsupported URL scheme {parsed.scheme!r} in {url!r}")
@@ -38,73 +119,181 @@ class ServiceClient:
         self.host = parsed.hostname
         self.port = parsed.port or 80
         self.timeout = timeout
+        self.token = token
         self.url = f"http://{self.host}:{self.port}"
+        self._conn: http.client.HTTPConnection | None = None
 
     # -- plumbing ----------------------------------------------------------
     def _connect(self) -> http.client.HTTPConnection:
         return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
 
+    def _headers(self, has_body: bool) -> dict:
+        headers = {}
+        if has_body:
+            headers["Content-Type"] = "application/json"
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def close(self) -> None:
+        """Drop the pooled keep-alive connection (idempotent)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        conn = self._connect()
-        try:
-            body = None if payload is None else json.dumps(payload).encode()
-            headers = {"Content-Type": "application/json"} if body else {}
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = self._headers(body is not None)
+        for attempt in (0, 1):
+            reused = self._conn is not None
+            conn = self._conn or self._connect()
+            self._conn = conn
             try:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 data = response.read()
-            except (ConnectionError, socket.timeout, OSError) as exc:
+            except _STALE as exc:
+                # the pooled connection died between requests; a fresh
+                # connection gets exactly one retry -- but only if this
+                # WAS a reused connection (a fresh one failing the same
+                # way is a real server problem, not staleness)
+                self.close()
+                if reused and attempt == 0:
+                    continue
                 raise ServiceError(
                     f"cannot reach service at {self.url}: {exc}"
                 ) from None
-            return self._decode(response.status, data, path)
-        finally:
-            conn.close()
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                self.close()
+                raise ServiceError(
+                    f"cannot reach service at {self.url}: {exc}"
+                ) from None
+            if response.will_close:
+                self.close()
+            return self._decode(response, data, path)
+        raise AssertionError("unreachable")  # pragma: no cover
 
-    def _decode(self, status: int, data: bytes, path: str) -> dict:
+    def _decode(self, response, data: bytes, path: str) -> dict:
+        status = response.status
         try:
             payload = json.loads(data.decode() or "null")
         except json.JSONDecodeError:
             payload = {"error": data.decode(errors="replace")[:200]}
-        if status >= 400:
-            message = (
-                payload.get("error", f"HTTP {status}")
-                if isinstance(payload, dict)
-                else f"HTTP {status}"
+        if status < 400:
+            return payload
+        raise self._error(status, payload, response, path)
+
+    def _error(self, status, payload, response, path) -> ServiceError:
+        """Map a non-2xx response to the typed exception hierarchy."""
+        code = None
+        retry_after = None
+        message = f"HTTP {status}"
+        if isinstance(payload, dict):
+            envelope = payload.get("error")
+            if isinstance(envelope, dict):  # the /v1 uniform envelope
+                code = envelope.get("code")
+                message = envelope.get("message", message)
+                retry_after = envelope.get("retry_after")
+            elif envelope is not None:  # pre-/v1 servers: a bare string
+                message = str(envelope)
+        if retry_after is None:
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+        message = f"{path}: {message}"
+        if status == 401:
+            return AuthError(message, status=status, code=code)
+        if status == 429:
+            return RateLimited(
+                message, status=status, code=code, retry_after=retry_after
             )
-            raise ServiceError(f"{path}: {message}", status=status)
-        return payload
+        if status == 503:
+            return Overloaded(
+                message, status=status, code=code, retry_after=retry_after
+            )
+        if status == 404 and code == "job_not_found":
+            return JobNotFound(message, status=status, code=code)
+        if status == 409:
+            return NotReady(message, status=status, code=code)
+        return ServiceError(message, status=status, code=code)
 
     # -- API ---------------------------------------------------------------
     def health(self) -> dict:
-        return self._request("GET", "/healthz")
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
 
     def submit(self, spec: dict) -> dict:
         """Submit a job spec; returns the initial progress snapshot."""
-        return self._request("POST", "/jobs", spec)
+        return self._request("POST", "/v1/jobs", spec)
+
+    def submit_with_retry(
+        self,
+        spec: dict,
+        *,
+        max_attempts: int = 8,
+        max_backoff: float = 8.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> dict:
+        """Submit, honouring ``Retry-After`` with bounded exponential
+        backoff on 429/503.  Raises the last :class:`RateLimited` /
+        :class:`Overloaded` once ``max_attempts`` is exhausted; every
+        other failure propagates immediately.
+        """
+        backoff = 0.25
+        for attempt in range(max_attempts):
+            try:
+                return self.submit(spec)
+            except (RateLimited, Overloaded) as exc:
+                if attempt == max_attempts - 1:
+                    raise
+                wait = exc.retry_after if exc.retry_after else backoff
+                sleep(min(wait, max_backoff))
+                backoff = min(backoff * 2.0, max_backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def job(self, job_id: str) -> dict:
-        return self._request("GET", f"/jobs/{job_id}")
+        return self._request("GET", f"/v1/jobs/{job_id}")
 
     def jobs(self) -> list[dict]:
-        return self._request("GET", "/jobs")["jobs"]
+        return self._request("GET", "/v1/jobs")["jobs"]
 
     def result(self, job_id: str) -> dict:
-        return self._request("GET", f"/jobs/{job_id}/result")
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
 
     def events(self, job_id: str) -> Iterator[dict]:
-        """Stream the job's NDJSON progress snapshots until terminal."""
+        """Stream the job's NDJSON progress snapshots until terminal.
+
+        Uses its own connection: the stream is delimited by server
+        close, so it cannot share the pooled keep-alive connection.
+        """
         conn = self._connect()
         try:
             try:
-                conn.request("GET", f"/jobs/{job_id}/events")
+                conn.request(
+                    "GET", f"/v1/jobs/{job_id}/events",
+                    headers=self._headers(False),
+                )
                 response = conn.getresponse()
             except (ConnectionError, socket.timeout, OSError) as exc:
                 raise ServiceError(
                     f"cannot reach service at {self.url}: {exc}"
                 ) from None
             if response.status >= 400:
-                self._decode(response.status, response.read(), f"/jobs/{job_id}/events")
+                self._decode(response, response.read(), f"/v1/jobs/{job_id}/events")
             while True:
                 try:
                     line = response.readline()
@@ -132,9 +321,20 @@ class ServiceClient:
         self,
         spec: dict,
         on_progress: Callable[[dict], None] | None = None,
+        *,
+        submit_retries: int = 0,
     ) -> dict:
-        """Submit, follow the progress stream, fetch the final result."""
-        snapshot = self.submit(spec)
+        """Submit, follow the progress stream, fetch the final result.
+
+        ``submit_retries > 0`` retries a 429/503 submission that many
+        extra times with Retry-After-honouring backoff.
+        """
+        if submit_retries > 0:
+            snapshot = self.submit_with_retry(
+                spec, max_attempts=1 + submit_retries
+            )
+        else:
+            snapshot = self.submit(spec)
         job_id = snapshot["id"]
         last = snapshot
         for event in self.events(job_id):

@@ -1,0 +1,194 @@
+"""Runtime observability: counters, gauges and latency histograms.
+
+Everything ``GET /v1/metrics`` exports lives here.  The design follows
+the constraint that all mutation happens on the server's event-loop
+thread (requests are counted where they are handled), so the structures
+are plain dicts with no locks; a scrape is a snapshot assembled on the
+same loop and is therefore always internally consistent.
+
+Histograms use **fixed log-spaced buckets** -- half-decade steps from
+100 us to ~316 s -- timed with the monotonic clock by the caller.
+Bucket counts are *per-bucket* (not cumulative), so the counts always
+sum to the observation count; that invariant is what the tests pin and
+what makes the JSON trivially diffable across scrapes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = ["Histogram", "ServiceMetrics"]
+
+# half-decade log spacing: 1e-4, 3.16e-4, 1e-3, ... 1e2, 3.16e2 seconds
+BUCKET_EDGES: tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 2.0), 10) for exponent in range(-8, 6)
+)
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (seconds)."""
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self):
+        self.counts = [0] * (len(BUCKET_EDGES) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = 0
+        for edge in BUCKET_EDGES:
+            if seconds <= edge:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.sum += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper edge of the bucket
+        holding the q-th observation); exact enough to gate tail latency
+        at half-decade resolution, and cheap enough to compute per scrape.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(BUCKET_EDGES):
+                    return BUCKET_EDGES[index]
+                return self.max
+        return self.max
+
+    def snapshot(self) -> dict:
+        buckets = {}
+        for index, edge in enumerate(BUCKET_EDGES):
+            if self.counts[index]:
+                buckets[f"le_{edge:g}"] = self.counts[index]
+        if self.counts[-1]:
+            buckets["inf"] = self.counts[-1]
+        return {
+            "buckets": buckets,
+            "bucket_edges": [f"{edge:g}" for edge in BUCKET_EDGES],
+            "count": self.count,
+            "sum": round(self.sum, 9),
+            "min": round(self.min, 9) if self.count else None,
+            "max": round(self.max, 9) if self.count else None,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+class ServiceMetrics:
+    """The server's counters + histograms, and the scrape assembler."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._started = clock()
+        self.started_at = time.time()
+        self.requests_total = 0
+        self.requests_by_status: dict[str, int] = {}
+        self.requests_by_route: dict[str, int] = {}
+        self.deprecated_requests = 0
+        self.auth_failures = 0
+        self.rate_limited = 0
+        self.shed = 0
+        self.draining_rejects = 0
+        #: per-job-kind submit latency (request receipt -> response ready)
+        self.submit_latency: dict[str, Histogram] = {}
+
+    # -- recording (event-loop thread only) --------------------------------
+    def record_request(self, route: str, status: int, deprecated: bool) -> None:
+        self.requests_total += 1
+        self.requests_by_status[str(status)] = (
+            self.requests_by_status.get(str(status), 0) + 1
+        )
+        self.requests_by_route[route] = self.requests_by_route.get(route, 0) + 1
+        if deprecated:
+            self.deprecated_requests += 1
+
+    def record_submit(self, kind: str, seconds: float) -> None:
+        histogram = self.submit_latency.get(kind)
+        if histogram is None:
+            histogram = self.submit_latency[kind] = Histogram()
+        histogram.observe(seconds)
+
+    # -- scraping ----------------------------------------------------------
+    def render(self, scheduler, *, auth=None, limiter=None, admission=None) -> dict:
+        """The ``/v1/metrics`` document; JSON-safe, sorted-key stable."""
+        jobs = scheduler.jobs()
+        stats = scheduler.stats
+        cache = stats["cells_cache"]
+        computed = stats["cells_computed"]
+        coalesced = stats["cells_coalesced"]
+        classified = cache + computed + coalesced
+        executing = scheduler.executing
+        max_inflight = scheduler.max_inflight
+        return {
+            "server": {
+                "started_at": self.started_at,
+                "uptime_seconds": round(self._clock() - self._started, 3),
+            },
+            "requests": {
+                "total": self.requests_total,
+                "by_status": dict(sorted(self.requests_by_status.items())),
+                "by_route": dict(sorted(self.requests_by_route.items())),
+                "deprecated": self.deprecated_requests,
+            },
+            "auth": {
+                "mode": (
+                    "anonymous" if auth is None or auth.anonymous else "token"
+                ),
+                "failures": self.auth_failures,
+            },
+            "rate_limit": {
+                "enabled": bool(limiter is not None and limiter.enabled),
+                "rate_per_second": limiter.rate if limiter is not None else 0.0,
+                "burst": limiter.burst if limiter is not None else 0.0,
+                "throttled": self.rate_limited,
+            },
+            "admission": {
+                "enabled": bool(admission is not None and admission.enabled),
+                "high_water": admission.high_water if admission is not None else 0,
+                "queue_depth": scheduler.queue_depth(),
+                "shed": self.shed,
+                "draining_rejects": self.draining_rejects,
+            },
+            "jobs": {
+                "submitted": stats["jobs_submitted"],
+                "by_kind": dict(sorted(stats["jobs_by_kind"].items())),
+                "tracked": len(jobs),
+                "active": sum(1 for job in jobs if not job.done),
+            },
+            "cells": {
+                "computed": computed,
+                "cache": cache,
+                "coalesced": coalesced,
+                "cache_hit_ratio": (
+                    round((cache + coalesced) / classified, 6) if classified else None
+                ),
+            },
+            "pool": {
+                "executing": executing,
+                "max_inflight": max_inflight,
+                "utilisation": round(executing / max_inflight, 6),
+                "workers": scheduler.pool_width,
+            },
+            "store": {
+                "path": scheduler.store_path,
+                "keys": scheduler.store_keys(),
+            },
+            "latency": {
+                "submit_seconds": {
+                    kind: histogram.snapshot()
+                    for kind, histogram in sorted(self.submit_latency.items())
+                },
+            },
+        }

@@ -1,0 +1,136 @@
+"""Per-client token buckets and queue-depth admission control.
+
+Stdlib translation of tritium-sc's ``src/app/rate_limit.py`` middleware
+shape, reduced to the two pieces the verification service needs:
+
+* :class:`RateLimiter` -- one token bucket per client id.  A bucket
+  holds up to ``burst`` tokens and refills continuously at ``rate``
+  tokens/second on the injected monotonic clock; each admitted
+  submission spends one token, a dry bucket answers with the exact
+  seconds until the next token accrues (the ``Retry-After`` the server
+  sends with its 429).  ``rate=0`` disables limiting entirely -- the
+  default, so anonymous/local use stays friction-free.
+
+* :class:`AdmissionController` -- backpressure on the *shared* queue:
+  when the scheduler's queued-cell depth reaches ``high_water``, new
+  submissions are shed with a 503 + ``Retry-After`` instead of growing
+  the queue without bound.  ``high_water=0`` disables shedding.
+
+Both are pure decision objects (no I/O, no clock of their own), so the
+refill boundaries and the exact flip at the high-water mark are unit
+testable with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["AdmissionController", "RateLimiter", "TokenBucket"]
+
+# buckets for clients idle long enough to be full again are pruned once
+# the table grows past this, so an open service cannot be grown without
+# bound by a stream of fresh client ids
+_MAX_BUCKETS = 4096
+
+
+class TokenBucket:
+    """One client's bucket: continuous refill, unit cost per acquire."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.stamp)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.stamp = now
+
+    def acquire(self, now: float) -> float:
+        """0.0 and spend a token, or the seconds until one accrues."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+    def full(self, now: float) -> bool:
+        self._refill(now)
+        return self.tokens >= self.burst
+
+
+class RateLimiter:
+    """Per-client-id token buckets on a shared (injectable) clock."""
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: int | None = None,
+        clock=time.monotonic,
+    ):
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self.rate = float(rate)
+        # default burst: one second's worth, at least 1
+        self.burst = float(burst if burst is not None else max(1, round(rate)))
+        if self.rate and self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def admit(self, client: str) -> float:
+        """0.0 to admit, else the client's ``Retry-After`` in seconds."""
+        if not self.enabled:
+            return 0.0
+        now = self._clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= _MAX_BUCKETS:
+                self._prune(now)
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate, self.burst, now
+            )
+        return bucket.acquire(now)
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets that refilled completely (idle clients)."""
+        idle = [
+            client
+            for client, bucket in self._buckets.items()
+            if bucket.full(now)
+        ]
+        for client in idle:
+            del self._buckets[client]
+
+
+class AdmissionController:
+    """Shed submissions once the shared queue is past the high-water mark."""
+
+    def __init__(self, high_water: int = 0, retry_after: float = 1.0):
+        if high_water < 0:
+            raise ValueError(f"high_water must be >= 0, got {high_water}")
+        self.high_water = int(high_water)
+        self.retry_after = float(retry_after)
+
+    @property
+    def enabled(self) -> bool:
+        return self.high_water > 0
+
+    def admit(self, queue_depth: int) -> float:
+        """0.0 to admit, else the ``Retry-After`` to shed with.
+
+        The retry hint scales with how far past the mark the queue is,
+        capped at 30s -- deep backlogs push clients to back off harder,
+        but never so far that a drained server sits idle.
+        """
+        if not self.enabled or queue_depth < self.high_water:
+            return 0.0
+        overshoot = 1 + (queue_depth - self.high_water) // max(1, self.high_water)
+        return min(30.0, self.retry_after * overshoot)

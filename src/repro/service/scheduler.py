@@ -106,11 +106,28 @@ class VerificationScheduler:
         )
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, asyncio.Future] = {}
+        #: keys whose compute finished (store write included) -- closes
+        #: the submit-classification race where a cell completes during
+        #: the batched store-lookup await: the stale lookup misses, the
+        #: in-flight future is gone, and without this set the cell would
+        #: re-register as "computed" (a spurious recompute for any
+        #: compute path that does not resume from the store)
+        self._completed_keys: set[str] = set()
         self._pending: dict[str, deque[CellTask]] = {}
         self._ring: deque[str] = deque()
         self._key_cache: dict = {}
         self._next_job = 0
         self._draining = False
+        #: scrape-friendly counters (mutated on the event-loop thread,
+        #: read by the /v1/metrics handler on the same loop)
+        self.stats: dict = {
+            "jobs_submitted": 0,
+            "jobs_by_kind": {},
+            "cells_computed": 0,
+            "cells_cache": 0,
+            "cells_coalesced": 0,
+        }
+        self.executing = 0  # cells currently on the compute executor
         self._wake: asyncio.Event | None = None
         self._sem: asyncio.Semaphore | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -211,25 +228,38 @@ class VerificationScheduler:
         stored_map = await asyncio.to_thread(
             lambda: {c.content_key: self._store_lookup(c) for c in to_lookup}
         )
+        self.stats["jobs_submitted"] += 1
+        self.stats["jobs_by_kind"][spec.kind] = (
+            self.stats["jobs_by_kind"].get(spec.kind, 0) + 1
+        )
         pending: deque[CellTask] = deque()
         for cell in cells:
             # the lookup await yielded the loop: an identical cell may
             # have been registered by a concurrent submission in the
             # meantime -- the in-flight check runs after it, or two jobs
-            # would compute the same key twice.  (A cell that instead
-            # *finished* during the await re-registers here and its
-            # compute serves straight from the store via resume=True.)
+            # would compute the same key twice.
             shared = self._inflight.get(cell.content_key)
             if shared is not None:
                 attach_future(job, cell, shared, "coalesced")
+                self.stats["cells_coalesced"] += 1
                 continue
             stored = stored_map.get(cell.content_key)
+            if stored is None and cell.content_key in self._completed_keys:
+                # the cell *finished* during the await: the batched
+                # lookup predates its store write and the in-flight
+                # future is already resolved and gone.  The store write
+                # precedes both (same loop-thread finally), so this
+                # synchronous re-read always hits -- without it the cell
+                # would re-register as a spurious "computed".
+                stored = self._store_lookup(cell)
             if stored is not None:
                 job.complete_cell(cell, stored, "cache")
+                self.stats["cells_cache"] += 1
                 continue
             future: asyncio.Future = asyncio.get_running_loop().create_future()
             self._inflight[cell.content_key] = future
             attach_future(job, cell, future, "computed")
+            self.stats["cells_computed"] += 1
             pending.append(cell)
         if pending and not self._draining:
             self._pending[job.id] = pending
@@ -268,6 +298,34 @@ class VerificationScheduler:
 
     def jobs(self) -> list[Job]:
         return list(self._jobs.values())
+
+    # -- observability (read from the event-loop thread) -------------------
+    def queue_depth(self) -> int:
+        """Cells queued for dispatch (excludes cells already executing).
+
+        This is the quantity admission control gates on: executing cells
+        are bounded by ``max_inflight`` already, the queue is the only
+        part that can grow without bound.
+        """
+        return sum(len(pending) for pending in self._pending.values())
+
+    @property
+    def max_inflight(self) -> int:
+        return self._max_inflight
+
+    @property
+    def pool_width(self) -> int:
+        """Process-pool width (0 = inline compute mode)."""
+        if self._max_workers == 0:
+            return 0
+        return self._max_workers or os.cpu_count() or 1
+
+    @property
+    def store_path(self) -> str:
+        return self._store.path
+
+    def store_keys(self) -> int:
+        return len(self._store.keys())
 
     def _store_lookup(self, cell: CellTask) -> dict | None:
         payload = self._store.get_payload(cell.content_key)
@@ -320,6 +378,7 @@ class VerificationScheduler:
 
     async def _run_cell(self, cell: CellTask) -> None:
         future = self._inflight.get(cell.content_key)
+        self.executing += 1
         try:
             payload = await asyncio.get_running_loop().run_in_executor(
                 self._compute_executor, self._compute_cell, cell
@@ -330,9 +389,13 @@ class VerificationScheduler:
                 # consumed by attach_future callbacks; never re-raised here
                 future.exception()
         else:
+            # the store write happened inside _compute_cell, strictly
+            # before this: a key in _completed_keys is always readable
+            self._completed_keys.add(cell.content_key)
             if future is not None and not future.done():
                 future.set_result(payload)
         finally:
+            self.executing -= 1
             self._inflight.pop(cell.content_key, None)
             self._sem.release()
 

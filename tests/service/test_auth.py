@@ -1,0 +1,160 @@
+"""Bearer-token auth: token loading, constant-time identify, HTTP 401s.
+
+Unit tests cover the parser and :class:`Authenticator` decision table;
+the HTTP-level tests pin the middleware edges the ISSUE names: wrong,
+missing and empty tokens answer 401 with the uniform error envelope and
+are audit-logged, while ``/healthz`` stays open for liveness probes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.audit import read_audit_log
+from repro.service.auth import (
+    ANONYMOUS,
+    AuthenticationError,
+    Authenticator,
+    load_tokens_env,
+    load_tokens_file,
+    resolve_tokens,
+)
+from repro.service.client import AuthError, ServiceClient
+from repro.service.scheduler import VerificationScheduler
+from repro.service.server import ThreadedService
+
+from .test_scheduler import stub_compute, table1_spec
+
+TOKENS = {"s3cret-alice": "alice", "s3cret-bob": "bob"}
+
+
+class TestTokenLoading:
+    def test_file_parsing(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        path.write_text(
+            "# service tokens\n"
+            "alice: s3cret-alice \n"
+            "\n"
+            "bob:s3cret-bob\n"
+        )
+        assert load_tokens_file(path) == TOKENS
+
+    def test_env_parsing(self):
+        assert load_tokens_env("alice:s3cret-alice, bob:s3cret-bob") == TOKENS
+
+    @pytest.mark.parametrize("bad", ["alice", "alice:", ":tok", "a:b:c-extra"])
+    def test_malformed_entries_rejected(self, bad):
+        if bad == "a:b:c-extra":
+            # a second colon is part of the token, not malformed
+            assert load_tokens_env(bad) == {"b:c-extra": "a"}
+            return
+        with pytest.raises(ValueError, match="malformed token entry"):
+            load_tokens_env(bad)
+
+    def test_duplicate_token_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            load_tokens_env("alice:tok,bob:tok")
+
+    def test_resolve_precedence(self, tmp_path):
+        path = tmp_path / "tokens.txt"
+        path.write_text("carol:file-token\n")
+        env = {"REPRO_SERVICE_TOKENS": "dave:env-token"}
+        # explicit file wins over the env var
+        assert resolve_tokens(path, environ=env) == {"file-token": "carol"}
+        assert resolve_tokens(None, environ=env) == {"env-token": "dave"}
+        assert resolve_tokens(None, environ={}) == {}
+
+
+class TestAuthenticator:
+    def test_anonymous_mode_accepts_everything(self):
+        auth = Authenticator({})
+        assert auth.anonymous
+        assert auth.identify(None) == ANONYMOUS
+        assert auth.identify("Bearer whatever") == ANONYMOUS
+
+    def test_identifies_client_by_token(self):
+        auth = Authenticator(TOKENS)
+        assert not auth.anonymous
+        assert auth.identify("Bearer s3cret-alice") == "alice"
+        assert auth.identify("bearer s3cret-bob") == "bob"  # scheme case
+
+    @pytest.mark.parametrize(
+        "header,code",
+        [
+            (None, "missing_token"),
+            ("", "missing_token"),
+            ("Bearer ", "invalid_token"),       # empty token
+            ("Bearer wrong", "invalid_token"),  # unknown token
+            ("Basic s3cret-alice", "invalid_token"),  # wrong scheme
+            ("s3cret-alice", "invalid_token"),  # no scheme at all
+        ],
+    )
+    def test_rejections(self, header, code):
+        auth = Authenticator(TOKENS)
+        with pytest.raises(AuthenticationError) as exc:
+            auth.identify(header)
+        assert exc.value.code == code
+
+
+@pytest.fixture
+def authed_service(tmp_path, monkeypatch):
+    monkeypatch.setattr(VerificationScheduler, "_compute_cell", stub_compute())
+    audit_path = tmp_path / "audit.jsonl"
+    with ThreadedService(
+        tmp_path / "svc.jsonl", max_workers=0,
+        tokens=dict(TOKENS), audit_path=audit_path,
+    ) as svc:
+        yield svc, audit_path
+
+
+class TestAuthOverHttp:
+    def test_valid_token_submits(self, authed_service):
+        svc, _ = authed_service
+        client = ServiceClient(svc.url, token="s3cret-alice")
+        snap = client.submit(table1_spec(["Wigner"], ["EC1"]))
+        assert snap["state"] in ("running", "done")
+
+    @pytest.mark.parametrize("token", [None, "", "wrong-token"])
+    def test_bad_token_is_401_with_envelope(self, authed_service, token):
+        svc, audit_path = authed_service
+        client = ServiceClient(svc.url, token=token)
+        with pytest.raises(AuthError) as exc:
+            client.submit(table1_spec(["Wigner"], ["EC1"]))
+        assert exc.value.status == 401
+        assert exc.value.code in ("missing_token", "invalid_token")
+        # ... and the denial is in the audit log
+        entries = read_audit_log(audit_path)
+        assert entries, "auth failure was not audit-logged"
+        last = entries[-1]
+        assert last["event"] == "auth"
+        assert last["decision"] == f"rejected:{exc.value.code}"
+
+    def test_envelope_shape_on_401(self, authed_service):
+        import http.client
+
+        svc, _ = authed_service
+        host, port = svc.url.split("//")[1].rsplit(":", 1)
+        conn = http.client.HTTPConnection(host, int(port))
+        conn.request("GET", "/v1/jobs")
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        conn.close()
+        assert response.status == 401
+        assert set(body) == {"error"}
+        assert body["error"]["code"] == "missing_token"
+        assert isinstance(body["error"]["message"], str)
+
+    def test_healthz_needs_no_token(self, authed_service):
+        svc, _ = authed_service
+        health = ServiceClient(svc.url).health()  # no token on purpose
+        assert health["status"] == "ok"
+
+    def test_metrics_requires_token_and_counts_failures(self, authed_service):
+        svc, _ = authed_service
+        with pytest.raises(AuthError):
+            ServiceClient(svc.url).metrics()
+        metrics = ServiceClient(svc.url, token="s3cret-bob").metrics()
+        assert metrics["auth"]["mode"] == "token"
+        assert metrics["auth"]["failures"] >= 1

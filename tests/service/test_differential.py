@@ -245,6 +245,50 @@ class TestCliArtifacts:
         assert "Table I" in out
         assert served_json.read_bytes() == direct_json.read_bytes()
 
+    def test_submit_authed_rate_limited_identical_to_direct(
+        self, tmp_path, capsys
+    ):
+        """The hardened /v1 path -- bearer auth plus a deliberately dry
+        token bucket forcing a 429-then-retry -- serves byte-identical
+        table bytes to the direct CLI."""
+        from repro.cli import main
+
+        direct_json = tmp_path / "direct2.json"
+        served_json = tmp_path / "served2.json"
+        slice_args = [
+            "--functionals", "LYP,Wigner", "--conditions", "EC1,EC6",
+            "--budget", "100", "--global-budget", "800",
+        ]
+        assert main(["table1", *slice_args, "--json", str(direct_json)]) == 0
+        audit_path = tmp_path / "audit.jsonl"
+        with ThreadedService(
+            tmp_path / "svc.jsonl", max_workers=0,
+            tokens={"s3cret": "alice"}, rate=0.5, burst=1,
+            audit_path=audit_path,
+        ) as svc:
+            # drain alice's bucket so the CLI submission is answered 429
+            # and must honour Retry-After to get through
+            ServiceClient(svc.url, token="s3cret", timeout=300).submit(
+                TABLE1_SPEC
+            )
+            rc = main([
+                "submit", "--url", svc.url, "--token", "s3cret",
+                "--json", str(served_json), "table1", *slice_args,
+            ])
+            metrics = ServiceClient(svc.url, token="s3cret").metrics()
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert served_json.read_bytes() == direct_json.read_bytes()
+        # the retry path genuinely fired and the decisions were audited
+        assert metrics["rate_limit"]["throttled"] >= 1
+        from repro.service.audit import read_audit_log
+
+        decisions = [
+            entry["decision"] for entry in read_audit_log(audit_path)
+        ]
+        assert "rejected:rate_limited" in decisions
+        assert decisions.count("accepted") == 2
+
     def test_submit_numerics_json_identical_to_direct(self, tmp_path, capsys):
         from repro.cli import main
 

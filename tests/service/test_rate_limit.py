@@ -1,0 +1,185 @@
+"""Token-bucket refill boundaries and the 503 flip at the high-water mark.
+
+The bucket/controller unit tests inject a fake clock so the refill
+boundary is exact (denied at +0.999s, admitted at +1.0s).  The HTTP
+tests pin the wire contract: 429/503 with the uniform envelope AND the
+``Retry-After`` header, the typed client exceptions, and that
+``submit_with_retry`` converges once the pressure lifts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.client import Overloaded, RateLimited, ServiceClient
+from repro.service.rate_limit import AdmissionController, RateLimiter, TokenBucket
+from repro.service.scheduler import VerificationScheduler
+from repro.service.server import ThreadedService
+
+from .test_scheduler import stub_compute, table1_spec
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_refill_boundary(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=2, clock=clock)
+        # burst of 2: two immediate admits, the third is denied with the
+        # exact time until one token accrues
+        assert limiter.admit("alice") == 0.0
+        assert limiter.admit("alice") == 0.0
+        retry = limiter.admit("alice")
+        assert retry == pytest.approx(1.0)
+        # 1ms before the refill completes: still denied
+        clock.now += 0.999
+        assert limiter.admit("alice") == pytest.approx(0.001)
+        # exactly at the boundary: admitted
+        clock.now += 0.001
+        assert limiter.admit("alice") == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, now=clock.now)
+        for _ in range(3):
+            assert bucket.acquire(clock.now) == 0.0
+        clock.now += 3600.0  # an hour idle refills to burst, not beyond
+        for _ in range(3):
+            assert bucket.acquire(clock.now) == 0.0
+        assert bucket.acquire(clock.now) > 0.0
+
+    def test_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.admit("alice") == 0.0
+        assert limiter.admit("alice") > 0.0  # alice is dry
+        assert limiter.admit("bob") == 0.0   # bob is not
+
+    def test_disabled_by_default(self):
+        limiter = RateLimiter()
+        assert not limiter.enabled
+        for _ in range(1000):
+            assert limiter.admit("anyone") == 0.0
+
+    def test_prune_drops_refilled_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=100.0, burst=1, clock=clock)
+        for index in range(4096):
+            limiter.admit(f"client-{index}")
+        clock.now += 60.0  # everyone refilled
+        limiter.admit("one-more")  # triggers the prune at the cap
+        assert len(limiter._buckets) <= 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=-1.0)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=5.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_flips_exactly_at_high_water(self):
+        admission = AdmissionController(high_water=4, retry_after=1.0)
+        assert admission.admit(0) == 0.0
+        assert admission.admit(3) == 0.0   # below the mark: admitted
+        assert admission.admit(4) == 1.0   # at the mark: shed
+        assert admission.admit(5) == 1.0
+
+    def test_retry_scales_with_overshoot_capped(self):
+        admission = AdmissionController(high_water=4, retry_after=1.0)
+        assert admission.admit(8) == 2.0    # one full high-water past
+        assert admission.admit(400) == 30.0  # deep backlog: capped
+
+    def test_disabled_by_default(self):
+        admission = AdmissionController()
+        assert not admission.enabled
+        assert admission.admit(10**9) == 0.0
+
+
+class TestRateLimitOverHttp:
+    def test_429_envelope_and_retry_after_header(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            VerificationScheduler, "_compute_cell", stub_compute()
+        )
+        with ThreadedService(
+            tmp_path / "svc.jsonl", max_workers=0, rate=0.5, burst=1
+        ) as svc:
+            client = ServiceClient(svc.url)
+            client.submit(table1_spec(["Wigner"], ["EC1"]))  # spends the burst
+            with pytest.raises(RateLimited) as exc:
+                client.submit(table1_spec(["Wigner"], ["EC6"]))
+            assert exc.value.status == 429
+            assert exc.value.code == "rate_limited"
+            assert exc.value.retry_after is not None
+            assert 0 < exc.value.retry_after <= 3.0
+            # submit_with_retry rides out the dry bucket and converges
+            snap = client.submit_with_retry(
+                table1_spec(["Wigner"], ["EC6"]), max_attempts=8
+            )
+            assert snap["state"] in ("queued", "running", "done")
+            metrics = client.metrics()
+            assert metrics["rate_limit"]["enabled"] is True
+            assert metrics["rate_limit"]["throttled"] >= 1
+
+    def test_503_flips_at_high_water_and_recovers(self, tmp_path, monkeypatch):
+        gate = threading.Event()
+
+        def slow_compute(self, cell):
+            gate.wait(timeout=30)
+            payload = {"stub": list(cell.address)}
+            self._store.put_payload(cell.content_key, payload)
+            return payload
+
+        monkeypatch.setattr(VerificationScheduler, "_compute_cell", slow_compute)
+        with ThreadedService(
+            tmp_path / "svc.jsonl", max_workers=0, high_water=2
+        ) as svc:
+            client = ServiceClient(svc.url)
+            # inline mode executes max_inflight=2 cells (both parked at
+            # the gate); the rest stack up as queued cells until the
+            # admission check sees queue_depth >= high_water
+            # EC4/EC5 need exchange, so stick to the correlation-only
+            # conditions applicable to both functionals: 8 distinct cells
+            specs = [
+                table1_spec([functional], [f"EC{index}"])
+                for functional in ("Wigner", "LYP")
+                for index in (1, 2, 3, 6)
+            ]
+            accepted = []
+            shed = None
+            try:
+                for spec in specs:
+                    try:
+                        accepted.append(client.submit(spec))
+                    except Overloaded as exc:
+                        shed = exc
+                        break
+                assert shed is not None, "queue never hit the high-water mark"
+                assert shed.status == 503
+                assert shed.code == "overloaded"
+                assert shed.retry_after is not None and shed.retry_after > 0
+            finally:
+                gate.set()  # drain the queue
+            # after the drain the same submission is admitted
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    snap = client.submit(specs[-1])
+                    break
+                except Overloaded:
+                    assert time.monotonic() < deadline, "503 never recovered"
+                    time.sleep(0.1)
+            assert snap["state"] in ("queued", "running", "done")
+            metrics = client.metrics()
+            assert metrics["admission"]["enabled"] is True
+            assert metrics["admission"]["shed"] >= 1
+            assert metrics["admission"]["high_water"] == 2
