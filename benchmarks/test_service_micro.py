@@ -138,3 +138,120 @@ def test_warm_submission_latency(tmp_path):
     record_bench("service_warm_latency", best_ms=best * 1e3)
     # sanity ceiling only -- a cached submission must stay interactive
     assert best < 5.0, f"cached submission took {best:.2f} s"
+
+
+# ---------------------------------------------------------------------------
+# QoS lanes: interactive wait under batch load
+# ---------------------------------------------------------------------------
+
+LANE_CELL_DELAY = 0.05
+LANE_BATCH_CONDITIONS = ("EC1", "EC2", "EC3", "EC6")
+LANE_PROBE_FUNCTIONALS = ("Wigner", "LYP", "VWN RPA", "SCAN")
+LANE_TINY = {"per_call_budget": 100, "global_step_budget": 400}
+
+
+def _lane_stub_compute(self, cell):
+    """Store-writing compute stub with a fixed per-cell cost, so the bench
+    measures *scheduling* (queue wait), not solver throughput."""
+    time.sleep(LANE_CELL_DELAY)
+    payload = {"stub": list(cell.address)}
+    if cell.kind == "numerics":
+        payload["kind"] = f"numerics/{cell.address[2]}"
+    self._store.put_payload(cell.content_key, payload)
+    return payload
+
+
+def _probe_latency(tmp_path, qos_lanes):
+    """Submit four batch sweeps, then four interactive probes; return the
+    slowest probe round-trip and the preemption count."""
+    import asyncio
+
+    from repro.service.scheduler import VerificationScheduler
+    from repro.verifier.store import open_store
+
+    async def wait_done(job):
+        while not job.done:
+            await job.wait_change(job.version)
+
+    async def body():
+        store = open_store(tmp_path / f"lanes_{int(qos_lanes)}.jsonl")
+        sched = VerificationScheduler(
+            store, max_workers=0, max_inflight=1, qos_lanes=qos_lanes
+        )
+        await sched.start()
+        batch = [
+            await sched.submit(
+                {
+                    "kind": "table1",
+                    "functionals": ["Wigner", "LYP", "VWN RPA"],
+                    "conditions": [condition],
+                    "config": dict(LANE_TINY),
+                }
+            )
+            for condition in LANE_BATCH_CONDITIONS
+        ]
+        await asyncio.sleep(LANE_CELL_DELAY / 2)
+
+        t0 = time.monotonic()
+        probes = [
+            await sched.submit(
+                {
+                    "kind": "verify",
+                    "functional": functional,
+                    "condition": "EC7",
+                    "config": dict(LANE_TINY),
+                }
+            )
+            for functional in LANE_PROBE_FUNCTIONALS
+        ]
+        finished = []
+
+        async def watch(job):
+            await wait_done(job)
+            finished.append(time.monotonic() - t0)
+
+        await asyncio.gather(*(watch(job) for job in probes))
+        worst = max(finished)
+        for job in batch:
+            await wait_done(job)
+        preemptions = sched.lane_preemptions
+        await sched.drain()
+        store.close()
+        return worst, preemptions
+
+    return asyncio.run(body())
+
+
+def test_interactive_probe_wait_drops_with_qos_lanes(tmp_path, monkeypatch):
+    """Gate: with QoS lanes, interactive probes submitted behind four
+    batch sweeps finish sooner than under the fair single-ring scheduler.
+    Compute is stubbed to a fixed per-cell cost, so the comparison is
+    deterministic and CPU-count independent."""
+    from repro.service.scheduler import VerificationScheduler
+
+    monkeypatch.setattr(
+        VerificationScheduler, "_compute_cell", _lane_stub_compute
+    )
+
+    worst_without, _ = _probe_latency(tmp_path, qos_lanes=False)
+    worst_with, preemptions = _probe_latency(tmp_path, qos_lanes=True)
+
+    ratio = worst_without / worst_with if worst_with > 0 else float("inf")
+    print(
+        f"\nservice lanes: slowest probe {worst_with*1e3:.0f} ms with lanes, "
+        f"{worst_without*1e3:.0f} ms without, {ratio:.1f}x, "
+        f"{preemptions} preemptions"
+    )
+    record_bench(
+        "service_qos_lanes",
+        interactive_p99_with_lanes_ms=worst_with * 1e3,
+        interactive_p99_without_lanes_ms=worst_without * 1e3,
+        improvement=ratio,
+        preemptions=preemptions,
+        batch_jobs=len(LANE_BATCH_CONDITIONS),
+        probes=len(LANE_PROBE_FUNCTIONALS),
+    )
+    assert preemptions >= 1, "interactive probes never preempted batch work"
+    assert ratio >= 1.2, (
+        f"QoS lanes improved the slowest probe only {ratio:.2f}x"
+    )

@@ -99,6 +99,7 @@ def run_table_one(
     store=None,
     resume: bool = False,
     on_cell=None,
+    policy=None,
 ) -> TableOne:
     """Run the verification campaign and assemble Table I.
 
@@ -124,6 +125,7 @@ def run_table_one(
         store=store,
         resume=resume,
         on_cell=on_cell,
+        policy=policy,
     )
     table.reports.update(result.reports)
     return table
@@ -139,6 +141,7 @@ def run_table_campaign(
     store=None,
     resume: bool = False,
     on_cell=None,
+    policy=None,
 ) -> CampaignResult:
     """The raw campaign behind Table I/II: reports for every applicable pair."""
     if verbose and on_cell is None:
@@ -151,6 +154,7 @@ def run_table_campaign(
         store=store,
         resume=resume,
         on_cell=on_cell,
+        policy=policy,
     )
 
 

@@ -14,7 +14,15 @@ writing Python:
 ``numerics``            Section VI-C analyses: continuity, hazards, sensitivity
 ``serve``               the resident verification service (HTTP job server)
 ``submit``              submit a job to a running service and await it
+``stats``               per-(functional, condition) timing summary of a store
 ======================  =====================================================
+
+Campaign commands accept ``--adaptive``: scheduling decisions (dispatch
+order, per-pair split depth) are then driven by a cost model learned
+from the ``--store`` timing history (cold-start structural prior
+without one) -- a pure perf knob, results stay bit-identical.
+``repro stats STORE`` prints the same timing aggregates the model
+learns from.
 
 ``table1``, ``table2`` and ``campaign`` accept ``--store PATH`` (persist
 every completed cell immediately; ``.jsonl`` selects the append-only
@@ -212,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve cells already in --store (matched by content hash) "
         "instead of recomputing them",
     )
+    p_num.add_argument(
+        "--adaptive", action=argparse.BooleanOptionalAction, default=None,
+        help="cost-model-driven dispatch order (campaign mode; "
+        "bit-identical perf knob)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -257,6 +270,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--audit-log", dest="audit_path", default=None,
         help="append-only JSONL audit log of submissions and auth "
         "failures (default: no audit log)",
+    )
+    p_serve.add_argument(
+        "--qos-lanes", dest="qos_lanes",
+        action=argparse.BooleanOptionalAction, default=True,
+        help="dispatch interactive jobs (single-pair verify, small jobs) "
+        "strictly before batch table sweeps, at cell granularity",
+    )
+    p_serve.add_argument(
+        "--interactive-max-cells", dest="interactive_max_cells",
+        type=int, default=2,
+        help="jobs with at most this many cells ride the interactive lane "
+        "(single-pair verify jobs always do)",
     )
 
     p_sub = sub.add_parser(
@@ -314,6 +339,16 @@ def build_parser() -> argparse.ArgumentParser:
     ps_num.add_argument("--check", default=None,
                         help="comma-separated subset of "
                         "{continuity, hazards, sensitivity} (default: all)")
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="per-(functional, condition) timing summary of a campaign store",
+    )
+    p_stats.add_argument(
+        "store_path",
+        help="an existing campaign store (*.jsonl / *.sqlite) -- the same "
+        "timing history --adaptive learns its cost model from",
+    )
     return parser
 
 
@@ -344,6 +379,13 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="serve cells already in --store (matched by content hash) "
         "instead of recomputing them",
+    )
+    parser.add_argument(
+        "--adaptive", action=argparse.BooleanOptionalAction, default=False,
+        help="cost-model-driven scheduling: dispatch longest-predicted "
+        "pairs first and tune split depth per pair, learned from the "
+        "--store timing history (cold-start prior without one); pure "
+        "perf knob, results stay bit-identical",
     )
 
 
@@ -409,6 +451,7 @@ def _cmd_verify(args) -> int:
     from .solver.icp import ICPSolver
 
     functional, condition = _resolve_pair(args)
+    _check_nonnegative(("--batch-size", args.batch_size))
     config = VerifierConfig(
         split_threshold=args.threshold,
         per_call_budget=args.budget,
@@ -479,6 +522,33 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _check_nonnegative(*flags: tuple[str, int | None]) -> None:
+    """One-line usage errors for negative tuning knobs.
+
+    The engine's :class:`~repro.verifier.campaign.CampaignConfig` raises
+    the same constraint as a ``ValueError``; catching it here keeps the
+    CLI contract (``error: ...`` + exit 1) instead of a traceback.
+    """
+    for flag, value in flags:
+        if value is not None and value < 0:
+            raise _UsageError(f"{flag} must be >= 0, got {value}")
+
+
+def _build_policy(args):
+    """The scheduling policy for ``--adaptive`` runs (else ``None``).
+
+    The cost model warms from the ``--store`` timing history; without a
+    store (or before its first run) it predicts from the structural
+    prior, which still front-loads SCAN-sized pairs.  Purely advisory:
+    predictions order and split work, they never enter content keys.
+    """
+    if not getattr(args, "adaptive", False):
+        return None
+    from .verifier.costmodel import CostModel, SchedulingPolicy
+
+    return SchedulingPolicy(model=CostModel.from_store(args.store_path))
+
+
 def _check_store_path(path) -> None:
     """Reject unknown store suffixes up front with a usage error, before
     any compute happens (open_store itself raises only when the store is
@@ -503,6 +573,7 @@ def _resolve_campaign_slice(args):
     if args.resume and not args.store_path:
         raise _UsageError("--resume requires --store")
     _check_store_path(args.store_path)
+    _check_nonnegative(("--workers", args.workers))
     try:
         if args.functionals:
             functionals = tuple(
@@ -557,6 +628,7 @@ def _cmd_table1(args) -> int:
         max_workers=args.workers,
         store=args.store_path,
         resume=args.resume,
+        policy=_build_policy(args),
     )
     table = table_one_from_reports(result.reports, functionals, conditions)
     print(table.render())
@@ -590,6 +662,7 @@ def _cmd_table2(args) -> int:
         max_workers=args.workers,
         store=args.store_path,
         resume=args.resume,
+        policy=_build_policy(args),
     )
     checker = PBChecker(spec=GridSpec(n_rs=args.points, n_s=args.points))
     table = run_table_two(
@@ -608,6 +681,9 @@ def _cmd_campaign(args) -> int:
     from .verifier.campaign import run_campaign
 
     functionals, conditions = _resolve_campaign_slice(args)
+    _check_nonnegative(
+        ("--levels", args.levels), ("--steal-depth", args.steal_depth)
+    )
     config = VerifierConfig(
         split_threshold=args.threshold,
         per_call_budget=args.budget,
@@ -627,6 +703,7 @@ def _cmd_campaign(args) -> int:
         store=args.store_path,
         resume=args.resume,
         on_cell=print_cell,
+        policy=_build_policy(args),
     )
     _print_campaign_counts(result)
     if args.json_path:
@@ -662,6 +739,7 @@ def _cmd_numerics(args) -> int:
         ("--resume", args.resume or None),
         ("--workers", args.workers or None),
         ("--components", args.components),
+        ("--adaptive", args.adaptive),
     ]
     offending = [flag for flag, value in campaign_only if value is not None]
     if offending:
@@ -731,6 +809,7 @@ def _cmd_numerics_campaign(args) -> int:
     if args.resume and not args.store_path:
         raise _UsageError("--resume requires --store")
     _check_store_path(args.store_path)
+    _check_nonnegative(("--workers", args.workers))
     try:
         if args.functionals:
             functionals = [
@@ -773,6 +852,7 @@ def _cmd_numerics_campaign(args) -> int:
         store=args.store_path,
         resume=args.resume,
         on_cell=on_cell,
+        policy=_build_policy(args),
     )
     table = table_three_from_cells(result.cells)
     print(table.render())
@@ -793,11 +873,63 @@ def _cmd_numerics_campaign(args) -> int:
     return 130 if result.interrupted else 0
 
 
+def _cmd_stats(args) -> int:
+    """Print the per-pair timing aggregates a store's cost model sees.
+
+    Rows are sorted by total elapsed descending -- the top row is what
+    ``--adaptive`` dispatches first on a warm store.
+    """
+    import os
+
+    from .verifier.costmodel import aggregate_timings
+    from .verifier.store import open_store
+
+    _check_store_path(args.store_path)
+    # open_store creates missing files; a stats query must not
+    if not os.path.exists(args.store_path):
+        raise _UsageError(f"store not found: {args.store_path}")
+    store = open_store(args.store_path)
+    try:
+        timings = aggregate_timings(store.iter_timings())
+    finally:
+        store.close()
+    if not timings:
+        raise _UsageError(
+            f"no verify-cell timings in {args.store_path} "
+            "(run a campaign with --store first)"
+        )
+    header = (
+        f"{'functional':12s} {'condition':9s} {'cells':>5s} "
+        f"{'total_s':>9s} {'mean_s':>9s} {'p99_s':>9s} {'compile%':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    ordered = sorted(
+        timings.items(), key=lambda item: (-item[1].total_seconds, item[0])
+    )
+    for (functional, condition), t in ordered:
+        print(
+            f"{functional:12s} {condition:9s} {t.count:5d} "
+            f"{t.total_seconds:9.3f} {t.mean_seconds:9.4f} "
+            f"{t.p99_seconds:9.4f} {100.0 * t.compile_share:7.1f}%"
+        )
+    print(
+        f"{len(timings)} pairs, "
+        f"{sum(t.count for t in timings.values())} cells, "
+        f"{sum(t.total_seconds for t in timings.values()):.3f}s total elapsed"
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
     from .service.server import serve
 
+    _check_nonnegative(
+        ("--workers", args.workers),
+        ("--interactive-max-cells", args.interactive_max_cells),
+    )
     try:
         return asyncio.run(
             serve(
@@ -810,6 +942,8 @@ def _cmd_serve(args) -> int:
                 burst=args.burst,
                 high_water=args.high_water,
                 audit_path=args.audit_path,
+                qos_lanes=args.qos_lanes,
+                interactive_max_cells=args.interactive_max_cells,
             )
         )
     except ValueError as exc:  # e.g. unknown store suffix, bad tokens file
@@ -996,6 +1130,7 @@ _COMMANDS = {
     "numerics": _cmd_numerics,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "stats": _cmd_stats,
 }
 
 

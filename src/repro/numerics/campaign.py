@@ -50,7 +50,7 @@ from ..functionals.registry import all_functionals, get_functional
 from ..solver.icp import Budget, ICPSolver
 from ..solver.interval import KERNEL_SEMANTICS_VERSION
 from ..solver.tape import stable_digest, tape_for
-from ..verifier.campaign import drive_chunks
+from ..verifier.campaign import CampaignConfig, drive_chunks
 from ..verifier.store import SCHEMA_VERSION, CampaignStore, open_store
 from .continuity import ContinuityReport, check_continuity
 from .hazards import HazardReport, check_hazards
@@ -434,6 +434,7 @@ def run_numerics_campaign(
     resume: bool = False,
     executor=None,
     on_cell: Callable[[CellKey, dict, bool], None] | None = None,
+    policy=None,
 ) -> NumericsCampaignResult:
     """Sweep the Section VI-C analyses over whole functional families.
 
@@ -443,10 +444,19 @@ def run_numerics_campaign(
     deterministically ordered; ``store``/``resume`` persist and serve
     cells by content hash; ``executor`` shares an existing process pool
     (e.g. with a verification campaign -- the caller keeps ownership).
-    KeyboardInterrupt yields a partial result with ``interrupted`` set
-    and everything completed already persisted.
+    ``policy`` (a :class:`~repro.verifier.costmodel.SchedulingPolicy`)
+    dispatches cells longest-predicted-first -- analysis payloads carry
+    no timings by design (they are compared bit-exactly against the
+    sequential path), so numerics predictions come from the model's
+    structural prior; the reordering is a pure permutation and every
+    payload stays bit-identical.  KeyboardInterrupt yields a partial
+    result with ``interrupted`` set and everything completed already
+    persisted.
     """
     config = config or NumericsConfig()
+    CampaignConfig(  # loud one-line validation, shared with run_campaign
+        max_workers=max_workers, unit_chunk_size=unit_chunk_size
+    )
     if functionals is None:
         resolved = list(all_functionals())
     else:
@@ -499,6 +509,16 @@ def run_numerics_campaign(
                             on_cell(key, payload, True)
                         continue
             work.append(key)
+
+        if policy is not None and policy.adaptive_order:
+            # longest-predicted-first over the prior (pure permutation:
+            # chunk composition is unchanged at unit_chunk_size=1, and a
+            # stable sort keeps canonical order between equal predictions)
+            predicted = {
+                key: policy.model.predict_cell(by_name[key[0]], *key[1:])
+                for key in work
+            }
+            work = policy.order(work, predicted)
 
         def absorb(_tag, worker_out):
             for key, payload in worker_out:

@@ -278,6 +278,10 @@ class Job:
     spec: JobSpec
     cells: list[CellTask]
     state: str = JobState.PENDING
+    #: QoS lane ("interactive" | "batch"), assigned by the scheduler at
+    #: submit time -- a pure dispatch-priority attribute, never part of
+    #: any content key
+    lane: str = "batch"
     created_at: float = field(default_factory=time.time)
     finished_at: float | None = None
     payloads: dict[tuple[str, ...], dict] = field(default_factory=dict)
@@ -343,6 +347,7 @@ class Job:
         return {
             "id": self.id,
             "kind": self.spec.kind,
+            "lane": self.lane,
             "state": self.state,
             "version": self.version,
             "cells": len(self.cells),

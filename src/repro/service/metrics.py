@@ -181,6 +181,7 @@ class ServiceMetrics:
                 "utilisation": round(executing / max_inflight, 6),
                 "workers": scheduler.pool_width,
             },
+            "lanes": self._render_lanes(scheduler),
             "store": {
                 "path": scheduler.store_path,
                 "keys": scheduler.store_keys(),
@@ -190,5 +191,30 @@ class ServiceMetrics:
                     kind: histogram.snapshot()
                     for kind, histogram in sorted(self.submit_latency.items())
                 },
+            },
+        }
+
+    @staticmethod
+    def _render_lanes(scheduler) -> dict:
+        """Per-QoS-lane queue depth, dispatch count and wait histogram.
+
+        ``wait_seconds`` measures submit -> dispatch (time spent queued
+        behind other work), the quantity the lanes exist to bound for
+        interactive jobs.  Present even with lanes disabled -- everything
+        then flows through the batch lane -- so dashboards keep a stable
+        shape across configurations.
+        """
+        depths = scheduler.lane_depths()
+        return {
+            "enabled": scheduler.qos_lanes,
+            "interactive_max_cells": scheduler.interactive_max_cells,
+            "preemptions": scheduler.lane_preemptions,
+            **{
+                lane: {
+                    "queue_depth": depths[lane],
+                    "dispatched": scheduler.lane_dispatched[lane],
+                    "wait_seconds": scheduler.lane_wait[lane].snapshot(),
+                }
+                for lane in sorted(depths)
             },
         }

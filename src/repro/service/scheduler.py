@@ -44,8 +44,13 @@ from ..numerics.campaign import _numerics_worker, cell_condition_id
 from ..verifier.campaign import _campaign_worker_warm, run_campaign
 from ..verifier.store import CampaignStore, report_to_payload
 from .jobs import CellTask, Job, JobState, attach_future, spec_from_payload
+from .metrics import Histogram
 
-__all__ = ["SchedulerDraining", "VerificationScheduler"]
+__all__ = ["LANES", "SchedulerDraining", "VerificationScheduler"]
+
+#: QoS lanes, in strict dispatch-priority order: the dispatcher always
+#: drains interactive work before touching batch work
+LANES = ("interactive", "batch")
 
 
 def _pool_context():
@@ -76,6 +81,18 @@ class VerificationScheduler:
     :class:`ProcessPoolExecutor` shared by every cell of every job.
     ``max_inflight`` bounds concurrently executing cells (default: pool
     width + 1, so the pool never starves while one result is absorbed).
+
+    With ``qos_lanes`` on (the default), every job is classified into a
+    QoS lane at submit time: single-pair ``verify`` jobs -- and any job
+    of at most ``interactive_max_cells`` cells -- ride the
+    **interactive** lane, which the dispatcher drains strictly before
+    the **batch** lane.  An interactive probe submitted mid-sweep
+    therefore preempts a 31-cell Table I job at *cell* granularity: the
+    batch cell already executing finishes, the probe's cell dispatches
+    next.  Lanes are pure dispatch priority -- cell content keys, single
+    -flight coalescing and payloads are lane-blind -- and per-lane queue
+    depth, wait-time histograms and preemption counts are exported by
+    ``/v1/metrics``.
     """
 
     def __init__(
@@ -85,6 +102,8 @@ class VerificationScheduler:
         max_workers: int | None = 0,
         max_inflight: int | None = None,
         max_finished_jobs: int = 256,
+        qos_lanes: bool = True,
+        interactive_max_cells: int = 2,
     ):
         self._store = store
         self._max_workers = max_workers
@@ -113,8 +132,13 @@ class VerificationScheduler:
         #: re-register as "computed" (a spurious recompute for any
         #: compute path that does not resume from the store)
         self._completed_keys: set[str] = set()
-        self._pending: dict[str, deque[CellTask]] = {}
-        self._ring: deque[str] = deque()
+        self._qos_lanes = qos_lanes
+        self._interactive_max_cells = max(0, interactive_max_cells)
+        #: per-job pending cells, each carrying its enqueue timestamp
+        self._pending: dict[str, deque[tuple[CellTask, float]]] = {}
+        #: one round-robin ring per lane; with QoS off every job lands in
+        #: the batch ring and dispatch degenerates to the old single ring
+        self._rings: dict[str, deque[str]] = {lane: deque() for lane in LANES}
         self._key_cache: dict = {}
         self._next_job = 0
         self._draining = False
@@ -127,6 +151,12 @@ class VerificationScheduler:
             "cells_cache": 0,
             "cells_coalesced": 0,
         }
+        #: per-lane dispatch counters + submit->dispatch wait histograms
+        #: (event-loop thread only, like ``stats``)
+        self.lane_dispatched: dict[str, int] = {lane: 0 for lane in LANES}
+        self.lane_wait: dict[str, Histogram] = {lane: Histogram() for lane in LANES}
+        #: interactive cells dispatched while batch work sat queued
+        self.lane_preemptions = 0
         self.executing = 0  # cells currently on the compute executor
         self._wake: asyncio.Event | None = None
         self._sem: asyncio.Semaphore | None = None
@@ -182,12 +212,13 @@ class VerificationScheduler:
             self._wake.set()
         # cancel never-started cells so coalesced waiters unblock too
         for pending in self._pending.values():
-            for cell in pending:
+            for cell, _enqueued_at in pending:
                 future = self._inflight.pop(cell.content_key, None)
                 if future is not None and not future.done():
                     future.cancel()
         self._pending.clear()
-        self._ring.clear()
+        for ring in self._rings.values():
+            ring.clear()
         if self._dispatcher is not None:
             await self._dispatcher
         if self._cell_tasks:
@@ -217,7 +248,12 @@ class VerificationScheduler:
         spec = await asyncio.to_thread(spec_from_payload, payload)
         cells = await asyncio.to_thread(spec.cell_tasks, self._key_cache)
         self._next_job += 1
-        job = Job(id=f"job-{self._next_job}", spec=spec, cells=cells)
+        job = Job(
+            id=f"job-{self._next_job}",
+            spec=spec,
+            cells=cells,
+            lane=self._classify_lane(spec, cells),
+        )
         self._jobs[job.id] = job
         # one batched store pass (a single thread hop) for every cell not
         # already in flight; a per-cell await would pay N thread-hop
@@ -262,8 +298,9 @@ class VerificationScheduler:
             self.stats["cells_computed"] += 1
             pending.append(cell)
         if pending and not self._draining:
-            self._pending[job.id] = pending
-            self._ring.append(job.id)
+            now = time.monotonic()
+            self._pending[job.id] = deque((cell, now) for cell in pending)
+            self._rings[job.lane].append(job.id)
             self._wake.set()
         elif pending:
             # drained between the check above and here: cancel cleanly
@@ -275,6 +312,20 @@ class VerificationScheduler:
             job.state = JobState.RUNNING
         job.touch()
         return job
+
+    def _classify_lane(self, spec, cells) -> str:
+        """QoS lane of one job: small/point queries are interactive.
+
+        Single-pair ``verify`` jobs are the service's latency-sensitive
+        workload by construction; any other job small enough
+        (``interactive_max_cells``) rides along, so a two-cell numerics
+        probe is not stuck behind a full table sweep either.
+        """
+        if not self._qos_lanes:
+            return "batch"
+        if spec.kind == "verify" or len(cells) <= self._interactive_max_cells:
+            return "interactive"
+        return "batch"
 
     def _evict_finished(self) -> None:
         """Drop the oldest terminal jobs beyond the retention bound.
@@ -309,6 +360,22 @@ class VerificationScheduler:
         """
         return sum(len(pending) for pending in self._pending.values())
 
+    def lane_depths(self) -> dict[str, int]:
+        """Queued cells per QoS lane (sums to :meth:`queue_depth`)."""
+        depths = {lane: 0 for lane in LANES}
+        for job_id, pending in self._pending.items():
+            job = self._jobs.get(job_id)
+            depths[job.lane if job is not None else "batch"] += len(pending)
+        return depths
+
+    @property
+    def qos_lanes(self) -> bool:
+        return self._qos_lanes
+
+    @property
+    def interactive_max_cells(self) -> int:
+        return self._interactive_max_cells
+
     @property
     def max_inflight(self) -> int:
         return self._max_inflight
@@ -342,24 +409,41 @@ class VerificationScheduler:
 
     # -- dispatch ----------------------------------------------------------
     def _next_cell(self) -> tuple[str, CellTask] | None:
-        """Round-robin: one cell from the next job with pending work."""
-        while self._ring:
-            job_id = self._ring.popleft()
-            pending = self._pending.get(job_id)
-            if not pending:
-                self._pending.pop(job_id, None)
-                continue
-            cell = pending.popleft()
-            if pending:
-                self._ring.append(job_id)
-            else:
-                self._pending.pop(job_id, None)
-            return job_id, cell
+        """One cell from the highest-priority lane with pending work.
+
+        Within a lane, jobs round-robin (one cell per turn) exactly as
+        before; across lanes the interactive ring is drained strictly
+        first, which is the preemption: a batch sweep's next cell waits
+        whenever any interactive cell is queued.  Lane wait time
+        (submit -> dispatch) is observed here, on the dispatching side
+        of the queue.
+        """
+        for lane in LANES:
+            ring = self._rings[lane]
+            while ring:
+                job_id = ring.popleft()
+                pending = self._pending.get(job_id)
+                if not pending:
+                    self._pending.pop(job_id, None)
+                    continue
+                cell, enqueued_at = pending.popleft()
+                if pending:
+                    ring.append(job_id)
+                else:
+                    self._pending.pop(job_id, None)
+                if lane == "interactive" and self._rings["batch"]:
+                    self.lane_preemptions += 1
+                self.lane_dispatched[lane] += 1
+                self.lane_wait[lane].observe(time.monotonic() - enqueued_at)
+                return job_id, cell
         return None
+
+    def _rings_empty(self) -> bool:
+        return not any(self._rings.values())
 
     async def _dispatch(self) -> None:
         while not self._draining:
-            if not self._ring:
+            if self._rings_empty():
                 self._wake.clear()
                 await self._wake.wait()
                 continue

@@ -45,16 +45,69 @@ from ..functionals.registry import get_functional
 from ..solver.box import Box
 from .encoder import CompiledProblem, EncodedProblem, compile_problem, encode
 from .regions import RegionRecord, VerificationReport
-from .store import CampaignStore, open_store
+from .store import SCHEMA_VERSION, CampaignStore, open_store
 from .verifier import Verifier, VerifierConfig
 
 __all__ = [
+    "CampaignConfig",
     "CampaignResult",
     "dedupe_pairs",
     "drive_chunks",
+    "effective_workers",
     "pair_content_key",
     "run_campaign",
 ]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Validated bundle of the campaign's scheduling knobs.
+
+    The knobs themselves have always existed as ``run_campaign`` keyword
+    arguments; this type exists to reject nonsense *loudly* -- a negative
+    ``steal_depth`` used to flow silently into the engine and simply
+    disable spilling, and a negative ``max_workers`` crashed deep inside
+    ``ProcessPoolExecutor``.  ``run_campaign`` constructs one from its
+    arguments, so every entry point (CLI, service, tests) shares the
+    same one-line errors.
+    """
+
+    max_workers: int | None = None
+    presplit_levels: int = 0
+    steal_depth: int = 0
+    unit_chunk_size: int = 1
+
+    def __post_init__(self):
+        if self.max_workers is not None and self.max_workers < 0:
+            raise ValueError(
+                f"max_workers must be >= 0, got {self.max_workers}"
+            )
+        if self.presplit_levels < 0:
+            raise ValueError(
+                f"presplit_levels must be >= 0, got {self.presplit_levels}"
+            )
+        if self.steal_depth < 0:
+            raise ValueError(f"steal_depth must be >= 0, got {self.steal_depth}")
+        if self.unit_chunk_size < 1:
+            raise ValueError(
+                f"unit_chunk_size must be >= 1, got {self.unit_chunk_size}"
+            )
+
+
+def effective_workers(
+    max_workers: int | None, executor: ProcessPoolExecutor | None = None
+) -> int:
+    """The pool width a campaign will actually run on.
+
+    The scheduling policy sizes per-pair pre-splits against this: a
+    shared executor answers with its own width, ``None`` means the CPU
+    count (the executor default), and ``0``/``1`` mean in-process.
+    """
+    if executor is not None:
+        return getattr(executor, "_max_workers", None) or (os.cpu_count() or 1)
+    if max_workers is None:
+        return os.cpu_count() or 1
+    return max(1, max_workers)
 
 
 def pair_content_key(
@@ -96,6 +149,35 @@ def pair_content_key(
             condition.cid,
         )
     )
+
+
+def _pinned_plan(
+    store, base_key: str, presplit_levels: int, steal_depth: int
+) -> tuple[int, int]:
+    """Pin a policy's split plan in the store, first writer wins.
+
+    Planned knobs enter the content key, and the plan itself depends on
+    the store's timing history -- so replanning against a warmer store
+    would silently re-key (and recompute) cells an earlier adaptive run
+    already persisted.  The first adaptive run against a store records
+    its plan per pair under the pair's *base*-knob key; every later run
+    replays that record, keeping ``--adaptive --resume`` runs full store
+    hits with byte-identical artifacts.
+    """
+    plan_key = "sched-plan:" + base_key
+    record = store.get_payload(plan_key)
+    if record is not None:
+        return int(record["presplit_levels"]), int(record["steal_depth"])
+    store.put_payload(
+        plan_key,
+        {
+            "v": SCHEMA_VERSION,
+            "kind": "sched-plan",
+            "presplit_levels": presplit_levels,
+            "steal_depth": steal_depth,
+        },
+    )
+    return presplit_levels, steal_depth
 
 
 # ---------------------------------------------------------------------------
@@ -226,13 +308,24 @@ class _Unit:
 
 
 class _Cell:
-    """Bookkeeping for one (functional, condition) pair in the campaign."""
+    """Bookkeeping for one (functional, condition) pair in the campaign.
 
-    def __init__(self, key, domain, payload, content_key):
+    ``presplit_levels``/``steal_depth`` are per-cell since the adaptive
+    policy (:mod:`.costmodel`) tunes them per pair; without a policy every
+    cell carries the campaign's global knobs.  They participate in the
+    cell's content key exactly like the globals did.
+    """
+
+    def __init__(
+        self, key, domain, payload, content_key,
+        *, presplit_levels=0, steal_depth=0,
+    ):
         self.key = key
         self.domain = domain            # the pair's full input box
         self.payload = payload          # what worker processes receive
         self.content_key = content_key  # store key (None without a store)
+        self.presplit_levels = presplit_levels
+        self.steal_depth = steal_depth
         self.units: dict[int, _Unit] = {}
         self.top_uids: list[int] = []
         self.open_units = 0
@@ -391,9 +484,8 @@ class CampaignResult:
 # ---------------------------------------------------------------------------
 
 class _Scheduler:
-    def __init__(self, config, steal_depth, unit_chunk_size, store, on_cell, result):
+    def __init__(self, config, unit_chunk_size, store, on_cell, result):
         self.config = config
-        self.steal_depth = steal_depth
         self.unit_chunk_size = unit_chunk_size
         self.store = store
         self.on_cell = on_cell
@@ -401,8 +493,8 @@ class _Scheduler:
         self._next_uid = 0
 
     # -- unit construction -------------------------------------------------
-    def _mode(self, depth: int) -> str:
-        return "root" if depth < self.steal_depth else "tree"
+    def _mode(self, cell: _Cell, depth: int) -> str:
+        return "root" if depth < cell.steal_depth else "tree"
 
     def _new_unit(self, cell: _Cell, bounds, depth, budget) -> _Unit:
         unit = _Unit(
@@ -410,23 +502,24 @@ class _Scheduler:
             bounds=bounds,
             depth=depth,
             budget=budget,
-            mode=self._mode(depth),
+            mode=self._mode(cell, depth),
         )
         self._next_uid += 1
         cell.units[unit.uid] = unit
         cell.open_units += 1
         return unit
 
-    def top_units(self, cell: _Cell, presplit_levels: int) -> list[_Unit]:
+    def top_units(self, cell: _Cell) -> list[_Unit]:
         """Build a cell's initial units (the shared queue's seed).
 
-        ``presplit_levels`` forced splits produce ``2**(levels*dims)``
+        ``cell.presplit_levels`` forced splits produce ``2**(levels*dims)``
         sibling units whose records have no parent, exactly like the old
         ``verify_domain_parallel`` merge; the per-unit budget is the
         global budget divided evenly.  With no pre-split the cell is one
         unit holding the full domain and the full budget.
         """
         domain = cell.domain
+        presplit_levels = cell.presplit_levels
         if presplit_levels <= 0:
             units = [self._new_unit(cell, None, 0, self.config.global_step_budget)]
         else:
@@ -594,6 +687,7 @@ def run_campaign(
     precompile: bool = True,
     executor: ProcessPoolExecutor | None = None,
     on_cell: Callable[[tuple[str, str], VerificationReport, bool], None] | None = None,
+    policy=None,
 ) -> CampaignResult:
     """Run a verification campaign over (functional, condition) pairs.
 
@@ -639,28 +733,55 @@ def run_campaign(
     executor:
         An existing pool to share across campaigns; the caller keeps
         ownership.  Incompatible with in-process mode.
+    policy:
+        A :class:`~repro.verifier.costmodel.SchedulingPolicy`.  When
+        given, cells are dispatched longest-predicted-first (a pure
+        permutation -- every stitched report is bit-identical to the
+        static submission order) and ``presplit_levels``/``steal_depth``
+        become *per-pair* floors tuned from predicted cost; the given
+        globals act as minimums.  Per-pair knobs enter each cell's
+        content key exactly like the globals, so the store stays sound;
+        the model itself never touches any key.
 
     KeyboardInterrupt is caught: completed cells are kept (and already
     persisted), ``result.interrupted`` is set, and in-flight work is
     cancelled.
     """
     config = config or VerifierConfig()
+    CampaignConfig(  # loud one-line validation of the tuning knobs
+        max_workers=max_workers,
+        presplit_levels=presplit_levels,
+        steal_depth=steal_depth,
+        unit_chunk_size=unit_chunk_size,
+    )
     cells_spec = dedupe_pairs(pairs)
+
+    plans = None
+    if policy is not None:
+        plans = policy.plan_pairs(
+            cells_spec,
+            workers=effective_workers(max_workers, executor),
+            base_presplit=presplit_levels,
+            base_steal=steal_depth,
+        )
 
     owns_store = isinstance(store, (str, os.PathLike))
     if owns_store:
         store = open_store(store)
 
     result = CampaignResult()
-    scheduler = _Scheduler(
-        config, steal_depth, max(1, unit_chunk_size), store, on_cell, result
-    )
+    scheduler = _Scheduler(config, max(1, unit_chunk_size), store, on_cell, result)
 
     try:
         # -- resolve cells: hash, serve store hits, build payloads ------------
         ship_names = config.specialize_boxes or not precompile
         work_cells: list[_Cell] = []
         for key, functional, condition in cells_spec:
+            cell_presplit = presplit_levels
+            cell_steal = steal_depth
+            if plans is not None:
+                cell_presplit = plans[key].presplit_levels
+                cell_steal = plans[key].steal_depth
             content_key = None
             compiled = None
             if store is not None:
@@ -668,12 +789,26 @@ def run_campaign(
                 # the object as the worker payload below.  a key hit always
                 # implies a bit-identical report (see pair_content_key)
                 compiled = compile_problem(encode(functional, condition))
+                if plans is not None:
+                    cell_presplit, cell_steal = _pinned_plan(
+                        store,
+                        pair_content_key(
+                            functional,
+                            condition,
+                            config,
+                            presplit_levels=presplit_levels,
+                            steal_depth=steal_depth,
+                            compiled=compiled,
+                        ),
+                        cell_presplit,
+                        cell_steal,
+                    )
                 content_key = pair_content_key(
                     functional,
                     condition,
                     config,
-                    presplit_levels=presplit_levels,
-                    steal_depth=steal_depth,
+                    presplit_levels=cell_presplit,
+                    steal_depth=cell_steal,
                     compiled=compiled,
                 )
                 result.cell_keys[key] = content_key
@@ -691,12 +826,28 @@ def run_campaign(
                 payload: object = key
             else:
                 payload = compiled or compile_problem(encode(functional, condition))
-            work_cells.append(_Cell(key, functional.domain(), payload, content_key))
+            work_cells.append(
+                _Cell(
+                    key,
+                    functional.domain(),
+                    payload,
+                    content_key,
+                    presplit_levels=cell_presplit,
+                    steal_depth=cell_steal,
+                )
+            )
 
-        # -- seed the shared queue ------------------------------------------
+        # -- order dispatch, seed the shared queue --------------------------
+        if plans is not None:
+            ranked = policy.order(
+                [cell.key for cell in work_cells],
+                {key: plan.predicted_seconds for key, plan in plans.items()},
+            )
+            rank = {key: position for position, key in enumerate(ranked)}
+            work_cells.sort(key=lambda cell: rank[cell.key])
         chunks: deque = deque()
         for cell in work_cells:
-            chunks.extend(scheduler.chunk(cell, scheduler.top_units(cell, presplit_levels)))
+            chunks.extend(scheduler.chunk(cell, scheduler.top_units(cell)))
 
         drive_chunks(
             chunks,
@@ -706,7 +857,7 @@ def run_campaign(
             executor=executor,
             # a single seed chunk still goes to the pool when spilling is
             # on: its runtime splits are what fan out across workers
-            prefer_pool=steal_depth > 0,
+            prefer_pool=any(cell.steal_depth > 0 for cell in work_cells),
         )
     except KeyboardInterrupt:
         result.interrupted = True

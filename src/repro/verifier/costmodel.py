@@ -1,0 +1,326 @@
+"""Cost-model-driven adaptive scheduling for campaign workloads.
+
+Every campaign cell lands in the store with ``elapsed_seconds`` and
+``compile_seconds``, and until now nothing read them back: chunks
+dispatched in submission order and ``presplit_levels``/``steal_depth``
+were single global knobs regardless of how skewed a (functional x
+condition) pair set is.  This module closes that loop:
+
+* :class:`CostModel` -- a persistence-backed cost predictor.  Warmed
+  from a :class:`~repro.verifier.store.CampaignStore`'s timing history
+  (per (functional, condition) aggregates via
+  :meth:`~repro.verifier.store.CampaignStore.iter_timings`), with a
+  deterministic structural **prior** for cold starts: lifted operation
+  counts x a log-compressed domain volume.  Predictions are pure
+  functions of the store bytes and the registry -- byte-stable across
+  processes -- and they never enter ``semantic_key``/content hashes:
+  a warmer model may *order* work differently, never change results.
+* :class:`SchedulingPolicy` -- turns predictions into scheduling
+  decisions: (a) **longest-predicted-first** chunk dispatch order, a
+  pure permutation of the static submission order (the stitched reports
+  are bit-identical; ``tests/verifier/test_costmodel.py`` pins it);
+  (b) per-pair ``presplit_levels``/``steal_depth``: pairs predicted
+  expensive relative to the campaign's median are pre-split deep enough
+  that work-stealing has grain to pull, cheap pairs stay whole and skip
+  the split overhead.  Per-pair knobs flow into each cell's content key
+  exactly like the global knobs always have (they alter report layout,
+  see :func:`~repro.verifier.campaign.pair_content_key`), so the store
+  stays sound; classification output (Table I symbols) is unchanged and
+  the adaptive-makespan benchmark pins the rendered tables byte-identical
+  to the static path.
+
+The service's QoS lanes (``service/scheduler.py``) are the third
+consumer: interactive jobs preempt batch sweeps at cell granularity.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+
+from ..conditions.catalog import get_condition
+from ..functionals.registry import get_functional
+
+__all__ = [
+    "CostModel",
+    "PairTiming",
+    "SchedulingPolicy",
+    "SplitPlan",
+    "aggregate_timings",
+]
+
+#: bump when the prior's functional form changes (predictions are
+#: advisory -- this version never enters any content hash; it only keys
+#: caches of predictions, should anyone build one)
+PRIOR_VERSION = 1
+
+#: per-axis domain widths are clamped before entering the volume feature:
+#: a half-open physical axis (rs up to 1e4) must not drown the operation
+#: count that actually dominates solve cost
+_WIDTH_CLAMP = 64.0
+
+#: prior scale, seconds per (operation x log-volume) unit -- the absolute
+#: magnitude only matters when mixing prior and learned predictions in
+#: one ranking, so it is set to the observed order of magnitude of the
+#: quick-budget campaigns rather than tuned per machine
+_PRIOR_SECONDS_PER_UNIT = 2e-4
+
+
+# ---------------------------------------------------------------------------
+# timing aggregation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PairTiming:
+    """Aggregate of one (functional, condition) pair's stored cells."""
+
+    count: int
+    total_seconds: float
+    mean_seconds: float
+    p99_seconds: float
+    compile_seconds: float
+    total_solver_steps: int
+
+    @property
+    def compile_share(self) -> float:
+        """Fraction of wall time spent compiling (0 when nothing ran)."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return min(1.0, self.compile_seconds / self.total_seconds)
+
+
+def _p99(sorted_values: list[float]) -> float:
+    """Nearest-rank p99 over an ascending list (deterministic)."""
+    rank = max(1, math.ceil(0.99 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def aggregate_timings(rows) -> dict[tuple[str, str], PairTiming]:
+    """Fold :meth:`CampaignStore.iter_timings` rows into per-pair stats.
+
+    Sums run in store order and quantiles over sorted copies, so the
+    result is a pure function of the store contents -- two processes
+    reading the same file produce bit-identical aggregates.
+    """
+    elapsed: dict[tuple[str, str], list[float]] = {}
+    compile_s: dict[tuple[str, str], float] = {}
+    steps: dict[tuple[str, str], int] = {}
+    for row in rows:
+        key = (row["functional"], row["condition"])
+        elapsed.setdefault(key, []).append(row["elapsed_seconds"])
+        compile_s[key] = compile_s.get(key, 0.0) + row["compile_seconds"]
+        steps[key] = steps.get(key, 0) + row["total_solver_steps"]
+    out: dict[tuple[str, str], PairTiming] = {}
+    for key, values in elapsed.items():
+        ascending = sorted(values)
+        out[key] = PairTiming(
+            count=len(values),
+            total_seconds=math.fsum(values),
+            mean_seconds=math.fsum(values) / len(values),
+            p99_seconds=_p99(ascending),
+            compile_seconds=compile_s[key],
+            total_solver_steps=steps[key],
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the predictor
+# ---------------------------------------------------------------------------
+
+class CostModel:
+    """Predict a campaign cell's wall-clock cost from history or a prior.
+
+    ``history`` maps ``(functional_name, condition_id)`` to
+    :class:`PairTiming`; :meth:`from_store` builds it from a campaign
+    store's verify-cell timings.  Pairs without history fall back to the
+    structural prior.  All predictions are deterministic floats -- no
+    clocks, no randomness -- so scheduling decisions derived from a given
+    store are reproducible across processes and machines.
+    """
+
+    def __init__(self, history: dict[tuple[str, str], PairTiming] | None = None):
+        self.history: dict[tuple[str, str], PairTiming] = dict(history or {})
+
+    @classmethod
+    def from_store(cls, store) -> "CostModel":
+        """Warm a model from a store (object, or a path opened read-only).
+
+        A path that does not exist yet yields a cold model (all-prior
+        predictions) without creating the file -- ``--adaptive`` before
+        the first ``--store`` run must not litter empty stores around.
+        """
+        from .store import CampaignStore, open_store
+
+        if isinstance(store, CampaignStore):
+            return cls(aggregate_timings(store.iter_timings()))
+        if store is None or not os.path.exists(str(store)):
+            return cls()
+        opened = open_store(store)
+        try:
+            return cls(aggregate_timings(opened.iter_timings()))
+        finally:
+            opened.close()
+
+    def stats(self, functional_name: str, condition_id: str) -> PairTiming | None:
+        return self.history.get((functional_name, condition_id))
+
+    # -- verification pairs ------------------------------------------------
+    def predict_pair(self, functional, condition) -> float:
+        """Predicted seconds for one (functional, condition) verify cell."""
+        functional, condition = _resolve(functional, condition)
+        timing = self.history.get((functional.name, condition.cid))
+        if timing is not None and timing.count > 0:
+            return timing.mean_seconds
+        return self.prior_pair(functional, condition)
+
+    def prior_pair(self, functional, condition) -> float:
+        """Deterministic cold-start prior: operation count x log-volume.
+
+        Features: the functional's lifted operation counts (the paper's
+        size metric -- SCAN-sized pairs dominate exactly because their
+        expressions are big), the clamped domain volume (more box to
+        split), and a small bump for exchange-touching conditions (they
+        pull in the exchange component on X+C functionals).
+        """
+        functional, condition = _resolve(functional, condition)
+        ops = sum(functional.complexity().values()) or 1
+        if condition.requires_exchange and functional.has_exchange:
+            ops += functional.complexity().get("exchange", 0)
+        return _PRIOR_SECONDS_PER_UNIT * ops * _log_volume(functional.domain())
+
+    # -- numerics cells ----------------------------------------------------
+    #: relative weight of each analysis kind: sensitivity sweeps a dense
+    #: grid, hazards run budgeted solver searches per site, continuity
+    #: bisects a sparse boundary sample
+    CHECK_WEIGHT = {"continuity": 1.0, "hazards": 2.0, "sensitivity": 4.0}
+
+    def predict_cell(
+        self, functional, component: str, check: str, semantics: str
+    ) -> float:
+        """Predicted seconds for one numerics analysis cell.
+
+        Analysis payloads deliberately carry no timings (they are
+        compared bit-exactly between the campaign and the sequential
+        path), so this is prior-only: the same structural features as
+        :meth:`prior_pair`, scaled by the check kind.
+        """
+        if isinstance(functional, str):
+            functional = get_functional(functional)
+        weight = self.CHECK_WEIGHT.get(check, 1.0)
+        ops = sum(functional.complexity().values()) or 1
+        return _PRIOR_SECONDS_PER_UNIT * weight * ops * _log_volume(
+            functional.domain()
+        )
+
+
+def _resolve(functional, condition):
+    if isinstance(functional, str):
+        functional = get_functional(functional)
+    if isinstance(condition, str):
+        condition = get_condition(condition)
+    return functional, condition
+
+
+def _log_volume(domain) -> float:
+    volume = 1.0
+    for _name, interval in domain.items():
+        volume *= 1.0 + min(interval.hi - interval.lo, _WIDTH_CLAMP)
+    return 1.0 + math.log2(volume)
+
+
+# ---------------------------------------------------------------------------
+# the policy
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """One pair's scheduling decision: predicted cost + effective knobs."""
+
+    predicted_seconds: float
+    presplit_levels: int
+    steal_depth: int
+
+
+@dataclass(frozen=True)
+class SchedulingPolicy:
+    """Cost-model-driven replacement for the static scheduling knobs.
+
+    ``adaptive_order`` sorts cell dispatch longest-predicted-first (a
+    pure permutation -- reports stay bit-identical to submission order).
+    ``adaptive_split`` picks ``presplit_levels``/``steal_depth`` per
+    pair: a pair predicted at least ``expensive_ratio`` x the campaign's
+    median cost (and above ``min_split_seconds`` absolute) is pre-split
+    deep enough that ``2**(levels*dims)`` units cover the worker pool,
+    and given ``steal_depth >= 1`` so runtime splits near the root spill
+    back to the shared queue; everything else stays whole.  With one
+    worker (or in-process) splitting is pure overhead, so every pair
+    keeps the campaign's base knobs.
+
+    Decisions are deterministic functions of (model, pair set, worker
+    count) -- no clocks -- and therefore reproducible.
+    """
+
+    model: CostModel = field(default_factory=CostModel)
+    adaptive_order: bool = True
+    adaptive_split: bool = True
+    expensive_ratio: float = 4.0
+    min_split_seconds: float = 0.05
+    max_presplit: int = 2
+    max_steal_depth: int = 2
+
+    def plan_pairs(
+        self,
+        entries,
+        *,
+        workers: int,
+        base_presplit: int = 0,
+        base_steal: int = 0,
+    ) -> dict[tuple[str, str], SplitPlan]:
+        """Scheduling decisions for ``entries`` of (key, functional, condition).
+
+        ``workers`` is the effective pool width the campaign will run
+        on.  The returned map carries every pair's predicted cost even
+        when ``adaptive_split`` is off (ordering still wants it).
+        """
+        predicted = {
+            key: self.model.predict_pair(functional, condition)
+            for key, functional, condition in entries
+        }
+        split_on = self.adaptive_split and workers > 1 and len(predicted) > 0
+        threshold = math.inf
+        if split_on:
+            costs = sorted(predicted.values())
+            median = costs[(len(costs) - 1) // 2]
+            threshold = max(self.expensive_ratio * median, self.min_split_seconds)
+        plans: dict[tuple[str, str], SplitPlan] = {}
+        for key, functional, _condition in entries:
+            cost = predicted[key]
+            if split_on and cost >= threshold:
+                dims = max(1, len(functional.domain()))
+                levels = max(1, math.ceil(math.log2(max(2, workers)) / dims))
+                plans[key] = SplitPlan(
+                    predicted_seconds=cost,
+                    presplit_levels=max(base_presplit, min(levels, self.max_presplit)),
+                    steal_depth=max(base_steal, min(1 + levels, self.max_steal_depth)),
+                )
+            else:
+                plans[key] = SplitPlan(
+                    predicted_seconds=cost,
+                    presplit_levels=base_presplit,
+                    steal_depth=base_steal,
+                )
+        return plans
+
+    def order(self, keys, predicted_seconds: dict) -> list:
+        """Longest-predicted-first, submission order breaking ties.
+
+        ``predicted_seconds`` maps each key to a float cost.  A stable
+        sort on the negated prediction: equal predictions keep their
+        relative submission order, so a cold (all-prior) model over a
+        uniform pair set degenerates to exactly the static order.
+        """
+        if not self.adaptive_order:
+            return list(keys)
+        return sorted(keys, key=lambda key: -predicted_seconds[key])

@@ -190,6 +190,33 @@ class CampaignStore:
     def created_at(self, key: str) -> float | None:
         raise NotImplementedError
 
+    def iter_timings(self) -> Iterator[dict]:
+        """Yield one timing row per stored *verify* cell, in store order.
+
+        This is the query API the cost model (:mod:`.costmodel`) and
+        ``repro stats`` learn from: every verification report carries
+        ``elapsed_seconds`` and ``compile_seconds``, and the row exposes
+        them alongside the pair identity without materialising full
+        :class:`VerificationReport` objects (a timing scan over a
+        thousand-cell store must not rebuild a thousand region trees).
+        Analysis-cell payloads (``"kind"``-tagged) carry no timings by
+        design -- they are compared bit-exactly against the sequential
+        path -- and are skipped.
+        """
+        for key in self.keys():
+            payload = self.get_payload(key)
+            if payload is None or "kind" in payload:
+                continue
+            yield {
+                "key": key,
+                "functional": payload["functional"],
+                "condition": payload["condition"],
+                "elapsed_seconds": payload["elapsed_seconds"],
+                "compile_seconds": payload.get("compile_seconds", 0.0),
+                "total_solver_steps": payload["total_solver_steps"],
+                "region_count": len(payload["records"]),
+            }
+
     def close(self) -> None:
         raise NotImplementedError
 

@@ -421,3 +421,121 @@ class TestExitCodes:
     def test_numerics_ieee_rejected_in_campaign_mode(self, capsys):
         assert main(["numerics", "--all", "--ieee"]) == 1
         assert "single-pair only" in capsys.readouterr().err
+
+
+class TestStats:
+    CAMPAIGN = [
+        "campaign", "--functionals", "Wigner", "--conditions", "EC1,EC2",
+        "--budget", "100", "--global-budget", "1000",
+    ]
+
+    def test_stats_after_campaign(self, capsys, tmp_path):
+        store = str(tmp_path / "timed.jsonl")
+        assert main(self.CAMPAIGN + ["--store", store]) == 0
+        capsys.readouterr()
+        assert main(["stats", store]) == 0
+        out = capsys.readouterr().out
+        assert "functional" in out and "compile%" in out
+        assert "Wigner" in out and "EC1" in out and "EC2" in out
+        assert "2 pairs, 2 cells" in out
+
+    def test_stats_missing_store(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["stats", missing]) == 1
+        err = capsys.readouterr().err
+        assert "store not found" in err
+        # the query must not have created the file as a side effect
+        import os
+
+        assert not os.path.exists(missing)
+
+    def test_stats_empty_store(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["stats", str(empty)]) == 1
+        assert "no verify-cell timings" in capsys.readouterr().err
+
+    def test_stats_unknown_suffix(self, capsys, tmp_path):
+        bad = tmp_path / "store.xml"
+        bad.write_text("")
+        assert main(["stats", str(bad)]) == 1
+        assert "unknown store suffix" in capsys.readouterr().err
+
+
+class TestKnobValidation:
+    @pytest.mark.parametrize(
+        "argv, flag",
+        [
+            (["campaign", "--functionals", "Wigner", "--conditions", "EC1",
+              "--levels", "-1"], "--levels"),
+            (["campaign", "--functionals", "Wigner", "--conditions", "EC1",
+              "--steal-depth", "-2"], "--steal-depth"),
+            (["campaign", "--functionals", "Wigner", "--conditions", "EC1",
+              "--workers", "-4"], "--workers"),
+            (["verify", "-f", "Wigner", "-c", "EC1", "--batch-size", "-8"],
+             "--batch-size"),
+            (["numerics", "--functionals", "Wigner", "--check", "hazards",
+              "--workers", "-1"], "--workers"),
+        ],
+    )
+    def test_negative_knobs_rejected_loudly(self, capsys, argv, flag):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert f"{flag} must be >= 0" in err
+        assert err.count("\n") == 1  # one-line diagnostic
+
+    def test_zero_values_accepted(self, capsys):
+        rc = main(
+            ["campaign", "--functionals", "Wigner", "--conditions", "EC1",
+             "--budget", "100", "--global-budget", "500",
+             "--levels", "0", "--steal-depth", "0", "--workers", "0"]
+        )
+        assert rc == 0
+        assert "1 cells computed" in capsys.readouterr().out
+
+
+class TestAdaptiveFlag:
+    def test_adaptive_campaign_matches_static(self, capsys, tmp_path):
+        args = [
+            "campaign", "--functionals", "LYP,Wigner", "--conditions", "EC1",
+            "--budget", "100", "--global-budget", "1500",
+        ]
+        assert main(args) == 0
+        static_out = capsys.readouterr().out
+        store = str(tmp_path / "warm.jsonl")
+        assert main(args + ["--store", store]) == 0
+        capsys.readouterr()
+        # warm store: the model now orders by observed cost
+        assert main(args + ["--adaptive"]) == 0
+        adaptive_out = capsys.readouterr().out
+        assert adaptive_out == static_out
+
+    def test_adaptive_store_resume_bit_identical(self, capsys, tmp_path):
+        store = str(tmp_path / "adaptive.jsonl")
+        json_a = str(tmp_path / "a.json")
+        json_b = str(tmp_path / "b.json")
+        args = [
+            "campaign", "--functionals", "LYP,Wigner", "--conditions", "EC1",
+            "--budget", "100", "--global-budget", "1500",
+            "--workers", "2", "--adaptive", "--store", store,
+        ]
+        assert main(args + ["--json", json_a]) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume", "--json", json_b]) == 0
+        out = capsys.readouterr().out
+        assert "0 cells computed, 2 from store" in out
+        with open(json_a) as a, open(json_b) as b:
+            assert a.read() == b.read()
+
+    def test_adaptive_numerics_campaign(self, capsys):
+        rc = main(
+            ["numerics", "--functionals", "LYP,Wigner",
+             "--check", "continuity", "--adaptive"]
+        )
+        assert rc == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_adaptive_rejected_in_single_pair_numerics(self, capsys):
+        rc = main(["numerics", "-f", "PBE", "--adaptive"])
+        assert rc == 1
+        assert "--adaptive" in capsys.readouterr().err

@@ -1,0 +1,398 @@
+"""Cost-model and adaptive-scheduling tests.
+
+Three load-bearing properties:
+
+* **determinism** -- predictions are pure functions of the store bytes
+  and the registry: cold priors are clock-free, warmed models are
+  byte-stable across processes (pinned with actual subprocesses);
+* **bit-identity** -- adaptive *ordering* is a pure permutation of the
+  static dispatch order, so every stitched report is identical to the
+  static run, in-process and on a pool;
+* **loud validation** -- negative tuning knobs raise one-line
+  ``ValueError``s in :class:`CampaignConfig` instead of flowing into
+  the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.conditions import get_condition
+from repro.functionals import get_functional
+from repro.verifier.campaign import CampaignConfig, effective_workers, run_campaign
+from repro.verifier.costmodel import (
+    CostModel,
+    PairTiming,
+    SchedulingPolicy,
+    aggregate_timings,
+)
+from repro.verifier.store import open_store
+from repro.verifier.verifier import VerifierConfig
+
+from .test_campaign import assert_reports_identical
+
+TINY = VerifierConfig(split_threshold=0.7, per_call_budget=100, global_step_budget=600)
+PAIRS = [("Wigner", "EC1"), ("VWN RPA", "EC1"), ("LYP", "EC1")]
+
+
+# ---------------------------------------------------------------------------
+# the prior
+# ---------------------------------------------------------------------------
+
+class TestPrior:
+    def test_deterministic_and_positive(self):
+        model = CostModel()
+        first = {p: model.predict_pair(*p) for p in PAIRS}
+        second = {p: CostModel().predict_pair(*p) for p in PAIRS}
+        assert first == second
+        assert all(value > 0.0 for value in first.values())
+
+    def test_bigger_functionals_predict_costlier(self):
+        model = CostModel()
+        # SCAN's lifted expression dwarfs Wigner's -- the prior must
+        # reproduce the paper's observed size ordering cold
+        assert model.predict_pair("SCAN", "EC1") > model.predict_pair("Wigner", "EC1")
+        assert model.predict_pair("LYP", "EC1") > model.predict_pair("Wigner", "EC1")
+
+    def test_exchange_conditions_bump_xc_functionals(self):
+        model = CostModel()
+        pbe = get_functional("PBE")
+        ec1 = get_condition("EC1")   # correlation-only
+        ec4 = get_condition("EC4")   # requires exchange
+        assert ec4.requires_exchange and not ec1.requires_exchange
+        assert model.prior_pair(pbe, ec4) > model.prior_pair(pbe, ec1)
+
+    def test_numerics_cells_scale_by_check_kind(self):
+        model = CostModel()
+        kinds = {
+            check: model.predict_cell("LYP", "fc", check, "-")
+            for check in ("continuity", "hazards", "sensitivity")
+        }
+        assert kinds["sensitivity"] > kinds["hazards"] > kinds["continuity"]
+
+    def test_history_never_leaks_into_unseen_pairs(self):
+        timing = PairTiming(
+            count=3, total_seconds=9.0, mean_seconds=3.0,
+            p99_seconds=4.0, compile_seconds=0.5, total_solver_steps=100,
+        )
+        model = CostModel({("LYP", "EC1"): timing})
+        assert model.predict_pair("LYP", "EC1") == 3.0
+        assert model.predict_pair("Wigner", "EC1") == CostModel().predict_pair(
+            "Wigner", "EC1"
+        )
+
+
+# ---------------------------------------------------------------------------
+# timing aggregation
+# ---------------------------------------------------------------------------
+
+class TestAggregateTimings:
+    def rows(self):
+        return [
+            {"functional": "LYP", "condition": "EC1", "elapsed_seconds": e,
+             "compile_seconds": 0.1, "total_solver_steps": 10}
+            for e in (0.4, 0.2, 0.6)
+        ] + [
+            {"functional": "Wigner", "condition": "EC1", "elapsed_seconds": 0.01,
+             "compile_seconds": 0.0, "total_solver_steps": 2},
+        ]
+
+    def test_per_pair_stats(self):
+        timings = aggregate_timings(self.rows())
+        lyp = timings[("LYP", "EC1")]
+        assert lyp.count == 3
+        assert lyp.total_seconds == pytest.approx(1.2)
+        assert lyp.mean_seconds == pytest.approx(0.4)
+        assert lyp.p99_seconds == 0.6  # nearest-rank over [0.2, 0.4, 0.6]
+        assert lyp.compile_seconds == pytest.approx(0.3)
+        assert lyp.total_solver_steps == 30
+        assert lyp.compile_share == pytest.approx(0.3 / 1.2)
+        assert timings[("Wigner", "EC1")].count == 1
+
+    def test_compile_share_clamped_and_empty_safe(self):
+        zero = PairTiming(
+            count=1, total_seconds=0.0, mean_seconds=0.0,
+            p99_seconds=0.0, compile_seconds=0.0, total_solver_steps=0,
+        )
+        assert zero.compile_share == 0.0
+        assert aggregate_timings([]) == {}
+
+
+# ---------------------------------------------------------------------------
+# persistence: cold start vs warmed model
+# ---------------------------------------------------------------------------
+
+class TestFromStore:
+    def test_missing_path_is_cold_and_creates_nothing(self, tmp_path):
+        path = tmp_path / "never-written.sqlite"
+        model = CostModel.from_store(path)
+        assert model.history == {}
+        assert not path.exists()
+        assert CostModel.from_store(None).history == {}
+
+    def test_warmed_model_prefers_history_over_prior(self, tmp_path):
+        path = tmp_path / "warm.jsonl"
+        run_campaign(PAIRS, TINY, max_workers=0, store=path)
+        model = CostModel.from_store(path)
+        assert set(model.history) == set(PAIRS)
+        for pair in PAIRS:
+            timing = model.stats(*pair)
+            assert timing is not None and timing.count == 1
+            assert model.predict_pair(*pair) == timing.mean_seconds
+
+    def test_numerics_cells_do_not_enter_the_history(self, tmp_path):
+        from repro.numerics.campaign import run_numerics_campaign
+
+        path = tmp_path / "mixed.jsonl"
+        run_campaign(PAIRS[:1], TINY, max_workers=0, store=path)
+        run_numerics_campaign(
+            ["Wigner"], components=("fc",), checks=("continuity",),
+            max_workers=0, store=path,
+        )
+        store = open_store(path)
+        try:
+            rows = list(store.iter_timings())
+        finally:
+            store.close()
+        assert [(r["functional"], r["condition"]) for r in rows] == [("Wigner", "EC1")]
+        assert rows[0]["elapsed_seconds"] >= 0.0
+        assert rows[0]["region_count"] >= 1
+
+    def test_predictions_byte_stable_across_processes(self, tmp_path):
+        path = tmp_path / "stable.jsonl"
+        run_campaign(PAIRS, TINY, max_workers=0, store=path)
+        script = (
+            "import json, sys\n"
+            "from repro.verifier.costmodel import CostModel\n"
+            "model = CostModel.from_store(sys.argv[1])\n"
+            "pairs = [('Wigner','EC1'), ('VWN RPA','EC1'), ('LYP','EC1'),"
+            " ('SCAN','EC1')]\n"  # SCAN: no history -> prior path too
+            "out = {f'{f}/{c}': model.predict_pair(f, c).hex()"
+            " for f, c in pairs}\n"
+            "print(json.dumps(out, sort_keys=True))\n"
+        )
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(
+            sys.modules["repro"].__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        outputs = [
+            subprocess.run(
+                [sys.executable, "-c", script, str(path)],
+                env=env, capture_output=True, text=True, check=True,
+            ).stdout
+            for _ in range(2)
+        ]
+        # bit-exact float hex, byte-exact JSON, across two fresh processes
+        assert outputs[0] == outputs[1]
+        assert json.loads(outputs[0])  # and it is real content, not empty
+
+
+# ---------------------------------------------------------------------------
+# the policy
+# ---------------------------------------------------------------------------
+
+class TestSchedulingPolicy:
+    def warmed(self, cheap=0.01, dear=1.0):
+        return CostModel({
+            ("Wigner", "EC1"): PairTiming(1, cheap, cheap, cheap, 0.0, 1),
+            ("LYP", "EC1"): PairTiming(1, dear, dear, dear, 0.0, 1),
+            ("VWN RPA", "EC1"): PairTiming(1, cheap, cheap, cheap, 0.0, 1),
+        })
+
+    def entries(self):
+        return [
+            (key, get_functional(key[0]), get_condition(key[1]))
+            for key in PAIRS
+        ]
+
+    def test_order_longest_first_stable_ties(self):
+        policy = SchedulingPolicy(model=self.warmed())
+        predicted = {("a",): 1.0, ("b",): 5.0, ("c",): 1.0}
+        assert policy.order([("a",), ("b",), ("c",)], predicted) == [
+            ("b",), ("a",), ("c",)  # ties keep submission order
+        ]
+
+    def test_order_off_is_identity(self):
+        policy = SchedulingPolicy(model=self.warmed(), adaptive_order=False)
+        keys = [("a",), ("b",)]
+        assert policy.order(keys, {("a",): 1.0, ("b",): 2.0}) == keys
+
+    def test_single_worker_never_splits(self):
+        policy = SchedulingPolicy(model=self.warmed())
+        plans = policy.plan_pairs(self.entries(), workers=1)
+        assert all(
+            plan.presplit_levels == 0 and plan.steal_depth == 0
+            for plan in plans.values()
+        )
+
+    def test_expensive_pair_splits_cheap_stay_whole(self):
+        policy = SchedulingPolicy(model=self.warmed())
+        plans = policy.plan_pairs(self.entries(), workers=4)
+        dear = plans[("LYP", "EC1")]
+        assert dear.presplit_levels >= 1 and dear.steal_depth >= 1
+        for key in (("Wigner", "EC1"), ("VWN RPA", "EC1")):
+            assert plans[key].presplit_levels == 0
+            assert plans[key].steal_depth == 0
+
+    def test_base_knobs_are_floors(self):
+        policy = SchedulingPolicy(model=self.warmed())
+        plans = policy.plan_pairs(
+            self.entries(), workers=4, base_presplit=1, base_steal=1
+        )
+        assert all(
+            plan.presplit_levels >= 1 and plan.steal_depth >= 1
+            for plan in plans.values()
+        )
+
+    def test_split_caps_respected(self):
+        policy = SchedulingPolicy(
+            model=self.warmed(dear=100.0), max_presplit=1, max_steal_depth=1
+        )
+        plans = policy.plan_pairs(self.entries(), workers=64)
+        dear = plans[("LYP", "EC1")]
+        assert dear.presplit_levels == 1 and dear.steal_depth == 1
+
+    def test_plans_are_deterministic(self):
+        first = SchedulingPolicy(model=self.warmed()).plan_pairs(
+            self.entries(), workers=4
+        )
+        second = SchedulingPolicy(model=self.warmed()).plan_pairs(
+            self.entries(), workers=4
+        )
+        assert first == second
+
+    def test_effective_workers(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        assert effective_workers(0) == 1
+        assert effective_workers(1) == 1
+        assert effective_workers(7) == 7
+        assert effective_workers(None) == (os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            assert effective_workers(None, pool) == 2
+
+
+# ---------------------------------------------------------------------------
+# regression: adaptive ordering never changes any report
+# ---------------------------------------------------------------------------
+
+class TestAdaptiveBitIdentity:
+    def order_only_policy(self, store_path=None):
+        model = CostModel.from_store(store_path) if store_path else CostModel()
+        return SchedulingPolicy(model=model, adaptive_split=False)
+
+    def test_in_process_reports_identical(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        static = run_campaign(PAIRS, TINY, max_workers=0, store=path)
+        adaptive = run_campaign(
+            PAIRS, TINY, max_workers=0, policy=self.order_only_policy(path)
+        )
+        assert set(static.reports) == set(adaptive.reports)
+        for key in static.reports:
+            assert_reports_identical(static.reports[key], adaptive.reports[key])
+            assert adaptive.reports[key].identical_to(static.reports[key])
+
+    def test_pool_reports_identical(self):
+        static = run_campaign(PAIRS, TINY, max_workers=0)
+        adaptive = run_campaign(
+            PAIRS, TINY, max_workers=2, policy=self.order_only_policy()
+        )
+        for key in static.reports:
+            assert_reports_identical(static.reports[key], adaptive.reports[key])
+
+    def test_adaptive_dispatches_longest_predicted_first(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        run_campaign(PAIRS, TINY, max_workers=0, store=path)
+        order: list = []
+        run_campaign(
+            PAIRS,
+            TINY,
+            max_workers=0,
+            policy=self.order_only_policy(path),
+            on_cell=lambda key, report, hit: order.append(key),
+        )
+        model = CostModel.from_store(path)
+        costs = [model.predict_pair(*key) for key in order]
+        assert costs == sorted(costs, reverse=True)
+        assert set(order) == set(PAIRS)
+
+    def test_adaptive_split_keys_stay_store_sound(self, tmp_path):
+        # per-pair knobs enter the content key: a rerun with the same
+        # warmed model (same plans) must serve every cell from the store
+        path = tmp_path / "roundtrip.jsonl"
+        run_campaign(PAIRS, TINY, max_workers=0, store=path)
+        policy = SchedulingPolicy(model=CostModel.from_store(path))
+        first = run_campaign(PAIRS, TINY, max_workers=2, policy=policy, store=path)
+        second = run_campaign(PAIRS, TINY, max_workers=2, policy=policy, store=path)
+        assert sorted(second.store_hits) == sorted(PAIRS)
+        assert second.computed == []
+        for key in first.reports:
+            assert second.reports[key].identical_to(first.reports[key])
+
+    def test_adaptive_resume_replays_pinned_plans(self, tmp_path):
+        # the CLI flow: each invocation builds a FRESH policy from the
+        # (ever-warmer) store.  plans depend on history, and planned
+        # knobs enter the content key -- without the store-pinned plan
+        # record, a resumed adaptive run would re-key and recompute
+        # cells the previous run already persisted
+        path = tmp_path / "pinned.jsonl"
+        run_campaign(PAIRS, TINY, max_workers=0, store=path)  # warm history
+        first = run_campaign(
+            PAIRS, TINY, max_workers=2, store=path, resume=True,
+            policy=SchedulingPolicy(model=CostModel.from_store(path)),
+        )
+        second = run_campaign(
+            PAIRS, TINY, max_workers=2, store=path, resume=True,
+            policy=SchedulingPolicy(model=CostModel.from_store(path)),
+        )
+        assert sorted(second.store_hits) == sorted(PAIRS)
+        assert second.computed == []
+        for key in first.reports:
+            assert second.reports[key].identical_to(first.reports[key])
+
+    def test_model_stays_out_of_semantic_keys(self):
+        # the model may reorder work, never re-key it: semantic_key is
+        # blind to any cost-model state by construction
+        assert "costmodel" not in repr(TINY.semantic_key()).lower()
+        cold = TINY.semantic_key()
+        assert cold == TINY.semantic_key()
+
+
+# ---------------------------------------------------------------------------
+# loud knob validation (engine side; the CLI layer is tested in test_cli)
+# ---------------------------------------------------------------------------
+
+class TestCampaignConfigValidation:
+    def test_rejects_negative_knobs(self):
+        with pytest.raises(ValueError, match="max_workers must be >= 0"):
+            CampaignConfig(max_workers=-1)
+        with pytest.raises(ValueError, match="presplit_levels must be >= 0"):
+            CampaignConfig(presplit_levels=-1)
+        with pytest.raises(ValueError, match="steal_depth must be >= 0"):
+            CampaignConfig(steal_depth=-3)
+        with pytest.raises(ValueError, match="unit_chunk_size must be >= 1"):
+            CampaignConfig(unit_chunk_size=0)
+
+    def test_accepts_boundary_values(self):
+        CampaignConfig(max_workers=0, presplit_levels=0, steal_depth=0,
+                       unit_chunk_size=1)
+        CampaignConfig(max_workers=None)
+
+    def test_run_campaign_validates_before_any_work(self):
+        with pytest.raises(ValueError, match="steal_depth"):
+            run_campaign(PAIRS, TINY, steal_depth=-1)
+        with pytest.raises(ValueError, match="max_workers"):
+            run_campaign(PAIRS, TINY, max_workers=-2)
+
+    def test_numerics_campaign_validates_too(self):
+        from repro.numerics.campaign import run_numerics_campaign
+
+        with pytest.raises(ValueError, match="max_workers"):
+            run_numerics_campaign(["Wigner"], max_workers=-1)
+        with pytest.raises(ValueError, match="unit_chunk_size"):
+            run_numerics_campaign(["Wigner"], unit_chunk_size=0)
