@@ -15,6 +15,7 @@ writing Python:
 ``serve``               the resident verification service (HTTP job server)
 ``submit``              submit a job to a running service and await it
 ``stats``               per-(functional, condition) timing summary of a store
+``check``               static analysis: tape-IR verifier + REP lint rules
 ======================  =====================================================
 
 Campaign commands accept ``--adaptive``: scheduling decisions (dispatch
@@ -35,7 +36,9 @@ the interrupted run stopped.
 
 Exit status: 0 on success, 1 for usage errors (unknown functional or
 condition, inapplicable pair), 2 for argparse-level errors, 130 when
-interrupted.
+interrupted.  ``check`` is the exception: it exits 1 when findings
+exist (each printed as a one-line diagnostic) and 2 for *any* usage
+error -- a bad ``--rule`` id, a missing path, an unknown corpus slice.
 """
 
 from __future__ import annotations
@@ -348,6 +351,48 @@ def build_parser() -> argparse.ArgumentParser:
         "store_path",
         help="an existing campaign store (*.jsonl / *.sqlite) -- the same "
         "timing history --adaptive learns its cost model from",
+    )
+
+    from .statan import all_rule_ids
+
+    p_check = sub.add_parser(
+        "check",
+        help="static analysis: tape-IR verifier + repo-invariant lint rules",
+    )
+    p_check.add_argument(
+        "paths", nargs="*",
+        help="source files/dirs for the lint tier "
+        "(default: the whole src/repro tree)",
+    )
+    p_check.add_argument(
+        "--rule", dest="rules", action="append", choices=all_rule_ids(),
+        metavar="ID",
+        help="run only this rule id, repeatable (TAPE101-110, REP100-105); "
+        "unknown ids are rejected at parse time",
+    )
+    p_check.add_argument(
+        "--deep", type=int, default=0,
+        help="TAPE108 abstract-interpretation refinement depth: number of "
+        "per-axis domain halvings before a maybe-NaN site is reported "
+        "(default 0; nightly CI uses 2)",
+    )
+    p_check.add_argument(
+        "--functionals", default=None,
+        help='comma-separated DFA slice of the tape corpus, e.g. "PBE,LYP" '
+        "(default: the full registry)",
+    )
+    p_check.add_argument(
+        "--conditions", default=None,
+        help='comma-separated condition slice of the tape corpus, e.g. '
+        '"EC1,EC6" (default: the full catalog)',
+    )
+    p_check.add_argument(
+        "--derivatives", action="store_true",
+        help="also verify the derivative tapes of each pair (slower)",
+    )
+    p_check.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write the machine-readable report here ('-' = stdout)",
     )
     return parser
 
@@ -921,6 +966,53 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    """Run both statan tiers; exit 0 clean, 1 on findings, 2 on usage."""
+    from .statan import run_check
+
+    # check reports usage errors as exit 2 (not the _UsageError exit 1
+    # of the verification commands): CI gates on "1 means findings",
+    # so a typo'd invocation must be distinguishable from a dirty tree
+    if args.deep < 0:
+        print("error: --deep must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        functionals = _split_names(args.functionals)
+        conditions = _split_names(args.conditions)
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_check(
+            paths=args.paths or None,
+            rules=args.rules,
+            deep=args.deep,
+            functionals=functionals,
+            conditions=conditions,
+            derivatives=args.derivatives,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:  # unknown functional / condition name
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+
+    if args.json_path:
+        import json
+
+        payload = json.dumps(report.as_json(), indent=2, sort_keys=True)
+        if args.json_path == "-":
+            print(payload)
+        else:
+            with open(args.json_path, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+    for finding in report.sorted_findings():
+        print(finding.line())
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -1131,6 +1223,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "stats": _cmd_stats,
+    "check": _cmd_check,
 }
 
 

@@ -114,6 +114,37 @@ class NumericsConfig:
     solver_backend: str = "batch"
     batch_size: int = 256
 
+    def __post_init__(self):
+        # reject nonsense at construction (the CampaignConfig pattern)
+        if self.n_base_points < 2:
+            raise ValueError(
+                f"n_base_points must be >= 2, got {self.n_base_points}"
+            )
+        if self.bisection_steps < 1:
+            raise ValueError(
+                f"bisection_steps must be >= 1, got {self.bisection_steps}"
+            )
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if not self.delta > 0.0:
+            raise ValueError(f"delta must be > 0, got {self.delta}")
+        if self.hazard_budget < 1:
+            raise ValueError(
+                f"hazard_budget must be >= 1, got {self.hazard_budget}"
+            )
+        if self.per_dim < 2 or self.per_dim_mgga < 2:
+            raise ValueError(
+                f"per_dim/per_dim_mgga must be >= 2, got "
+                f"{self.per_dim}/{self.per_dim_mgga}"
+            )
+        if self.solver_backend not in ("batch", "tape", "walk"):
+            raise ValueError(
+                f"solver_backend must be 'batch', 'tape' or 'walk', "
+                f"got {self.solver_backend!r}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
     def semantic_key(self, check: str) -> tuple:
         if check == "continuity":
             return (self.n_base_points, self.bisection_steps, self.seed)

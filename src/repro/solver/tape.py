@@ -39,6 +39,8 @@ from . import kernels as _kern
 from .interval import EMPTY, Interval, _POW_CHAIN_MAX, make
 
 __all__ = [
+    "FUNC_DOMAINS",
+    "func_guard_table",
     "Tape",
     "MultiTape",
     "compile_expr",
@@ -218,6 +220,37 @@ _BATCH_FUNC_BAD = (
     _bad_exp, _bad_log, _bad_sqrt, None, None, None,
     _bad_lambertw, None, None, None, None,
 )
+
+#: machine-readable domain metadata of the unary IR functions, indexed
+#: like ``FUNC_NAMES``: ``(kind, bound)`` describes the safe-input set
+#: (``"le"``: x <= bound, ``"ge"``: x >= bound, ``"gt"``: x > bound),
+#: ``None`` marks a function total on the reals.  Inputs outside the safe
+#: set make the scalar executor raise and the batch executors poison the
+#: point to NaN.  ``statan.tapecheck`` interprets tapes abstractly over
+#: this table and cross-checks it against :data:`_BATCH_FUNC_BAD` at
+#: import time, so the two cannot drift apart silently.
+FUNC_DOMAINS = (
+    ("le", _EXP_OVERFLOW),     # exp: overflow guard above 709
+    ("gt", 0.0),               # log
+    ("ge", 0.0),               # sqrt
+    None, None, None,          # cbrt / atan / abs: total
+    ("ge", _LAMBERTW_BRANCH),  # lambertw: principal branch only
+    None, None, None, None,    # sin / cos / tanh / erf: total
+)
+
+
+def func_guard_table() -> tuple[bool, ...]:
+    """Which IR functions the executors guard against silent NaN.
+
+    Indexed like ``FUNC_NAMES``: True means out-of-domain inputs are
+    intercepted (scalar path raises, batch paths poison the point), so a
+    NaN can never flow *silently* out of that instruction.  Total
+    functions are trivially guarded.
+    """
+    return tuple(
+        bad is not None or FUNC_DOMAINS[i] is None
+        for i, bad in enumerate(_BATCH_FUNC_BAD)
+    )
 
 
 def decide_cond(code: int, gap: Interval) -> bool | None:
@@ -499,6 +532,24 @@ class Tape:
         campaign result store keys on.
         """
         return stable_digest(self.__getstate__())
+
+    def runtime_program(self) -> tuple:
+        """Read-only snapshot of the built forward runtime.
+
+        Returns ``(fwd, batch_seed, init_los, init_his)`` as tuples: the
+        post-fusion forward instruction list, the slot rows the batched
+        pass reloads (literal pool plus folded results), and the scalar
+        init templates.  This is the introspection surface
+        ``statan.tapecheck`` audits -- it must describe exactly what the
+        executors run, so it snapshots the live structures rather than
+        recomputing them.
+        """
+        return (
+            tuple(self._fwd),
+            tuple(self._batch_seed),
+            tuple(self._init_los),
+            tuple(self._init_his),
+        )
 
     def _build_runtime(self) -> None:
         # resolve FUNC instructions to bound callables; map the binary

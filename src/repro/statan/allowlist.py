@@ -1,0 +1,108 @@
+"""The per-file allowlist for deliberate REP1xx exceptions.
+
+Format (one entry per line, ``#`` starts a comment line)::
+
+    RULE  path-glob  symbol-glob  -- one-line justification
+
+``path-glob`` matches the finding's repo-relative posix path and
+``symbol-glob`` its enclosing qualified name, both with ``fnmatch``
+semantics.  The justification is mandatory: an exception nobody can
+explain is a bug with paperwork.  ``REP100`` (emitted by the loader and
+the runner) keeps the list honest -- malformed lines, unknown rule ids,
+missing justifications and entries that no longer suppress anything are
+findings themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+from .report import Finding
+
+__all__ = ["AllowEntry", "Allowlist", "default_allowlist_path", "load_allowlist"]
+
+
+def default_allowlist_path() -> Path:
+    return Path(__file__).resolve().with_name("allowlist.txt")
+
+
+@dataclass
+class AllowEntry:
+    rule: str
+    path_glob: str
+    symbol_glob: str
+    justification: str
+    lineno: int
+    hits: int = 0
+
+    def matches(self, rule: str, rel: str, symbol: str) -> bool:
+        return (
+            rule == self.rule
+            and fnmatch(rel, self.path_glob)
+            and fnmatch(symbol, self.symbol_glob)
+        )
+
+
+@dataclass
+class Allowlist:
+    path: Path
+    entries: list[AllowEntry] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)  # REP100 load errors
+
+    def suppresses(self, finding: Finding) -> bool:
+        rel = finding.where.rsplit(":", 1)[0]
+        for entry in self.entries:
+            if entry.matches(finding.rule, rel, finding.symbol):
+                entry.hits += 1
+                return True
+        return False
+
+    def unused_entries(self) -> list[AllowEntry]:
+        return [e for e in self.entries if e.hits == 0]
+
+
+def load_allowlist(path: Path | None = None, known_rules=()) -> Allowlist:
+    """Parse ``allowlist.txt``; malformed entries become REP100 findings."""
+    path = default_allowlist_path() if path is None else Path(path)
+    allow = Allowlist(path=path)
+    if not path.exists():
+        return allow
+    where_base = path.name
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        where = f"{where_base}:{lineno}"
+        head, sep, justification = line.partition("--")
+        fields = head.split()
+        if not sep or len(fields) != 3:
+            allow.findings.append(Finding(
+                "REP100", where, "allowlist",
+                "malformed entry: expected "
+                "'RULE path-glob symbol-glob -- justification'",
+            ))
+            continue
+        rule, path_glob, symbol_glob = fields
+        justification = justification.strip()
+        if not justification:
+            allow.findings.append(Finding(
+                "REP100", where, "allowlist",
+                f"entry for {rule} lacks a justification",
+            ))
+            continue
+        if known_rules and rule not in known_rules:
+            allow.findings.append(Finding(
+                "REP100", where, "allowlist",
+                f"unknown rule id {rule!r}",
+            ))
+            continue
+        allow.entries.append(AllowEntry(
+            rule=rule,
+            path_glob=path_glob,
+            symbol_glob=symbol_glob,
+            justification=justification,
+            lineno=lineno,
+        ))
+    return allow

@@ -1,0 +1,178 @@
+"""Tier 2 engine: AST loading, indexing and matching for the REP rules.
+
+The engine is rule-agnostic: it parses every target module once, builds
+parent links and per-function indexes (qualified name, called names,
+async-ness), and hands :mod:`repro.statan.rules` the primitives they
+share -- dotted call-name resolution, endpoint-name classification,
+enclosing-function lookup.  Rules stay small and declarative.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FunctionInfo",
+    "Module",
+    "call_name",
+    "collect_modules",
+    "repo_root",
+]
+
+#: a synthetic attribute linking each AST node to its parent; set on our
+#: own freshly parsed trees only
+_PARENT = "_statan_parent"
+
+
+def repo_root() -> Path:
+    """The repository root (three levels above this package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+@dataclass(eq=False)  # identity semantics: used as dict/set keys
+class FunctionInfo:
+    """One function definition with the facts the rules consume."""
+
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    module: "Module"
+    is_async: bool
+    #: dotted names of every call in the body, nested defs excluded
+    calls: list[tuple[str, ast.Call]] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def own_nodes(self):
+        """Walk the body, stopping at nested function/class definitions."""
+        stack = list(ast.iter_child_nodes(self.node))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass(eq=False)  # identity semantics: used as dict/set keys
+class Module:
+    """One parsed source file plus its function index."""
+
+    path: Path
+    rel: str  # repo-root-relative posix path (or absolute outside it)
+    tree: ast.Module
+    functions: list[FunctionInfo] = field(default_factory=list)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return getattr(node, _PARENT, None)
+
+    def enclosing_function(self, node: ast.AST) -> FunctionInfo | None:
+        by_node = {info.node: info for info in self.functions}
+        cur = self.parent(node)
+        while cur is not None:
+            if cur in by_node:
+                return by_node[cur]
+            cur = self.parent(cur)
+        return None
+
+    def symbol_at(self, node: ast.AST) -> str:
+        info = self.enclosing_function(node)
+        if info is not None:
+            return info.qualname
+        cur = self.parent(node)
+        while cur is not None:
+            if isinstance(cur, ast.ClassDef):
+                return cur.name
+            cur = self.parent(cur)
+        return "<module>"
+
+
+def call_name(func: ast.AST) -> str:
+    """Dotted name of a call target: ``os.environ.get``, ``open``, ...
+
+    Unresolvable pieces (subscripts, nested calls) become ``?`` so the
+    suffix stays matchable: ``foo()[0].bar(...)`` -> ``?.bar``.
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("?")
+    return ".".join(reversed(parts))
+
+
+def _link_parents(tree: ast.Module) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, _PARENT, node)
+
+
+def _index_functions(module: Module) -> None:
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                info = FunctionInfo(
+                    qualname=qual,
+                    node=child,
+                    module=module,
+                    is_async=isinstance(child, ast.AsyncFunctionDef),
+                )
+                for sub in info.own_nodes():
+                    if isinstance(sub, ast.Call):
+                        info.calls.append((call_name(sub.func), sub))
+                module.functions.append(info)
+                visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(module.tree, "")
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def collect_modules(paths) -> list[Module]:
+    """Parse every ``.py`` file under ``paths`` into indexed modules.
+
+    Raises ``OSError`` for a missing path and ``SyntaxError`` for an
+    unparseable file -- the caller decides how loudly to fail.
+    """
+    root = repo_root()
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    modules: list[Module] = []
+    seen: set[Path] = set()
+    for path in files:
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        _link_parents(tree)
+        module = Module(path=resolved, rel=_rel(path, root), tree=tree)
+        _index_functions(module)
+        modules.append(module)
+    return modules

@@ -88,6 +88,47 @@ class VerifierConfig:
     #: subtrees.
     queue_order: str = "dfs"
 
+    def __post_init__(self):
+        # reject nonsense at construction (the CampaignConfig pattern):
+        # a bad knob used to surface only deep inside the solver loop
+        if not self.split_threshold > 0.0:
+            raise ValueError(
+                f"split_threshold must be > 0, got {self.split_threshold}"
+            )
+        if self.per_call_budget < 1:
+            raise ValueError(
+                f"per_call_budget must be >= 1, got {self.per_call_budget}"
+            )
+        if self.per_call_seconds is not None and not self.per_call_seconds > 0:
+            raise ValueError(
+                f"per_call_seconds must be > 0 or None, got {self.per_call_seconds}"
+            )
+        # 0 is a meaningful degenerate budget (everything times out
+        # immediately); only negatives are nonsense
+        if self.global_step_budget is not None and self.global_step_budget < 0:
+            raise ValueError(
+                f"global_step_budget must be >= 0 or None, got {self.global_step_budget}"
+            )
+        if not self.delta >= 0.0:
+            raise ValueError(f"delta must be >= 0, got {self.delta}")
+        if not self.precision > 0.0:
+            raise ValueError(f"precision must be > 0, got {self.precision}")
+        if self.solver_backend not in ("batch", "tape", "walk"):
+            raise ValueError(
+                f"solver_backend must be 'batch', 'tape' or 'walk', "
+                f"got {self.solver_backend!r}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.vector_min is not None and self.vector_min < 0:
+            raise ValueError(
+                f"vector_min must be >= 0 or None, got {self.vector_min}"
+            )
+        if self.queue_order not in ("dfs", "widest"):
+            raise ValueError(
+                f"queue_order must be 'dfs' or 'widest', got {self.queue_order!r}"
+            )
+
     def semantic_key(self) -> tuple:
         """The config fields that determine verification *outcomes*.
 

@@ -233,10 +233,10 @@ class TestQueueOrders:
         assert depths == sorted(depths)
 
     def test_unknown_order_rejected(self):
-        config = VerifierConfig(queue_order="sideways")
-        problem = encode(get_functional("VWN RPA"), EC1)
+        # rejected loudly at construction (REP105 / the CampaignConfig
+        # pattern), long before any verify() call could misqueue work
         with pytest.raises(ValueError, match="queue_order"):
-            Verifier(config).verify(problem)
+            VerifierConfig(queue_order="sideways")
 
 
 class TestRecordStreaming:
