@@ -603,6 +603,63 @@ def test_tape_fusion_and_multitape_timings():
     assert t_multi <= t_fused * 1.05
 
 
+def test_disabled_tracer_overhead_on_solver_calls():
+    """Observability gate: with tracing off, the campaign's per-call
+    tracer pattern (ambient ``current_tracer()`` lookup + ``enabled``
+    check + no-op span) must cost <= 2% on top of bare ICP solve calls.
+
+    This is the exact shape the traced hot paths use -- the solver inner
+    loop itself carries no tracing code, so this bounds the *total*
+    disabled-tracing tax a campaign pays per cell/unit.  Whole passes
+    alternate between the two loops so load transients land on both
+    sides of the ratio.
+    """
+    from repro.obs.trace import current_tracer
+
+    problem = encode(get_functional("PBE"), EC1)
+    box = Box.from_bounds({"rs": (1.0, 3.0), "s": (0.0, 2.0)})
+    budget = Budget(max_steps=60)
+    solver = ICPSolver(delta=1e-5, precision=1e-3, backend="tape")
+    solver.solve(problem.negation, box, budget)  # warm caches
+
+    def bare(iters):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            solver.solve(problem.negation, box, budget)
+        return time.perf_counter() - t0
+
+    def gated(iters):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            tracer = current_tracer()
+            if tracer.enabled:  # off: the one branch the hot path pays
+                span = tracer.begin("solve", "solve")
+            solver.solve(problem.negation, box, budget)
+            if tracer.enabled:
+                tracer.finish(span)
+        return time.perf_counter() - t0
+
+    iters = 20
+    t_bare = t_gated = float("inf")
+    for _ in range(5):
+        t_bare = min(t_bare, bare(iters))
+        t_gated = min(t_gated, gated(iters))
+
+    overhead = t_gated / t_bare
+    print(f"\ndisabled tracing: bare {t_bare / iters * 1e3:.2f} ms/solve, "
+          f"gated {t_gated / iters * 1e3:.2f} ms/solve, "
+          f"overhead {overhead:.4f}x")
+    record_bench(
+        "tracing_off_overhead",
+        bare_ms=t_bare / iters * 1e3,
+        gated_ms=t_gated / iters * 1e3,
+        overhead_ratio=overhead,
+    )
+    assert overhead <= 1.02, (
+        f"disabled tracing costs {(overhead - 1) * 100:.2f}% (> 2% budget)"
+    )
+
+
 def test_scan_contraction_cost(benchmark):
     """SCAN formulas are the most expensive to contract (paper Sec. VI-A)."""
     problem = encode(get_functional("SCAN"), EC1)

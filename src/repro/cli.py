@@ -16,7 +16,18 @@ writing Python:
 ``submit``              submit a job to a running service and await it
 ``stats``               per-(functional, condition) timing summary of a store
 ``check``               static analysis: tape-IR verifier + REP lint rules
+``trace``               inspect a recorded trace: summary, lint, Chrome export
 ======================  =====================================================
+
+Observability: campaign commands accept ``--trace PATH`` (or the
+``REPRO_TRACE`` env var) to record a span trace of the whole run --
+CLI command, campaign drive loop, per-chunk dispatch, worker-side
+compile/solve -- as append-only JSONL, safe to interrupt.  ``repro
+trace summary|lint|export --chrome`` consume it.  ``repro --log-json``
+(or ``REPRO_LOG=json``) switches every stderr diagnostic to one JSON
+record per line; the process ``run_id`` joins log records, trace spans
+and service audit entries.  All of it is purely observational: tables,
+reports and store contents are byte-identical with tracing on or off.
 
 Campaign commands accept ``--adaptive``: scheduling decisions (dispatch
 order, per-pair split depth) are then driven by a cost model learned
@@ -45,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager as _contextmanager
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
@@ -55,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="XCVerifier reproduction: verify DFT exact conditions "
         "for density functional approximations.",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit stderr diagnostics as one JSON record per line "
+        "(ts/level/run_id/event; same as REPRO_LOG=json)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -98,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", dest="csv_path", default=None,
         help="write the region list as CSV",
     )
+    _add_trace_arg(p_verify)
 
     p_pb = sub.add_parser("pb", help="run the Pederson-Burke grid check on one pair")
     _add_pair_args(p_pb)
@@ -228,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cost-model-driven dispatch order (campaign mode; "
         "bit-identical perf knob)",
     )
+    _add_trace_arg(p_num)
 
     p_serve = sub.add_parser(
         "serve",
@@ -394,6 +413,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_path", default=None, metavar="PATH",
         help="write the machine-readable report here ('-' = stdout)",
     )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect a recorded span trace (see --trace on campaign commands)",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    pt_summary = trace_sub.add_parser(
+        "summary",
+        help="critical path, top spans by self-time, pool utilization, "
+        "per-pair compile/solve breakdown",
+    )
+    pt_summary.add_argument("trace_file", help="a trace recorded with --trace")
+    pt_summary.add_argument(
+        "--top", type=int, default=10, help="spans in the self-time ranking"
+    )
+    pt_export = trace_sub.add_parser(
+        "export",
+        help="convert to Chrome trace-event JSON (load in ui.perfetto.dev "
+        "or chrome://tracing)",
+    )
+    pt_export.add_argument("trace_file", help="a trace recorded with --trace")
+    pt_export.add_argument(
+        "--chrome", dest="chrome_path", required=True, metavar="PATH",
+        help="write the Chrome trace-event JSON here ('-' = stdout)",
+    )
+    pt_lint = trace_sub.add_parser(
+        "lint",
+        help="check structural invariants (span parentage, cell counts); "
+        "exit 1 on problems",
+    )
+    pt_lint.add_argument("trace_file", help="a trace recorded with --trace")
     return parser
 
 
@@ -402,7 +452,16 @@ def _add_pair_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-c", "--condition", required=True, help='e.g. "EC1"')
 
 
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", dest="trace_path", default=None, metavar="PATH",
+        help="record a span trace of this run as append-only JSONL "
+        "(default: the REPRO_TRACE env var; inspect with 'repro trace')",
+    )
+
+
 def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
+    _add_trace_arg(parser)
     parser.add_argument(
         "--functionals", default=None,
         help='comma-separated DFA subset, e.g. "PBE,LYP" (default: all paper DFAs)',
@@ -436,21 +495,62 @@ def _add_campaign_args(parser: argparse.ArgumentParser) -> None:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from .obs.logging import configure_logging, log_event
+
+    configure_logging(json_logs=True if args.log_json else None)
     try:
-        return _COMMANDS[args.command](args)
+        with _maybe_trace(args):
+            return _COMMANDS[args.command](args)
     except _UsageError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log_event("cli.usage-error", f"error: {exc}", level="error")
         return 1
     except KeyboardInterrupt:
         # campaign commands normally absorb SIGINT themselves (completed
         # cells are already persisted); this catches an interrupt that
         # lands outside the engine, e.g. during rendering
-        print("interrupted", file=sys.stderr)
+        log_event("cli.interrupted", "interrupted", level="warning")
         return 130
 
 
 class _UsageError(Exception):
     pass
+
+
+@_contextmanager
+def _maybe_trace(args):
+    """Activate a trace sink around a command that asked for one.
+
+    ``--trace PATH`` wins; commands carrying the flag also honour the
+    ``REPRO_TRACE`` env var.  The command span becomes the tracer's
+    default parent, so campaign spans opened deep inside library code
+    attach under the command that ran them.  The sink closes in a
+    ``finally``: an interrupt mid-run still leaves a parseable trace.
+    """
+    import os
+
+    path = getattr(args, "trace_path", None)
+    if path is None and hasattr(args, "trace_path"):
+        path = os.environ.get("REPRO_TRACE") or None
+    if not path:
+        yield
+        return
+    from .obs.logging import log_event
+    from .obs.trace import TraceSink, Tracer, activate_tracer
+
+    sink = TraceSink(path)
+    tracer = Tracer(sink)
+    try:
+        with activate_tracer(tracer):
+            command_span = tracer.begin(f"cli:{args.command}", "cli")
+            tracer.root = command_span
+            try:
+                yield
+            finally:
+                tracer.root = None
+                tracer.finish(command_span)
+    finally:
+        sink.close()
+        log_event("trace.written", f"wrote trace {path}", path=path)
 
 
 def _resolve_pair(args):
@@ -510,7 +610,13 @@ def _cmd_verify(args) -> int:
         backend=args.backend,
         batch_size=args.batch_size,
     )
-    report = Verifier(config, solver=solver).verify(encode(functional, condition))
+    from .obs.trace import current_tracer
+
+    with current_tracer().span(
+        f"solve:{functional.name}/{condition.cid}", "solve",
+        functional=functional.name, condition=condition.cid,
+    ):
+        report = Verifier(config, solver=solver).verify(encode(functional, condition))
     print(report.summary())
     bbox = report.counterexample_bbox()
     if bbox is not None:
@@ -644,16 +750,21 @@ def _resolve_campaign_slice(args):
 
 
 def _print_campaign_counts(result) -> None:
+    from .obs.logging import log_event
+
     print(
         f"campaign: {len(result.computed)} cells computed, "
         f"{len(result.store_hits)} from store"
         + (" [interrupted]" if result.interrupted else "")
     )
     if result.interrupted:
-        print(
+        log_event(
+            "campaign.interrupted",
             "warning: interrupted before completion -- unfinished cells "
             "render as '-' above; re-run with --store/--resume to continue",
-            file=sys.stderr,
+            level="warning",
+            computed=len(result.computed),
+            store_hits=len(result.store_hits),
         )
 
 
@@ -907,10 +1018,15 @@ def _cmd_numerics_campaign(args) -> int:
         + (" [interrupted]" if result.interrupted else "")
     )
     if result.interrupted:
-        print(
+        from .obs.logging import log_event
+
+        log_event(
+            "campaign.interrupted",
             "warning: interrupted before completion -- missing cells are "
             "absent above; re-run with --store/--resume to continue",
-            file=sys.stderr,
+            level="warning",
+            computed=len(result.computed),
+            store_hits=len(result.store_hits),
         )
     if args.json_path:
         write_json(args.json_path, table_three_to_json(table))
@@ -1011,6 +1127,49 @@ def _cmd_check(args) -> int:
         print(finding.line())
     print(report.summary())
     return 0 if report.clean else 1
+
+
+def _cmd_trace(args) -> int:
+    """Inspect a recorded trace: summary / lint / Chrome export."""
+    import json
+    import os
+
+    from .obs.export import (
+        chrome_trace,
+        lint_trace,
+        load_trace,
+        summarize_trace,
+        write_chrome_trace,
+    )
+
+    if not os.path.exists(args.trace_file):
+        raise _UsageError(f"trace not found: {args.trace_file}")
+    try:
+        header, spans = load_trace(args.trace_file)
+    except ValueError as exc:
+        raise _UsageError(str(exc)) from None
+
+    if args.trace_command == "summary":
+        if args.top < 1:
+            raise _UsageError(f"--top must be >= 1, got {args.top}")
+        print(summarize_trace(header, spans, top=args.top))
+        return 0
+    if args.trace_command == "export":
+        if args.chrome_path == "-":
+            print(json.dumps(chrome_trace(header, spans)))
+        else:
+            write_chrome_trace(header, spans, args.chrome_path)
+            print(f"wrote {args.chrome_path} ({len(spans)} spans)")
+        return 0
+    # lint: CI gates on this -- 0 clean, 1 problems, one line each
+    problems = lint_trace(header, spans)
+    for problem in problems:
+        print(f"trace-lint: {problem}")
+    print(
+        f"{args.trace_file}: {len(spans)} spans, "
+        f"{len(problems)} problem{'s' if len(problems) != 1 else ''}"
+    )
+    return 1 if problems else 0
 
 
 def _cmd_serve(args) -> int:
@@ -1224,6 +1383,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "stats": _cmd_stats,
     "check": _cmd_check,
+    "trace": _cmd_trace,
 }
 
 

@@ -47,10 +47,12 @@ from typing import Callable, Iterable
 
 from ..functionals.base import Functional
 from ..functionals.registry import all_functionals, get_functional
+from ..obs.metrics import REGISTRY
+from ..obs.trace import SpanRecorder, current_tracer
 from ..solver.icp import Budget, ICPSolver
 from ..solver.interval import KERNEL_SEMANTICS_VERSION
 from ..solver.tape import stable_digest, tape_for
-from ..verifier.campaign import CampaignConfig, drive_chunks
+from ..verifier.campaign import CampaignConfig, drive_chunks, effective_workers
 from ..verifier.store import SCHEMA_VERSION, CampaignStore, open_store
 from .continuity import ContinuityReport, check_continuity
 from .hazards import HazardReport, check_hazards
@@ -407,22 +409,51 @@ def cell_condition_id(key: CellKey) -> str:
     return f"{key[1]}:{key[2]}:{key[3]}"
 
 
-def _numerics_worker(args) -> list[tuple[CellKey, dict]]:
-    """Run one chunk of analysis cells in a worker process."""
-    config, items = args
+def _numerics_worker(args):
+    """Run one chunk of analysis cells in a worker process.
+
+    Returns the ``(key, payload)`` list -- with a third dispatch-args
+    element (a pickled :class:`~repro.obs.trace.SpanContext`), the worker
+    additionally records one pid-stamped ``cell`` span per analysis cell
+    under a ``chunk`` span and returns ``(results, records)`` for the
+    parent's absorb to reattach to the trace.
+    """
+    config, items = args[0], args[1]
+    recorder = SpanRecorder(args[2]) if len(args) > 2 else None
     out = []
+    if recorder is None:
+        for key in items:
+            functional = get_functional(key[0])
+            out.append((key, run_numerics_cell(functional, *key[1:], config)))
+        return out
+    chunk_span = recorder.begin("chunk", "chunk", cells=len(items))
     for key in items:
-        functional_name, component, check, semantics = key
-        functional = get_functional(functional_name)
-        out.append(
-            (key, run_numerics_cell(functional, component, check, semantics, config))
-        )
-    return out
+        functional = get_functional(key[0])
+        with recorder.span(
+            f"cell:{key[0]}/{cell_condition_id(key)}", "cell", parent=chunk_span,
+            functional=key[0], component=key[1], check=key[2], semantics=key[3],
+        ):
+            payload = run_numerics_cell(functional, *key[1:], config)
+        out.append((key, payload))
+    recorder.finish(chunk_span)
+    return out, recorder.records
 
 
 # ---------------------------------------------------------------------------
 # result + driver
 # ---------------------------------------------------------------------------
+
+#: numerics-engine counters in the process-wide registry (the campaign
+#: engine's chunk counter is shared with the verifier campaign)
+_CELLS_COUNTER = REGISTRY.counter(
+    "repro_numerics_cells_resolved_total",
+    "Numerics analysis cells resolved, by how they resolved.",
+)
+_CHUNKS_COUNTER = REGISTRY.counter(
+    "repro_campaign_chunks_total",
+    "Work chunks dispatched by the campaign engine.",
+)
+
 
 @dataclass
 class NumericsCampaignResult:
@@ -466,6 +497,7 @@ def run_numerics_campaign(
     executor=None,
     on_cell: Callable[[CellKey, dict, bool], None] | None = None,
     policy=None,
+    tracer=None,
 ) -> NumericsCampaignResult:
     """Sweep the Section VI-C analyses over whole functional families.
 
@@ -480,9 +512,14 @@ def run_numerics_campaign(
     no timings by design (they are compared bit-exactly against the
     sequential path), so numerics predictions come from the model's
     structural prior; the reordering is a pure permutation and every
-    payload stays bit-identical.  KeyboardInterrupt yields a partial
-    result with ``interrupted`` set and everything completed already
-    persisted.
+    payload stays bit-identical.  ``tracer`` (default: the ambient
+    :func:`~repro.obs.trace.current_tracer`) emits the same span shape
+    as the verification campaign -- a ``campaign`` span, per-chunk
+    ``dispatch`` spans and worker-side ``chunk``/``cell`` spans -- and
+    is purely observational: payloads and store contents are
+    byte-identical with tracing on or off.  KeyboardInterrupt yields a
+    partial result with ``interrupted`` set and everything completed
+    already persisted.
     """
     config = config or NumericsConfig()
     CampaignConfig(  # loud one-line validation, shared with run_campaign
@@ -522,6 +559,13 @@ def run_numerics_campaign(
 
     by_name = {f.name: f for f in uniq}
     result = NumericsCampaignResult()
+    tracer = tracer if tracer is not None else current_tracer()
+    campaign_span = None
+    if tracer.enabled:
+        campaign_span = tracer.begin(
+            "campaign", "campaign", kind="numerics",
+            workers=effective_workers(max_workers, executor),
+        )
     try:
         work: list[CellKey] = []
         for key in numerics_cells(uniq, components, checks):
@@ -536,6 +580,7 @@ def run_numerics_campaign(
                     if payload is not None and payload.get("kind") == _kind(check):
                         result.cells[key] = payload
                         result.store_hits.append(key)
+                        _CELLS_COUNTER.inc(result="store_hit")
                         if on_cell is not None:
                             on_cell(key, payload, True)
                         continue
@@ -552,9 +597,13 @@ def run_numerics_campaign(
             work = policy.order(work, predicted)
 
         def absorb(_tag, worker_out):
+            if isinstance(worker_out, tuple):
+                worker_out, span_records = worker_out
+                tracer.emit_records(span_records)
             for key, payload in worker_out:
                 result.cells[key] = payload
                 result.computed.append(key)
+                _CELLS_COUNTER.inc(result="computed")
                 content_key = result.cell_keys.get(key)
                 if store is not None and content_key is not None:
                     store.put_payload(
@@ -572,16 +621,28 @@ def run_numerics_campaign(
             (group[0], (config, group))
             for group in (work[i : i + size] for i in range(0, len(work), size))
         ]
+        _CHUNKS_COUNTER.inc(len(chunks))
         drive_chunks(
             chunks,
             _numerics_worker,
             absorb,
             max_workers=max_workers,
             executor=executor,
+            tracer=tracer,
+            chunk_trace=lambda key: (
+                campaign_span, f"{key[0]}/{cell_condition_id(key)}"
+            ),
         )
     except KeyboardInterrupt:
         result.interrupted = True
     finally:
+        if campaign_span is not None:
+            tracer.finish(
+                campaign_span,
+                computed=len(result.computed),
+                store_hits=len(result.store_hits),
+                interrupted=result.interrupted,
+            )
         if owns_store:
             store.close()
     return result

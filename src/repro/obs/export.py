@@ -1,0 +1,293 @@
+"""Trace-file analytics: Chrome export, summaries, lint.
+
+Everything here is a pure function over a loaded trace -- the
+``repro trace`` CLI subcommands are thin wrappers.  A trace file is the
+JSONL stream :class:`~repro.obs.trace.TraceSink` writes: one header
+line, then span records in *completion* order (a child span finishes --
+and lands in the file -- before its parent, and pool workers interleave
+arbitrarily), so every consumer below rebuilds structure from the span
+ids rather than file order.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .jsonl import read_jsonl
+from .trace import TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "chrome_trace",
+    "lint_trace",
+    "load_trace",
+    "span_tree",
+    "summarize_trace",
+]
+
+
+def load_trace(path) -> tuple[dict, list[dict]]:
+    """Read a trace file into ``(header, spans)``.
+
+    Tolerates a truncated tail (SIGINT mid-span) like every JSONL reader
+    in this codebase; raises :class:`ValueError` on a missing/foreign
+    header or a schema-version mismatch.
+    """
+    header: dict | None = None
+    spans: list[dict] = []
+    for record in read_jsonl(path):
+        kind = record.get("kind")
+        if kind == "header":
+            if header is None:
+                header = record
+        elif kind == "span":
+            spans.append(record)
+    if header is None:
+        raise ValueError(f"{path}: not a repro trace (no header record)")
+    if header.get("v") != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: trace schema v{header.get('v')} does not match "
+            f"v{TRACE_SCHEMA_VERSION}"
+        )
+    return header, spans
+
+
+def span_tree(spans) -> tuple[list[dict], dict[str, list[dict]]]:
+    """``(roots, children-by-parent-id)``, rebuilt from span ids.
+
+    Children lists are sorted by start time, so traversals are
+    deterministic regardless of the completion order the file recorded.
+    """
+    children: dict[str, list[dict]] = {}
+    ids = {span["span"] for span in spans}
+    roots = []
+    for span in spans:
+        parent = span.get("parent")
+        if parent is None or parent not in ids:
+            roots.append(span)
+        else:
+            children.setdefault(parent, []).append(span)
+    for sibling in children.values():
+        sibling.sort(key=lambda span: span["ts"])
+    roots.sort(key=lambda span: span["ts"])
+    return roots, children
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------------
+
+def chrome_trace(header: dict, spans: list[dict]) -> dict:
+    """Convert to the Chrome trace-event JSON object format.
+
+    Spans become complete (``"ph": "X"``) events on a microsecond
+    timeline starting at the trace header; each OS process becomes one
+    Chrome "process" row named via metadata events, so Perfetto shows
+    the parent drive loop above one swimlane per pool worker.
+    """
+    t0 = header["mono_start"]
+    parent_pid = header.get("pid")
+    events: list[dict] = []
+    for pid in sorted({span["pid"] for span in spans}):
+        name = "repro" if pid == parent_pid else f"pool worker {pid}"
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": name},
+            }
+        )
+    for span in spans:
+        args = {"span": span["span"], "run_id": span.get("run_id", "")}
+        if span.get("parent"):
+            args["parent"] = span["parent"]
+        args.update(span.get("attrs", ()))
+        events.append(
+            {
+                "name": span["name"],
+                "cat": span["cat"],
+                "ph": "X",
+                "ts": (span["ts"] - t0) * 1e6,
+                "dur": span["dur"] * 1e6,
+                "pid": span["pid"],
+                "tid": span["pid"],
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": header.get("trace_id", ""),
+            "run_id": header.get("run_id", ""),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# summary analytics
+# ---------------------------------------------------------------------------
+
+def _self_seconds(span, children) -> float:
+    child_total = sum(c["dur"] for c in children.get(span["span"], ()))
+    return max(0.0, span["dur"] - child_total)
+
+
+def critical_path(spans) -> list[dict]:
+    """The chain of spans that determined the trace's end time.
+
+    From the earliest root, repeatedly descend into the child whose end
+    time is latest -- under nesting, that child is what kept its parent
+    (and transitively the whole run) alive.  The first hop's duration is
+    therefore the traced wall-clock, and the chain names where it went.
+    """
+    roots, children = span_tree(spans)
+    if not roots:
+        return []
+    path = [roots[0]]
+    while True:
+        kids = children.get(path[-1]["span"])
+        if not kids:
+            return path
+        path.append(max(kids, key=lambda span: span["ts"] + span["dur"]))
+
+
+def utilization_timeline(spans, *, slots: int = 60, cat: str = "chunk") -> list[int]:
+    """Concurrent ``cat``-span count sampled at ``slots`` points."""
+    work = [span for span in spans if span["cat"] == cat]
+    if not work:
+        return [0] * slots
+    t_min = min(span["ts"] for span in work)
+    t_max = max(span["ts"] + span["dur"] for span in work)
+    width = max(t_max - t_min, 1e-9)
+    counts = []
+    for i in range(slots):
+        t = t_min + (i + 0.5) * width / slots
+        counts.append(
+            sum(1 for span in work if span["ts"] <= t <= span["ts"] + span["dur"])
+        )
+    return counts
+
+
+def _pair_of(span) -> tuple[str, str] | None:
+    attrs = span.get("attrs", {})
+    if "functional" in attrs and "condition" in attrs:
+        return str(attrs["functional"]), str(attrs["condition"])
+    return None
+
+
+def pair_breakdown(spans) -> dict[tuple[str, str], dict[str, float]]:
+    """Per-(functional, condition) compile vs solve seconds, worker-side."""
+    breakdown: dict[tuple[str, str], dict[str, float]] = {}
+    for span in spans:
+        pair = _pair_of(span)
+        if pair is None or span["cat"] not in ("compile", "solve"):
+            continue
+        row = breakdown.setdefault(pair, {"compile": 0.0, "solve": 0.0})
+        row[span["cat"]] += span["dur"]
+    return breakdown
+
+
+def summarize_trace(header: dict, spans: list[dict], *, top: int = 10) -> str:
+    """The ``repro trace summary`` text: one screenful of where time went."""
+    lines: list[str] = []
+    roots, children = span_tree(spans)
+    t_min = min((span["ts"] for span in spans), default=header["mono_start"])
+    t_max = max((span["ts"] + span["dur"] for span in spans), default=t_min)
+    lines.append(
+        f"trace {header.get('trace_id', '?')}  run {header.get('run_id', '?')}  "
+        f"{len(spans)} spans  {t_max - t_min:.3f}s wall"
+    )
+
+    path = critical_path(spans)
+    if path:
+        lines.append("")
+        lines.append(f"critical path ({path[0]['dur']:.3f}s):")
+        for depth, span in enumerate(path):
+            pid = f" [pid {span['pid']}]" if span["pid"] != header.get("pid") else ""
+            lines.append(
+                f"  {'  ' * depth}{span['name']}  {span['dur']:.3f}s{pid}"
+            )
+
+    ranked = sorted(
+        spans, key=lambda span: _self_seconds(span, children), reverse=True
+    )[:top]
+    if ranked:
+        lines.append("")
+        lines.append(f"top {len(ranked)} spans by self-time:")
+        for span in ranked:
+            lines.append(
+                f"  {_self_seconds(span, children):9.3f}s  {span['cat']:<9} "
+                f"{span['name']}"
+            )
+
+    timeline = utilization_timeline(spans)
+    peak = max(timeline)
+    if peak > 0:
+        glyphs = " .:-=+*#%@"
+        lines.append("")
+        lines.append(f"pool utilization (peak {peak} in-flight chunks):")
+        bar = "".join(
+            glyphs[min(len(glyphs) - 1, (level * (len(glyphs) - 1) + peak - 1) // peak)]
+            for level in timeline
+        )
+        lines.append(f"  |{bar}|")
+
+    breakdown = pair_breakdown(spans)
+    if breakdown:
+        lines.append("")
+        lines.append("per-pair compile vs solve:")
+        lines.append(f"  {'pair':<24} {'compile':>10} {'solve':>10}")
+        for pair in sorted(breakdown, key=lambda p: -sum(breakdown[p].values())):
+            row = breakdown[pair]
+            lines.append(
+                f"  {'/'.join(pair):<24} {row['compile']:>9.3f}s {row['solve']:>9.3f}s"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# lint: structural invariants CI gates on
+# ---------------------------------------------------------------------------
+
+def lint_trace(header: dict, spans: list[dict]) -> list[str]:
+    """Structural problems in a trace; an empty list means clean.
+
+    Checks the invariants the tracing layer promises: every span's
+    parent id resolves (modulo the single root), timestamps are sane,
+    and the per-cell span count matches the computed-cell count the
+    campaign span recorded -- the cross-check CI's campaign-smoke job
+    gates on.
+    """
+    problems: list[str] = []
+    ids = {span["span"] for span in spans}
+    if len(ids) != len(spans):
+        problems.append("duplicate span ids")
+    roots = [span for span in spans if span.get("parent") is None]
+    if spans and len(roots) != 1:
+        problems.append(f"expected exactly 1 root span, found {len(roots)}")
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None and parent not in ids:
+            problems.append(f"span {span['span']} has unresolved parent {parent}")
+        if span["dur"] < 0:
+            problems.append(f"span {span['span']} has negative duration")
+    cells = sum(1 for span in spans if span["cat"] == "cell")
+    declared = [
+        span["attrs"]["computed"]
+        for span in spans
+        if span["cat"] == "campaign" and "computed" in span.get("attrs", {})
+    ]
+    if declared and sum(declared) != cells:
+        problems.append(
+            f"campaign spans report {sum(declared)} computed cells but the "
+            f"trace holds {cells} cell spans"
+        )
+    return problems
+
+
+def write_chrome_trace(header: dict, spans: list[dict], out_path) -> None:
+    with open(out_path, "w") as handle:
+        json.dump(chrome_trace(header, spans), handle)
+        handle.write("\n")

@@ -1,0 +1,84 @@
+"""Structured diagnostics: one line per event, text or JSON.
+
+Every diagnostic the CLI and the service used to ``print`` to stderr
+goes through :func:`log_event` instead.  The default ``text`` mode
+preserves the exact human-facing lines (CLI tests and operators grep
+them); ``repro --log-json`` or ``REPRO_LOG=json`` switches every record
+to a single JSON object per line::
+
+    {"ts": 1754500000.123, "level": "warning", "run_id": "a1b2c3d4e5f6",
+     "event": "campaign-interrupted", "text": "warning: ..."}
+
+The ``run_id`` is minted once per process and is the join key across
+the three observability streams: it is stamped into every log record,
+every trace span (:mod:`.trace`) and every audit entry
+(:mod:`repro.service.audit`), so "what did run X do" is one grep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from .clock import wall_now
+
+__all__ = ["configure_logging", "json_mode", "log_event", "run_id"]
+
+#: minted lazily so fork-pool workers inherit the parent's id
+_RUN_ID: str | None = None
+_JSON_MODE: bool | None = None
+
+
+def run_id() -> str:
+    """This process's run id: 12 hex chars, stable for the process life."""
+    global _RUN_ID
+    if _RUN_ID is None:
+        _RUN_ID = os.urandom(6).hex()
+    return _RUN_ID
+
+
+def configure_logging(*, json_logs: bool | None = None) -> None:
+    """Pick the output mode: explicit flag > ``REPRO_LOG=json`` > text."""
+    global _JSON_MODE
+    if json_logs is not None:
+        _JSON_MODE = bool(json_logs)
+    else:
+        _JSON_MODE = os.environ.get("REPRO_LOG", "").lower() == "json"
+
+
+def json_mode() -> bool:
+    if _JSON_MODE is None:
+        configure_logging()
+    return bool(_JSON_MODE)
+
+
+def log_event(
+    event: str,
+    text: str,
+    *,
+    level: str = "info",
+    stream=None,
+    **fields,
+) -> None:
+    """Emit one diagnostic record to stderr (or ``stream``).
+
+    ``text`` is the exact line text mode prints -- callers keep their
+    historical wording so operators' greps and the CLI tests stay
+    stable.  JSON mode drops the prose in favour of the machine fields:
+    ``ts``/``level``/``run_id``/``event`` plus whatever ``fields`` the
+    call site attaches, with ``text`` preserved as one more field.
+    """
+    out = stream if stream is not None else sys.stderr
+    if json_mode():
+        record = {
+            "ts": wall_now(),
+            "level": level,
+            "run_id": run_id(),
+            "event": event,
+            "text": text,
+        }
+        record.update(fields)
+        print(json.dumps(record, sort_keys=True), file=out, flush=True)
+    else:
+        print(text, file=out, flush=True)

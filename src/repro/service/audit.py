@@ -1,10 +1,11 @@
 """Append-only JSONL audit log of service submissions and auth denials.
 
 Mirrors tritium-sc's ``audit_middleware`` shape with the same durability
-contract as the campaign store's JSONL backend: one JSON object per
-line, flushed per write, and a line cut short by SIGTERM/kill mid-write
-is tolerated -- the reader skips the truncated tail, and reopening the
-log first seals it with a newline so the next entry starts clean.
+contract as the campaign store's JSONL backend -- the shared
+skip-truncated-tail / seal-on-reopen discipline now lives in
+:mod:`repro.obs.jsonl`, and this log is one thin layer over it: one JSON
+object per line, flushed per write, a line cut short by SIGTERM/kill
+mid-write is skipped by the reader and sealed on reopen.
 
 What gets logged (one entry per *decision*, never per poll):
 
@@ -13,16 +14,17 @@ What gets logged (one entry per *decision*, never per poll):
   rejection code when not;
 * every authentication failure, on any route.
 
-Entries carry wall-clock ``ts`` and are JSON-safe; nothing secret is
-written (tokens never appear, only client ids).
+Entries carry wall-clock ``ts`` and the process ``run_id`` (the join
+key against the structured log and trace streams, see
+:mod:`repro.obs.logging`) and are JSON-safe; nothing secret is written
+(tokens never appear, only client ids).
 """
 
 from __future__ import annotations
 
-import json
-import os
-import threading
-import time
+from ..obs.clock import wall_now
+from ..obs.jsonl import JsonlWriter, read_jsonl
+from ..obs.logging import run_id
 
 __all__ = ["AuditLog", "read_audit_log"]
 
@@ -35,19 +37,7 @@ MAX_KEYS_LOGGED = 32
 
 def read_audit_log(path) -> list[dict]:
     """Parse an audit log, skipping a tail truncated by a kill mid-write."""
-    entries: list[dict] = []
-    if not os.path.exists(path):
-        return entries
-    with open(path) as handle:
-        for line in handle.read().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entries.append(json.loads(line))
-            except json.JSONDecodeError:
-                continue  # truncated tail from an interrupted write
-    return entries
+    return read_jsonl(path)
 
 
 class AuditLog:
@@ -55,24 +45,11 @@ class AuditLog:
 
     def __init__(self, path):
         self.path = str(path)
-        self._lock = threading.Lock()
-        needs_newline = False
-        if os.path.exists(self.path):
-            with open(self.path) as handle:
-                content = handle.read()
-            needs_newline = bool(content) and not content.endswith("\n")
-        self._handle = open(self.path, "a")
-        if needs_newline:
-            # seal a line truncated by a kill mid-write so the next
-            # entry does not merge into the corrupt tail
-            self._handle.write("\n")
-            self._handle.flush()
+        self._writer = JsonlWriter(self.path)
 
     def _write(self, entry: dict) -> None:
-        line = json.dumps(entry, sort_keys=True)
-        with self._lock:
-            self._handle.write(line + "\n")
-            self._handle.flush()
+        entry["run_id"] = run_id()
+        self._writer.write(entry)
 
     # -- the two event shapes ---------------------------------------------
     def submission(
@@ -87,7 +64,7 @@ class AuditLog:
     ) -> None:
         """One ``POST /jobs`` decision: ``accepted`` or ``rejected:<code>``."""
         entry: dict = {
-            "ts": time.time(),
+            "ts": wall_now(),
             "event": "submit",
             "client": client,
             "kind": kind,
@@ -107,7 +84,7 @@ class AuditLog:
     def auth_failure(self, code: str, path: str) -> None:
         self._write(
             {
-                "ts": time.time(),
+                "ts": wall_now(),
                 "event": "auth",
                 "client": "-",
                 "decision": f"rejected:{code}",
@@ -116,5 +93,4 @@ class AuditLog:
         )
 
     def close(self) -> None:
-        with self._lock:
-            self._handle.close()
+        self._writer.close()

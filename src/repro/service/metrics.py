@@ -1,89 +1,24 @@
-"""Runtime observability: counters, gauges and latency histograms.
+"""The service's ``/v1/metrics`` assembler.
 
-Everything ``GET /v1/metrics`` exports lives here.  The design follows
-the constraint that all mutation happens on the server's event-loop
-thread (requests are counted where they are handled), so the structures
-are plain dicts with no locks; a scrape is a snapshot assembled on the
-same loop and is therefore always internally consistent.
-
-Histograms use **fixed log-spaced buckets** -- half-decade steps from
-100 us to ~316 s -- timed with the monotonic clock by the caller.
-Bucket counts are *per-bucket* (not cumulative), so the counts always
-sum to the observation count; that invariant is what the tests pin and
-what makes the JSON trivially diffable across scrapes.
+The measurement machinery itself -- the log-spaced
+:class:`~repro.obs.metrics.Histogram`, bucket edges and the Prometheus
+text renderer -- lives in :mod:`repro.obs.metrics` (the process-wide
+metrics core, PR 10); this module re-exports it unchanged and keeps the
+server-specific part: :class:`ServiceMetrics`, the counters recorded on
+the event-loop thread and the ``/v1/metrics`` JSON document they
+assemble.  All mutation happens on the event-loop thread (requests are
+counted where they are handled), so the structures are plain dicts with
+no locks; a scrape is a snapshot assembled on the same loop and is
+therefore always internally consistent.
 """
 
 from __future__ import annotations
 
-import math
 import time
 
-__all__ = ["Histogram", "ServiceMetrics"]
+from ..obs.metrics import BUCKET_EDGES, Histogram  # noqa: F401  (re-export)
 
-# half-decade log spacing: 1e-4, 3.16e-4, 1e-3, ... 1e2, 3.16e2 seconds
-BUCKET_EDGES: tuple[float, ...] = tuple(
-    round(10.0 ** (exponent / 2.0), 10) for exponent in range(-8, 6)
-)
-
-
-class Histogram:
-    """Fixed-bucket latency histogram (seconds)."""
-
-    __slots__ = ("counts", "count", "sum", "min", "max")
-
-    def __init__(self):
-        self.counts = [0] * (len(BUCKET_EDGES) + 1)
-        self.count = 0
-        self.sum = 0.0
-        self.min = math.inf
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        index = 0
-        for edge in BUCKET_EDGES:
-            if seconds <= edge:
-                break
-            index += 1
-        self.counts[index] += 1
-        self.count += 1
-        self.sum += seconds
-        self.min = min(self.min, seconds)
-        self.max = max(self.max, seconds)
-
-    def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile estimate (upper edge of the bucket
-        holding the q-th observation); exact enough to gate tail latency
-        at half-decade resolution, and cheap enough to compute per scrape.
-        """
-        if self.count == 0:
-            return 0.0
-        rank = max(1, math.ceil(q * self.count))
-        seen = 0
-        for index, bucket_count in enumerate(self.counts):
-            seen += bucket_count
-            if seen >= rank:
-                if index < len(BUCKET_EDGES):
-                    return BUCKET_EDGES[index]
-                return self.max
-        return self.max
-
-    def snapshot(self) -> dict:
-        buckets = {}
-        for index, edge in enumerate(BUCKET_EDGES):
-            if self.counts[index]:
-                buckets[f"le_{edge:g}"] = self.counts[index]
-        if self.counts[-1]:
-            buckets["inf"] = self.counts[-1]
-        return {
-            "buckets": buckets,
-            "bucket_edges": [f"{edge:g}" for edge in BUCKET_EDGES],
-            "count": self.count,
-            "sum": round(self.sum, 9),
-            "min": round(self.min, 9) if self.count else None,
-            "max": round(self.max, 9) if self.count else None,
-            "p50": self.quantile(0.50),
-            "p99": self.quantile(0.99),
-        }
+__all__ = ["BUCKET_EDGES", "Histogram", "ServiceMetrics"]
 
 
 class ServiceMetrics:

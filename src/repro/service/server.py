@@ -71,6 +71,10 @@ import sys
 import threading
 import time
 
+from urllib.parse import parse_qs
+
+from ..obs.logging import log_event
+from ..obs.metrics import CONTENT_TYPE_PROMETHEUS, prometheus_exposition
 from ..verifier.store import open_store
 from .audit import AuditLog
 from .auth import AuthenticationError, Authenticator, resolve_tokens
@@ -310,6 +314,11 @@ class ServiceServer:
         context (version, route label) never leaks between the
         concurrently-handled connections sharing this loop.
         """
+        # 0. split the query string off the route path (?format=... on
+        # /metrics; unknown params are ignored, route matching never
+        # sees them)
+        path, _, query_string = path.partition("?")
+        query = parse_qs(query_string)
         # 1. API version: /v1 is canonical, bare paths are deprecated
         if path == "/v1" or path.startswith("/v1/"):
             rel = path[len("/v1"):] or "/"
@@ -361,7 +370,8 @@ class ServiceServer:
                     )
 
             return await self._route(
-                method, rel, body, writer, client, deprecated, route_label
+                method, rel, query, headers, body, writer, client,
+                deprecated, route_label,
             )
         except ApiError as exc:
             await self._send_error(
@@ -371,8 +381,8 @@ class ServiceServer:
             return False
 
     # -- routes ------------------------------------------------------------
-    async def _route(self, method, rel, body, writer, client, deprecated,
-                     route_label):
+    async def _route(self, method, rel, query, headers, body, writer, client,
+                     deprecated, route_label):
         extra = {"Deprecation": "true"} if deprecated else None
 
         async def respond(status: int, payload: dict) -> None:
@@ -389,10 +399,30 @@ class ServiceServer:
             })
             return False
         if method == "GET" and rel == "/metrics":
-            await respond(200, self.metrics.render(
+            doc = self.metrics.render(
                 self.scheduler,
                 auth=self.auth, limiter=self.limiter, admission=self.admission,
-            ))
+            )
+            fmt = (query.get("format") or [""])[0]
+            if fmt not in ("", "json", "prometheus"):
+                raise ApiError(
+                    400, "bad_request",
+                    f"unknown metrics format {fmt!r} "
+                    "(expected 'json' or 'prometheus')",
+                )
+            accept = headers.get("accept", "")
+            if fmt == "prometheus" or (
+                fmt == "" and "text/plain" in accept
+                and "application/json" not in accept
+            ):
+                self.metrics.record_request(route_label, 200, deprecated)
+                await self._send_raw(
+                    writer, 200, CONTENT_TYPE_PROMETHEUS,
+                    prometheus_exposition(doc).encode(),
+                    extra_headers=extra,
+                )
+                return False
+            await respond(200, doc)
             return False
         if method == "POST" and rel == "/jobs":
             await self._submit(body, writer, client, respond)
@@ -570,20 +600,25 @@ async def serve(
             installed.append(signum)
         except (NotImplementedError, RuntimeError, ValueError):
             pass  # non-main thread or platform without signal support
-    print(
+    # stdout (not stderr): launchers parse this line for the bound port
+    log_event(
+        "service.listening",
         f"repro service listening on http://{server.host}:{server.port} "
         f"(store: {store.path}, workers: {max_workers}, "
         f"auth: {'anonymous' if auth.anonymous else 'token'}"
         + (f", rate: {rate}/s" if limiter.enabled else "")
         + (f", high-water: {high_water}" if admission.enabled else "")
         + ")",
-        flush=True,
+        stream=sys.stdout,
+        host=server.host,
+        port=server.port,
+        store=str(store.path),
     )
     if ready is not None:
         ready.set()
     try:
         await stop.wait()
-        print("repro service draining ...", file=sys.stderr, flush=True)
+        log_event("service.draining", "repro service draining ...")
         # Drain the scheduler FIRST, listener last.  The scheduler's
         # draining flag already 503s new submissions, so keeping the
         # listener up costs nothing -- while closing it first would be
@@ -603,7 +638,7 @@ async def serve(
         store.close()
         if audit is not None:
             audit.close()
-    print("repro service stopped", file=sys.stderr, flush=True)
+    log_event("service.stopped", "repro service stopped")
     return 0
 
 

@@ -92,6 +92,31 @@ class SolverStats:
     batch_pruned: int = 0
     batch_certain: int = 0
 
+    def merge(self, other: "SolverStats") -> None:
+        """Accumulate another call's counters (the verifier's per-run
+        totals, surfaced as solver-internals span attributes)."""
+        self.boxes_processed += other.boxes_processed
+        self.boxes_pruned += other.boxes_pruned
+        self.boxes_split += other.boxes_split
+        self.probe_hits += other.probe_hits
+        self.elapsed_seconds += other.elapsed_seconds
+        self.batches += other.batches
+        self.batch_pruned += other.batch_pruned
+        self.batch_certain += other.batch_certain
+
+    def as_attrs(self) -> dict:
+        """JSON-safe span attributes: batched vs scalar dispatch and
+        contract/classify outcomes, the fields the trace cares about."""
+        return {
+            "boxes_processed": self.boxes_processed,
+            "boxes_pruned": self.boxes_pruned,
+            "boxes_split": self.boxes_split,
+            "probe_hits": self.probe_hits,
+            "batches": self.batches,
+            "batch_pruned": self.batch_pruned,
+            "batch_certain": self.batch_certain,
+        }
+
 
 @dataclass
 class SolverResult:

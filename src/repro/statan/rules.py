@@ -18,6 +18,11 @@ but never previously enforced:
             lazy-fork bug)
 ``REP105``  loud validation: public config dataclasses reject bad
             values in ``__post_init__`` (the PR 8 CampaignConfig pattern)
+``REP106``  clock discipline: traced modules take timestamps through the
+            ``obs.clock`` helpers, not raw ``time.time()`` /
+            ``time.monotonic()`` / ``time.perf_counter()``, so every
+            measurement site is greppable and trace timestamps share one
+            clock across processes
 
 Rules report at function granularity where possible (one finding per
 offending function, anchored at the first offending expression), so a
@@ -65,6 +70,12 @@ REP_RULES = {
         "loud validation",
         "config dataclasses that accept nonsense fail far from the typo; "
         "__post_init__ rejects bad values at construction",
+    ),
+    "REP106": (
+        "clock discipline",
+        "ad-hoc time.*() calls in traced modules drift from the trace "
+        "clock and hide measurement sites; timestamps go through "
+        "obs.clock (wall_now/mono_now/perf_now) or get allowlisted",
     ),
 }
 
@@ -330,12 +341,55 @@ def _rep105(modules: list[Module]) -> list[Finding]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# REP106: clock discipline
+# ---------------------------------------------------------------------------
+
+#: the modules the tracer threads spans through: a raw time.*() call here
+#: is either a measurement that belongs in a span attribute or a clock
+#: that can drift from the trace timestamps
+_TRACED_FILES = (
+    "*repro/cli.py", "*verifier/campaign.py", "*verifier/verifier.py",
+    "*numerics/campaign.py", "*solver/icp.py", "*service/*.py",
+    "*obs/*.py",
+)
+
+#: the one sanctioned home for raw clock reads
+_CLOCK_MODULE = "*obs/clock.py"
+
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.monotonic", "time.perf_counter",
+})
+
+
+def _rep106(modules: list[Module]) -> list[Finding]:
+    findings = []
+    for module in modules:
+        if fnmatch(module.rel, _CLOCK_MODULE):
+            continue
+        if not any(fnmatch(module.rel, g) for g in _TRACED_FILES):
+            continue
+        for info in module.functions:
+            for dotted, node in info.calls:
+                if dotted in _WALLCLOCK_CALLS:
+                    findings.append(_finding(
+                        "REP106", module, node, info.qualname,
+                        f"raw {dotted}() in a traced module: use the "
+                        "obs.clock helpers (wall_now/mono_now/perf_now) so "
+                        "trace timestamps share one clock, or allowlist "
+                        "the deliberate measurement site",
+                    ))
+                    break
+    return findings
+
+
 _RULE_IMPLS = {
     "REP101": _rep101,
     "REP102": _rep102,
     "REP103": _rep103,
     "REP104": _rep104,
     "REP105": _rep105,
+    "REP106": _rep106,
 }
 
 

@@ -42,6 +42,8 @@ from typing import Callable, Iterable
 
 from ..conditions.catalog import get_condition
 from ..functionals.registry import get_functional
+from ..obs.metrics import REGISTRY
+from ..obs.trace import SpanRecorder, current_tracer
 from ..solver.box import Box
 from .encoder import CompiledProblem, EncodedProblem, compile_problem, encode
 from .regions import RegionRecord, VerificationReport
@@ -192,6 +194,8 @@ def drive_chunks(
     max_workers: int | None = None,
     executor: ProcessPoolExecutor | None = None,
     prefer_pool: bool = False,
+    tracer=None,
+    chunk_trace: Callable | None = None,
 ) -> None:
     """Run ``(tag, args)`` chunks over one shared work-pulling pool.
 
@@ -216,8 +220,28 @@ def drive_chunks(
     with its queue cancelled; on a shared pool this run's still-queued
     chunks are cancelled (chunks already executing run to completion,
     their results discarded).
+
+    With an enabled ``tracer`` (default: the ambient
+    :func:`~repro.obs.trace.current_tracer`) every chunk gets a
+    ``dispatch`` span covering submit to result arrival -- queue wait
+    plus worker execution -- and the span's pickled
+    :class:`~repro.obs.trace.SpanContext` is appended to the chunk's
+    args tuple so the worker's own spans parent under it.
+    ``chunk_trace(tag)`` names the parent span and a label (the campaign
+    scheduler passes each cell's span and pair name), so stolen
+    re-enqueues stay attached to their cell no matter which worker picks
+    them up.  Tracing off costs one ``enabled`` check per chunk.
     """
     queue: deque = deque(chunks)
+    tracer = tracer if tracer is not None else current_tracer()
+    tracing = tracer.enabled
+
+    def begin_dispatch(tag, args):
+        parent, label = chunk_trace(tag) if chunk_trace is not None else (None, None)
+        name = f"dispatch:{label}" if label else "dispatch"
+        span = tracer.begin(name, "dispatch", parent)
+        return span, args + (tracer.context(span),)
+
     in_process = executor is None and (
         (max_workers is not None and max_workers <= 1)
         or (len(queue) <= 1 and not prefer_pool)
@@ -226,23 +250,44 @@ def drive_chunks(
         # same worker code path, no pool and no pickling
         while queue:
             tag, args = queue.popleft()
-            queue.extend(absorb(tag, worker(args)))
+            if tracing:
+                span, args = begin_dispatch(tag, args)
+                out = worker(args)
+                tracer.finish(span)
+            else:
+                out = worker(args)
+            queue.extend(absorb(tag, out))
         return
     owns_executor = executor is None
     if owns_executor:
         executor = ProcessPoolExecutor(max_workers=max_workers)
     futures: dict = {}
+    spans: dict = {}
     try:
         # submit everything: the pool's internal queue IS the shared work
         # queue -- idle workers pull the next chunk as they finish, and
         # spilled splits join the queue as they appear
-        futures = {executor.submit(worker, args): tag for tag, args in queue}
+        for tag, args in queue:
+            if tracing:
+                span, args = begin_dispatch(tag, args)
+            future = executor.submit(worker, args)
+            futures[future] = tag
+            if tracing:
+                spans[future] = span
         while futures:
             done, _ = wait(futures, return_when=FIRST_COMPLETED)
             for future in done:
                 tag = futures.pop(future)
+                span = spans.pop(future, None)
+                if span is not None:
+                    tracer.finish(span)
                 for new_tag, args in absorb(tag, future.result()):
-                    futures[executor.submit(worker, args)] = new_tag
+                    if tracing:
+                        span, args = begin_dispatch(new_tag, args)
+                    new_future = executor.submit(worker, args)
+                    futures[new_future] = new_tag
+                    if tracing:
+                        spans[new_future] = span
     finally:
         if owns_executor:
             executor.shutdown(wait=False, cancel_futures=True)
@@ -330,6 +375,7 @@ class _Cell:
         self.top_uids: list[int] = []
         self.open_units = 0
         self.compile_seconds = 0.0      # summed worker-side compile time
+        self.span = None                # parent-side cell span (tracing only)
 
 
 def _materialize(payload) -> EncodedProblem | CompiledProblem:
@@ -421,15 +467,46 @@ def _campaign_worker(args):
     bound memory on long campaigns, trading one re-specialisation per
     subdomain.)  Tree-mode units run the full iterative verifier on their
     box; root-mode units solve exactly one box and return the split
-    children for re-enqueueing.  Returns ``(compile_seconds, results)``.
+    children for re-enqueueing.  Returns ``(compile_seconds, results)``
+    -- with a fourth dispatch-args element (a pickled
+    :class:`~repro.obs.trace.SpanContext`), the worker additionally
+    records a pid-stamped span tree (chunk / compile / per-unit solve,
+    solver-internals totals attached) and returns it as a third element
+    for the parent's absorb to reattach to the trace.
     """
-    payload, config, items = args
-    problem, solver, compile_seconds = _worker_compile(payload, config)
+    payload, config, items = args[0], args[1], args[2]
+    recorder = SpanRecorder(args[3]) if len(args) > 3 else None
+    if recorder is None:
+        chunk_span = None
+        problem, solver, compile_seconds = _worker_compile(payload, config)
+    else:
+        pair = _payload_pair(payload)
+        chunk_span = recorder.begin(
+            "chunk", "chunk", units=len(items),
+            functional=pair[0], condition=pair[1],
+        )
+        compile_span = recorder.begin(
+            "compile", "compile", parent=chunk_span,
+            functional=pair[0], condition=pair[1],
+        )
+        problem, solver, compile_seconds = _worker_compile(payload, config)
+        recorder.finish(
+            compile_span,
+            cache_hit=compile_seconds == 0.0,
+            compile_seconds=compile_seconds,
+        )
     out = []
     for uid, bounds, depth, budget, mode in items:
         unit_config = replace(config, global_step_budget=budget)
         verifier = Verifier(unit_config, solver=solver)
         box = Box.from_bounds(bounds) if bounds is not None else problem.domain
+        solve_span = None
+        if recorder is not None:
+            solve_span = recorder.begin(
+                f"solve:{uid}", "solve", parent=chunk_span,
+                functional=pair[0], condition=pair[1],
+                uid=uid, mode=mode, depth=depth,
+            )
         if mode == "root":
             record, children = verifier.solve_root(problem, box, depth)
             child_bounds = None
@@ -439,10 +516,26 @@ def _campaign_worker(args):
                     for child in children
                 ]
             out.append((uid, mode, (record, child_bounds)))
+            steps = record.solver_steps if record is not None else 0
         else:
             report = verifier.verify(problem, domain=box, depth_offset=depth)
             out.append((uid, mode, report))
-    return compile_seconds, out
+            steps = report.total_solver_steps
+        if solve_span is not None:
+            recorder.finish(
+                solve_span, steps=steps, **verifier.stats_totals.as_attrs()
+            )
+    if recorder is None:
+        return compile_seconds, out
+    recorder.finish(chunk_span)
+    return compile_seconds, out, recorder.records
+
+
+def _payload_pair(payload) -> tuple[str, str]:
+    """The (functional, condition) names a worker payload identifies."""
+    if isinstance(payload, tuple):
+        return payload
+    return payload.functional_name, payload.condition_id
 
 
 # ---------------------------------------------------------------------------
@@ -483,13 +576,28 @@ class CampaignResult:
 # the scheduler
 # ---------------------------------------------------------------------------
 
+#: campaign-engine counters in the process-wide registry: recorded with
+#: or without a server attached, scraped through /v1/metrics when one is
+_CELLS_COUNTER = REGISTRY.counter(
+    "repro_campaign_cells_resolved_total",
+    "Campaign cells resolved, by how they resolved.",
+)
+_CHUNKS_COUNTER = REGISTRY.counter(
+    "repro_campaign_chunks_total",
+    "Work chunks dispatched by the campaign engine.",
+)
+
+
 class _Scheduler:
-    def __init__(self, config, unit_chunk_size, store, on_cell, result):
+    def __init__(self, config, unit_chunk_size, store, on_cell, result,
+                 tracer=None, campaign_span=None):
         self.config = config
         self.unit_chunk_size = unit_chunk_size
         self.store = store
         self.on_cell = on_cell
         self.result = result
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.campaign_span = campaign_span
         self._next_uid = 0
 
     # -- unit construction -------------------------------------------------
@@ -545,19 +653,33 @@ class _Scheduler:
         return units
 
     def chunk(self, cell: _Cell, units: list[_Unit]) -> list[tuple]:
-        """Pack units into dispatchable chunks of ``unit_chunk_size``."""
+        """Pack units into dispatchable chunks of ``unit_chunk_size``.
+
+        Chunks carry no tracing state themselves: with tracing on,
+        :func:`drive_chunks` appends each dispatch span's context to the
+        args at submit time, so spilled re-enqueues (which build fresh
+        chunks through this same method) get their own dispatch span
+        parented under the cell.
+        """
         chunks = []
         for i in range(0, len(units), self.unit_chunk_size):
             group = units[i : i + self.unit_chunk_size]
             items = [(u.uid, u.bounds, u.depth, u.budget, u.mode) for u in group]
             chunks.append((cell, (cell.payload, self.config, items)))
+        _CHUNKS_COUNTER.inc(len(chunks))
         return chunks
 
     # -- result absorption -------------------------------------------------
     def absorb(self, cell: _Cell, worker_out) -> list[tuple]:
         """Record a chunk's results; return new chunks spilled splits need."""
         new_chunks = []
-        compile_seconds, unit_results = worker_out
+        if len(worker_out) == 3:
+            compile_seconds, unit_results, span_records = worker_out
+            # reattach the worker's pid-stamped spans; records name their
+            # own parents, so out-of-order completion needs no bookkeeping
+            self.tracer.emit_records(span_records)
+        else:
+            compile_seconds, unit_results = worker_out
         cell.compile_seconds += compile_seconds
         for uid, mode, payload in unit_results:
             unit = cell.units[uid]
@@ -588,10 +710,27 @@ class _Scheduler:
         report = _stitch_cell(cell)
         self.result.reports[cell.key] = report
         self.result.computed.append(cell.key)
+        _CELLS_COUNTER.inc(result="computed")
         if self.store is not None and cell.content_key is not None:
             self.store.put(cell.content_key, report)
+        if cell.span is not None:
+            self.tracer.finish(
+                cell.span,
+                units=len(cell.units),
+                steps=report.total_solver_steps,
+                regions=len(report.records),
+                compile_seconds=cell.compile_seconds,
+            )
         if self.on_cell is not None:
             self.on_cell(cell.key, report, False)
+
+    def open_cell(self, cell: _Cell) -> None:
+        """Start the cell's parent-side span (one per *computed* cell)."""
+        if self.tracer.enabled:
+            cell.span = self.tracer.begin(
+                f"cell:{cell.key[0]}/{cell.key[1]}", "cell", self.campaign_span,
+                functional=cell.key[0], condition=cell.key[1],
+            )
 
 
 def _stitch_cell(cell: _Cell) -> VerificationReport:
@@ -688,6 +827,7 @@ def run_campaign(
     executor: ProcessPoolExecutor | None = None,
     on_cell: Callable[[tuple[str, str], VerificationReport, bool], None] | None = None,
     policy=None,
+    tracer=None,
 ) -> CampaignResult:
     """Run a verification campaign over (functional, condition) pairs.
 
@@ -742,6 +882,14 @@ def run_campaign(
         globals act as minimums.  Per-pair knobs enter each cell's
         content key exactly like the globals, so the store stays sound;
         the model itself never touches any key.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` (default: the ambient
+        :func:`~repro.obs.trace.current_tracer`, a no-op unless a trace
+        sink was activated).  When enabled, the run emits a campaign
+        span, one span per computed cell, per-chunk dispatch spans and
+        the workers' pid-stamped chunk/compile/solve spans.  Tracing is
+        purely observational: stitched reports, store contents and keys
+        are byte-identical with tracing on or off.
 
     KeyboardInterrupt is caught: completed cells are kept (and already
     persisted), ``result.interrupted`` is set, and in-flight work is
@@ -769,8 +917,18 @@ def run_campaign(
     if owns_store:
         store = open_store(store)
 
+    tracer = tracer if tracer is not None else current_tracer()
+    campaign_span = None
+    if tracer.enabled:
+        campaign_span = tracer.begin(
+            "campaign", "campaign", pairs=len(cells_spec),
+            workers=effective_workers(max_workers, executor),
+        )
     result = CampaignResult()
-    scheduler = _Scheduler(config, max(1, unit_chunk_size), store, on_cell, result)
+    scheduler = _Scheduler(
+        config, max(1, unit_chunk_size), store, on_cell, result,
+        tracer, campaign_span,
+    )
 
     try:
         # -- resolve cells: hash, serve store hits, build payloads ------------
@@ -817,6 +975,7 @@ def run_campaign(
                     if stored is not None:
                         result.reports[key] = stored
                         result.store_hits.append(key)
+                        _CELLS_COUNTER.inc(result="store_hit")
                         if on_cell is not None:
                             on_cell(key, stored, True)
                         continue
@@ -847,6 +1006,7 @@ def run_campaign(
             work_cells.sort(key=lambda cell: rank[cell.key])
         chunks: deque = deque()
         for cell in work_cells:
+            scheduler.open_cell(cell)
             chunks.extend(scheduler.chunk(cell, scheduler.top_units(cell)))
 
         drive_chunks(
@@ -858,10 +1018,19 @@ def run_campaign(
             # a single seed chunk still goes to the pool when spilling is
             # on: its runtime splits are what fan out across workers
             prefer_pool=any(cell.steal_depth > 0 for cell in work_cells),
+            tracer=tracer,
+            chunk_trace=lambda cell: (cell.span, f"{cell.key[0]}/{cell.key[1]}"),
         )
     except KeyboardInterrupt:
         result.interrupted = True
     finally:
+        if campaign_span is not None:
+            tracer.finish(
+                campaign_span,
+                computed=len(result.computed),
+                store_hits=len(result.store_hits),
+                interrupted=result.interrupted,
+            )
         if owns_store:
             store.close()
     return result

@@ -34,12 +34,12 @@ in :func:`open_store`:
 from __future__ import annotations
 
 import json
-import os
 import sqlite3
 import threading
 import time
 from typing import Iterator
 
+from ..obs.jsonl import JsonlWriter, iter_jsonl
 from ..solver.box import Box
 from .regions import Outcome, RegionRecord, VerificationReport
 
@@ -345,36 +345,22 @@ class JsonlStore(CampaignStore):
 
     def __init__(self, path: str):
         self.path = str(path)
-        self._lock = threading.Lock()  # one writer at a time across threads
         self._entries: dict[str, dict] = {}
         self._created: dict[str, float] = {}
-        needs_newline = False
-        if os.path.exists(self.path):
-            with open(self.path) as handle:
-                content = handle.read()
-            needs_newline = bool(content) and not content.endswith("\n")
-            for line in content.splitlines():
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # truncated tail from an interrupted write
-                payload = entry["payload"]
-                if payload.get("v") != SCHEMA_VERSION:
-                    raise ValueError(
-                        f"store {self.path} contains schema "
-                        f"v{payload.get('v')}, expected v{SCHEMA_VERSION}"
-                    )
-                self._entries[entry["key"]] = payload
-                self._created[entry["key"]] = entry["created_at"]
-        self._handle = open(self.path, "a")
-        if needs_newline:
-            # seal a line truncated by a kill mid-write, so the next cell
-            # starts cleanly instead of merging into the corrupt tail
-            self._handle.write("\n")
-            self._handle.flush()
+        # skip-truncated-tail on read; the writer seals the tail on open
+        # (the shared JSONL discipline, see repro.obs.jsonl)
+        for entry in iter_jsonl(self.path):
+            payload = entry["payload"]
+            if payload.get("v") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"store {self.path} contains schema "
+                    f"v{payload.get('v')}, expected v{SCHEMA_VERSION}"
+                )
+            self._entries[entry["key"]] = payload
+            self._created[entry["key"]] = entry["created_at"]
+        # fsync per cell: a completed cell must survive power loss, not
+        # just the process dying
+        self._writer = JsonlWriter(self.path, fsync=True)
 
     def get_payload(self, key: str) -> dict | None:
         return self._entries.get(key)
@@ -383,22 +369,17 @@ class JsonlStore(CampaignStore):
         self, key: str, payload: dict, *, functional: str = "", condition_id: str = ""
     ) -> None:
         created = time.time()
-        line = json.dumps(
+        self._writer.write(
             {
                 "key": key,
                 "functional": functional,
                 "condition": condition_id,
                 "created_at": created,
                 "payload": payload,
-            },
-            sort_keys=True,
+            }
         )
-        with self._lock:
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-            self._entries[key] = payload
-            self._created[key] = created
+        self._entries[key] = payload
+        self._created[key] = created
 
     def keys(self) -> list[str]:
         return list(self._entries)
@@ -407,7 +388,7 @@ class JsonlStore(CampaignStore):
         return self._created.get(key)
 
     def close(self) -> None:
-        self._handle.close()
+        self._writer.close()
 
 
 #: recognised store file suffixes and the backends they select

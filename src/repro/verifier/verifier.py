@@ -37,7 +37,7 @@ from typing import Callable
 
 from ..expr.evaluator import evaluate
 from ..solver.box import Box
-from ..solver.icp import Budget, ICPSolver, SolverStatus
+from ..solver.icp import Budget, ICPSolver, SolverStats, SolverStatus
 from .encoder import CompiledProblem, EncodedProblem
 from .regions import Outcome, RegionRecord, VerificationReport
 
@@ -236,6 +236,11 @@ class Verifier:
         # top-level verify() and bounded, so long campaigns cannot grow it
         # without limit.
         self._specialized_cache: dict[tuple, object] = {}
+        #: solver-internals totals of the last verify()/solve_root() run:
+        #: contract/classify outcomes and batched-kernel dispatch counts,
+        #: summed over every solver call -- the campaign worker surfaces
+        #: them as per-unit span attributes (see repro.obs.trace)
+        self.stats_totals = SolverStats()
 
     def verify(
         self,
@@ -263,6 +268,7 @@ class Verifier:
             records=[],
         )
         self._specialized_cache.clear()
+        self.stats_totals = SolverStats()
         t_start = time.monotonic()
         self._steps_left = (
             self.config.global_step_budget
@@ -309,6 +315,7 @@ class Verifier:
         if box.max_width() < self.config.split_threshold:
             return None, None
         self._specialized_cache.clear()
+        self.stats_totals = SolverStats()
         self._steps_left = (
             self.config.global_step_budget
             if self.config.global_step_budget is not None
@@ -365,6 +372,7 @@ class Verifier:
         if self.config.specialize_boxes and not isinstance(problem, CompiledProblem):
             formula = self._specialized(formula, box)
         result = self.solver.solve(formula, box, budget)
+        self.stats_totals.merge(result.stats)
         steps = result.stats.boxes_processed
         self._steps_left -= steps
         report.total_solver_steps += steps

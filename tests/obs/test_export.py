@@ -1,0 +1,236 @@
+"""Trace analytics: loading, Chrome export, summaries, lint.
+
+All pure functions over synthetic traces, so every edge (out-of-order
+records, truncated tails, structural breakage) is cheap to construct.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    critical_path,
+    lint_trace,
+    load_trace,
+    pair_breakdown,
+    span_tree,
+    summarize_trace,
+    utilization_timeline,
+    write_chrome_trace,
+)
+from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+HEADER = {
+    "kind": "header", "v": TRACE_SCHEMA_VERSION, "trace_id": "t1",
+    "run_id": "abc123abc123", "wall_start": 1000.0, "mono_start": 100.0,
+    "pid": 10,
+}
+
+
+def span(sid, parent, name, cat, ts, dur, pid=10, **attrs):
+    rec = {
+        "kind": "span", "span": sid, "parent": parent, "name": name,
+        "cat": cat, "ts": ts, "dur": dur, "pid": pid,
+        "run_id": HEADER["run_id"],
+    }
+    if attrs:
+        rec["attrs"] = attrs
+    return rec
+
+
+def nested_trace():
+    """cli -> campaign -> cell -> dispatch -> chunk -> {compile, solve}."""
+    return [
+        # file order is completion order: leaves first
+        span("10.6", "10.5", "compile", "compile", 101.0, 0.5, pid=20,
+             functional="LYP", condition="EC1"),
+        span("10.7", "10.5", "solve:0", "solve", 101.5, 2.0, pid=20,
+             functional="LYP", condition="EC1"),
+        span("10.5", "10.4", "chunk", "chunk", 101.0, 2.6, pid=20),
+        span("10.4", "10.3", "dispatch:LYP/EC1", "dispatch", 100.9, 2.8),
+        span("10.3", "10.2", "cell:LYP/EC1", "cell", 100.8, 3.0,
+             functional="LYP", condition="EC1"),
+        span("10.2", "10.1", "campaign", "campaign", 100.5, 3.5,
+             computed=1, store_hits=0),
+        span("10.1", None, "cli:table1", "cli", 100.0, 4.2),
+    ]
+
+
+def write_trace(tmp_path, records, name="trace.jsonl"):
+    path = tmp_path / name
+    path.write_text("".join(json.dumps(rec) + "\n" for rec in records))
+    return path
+
+
+class TestLoadTrace:
+    def test_loads_header_and_spans(self, tmp_path):
+        path = write_trace(tmp_path, [HEADER, *nested_trace()])
+        header, spans = load_trace(path)
+        assert header["trace_id"] == "t1"
+        assert len(spans) == 7
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = write_trace(tmp_path, [HEADER, *nested_trace()])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "span", "span": "10.9"')  # SIGINT mid-span
+        _, spans = load_trace(path)
+        assert len(spans) == 7
+
+    def test_missing_header_raises(self, tmp_path):
+        path = write_trace(tmp_path, nested_trace())
+        with pytest.raises(ValueError, match="no header"):
+            load_trace(path)
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        stale = dict(HEADER, v=TRACE_SCHEMA_VERSION + 1)
+        path = write_trace(tmp_path, [stale, *nested_trace()])
+        with pytest.raises(ValueError, match="schema"):
+            load_trace(path)
+
+
+class TestSpanTree:
+    def test_rebuilds_from_ids_regardless_of_file_order(self):
+        spans = nested_trace()
+        roots, children = span_tree(spans)
+        assert [r["name"] for r in roots] == ["cli:table1"]
+        assert [c["name"] for c in children["10.1"]] == ["campaign"]
+        assert [c["name"] for c in children["10.5"]] == ["compile", "solve:0"]
+
+    def test_children_sorted_by_start_time(self):
+        spans = [
+            span("1.2", "1.1", "late", "x", 5.0, 1.0),
+            span("1.3", "1.1", "early", "x", 1.0, 1.0),
+            span("1.1", None, "root", "x", 0.0, 7.0),
+        ]
+        _, children = span_tree(spans)
+        assert [c["name"] for c in children["1.1"]] == ["early", "late"]
+
+    def test_unresolved_parent_becomes_a_root(self):
+        orphan = span("1.9", "no.such", "orphan", "x", 0.0, 1.0)
+        roots, _ = span_tree([orphan])
+        assert roots == [orphan]
+
+
+class TestChromeTrace:
+    def test_events_are_microseconds_from_trace_start(self):
+        doc = chrome_trace(HEADER, nested_trace())
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        cli = by_name["cli:table1"]
+        assert cli["ts"] == pytest.approx(0.0)  # started at mono_start
+        assert cli["dur"] == pytest.approx(4.2e6)
+        assert by_name["chunk"]["ts"] == pytest.approx(1.0e6)
+
+    def test_processes_get_named_swimlanes(self):
+        doc = chrome_trace(HEADER, nested_trace())
+        meta = {e["pid"]: e["args"]["name"]
+                for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert meta == {10: "repro", 20: "pool worker 20"}
+
+    def test_args_carry_span_identity_and_attrs(self):
+        doc = chrome_trace(HEADER, nested_trace())
+        (solve,) = [e for e in doc["traceEvents"] if e["name"] == "solve:0"]
+        assert solve["args"]["span"] == "10.7"
+        assert solve["args"]["parent"] == "10.5"
+        assert solve["args"]["functional"] == "LYP"
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        out = tmp_path / "chrome.json"
+        write_chrome_trace(HEADER, nested_trace(), out)
+        doc = json.loads(out.read_text())
+        assert doc["otherData"]["trace_id"] == "t1"
+        assert len(doc["traceEvents"]) == 9  # 7 spans + 2 process names
+
+
+class TestCriticalPath:
+    def test_descends_into_latest_ending_child(self):
+        spans = nested_trace()
+        path = critical_path(spans)
+        assert [s["name"] for s in path] == [
+            "cli:table1", "campaign", "cell:LYP/EC1", "dispatch:LYP/EC1",
+            "chunk", "solve:0",
+        ]
+
+    def test_first_hop_is_the_traced_wall_clock(self):
+        path = critical_path(nested_trace())
+        assert path[0]["dur"] == pytest.approx(4.2)
+
+    def test_empty_trace_is_empty_path(self):
+        assert critical_path([]) == []
+
+
+class TestUtilizationAndBreakdown:
+    def test_concurrent_chunks_counted(self):
+        spans = [
+            span("1.1", None, "root", "cli", 0.0, 10.0),
+            span("1.2", "1.1", "chunk", "chunk", 0.0, 10.0),
+            span("1.3", "1.1", "chunk", "chunk", 0.0, 5.0),
+        ]
+        timeline = utilization_timeline(spans, slots=10)
+        assert max(timeline) == 2
+        assert timeline[-1] == 1
+
+    def test_no_chunks_is_all_zero(self):
+        assert utilization_timeline([span("1.1", None, "r", "cli", 0, 1)],
+                                    slots=5) == [0] * 5
+
+    def test_pair_breakdown_sums_compile_and_solve(self):
+        breakdown = pair_breakdown(nested_trace())
+        assert breakdown[("LYP", "EC1")]["compile"] == pytest.approx(0.5)
+        assert breakdown[("LYP", "EC1")]["solve"] == pytest.approx(2.0)
+
+
+class TestSummary:
+    def test_one_screenful_with_every_section(self):
+        text = summarize_trace(HEADER, nested_trace())
+        assert "7 spans" in text
+        assert "critical path" in text
+        assert "top" in text and "self-time" in text
+        assert "pool utilization" in text
+        assert "per-pair compile vs solve" in text
+        assert "LYP/EC1" in text
+
+    def test_empty_trace_still_summarizes(self):
+        text = summarize_trace(HEADER, [])
+        assert "0 spans" in text
+
+
+class TestLintTrace:
+    def test_nested_trace_is_clean(self):
+        assert lint_trace(HEADER, nested_trace()) == []
+
+    def test_duplicate_ids_flagged(self):
+        spans = [
+            span("1.1", None, "a", "cli", 0, 1),
+            span("1.1", "1.1", "b", "x", 0, 1),
+        ]
+        assert any("duplicate" in p for p in lint_trace(HEADER, spans))
+
+    def test_multiple_roots_flagged(self):
+        spans = [
+            span("1.1", None, "a", "cli", 0, 1),
+            span("1.2", None, "b", "cli", 0, 1),
+        ]
+        assert any("1 root" in p for p in lint_trace(HEADER, spans))
+
+    def test_unresolved_parent_flagged(self):
+        spans = [
+            span("1.1", None, "a", "cli", 0, 1),
+            span("1.2", "gone", "b", "x", 0, 1),
+        ]
+        assert any("unresolved parent" in p for p in lint_trace(HEADER, spans))
+
+    def test_negative_duration_flagged(self):
+        spans = [span("1.1", None, "a", "cli", 0, -0.5)]
+        assert any("negative" in p for p in lint_trace(HEADER, spans))
+
+    def test_cell_count_cross_checked_against_campaign(self):
+        spans = nested_trace()
+        # claim two computed cells while the trace holds one cell span
+        spans[5] = span("10.2", "10.1", "campaign", "campaign", 100.5, 3.5,
+                        computed=2, store_hits=0)
+        problems = lint_trace(HEADER, spans)
+        assert any("2 computed cells" in p and "1 cell spans" in p
+                   for p in problems)

@@ -1,0 +1,101 @@
+"""The shared JSONL durability discipline (obs.jsonl).
+
+The store backend, the audit log and the trace sink all ride on these
+helpers, so the crash contract is pinned once, here: readers skip a
+truncated tail, reopening seals it, and writes are one flushed line per
+record.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.jsonl import JsonlWriter, iter_jsonl, open_append_sealed, read_jsonl
+
+
+class TestIterJsonl:
+    def test_round_trips_records_in_order(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"i": 1}\n{"i": 2}\n{"i": 3}\n')
+        assert [r["i"] for r in iter_jsonl(path)] == [1, 2, 3]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert read_jsonl(tmp_path / "absent.jsonl") == []
+
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"i": 1}\n{"i": 2}\n{"i": 3, "x"')  # killed mid-write
+        assert [r["i"] for r in read_jsonl(path)] == [1, 2]
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"i": 1}\n\n\n{"i": 2}\n')
+        assert [r["i"] for r in read_jsonl(path)] == [1, 2]
+
+    def test_corrupt_interior_line_is_dropped_not_raised(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"i": 1}\nnot json at all\n{"i": 2}\n')
+        assert [r["i"] for r in read_jsonl(path)] == [1, 2]
+
+
+class TestOpenAppendSealed:
+    def test_seals_truncated_last_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"i": 1}\n{"i": 2, "x"')
+        handle = open_append_sealed(path)
+        handle.write('{"i": 3}\n')
+        handle.close()
+        # the corrupt tail got its newline: record 3 does not merge into it
+        assert [r["i"] for r in read_jsonl(path)] == [1, 3]
+
+    def test_clean_file_untouched(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"i": 1}\n')
+        open_append_sealed(path).close()
+        assert path.read_text() == '{"i": 1}\n'
+
+    def test_fresh_and_empty_files_need_no_seal(self, tmp_path):
+        fresh = tmp_path / "fresh.jsonl"
+        open_append_sealed(fresh).close()
+        assert fresh.read_text() == ""
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        open_append_sealed(empty).close()
+        assert empty.read_text() == ""
+
+
+class TestJsonlWriter:
+    def test_writes_sorted_key_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        writer = JsonlWriter(path)
+        writer.write({"b": 2, "a": 1})
+        writer.close()
+        assert path.read_text() == '{"a": 1, "b": 2}\n'
+
+    def test_append_after_kill_mid_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        writer = JsonlWriter(path)
+        writer.write({"i": 1})
+        writer.close()
+        with open(path, "a") as handle:
+            handle.write('{"i": 2, "trunc')  # simulated kill mid-write
+        survivor = JsonlWriter(path)
+        survivor.write({"i": 3})
+        survivor.close()
+        assert [r["i"] for r in read_jsonl(path)] == [1, 3]
+
+    def test_every_line_parses_standalone(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        writer = JsonlWriter(path)
+        for i in range(5):
+            writer.write({"i": i, "nested": {"k": [i, i + 1]}})
+        writer.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        for i, line in enumerate(lines):
+            assert json.loads(line)["i"] == i
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = JsonlWriter(tmp_path / "log.jsonl")
+        writer.close()
+        writer.close()

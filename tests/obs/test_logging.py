@@ -1,0 +1,85 @@
+"""Structured diagnostics: run ids, mode selection, record shape."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import logging as obslog
+from repro.obs.logging import configure_logging, json_mode, log_event, run_id
+
+
+@pytest.fixture(autouse=True)
+def reset_mode(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    monkeypatch.setattr(obslog, "_JSON_MODE", None)
+
+
+class TestRunId:
+    def test_stable_for_the_process_life(self):
+        assert run_id() == run_id()
+
+    def test_twelve_hex_chars(self):
+        value = run_id()
+        assert len(value) == 12
+        int(value, 16)
+
+
+class TestModeSelection:
+    def test_default_is_text(self):
+        assert json_mode() is False
+
+    def test_env_var_switches_to_json(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "json")
+        configure_logging()
+        assert json_mode() is True
+
+    def test_explicit_flag_beats_the_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "json")
+        configure_logging(json_logs=False)
+        assert json_mode() is False
+        configure_logging(json_logs=True)
+        assert json_mode() is True
+
+    def test_lazy_configuration_on_first_use(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "JSON")  # case-insensitive
+        assert json_mode() is True
+
+
+class TestLogEvent:
+    def test_text_mode_prints_the_exact_line(self, capsys):
+        configure_logging(json_logs=False)
+        log_event("campaign.interrupted", "warning: campaign interrupted",
+                  level="warning", computed=3)
+        captured = capsys.readouterr()
+        assert captured.err == "warning: campaign interrupted\n"
+        assert captured.out == ""
+
+    def test_json_mode_emits_one_record_per_line(self, capsys):
+        configure_logging(json_logs=True)
+        log_event("trace.written", "wrote trace t.jsonl", path="t.jsonl")
+        record = json.loads(capsys.readouterr().err)
+        assert record["event"] == "trace.written"
+        assert record["level"] == "info"
+        assert record["text"] == "wrote trace t.jsonl"
+        assert record["path"] == "t.jsonl"
+        assert record["run_id"] == run_id()
+        assert record["ts"] > 0
+
+    def test_json_keys_are_sorted(self, capsys):
+        configure_logging(json_logs=True)
+        log_event("e", "t", zebra=1, alpha=2)
+        line = capsys.readouterr().err.strip()
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+    def test_stream_override(self, capsys):
+        import sys
+
+        configure_logging(json_logs=False)
+        log_event("service.listening", "listening on :8080",
+                  stream=sys.stdout)
+        captured = capsys.readouterr()
+        assert captured.out == "listening on :8080\n"
+        assert captured.err == ""

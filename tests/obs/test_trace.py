@@ -1,0 +1,194 @@
+"""The tracer core: sinks, spans, ambient activation, worker recorders.
+
+Pins the record layout (the schema readers depend on), the no-op
+guarantees of the disabled path, and the cross-process handshake --
+a SpanContext pickled into a chunk, a SpanRecorder's dicts returned and
+re-emitted by the parent.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.obs.export import load_trace
+from repro.obs.jsonl import read_jsonl
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    SpanContext,
+    SpanRecorder,
+    TraceSink,
+    Tracer,
+    activate_tracer,
+    current_tracer,
+)
+
+
+def make_tracer(tmp_path, name="t.jsonl"):
+    sink = TraceSink(tmp_path / name)
+    return Tracer(sink), sink
+
+
+class TestTraceSink:
+    def test_header_is_first_line(self, tmp_path):
+        _, sink = make_tracer(tmp_path)
+        sink.close()
+        records = read_jsonl(sink.path)
+        assert records[0]["kind"] == "header"
+        assert records[0]["v"] == TRACE_SCHEMA_VERSION
+        assert records[0]["trace_id"] == sink.trace_id
+        assert records[0]["pid"] == os.getpid()
+        assert records[0]["wall_start"] > 0
+        assert len(records[0]["run_id"]) == 12
+
+    def test_distinct_sinks_get_distinct_trace_ids(self, tmp_path):
+        _, a = make_tracer(tmp_path, "a.jsonl")
+        _, b = make_tracer(tmp_path, "b.jsonl")
+        a.close(), b.close()
+        assert a.trace_id != b.trace_id
+
+
+class TestTracer:
+    def test_finished_span_record_shape(self, tmp_path):
+        tracer, sink = make_tracer(tmp_path)
+        span = tracer.begin("solve:LYP/EC1", "solve", functional="LYP")
+        tracer.finish(span, steps=42)
+        sink.close()
+        _, spans = load_trace(sink.path)
+        (rec,) = spans
+        assert rec["kind"] == "span"
+        assert rec["name"] == "solve:LYP/EC1"
+        assert rec["cat"] == "solve"
+        assert rec["span"] == span.span_id
+        assert rec["parent"] is None
+        assert rec["pid"] == os.getpid()
+        assert rec["dur"] >= 0
+        assert rec["run_id"] == tracer.run_id
+        # begin-time and finish-time attrs merge into one dict
+        assert rec["attrs"] == {"functional": "LYP", "steps": 42}
+
+    def test_span_ids_are_unique(self, tmp_path):
+        tracer, sink = make_tracer(tmp_path)
+        ids = {tracer.begin("s", "x").span_id for _ in range(100)}
+        sink.close()
+        assert len(ids) == 100
+
+    def test_explicit_parent_links(self, tmp_path):
+        tracer, sink = make_tracer(tmp_path)
+        outer = tracer.begin("outer", "x")
+        inner = tracer.begin("inner", "x", parent=outer)
+        tracer.finish(inner)
+        tracer.finish(outer)
+        sink.close()
+        _, spans = load_trace(sink.path)
+        by_name = {rec["name"]: rec for rec in spans}
+        assert by_name["inner"]["parent"] == outer.span_id
+        assert by_name["outer"]["parent"] is None
+
+    def test_root_is_the_default_parent(self, tmp_path):
+        # the CLI sets tracer.root to its command span so library spans
+        # opened deep inside run_campaign still land under the command
+        tracer, sink = make_tracer(tmp_path)
+        command = tracer.begin("cli:table1", "cli")
+        tracer.root = command
+        orphan = tracer.begin("campaign", "campaign")
+        tracer.finish(orphan)
+        tracer.root = None
+        tracer.finish(command)
+        sink.close()
+        _, spans = load_trace(sink.path)
+        by_name = {rec["name"]: rec for rec in spans}
+        assert by_name["campaign"]["parent"] == command.span_id
+
+    def test_span_context_manager_finishes_on_exception(self, tmp_path):
+        tracer, sink = make_tracer(tmp_path)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed", "x"):
+                raise RuntimeError("boom")
+        sink.close()
+        _, spans = load_trace(sink.path)
+        assert [rec["name"] for rec in spans] == ["doomed"]
+
+    def test_completion_order_is_file_order(self, tmp_path):
+        # children land before parents: readers must rebuild from ids
+        tracer, sink = make_tracer(tmp_path)
+        with tracer.span("parent", "x") as parent:
+            with tracer.span("child", "x", parent=parent):
+                pass
+        sink.close()
+        _, spans = load_trace(sink.path)
+        assert [rec["name"] for rec in spans] == ["child", "parent"]
+
+
+class TestAmbientTracer:
+    def test_default_is_the_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_activation_nests_and_restores(self, tmp_path):
+        tracer, sink = make_tracer(tmp_path)
+        with activate_tracer(tracer):
+            assert current_tracer() is tracer
+            inner, inner_sink = make_tracer(tmp_path, "inner.jsonl")
+            with activate_tracer(inner):
+                assert current_tracer() is inner
+            inner_sink.close()
+            assert current_tracer() is tracer
+        sink.close()
+        assert current_tracer() is NULL_TRACER
+
+
+class TestNullTracer:
+    def test_disabled_flag_gates_hot_paths(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_all_operations_are_noops(self, tmp_path):
+        span = NULL_TRACER.begin("s", "x", payload=1)
+        NULL_TRACER.finish(span, more=2)
+        with NULL_TRACER.span("s", "x") as ctx_span:
+            assert ctx_span.span_id is None
+        assert NULL_TRACER.context(span) is None
+        assert NULL_TRACER.emit_records([{"kind": "span"}]) is None
+
+
+class TestSpanRecorder:
+    def test_context_round_trips_through_pickle(self, tmp_path):
+        tracer, sink = make_tracer(tmp_path)
+        span = tracer.begin("dispatch", "dispatch")
+        ctx = tracer.context(span)
+        sink.close()
+        thawed = pickle.loads(pickle.dumps(ctx))
+        assert thawed == ctx
+        assert thawed.span_id == span.span_id
+
+    def test_records_parent_under_the_context(self, tmp_path):
+        tracer, sink = make_tracer(tmp_path)
+        dispatch = tracer.begin("dispatch", "dispatch")
+        ctx = tracer.context(dispatch)
+
+        recorder = SpanRecorder(ctx)  # "worker side" (same process here)
+        chunk = recorder.begin("chunk", "chunk")
+        with recorder.span("solve:1", "solve", parent=chunk):
+            pass
+        recorder.finish(chunk)
+
+        tracer.emit_records(recorder.records)
+        tracer.finish(dispatch)
+        sink.close()
+        _, spans = load_trace(sink.path)
+        by_name = {rec["name"]: rec for rec in spans}
+        assert by_name["chunk"]["parent"] == dispatch.span_id
+        assert by_name["solve:1"]["parent"] == chunk.span_id
+        assert by_name["chunk"]["run_id"] == ctx.run_id
+
+    def test_records_are_plain_dicts(self, tmp_path):
+        tracer, sink = make_tracer(tmp_path)
+        ctx = tracer.context(tracer.begin("d", "dispatch"))
+        sink.close()
+        recorder = SpanRecorder(ctx)
+        with recorder.span("chunk", "chunk"):
+            pass
+        assert all(isinstance(rec, dict) for rec in recorder.records)
+        pickle.dumps(recorder.records)  # the return trip must pickle

@@ -223,3 +223,68 @@ class TestEndToEnd:
         lines = [json.loads(line) for line in store_path.read_text().splitlines()]
         assert len(lines) >= 1
         assert snap["cells"] == 5
+
+
+class TestMetricsExposition:
+    """/v1/metrics content negotiation: JSON by default, Prometheus on ask."""
+
+    def fetch(self, svc, path, headers=None):
+        import http.client
+
+        host, port = svc.url.split("//")[1].rsplit(":", 1)
+        conn = http.client.HTTPConnection(host, int(port))
+        conn.request("GET", path, headers=headers or {})
+        response = conn.getresponse()
+        body = response.read()
+        conn.close()
+        return response, body
+
+    def test_default_stays_json(self, stub_service):
+        response, body = self.fetch(stub_service, "/v1/metrics")
+        assert response.status == 200
+        assert "application/json" in response.getheader("Content-Type")
+        doc = json.loads(body)
+        assert "requests" in doc and "pool" in doc
+
+    def test_format_prometheus_is_valid_exposition(self, stub_service):
+        from repro.obs.metrics import CONTENT_TYPE_PROMETHEUS, lint_exposition
+
+        response, body = self.fetch(
+            stub_service, "/v1/metrics?format=prometheus"
+        )
+        assert response.status == 200
+        assert response.getheader("Content-Type") == CONTENT_TYPE_PROMETHEUS
+        text = body.decode()
+        assert lint_exposition(text) == []
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_uptime_seconds" in text
+
+    def test_accept_header_negotiates_prometheus(self, stub_service):
+        from repro.obs.metrics import lint_exposition
+
+        response, body = self.fetch(
+            stub_service, "/v1/metrics", headers={"Accept": "text/plain"}
+        )
+        assert response.getheader("Content-Type").startswith("text/plain")
+        assert lint_exposition(body.decode()) == []
+
+    def test_unknown_format_is_400(self, stub_service):
+        response, body = self.fetch(stub_service, "/v1/metrics?format=xml")
+        assert response.status == 400
+        assert "error" in json.loads(body)
+
+    def test_campaign_engine_counters_fold_in(self, stub_service):
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.counter(
+            "repro_campaign_cells_resolved_total",
+            "Campaign cells resolved, by how.",
+        ).inc(result="computed")
+        _, body = self.fetch(stub_service, "/v1/metrics?format=prometheus")
+        assert "repro_campaign_cells_resolved_total" in body.decode()
+
+    def test_scrapes_count_as_requests(self, stub_service):
+        self.fetch(stub_service, "/v1/metrics?format=prometheus")
+        _, body = self.fetch(stub_service, "/v1/metrics")
+        doc = json.loads(body)
+        assert doc["requests"]["by_route"].get("GET /metrics", 0) >= 1

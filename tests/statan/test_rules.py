@@ -178,6 +178,58 @@ class TestRep105LoudValidation:
         assert _run(tmp_path, "REP105") == []
 
 
+class TestRep106ClockDiscipline:
+    def test_raw_clock_in_traced_module_detected(self, tmp_path):
+        _write(tmp_path, "service/handlers.py", """\
+            import time
+
+            def stamp():
+                return time.perf_counter()
+        """)
+        findings = _run(tmp_path, "REP106")
+        assert [f.rule for f in findings] == ["REP106"]
+        assert findings[0].symbol == "stamp"
+        assert "obs.clock" in findings[0].message
+
+    def test_one_finding_per_function(self, tmp_path):
+        _write(tmp_path, "solver/icp.py", """\
+            import time
+
+            def measure():
+                t0 = time.monotonic()
+                return time.monotonic() - t0
+        """)
+        assert len(_run(tmp_path, "REP106")) == 1
+
+    def test_clock_module_is_the_sanctioned_home(self, tmp_path):
+        _write(tmp_path, "obs/clock.py", """\
+            import time
+
+            def mono_now():
+                return time.monotonic()
+        """)
+        assert _run(tmp_path, "REP106") == []
+
+    def test_untraced_modules_out_of_scope(self, tmp_path):
+        _write(tmp_path, "analysis/tables.py", """\
+            import time
+
+            def stamp():
+                return time.time()
+        """)
+        assert _run(tmp_path, "REP106") == []
+
+    def test_clock_helpers_are_clean(self, tmp_path):
+        _write(tmp_path, "verifier/campaign.py", """\
+            from ..obs.clock import perf_now
+
+            def measure():
+                t0 = perf_now()
+                return perf_now() - t0
+        """)
+        assert _run(tmp_path, "REP106") == []
+
+
 class TestAllowlist:
     def test_entry_suppresses_matching_finding(self, tmp_path):
         mod = _write(tmp_path, "verifier/cfg.py", """\

@@ -539,3 +539,144 @@ class TestAdaptiveFlag:
         rc = main(["numerics", "-f", "PBE", "--adaptive"])
         assert rc == 1
         assert "--adaptive" in capsys.readouterr().err
+
+
+class TestTraceFlag:
+    ARGS = [
+        "table1", "--functionals", "Wigner,VWN RPA", "--conditions", "EC1",
+        "--budget", "100", "--global-budget", "500",
+    ]
+
+    def test_trace_flag_records_a_loadable_trace(self, capsys, tmp_path):
+        from repro.obs.export import lint_trace, load_trace
+
+        trace = str(tmp_path / "t.jsonl")
+        assert main(self.ARGS + ["--trace", trace]) == 0
+        captured = capsys.readouterr()
+        assert "Table I" in captured.out
+        assert f"wrote trace {trace}" in captured.err
+        header, spans = load_trace(trace)
+        assert lint_trace(header, spans) == []
+        # one root: the CLI command span; one cell span per computed cell
+        roots = [s for s in spans if s["parent"] is None]
+        assert [r["name"] for r in roots] == ["cli:table1"]
+        assert len([s for s in spans if s["cat"] == "cell"]) == 2
+
+    def test_repro_trace_env_var(self, capsys, tmp_path, monkeypatch):
+        from repro.obs.export import load_trace
+
+        trace = str(tmp_path / "env.jsonl")
+        monkeypatch.setenv("REPRO_TRACE", trace)
+        assert main(["verify", "-f", "Wigner", "-c", "EC1",
+                     "--global-budget", "500"]) == 0
+        _, spans = load_trace(trace)
+        assert any(s["name"] == "cli:verify" for s in spans)
+        assert any(s["cat"] == "solve" for s in spans)
+
+    def test_table_output_identical_with_and_without_trace(self, capsys, tmp_path):
+        assert main(self.ARGS) == 0
+        plain = capsys.readouterr().out
+        assert main(self.ARGS + ["--trace", str(tmp_path / "t.jsonl")]) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestTraceSubcommand:
+    def record(self, capsys, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(
+            ["table1", "--functionals", "Wigner", "--conditions", "EC1",
+             "--budget", "100", "--global-budget", "500", "--trace", trace]
+        ) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_summary_prints_the_screenful(self, capsys, tmp_path):
+        trace = self.record(capsys, tmp_path)
+        assert main(["trace", "summary", trace]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "self-time" in out
+
+    def test_export_chrome_file(self, capsys, tmp_path):
+        import json
+
+        trace = self.record(capsys, tmp_path)
+        out_path = str(tmp_path / "chrome.json")
+        assert main(["trace", "export", trace, "--chrome", out_path]) == 0
+        assert "wrote" in capsys.readouterr().out
+        with open(out_path) as handle:
+            doc = json.load(handle)
+        assert doc["traceEvents"]
+        assert all("ph" in event for event in doc["traceEvents"])
+
+    def test_export_chrome_stdout(self, capsys, tmp_path):
+        import json
+
+        trace = self.record(capsys, tmp_path)
+        assert main(["trace", "export", trace, "--chrome", "-"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["otherData"]["trace_id"]
+
+    def test_lint_clean_trace_exits_0(self, capsys, tmp_path):
+        trace = self.record(capsys, tmp_path)
+        assert main(["trace", "lint", trace]) == 0
+        assert "0 problems" in capsys.readouterr().out
+
+    def test_lint_broken_trace_exits_1(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "bad.jsonl"
+        header = {"kind": "header", "v": 1, "trace_id": "x", "run_id": "r",
+                  "wall_start": 0.0, "mono_start": 0.0, "pid": 1}
+        orphan = {"kind": "span", "span": "1.1", "parent": "gone",
+                  "name": "s", "cat": "x", "ts": 0.0, "dur": 1.0, "pid": 1,
+                  "run_id": "r"}
+        trace.write_text(json.dumps(header) + "\n" + json.dumps(orphan) + "\n")
+        assert main(["trace", "lint", str(trace)]) == 1
+        out = capsys.readouterr().out
+        assert "trace-lint:" in out
+
+    def test_missing_trace_file_is_usage_error(self, capsys, tmp_path):
+        assert main(["trace", "summary", str(tmp_path / "absent.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_trace_file_is_usage_error(self, capsys, tmp_path):
+        path = tmp_path / "not_a_trace.jsonl"
+        path.write_text('{"kind": "other"}\n')
+        assert main(["trace", "summary", str(path)]) == 1
+        assert "no header" in capsys.readouterr().err
+
+
+class TestLogJson:
+    def test_log_json_emits_structured_stderr(self, capsys, tmp_path):
+        import json
+
+        trace = str(tmp_path / "t.jsonl")
+        rc = main(
+            ["--log-json", "table1", "--functionals", "Wigner",
+             "--conditions", "EC1", "--budget", "100",
+             "--global-budget", "500", "--trace", trace]
+        )
+        assert rc == 0
+        err_lines = [line for line in capsys.readouterr().err.splitlines() if line]
+        records = [json.loads(line) for line in err_lines]
+        written = [r for r in records if r["event"] == "trace.written"]
+        assert written and written[0]["path"] == trace
+        assert all(
+            set(("ts", "level", "run_id", "event", "text")) <= set(r)
+            for r in records
+        )
+
+    def test_log_json_usage_errors_are_records(self, capsys):
+        import json
+
+        assert main(["--log-json", "verify", "-f", "NOPE", "-c", "EC1"]) == 1
+        record = json.loads(capsys.readouterr().err.splitlines()[0])
+        assert record["event"] == "cli.usage-error"
+        assert record["level"] == "error"
+        assert "unknown functional" in record["text"]
+
+    def test_text_mode_unchanged_by_default(self, capsys):
+        assert main(["verify", "-f", "NOPE", "-c", "EC1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")  # plain prose, not JSON
